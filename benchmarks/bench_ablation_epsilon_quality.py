@@ -1,0 +1,51 @@
+"""Ablation: answer quality against the similarity threshold epsilon.
+
+The paper plots time vs epsilon (Figure 16(c)) and reports quality at two
+epsilons only (2 and 3).  This ablation completes the picture: sweeping
+epsilon shows recall rising towards saturation while precision decays as
+confusable-name false positives creep in — quality peaks in the middle,
+which is exactly why the DBA-chosen threshold matters.
+"""
+
+from conftest import persist
+
+from repro.experiments import run_precision_recall_experiment
+from repro.experiments.reporting import format_table
+
+EPSILONS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0)
+
+
+def test_ablation_epsilon_quality(benchmark, results_dir):
+    results = run_precision_recall_experiment(
+        n_datasets=2,
+        papers_per_dataset=100,
+        n_queries=12,
+        epsilons=EPSILONS,
+        seed=0,
+    )
+    rows = []
+    series = {}
+    for epsilon in EPSILONS:
+        name = f"TOSS(e={epsilon:g})"
+        precision, recall, quality = results.averages(name)
+        series[epsilon] = (precision, recall, quality)
+        rows.append([epsilon, precision, recall, quality])
+    tax_p, tax_r, tax_q = results.averages("TAX")
+    rows.append(["TAX", tax_p, tax_r, tax_q])
+
+    table = format_table(["epsilon", "avg P", "avg R", "avg quality"], rows)
+    persist(results_dir, "ablation_epsilon_quality.txt",
+            "Ablation: quality vs epsilon\n" + table)
+
+    # Recall must be monotone non-decreasing in epsilon.
+    recalls = [series[e][1] for e in EPSILONS]
+    assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:])), recalls
+    # Precision must not increase as epsilon grows.
+    precisions = [series[e][0] for e in EPSILONS]
+    assert all(a >= b - 1e-9 for a, b in zip(precisions, precisions[1:])), precisions
+    # Quality at the extremes is below the best mid-range quality.
+    best = max(series[e][2] for e in EPSILONS)
+    assert best > series[0.0][2]
+    assert best >= series[EPSILONS[-1]][2]
+
+    benchmark(lambda: format_table(["x"], [[1]]))

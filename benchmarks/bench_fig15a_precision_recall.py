@@ -1,0 +1,53 @@
+"""Figure 15(a): precision and recall — TAX vs TOSS(e=2) vs TOSS(e=3).
+
+Paper protocol: 12 selection queries on 3 datasets of 100 random DBLP
+papers; each query has 1 isa + 1 similarTo + 3 tag conditions; TAX
+degrades isa to `contains` and similarTo to exact match.
+
+Paper numbers: TAX precision 1.0 with recall < 0.5 for 75% of queries;
+TOSS(e=3) averages P=0.942 / R=0.843; TOSS(e=2) averages P=0.987 /
+R=0.596.  The shape assertions below encode exactly that ordering.
+"""
+
+from conftest import persist
+
+from repro.experiments import run_precision_recall_experiment
+from repro.experiments.reporting import fig15a_summary, fig15a_table
+from repro.experiments.workload import build_selection_workload, build_system
+from repro.data import generate_corpus, render_dblp
+
+
+def test_fig15a_precision_recall(benchmark, results_dir):
+    results = run_precision_recall_experiment(
+        n_datasets=3, papers_per_dataset=100, n_queries=12, seed=0
+    )
+    table = fig15a_table(results)
+    summary = fig15a_summary(results)
+    persist(
+        results_dir,
+        "fig15a_precision_recall.txt",
+        "Figure 15(a): precision/recall per query\n"
+        + table + "\n\n" + summary,
+    )
+
+    tax_p, tax_r, tax_q = results.averages("TAX")
+    toss2_p, toss2_r, _ = results.averages("TOSS(e=2)")
+    toss3_p, toss3_r, _ = results.averages("TOSS(e=3)")
+
+    # The paper's qualitative claims.
+    assert tax_p == 1.0, "TAX's exact matching must keep 100% precision"
+    assert results.fraction_tax_recall_below(0.5) >= 0.5
+    assert toss3_r > toss2_r > tax_r, "recall must grow with epsilon"
+    assert toss2_p >= toss3_p - 0.05, "lower epsilon must not cost precision"
+    assert toss3_p > 0.8 and toss3_r > 0.6
+
+    # Benchmark one representative TOSS query end to end.
+    corpus = generate_corpus(100, seed=0)
+    dblp = render_dblp(corpus, seed=0)
+    queries = build_selection_workload(corpus, 12, seed=0)
+    system = build_system(corpus, [dblp], 3.0)
+    query = queries[0]
+
+    benchmark(
+        lambda: system.select("dblp", query.toss_pattern, query.sl_labels)
+    )

@@ -1,0 +1,43 @@
+"""Figure 15(b): answer quality sqrt(P*R) against sqrt(TAX recall).
+
+Paper claim: "TOSS (e=3) outperforms TAX for all queries (except the 3
+queries mentioned above)" — the exceptions being the tiny-answer queries
+where TAX already reaches recall 1.
+"""
+
+import math
+
+from conftest import persist
+
+from repro.experiments import run_precision_recall_experiment
+from repro.experiments.reporting import fig15b_series
+
+
+def test_fig15b_quality(benchmark, results_dir):
+    results = run_precision_recall_experiment(
+        n_datasets=3, papers_per_dataset=100, n_queries=12, seed=0
+    )
+    persist(results_dir, "fig15b_quality.txt", fig15b_series(results))
+
+    # TOSS(e=3) must beat TAX on quality wherever TAX has not already
+    # reached full recall.
+    losses = 0
+    comparisons = 0
+    for tax, toss in results.paired("TOSS(e=3)"):
+        if tax.recall >= 1.0:
+            continue  # the paper's exempted queries
+        comparisons += 1
+        if toss.quality < tax.quality:
+            losses += 1
+    assert comparisons > 0
+    assert losses / comparisons <= 0.15, (
+        f"TOSS(e=3) lost on quality for {losses}/{comparisons} queries"
+    )
+
+    # Average quality ordering: TOSS(e=3) > TOSS(e=2) > TAX.
+    _, _, tax_quality = results.averages("TAX")
+    _, _, toss2_quality = results.averages("TOSS(e=2)")
+    _, _, toss3_quality = results.averages("TOSS(e=3)")
+    assert toss3_quality > toss2_quality > tax_quality
+
+    benchmark(lambda: fig15b_series(results))

@@ -1,0 +1,33 @@
+"""Figure 15(c): recall improvement over TAX, normalised by precision.
+
+Paper claim: "In TOSS (e=3), most of the queries get their normalized
+recall more than doubled."
+"""
+
+from conftest import persist
+
+from repro.experiments import run_precision_recall_experiment
+from repro.experiments.reporting import fig15c_series
+
+
+def test_fig15c_recall_improvement(benchmark, results_dir):
+    results = run_precision_recall_experiment(
+        n_datasets=3, papers_per_dataset=100, n_queries=12, seed=0
+    )
+    persist(results_dir, "fig15c_recall_improvement.txt", fig15c_series(results))
+
+    doubled = 0
+    comparisons = 0
+    for tax, toss in results.paired("TOSS(e=3)"):
+        if tax.recall >= 1.0:
+            continue
+        comparisons += 1
+        baseline = max(tax.recall, 1e-9)
+        if toss.recall * toss.precision / baseline >= 2.0:
+            doubled += 1
+    assert comparisons > 0
+    assert doubled / comparisons >= 0.5, (
+        f"normalised recall doubled for only {doubled}/{comparisons} queries"
+    )
+
+    benchmark(lambda: fig15c_series(results))

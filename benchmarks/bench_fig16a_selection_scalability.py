@@ -1,0 +1,73 @@
+"""Figure 16(a): selection time vs data size, per ontology size, vs TAX.
+
+Paper claims to reproduce in shape (absolute numbers depend on hardware
+and on Xindice vs our engine):
+
+* time grows roughly linearly with data size;
+* time is "almost independent of the ontology size";
+* TOSS is slower than TAX by a gap that grows with data size (more
+  ontology-expanded disjuncts to test on more data).
+"""
+
+from conftest import persist
+
+from repro.data import generate_corpus, render_dblp
+from repro.experiments import selection_scalability
+from repro.experiments.reporting import scalability_table
+from repro.experiments.workload import build_scalability_pattern, build_system
+
+PAPER_COUNTS = (250, 500, 1000, 2000)
+
+
+def test_fig16a_selection_scalability(benchmark, results_dir):
+    points = selection_scalability(
+        paper_counts=PAPER_COUNTS,
+        ontology_caps=(50, 200, None),
+        epsilon=3.0,
+        repeats=3,
+        seed=0,
+    )
+    persist(
+        results_dir,
+        "fig16a_selection_scalability.txt",
+        scalability_table(points, "Figure 16(a): selection time vs data size"),
+    )
+
+    toss = [p for p in points if p.system_name.startswith("TOSS")]
+    tax = sorted(
+        (p for p in points if p.system_name == "TAX"),
+        key=lambda p: p.data_bytes,
+    )
+
+    # Linearity: doubling data should scale time by well under 4x.
+    by_ontology: dict = {}
+    for point in toss:
+        by_ontology.setdefault(point.ontology_terms, []).append(point)
+    for series in by_ontology.values():
+        series.sort(key=lambda p: p.data_bytes)
+        first, last = series[0], series[-1]
+        data_ratio = last.data_bytes / first.data_bytes
+        time_ratio = last.seconds / max(first.seconds, 1e-9)
+        assert time_ratio < data_ratio * 2.5, (
+            f"selection no longer ~linear: {time_ratio:.1f}x time for "
+            f"{data_ratio:.1f}x data"
+        )
+
+    # Near-independence from ontology size: at the largest data size, the
+    # spread across ontology curves stays within a small factor.
+    largest = max(p.data_bytes for p in toss)
+    at_largest = [p.seconds for p in toss if p.data_bytes == largest]
+    assert max(at_largest) <= max(4.0 * min(at_largest), min(at_largest) + 0.25)
+
+    # TOSS >= TAX, with the absolute gap growing with data size.
+    gaps = []
+    for tax_point in tax:
+        toss_at = [p.seconds for p in toss if p.papers == tax_point.papers]
+        gaps.append(max(toss_at) - tax_point.seconds)
+    assert gaps[-1] >= gaps[0], "the TOSS-TAX gap should grow with data size"
+
+    corpus = generate_corpus(500, seed=0)
+    dblp = render_dblp(corpus, seed=0)
+    system = build_system(corpus, [dblp], 3.0)
+    pattern = build_scalability_pattern()
+    benchmark(lambda: system.select("dblp", pattern, sl_labels=[1]))

@@ -1,0 +1,63 @@
+"""Figure 16(b): join time vs total (DBLP + SIGMOD) data size, vs TAX.
+
+Paper shape: linear growth in total data size (with a super-linear tail
+when intermediate results dominate), TOSS above TAX with a gap that grows
+with data size.
+"""
+
+from conftest import persist
+
+from repro.data import generate_corpus, render_dblp, render_sigmod_pages
+from repro.experiments import join_scalability
+from repro.experiments.reporting import scalability_table
+from repro.experiments.workload import build_join_pattern, build_system
+
+PAPER_COUNTS = (100, 200, 400, 800)
+
+
+def test_fig16b_join_scalability(benchmark, results_dir):
+    points = join_scalability(
+        paper_counts=PAPER_COUNTS,
+        ontology_caps=(50, None),
+        epsilon=3.0,
+        repeats=2,
+        seed=0,
+    )
+    persist(
+        results_dir,
+        "fig16b_join_scalability.txt",
+        scalability_table(points, "Figure 16(b): join time vs total data size"),
+    )
+
+    toss = [p for p in points if p.system_name.startswith("TOSS")]
+    tax = sorted(
+        (p for p in points if p.system_name == "TAX"),
+        key=lambda p: p.data_bytes,
+    )
+    assert toss and tax
+
+    # Monotone growth with data for every TOSS curve.
+    by_ontology: dict = {}
+    for point in toss:
+        by_ontology.setdefault(point.ontology_terms, []).append(point)
+    for series in by_ontology.values():
+        series.sort(key=lambda p: p.data_bytes)
+        assert series[-1].seconds >= series[0].seconds
+
+    # TOSS at least as slow as TAX on the largest configuration.
+    largest_papers = max(p.papers for p in tax)
+    tax_large = next(p for p in tax if p.papers == largest_papers)
+    toss_large = max(
+        p.seconds for p in toss if p.papers == largest_papers
+    )
+    assert toss_large >= tax_large.seconds * 0.8
+
+    corpus = generate_corpus(200, seed=0)
+    keys = corpus.paper_keys()
+    dblp = render_dblp(corpus, seed=0, paper_keys=keys)
+    pages = render_sigmod_pages(corpus, seed=0, paper_keys=keys)
+    system = build_system(corpus, [dblp], 3.0, sigmod_documents=pages)
+    pattern = build_join_pattern()
+    benchmark(
+        lambda: system.join("dblp", "sigmod", pattern, sl_labels=[2, 5])
+    )

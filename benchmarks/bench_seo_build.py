@@ -1,0 +1,58 @@
+"""SEO precomputation cost and the persistence alternative.
+
+The paper precomputes the SEO "during integration of different XML
+databases" and never counts it in query time; this bench makes that cost
+visible — fusion + SEA scale roughly quadratically in ontology terms —
+and measures the JSON load path a production deployment would use to
+amortise it.
+"""
+
+import time
+
+from conftest import persist
+
+from repro.data import generate_corpus, render_dblp
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import build_system
+from repro.similarity.persistence import dump_seo, load_seo
+
+
+def test_seo_build_cost(benchmark, results_dir):
+    rows = []
+    previous = None
+    for papers in (250, 500, 1000):
+        corpus = generate_corpus(papers, seed=5)
+        dblp = render_dblp(corpus, seed=5)
+        started = time.perf_counter()
+        system = build_system(corpus, [dblp], 3.0)
+        build_seconds = time.perf_counter() - started
+
+        payload = dump_seo(system.seo)
+        started = time.perf_counter()
+        loaded = load_seo(payload)
+        load_seconds = time.perf_counter() - started
+        assert loaded.term_count() == system.ontology_size()
+
+        rows.append(
+            [
+                papers,
+                system.ontology_size(),
+                build_seconds,
+                load_seconds,
+                len(payload),
+            ]
+        )
+        # Loading a persisted SEO must be much cheaper than rebuilding.
+        assert load_seconds < build_seconds
+        previous = build_seconds
+
+    table = format_table(
+        ["papers", "ontology terms", "build seconds", "load seconds", "json bytes"],
+        rows,
+    )
+    persist(results_dir, "seo_build_cost.txt",
+            "SEO precomputation vs persistence\n" + table)
+
+    corpus = generate_corpus(250, seed=5)
+    dblp = render_dblp(corpus, seed=5)
+    benchmark(lambda: build_system(corpus, [dblp], 3.0))

@@ -1,0 +1,35 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's figures: it runs
+the corresponding experiment from :mod:`repro.experiments`, prints the
+paper-shaped table, persists it under ``benchmarks/results/`` and hands
+one representative callable to pytest-benchmark for stable timing.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+(add ``-s`` to see the tables inline; they are always written to the
+results directory either way).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def persist(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a results table and write it next to the benchmarks."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

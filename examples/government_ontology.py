@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""The introduction's motivating query: "papers with a US-government author".
+
+"TAX cannot answer queries of the form 'Find all papers having at least
+one author from the US government.' ... few authors if any will list their
+affiliations as 'US Government.'  They are more likely to list their
+affiliations as 'US Census Bureau' or 'US Army'."
+
+This example builds a small bibliography whose records carry affiliation
+elements, lets the Ontology Maker (with the embedded lexicon's
+organisation taxonomy) place the concrete agencies below "us government"
+and "government agency", and answers the query with a ``below`` condition.
+
+Run:  python examples/government_ontology.py
+"""
+
+from repro.core import TossSystem
+from repro.core.conditions import Below, PartOf
+from repro.ontology.maker import OntologyMaker
+from repro.tax import And, Comparison, Constant, NodeContent, NodeTag, PatternTree
+
+PAPERS = """
+<bibliography>
+  <paper key="g1">
+    <author>Ann Kim Lee</author>
+    <affiliation>US Census Bureau</affiliation>
+    <title>Record Linkage at National Scale</title>
+  </paper>
+  <paper key="g2">
+    <author>Victor Braun</author>
+    <affiliation>US Army</affiliation>
+    <title>Logistics Optimization for Field Deployments</title>
+  </paper>
+  <paper key="g3">
+    <author>Petra Novak</author>
+    <affiliation>NASA</affiliation>
+    <title>Telemetry Compression for Deep Space Probes</title>
+  </paper>
+  <paper key="c1">
+    <author>Marco Rossi</author>
+    <affiliation>Google</affiliation>
+    <title>Ranking Signals in Web Search</title>
+  </paper>
+  <paper key="c2">
+    <author>Laura Chen</author>
+    <affiliation>Microsoft</affiliation>
+    <title>Materialized View Selection for SQL Server</title>
+  </paper>
+</bibliography>
+"""
+
+
+def affiliation_query(concept: str, relation: str = "isa") -> PatternTree:
+    """Papers whose affiliation is below ``concept``.
+
+    ``relation`` selects the hierarchy: "isa" (Google below "web search
+    company") or "part-of" ("US Census Bureau" part of "US government" —
+    the introduction's lexical relationship).
+    """
+    pattern = PatternTree()
+    pattern.add_node(1)
+    pattern.add_node(2, parent=1, edge="pc")
+    semantic = (
+        PartOf(NodeContent(2), Constant(concept))
+        if relation == "part-of"
+        else Below(NodeContent(2), Constant(concept))
+    )
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("paper")),
+        Comparison("=", NodeTag(2), Constant("affiliation")),
+        semantic,
+    )
+    return pattern
+
+
+def main() -> None:
+    maker = OntologyMaker(content_tags={"affiliation"})
+    system = TossSystem(measure="levenshtein", epsilon=1.0, maker=maker)
+    system.add_instance("papers", PAPERS)
+    system.build()
+
+    print("The isa hierarchy the Ontology Maker extracted:")
+    print(system.instances["papers"].isa.pretty())
+    print()
+
+    for concept, relation in (
+        ("us government", "part-of"),
+        ("web search company", "isa"),
+        ("organization", "isa"),
+    ):
+        report = system.select(
+            "papers", affiliation_query(concept, relation), sl_labels=[1]
+        )
+        print(f'Papers whose affiliation is {relation}-below "{concept}":')
+        for tree in report.results:
+            print(f"  - {tree.find_first('title').text}"
+                  f"  [{tree.find_first('affiliation').text}]")
+        if not report.results:
+            print("  (none)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Typed comparisons with conversion functions (Section 5's type system).
+
+The paper's data model types every attribute and assumes a closed set of
+conversion functions ("converting from Euro to Pound is not identical to
+converting from Euro to USD to Pound...").  This example queries a parts
+catalogue whose two suppliers quote lengths in different units and prices
+in different currencies; the typed ``<=`` condition converts through the
+least common supertype automatically.
+
+Run:  python examples/unit_conversion.py
+"""
+
+from repro.core import TossSystem
+from repro.core.conditions import TypedComparison, default_typing
+from repro.tax import And, Comparison, Constant, NodeContent, NodeTag, PatternTree
+
+CATALOGUE = """
+<catalogue>
+  <part key="a">
+    <name>spacer ring</name>
+    <width unit="mm">25</width>
+    <price currency="usd">3.50</price>
+  </part>
+  <part key="b">
+    <name>mounting plate</name>
+    <width unit="cm">4</width>
+    <price currency="eur">2.70</price>
+  </part>
+  <part key="c">
+    <name>rail segment</name>
+    <width unit="cm">12</width>
+    <price currency="usd">8.00</price>
+  </part>
+</catalogue>
+"""
+
+#: element tag + unit attribute -> registered type name
+UNIT_TYPES = {"mm": "length_mm", "cm": "length_cm", "m": "length_m",
+              "usd": "usd", "eur": "eur"}
+
+
+def unit_typing(node, attribute):
+    """Instance typing: width/price content is typed by its unit attribute."""
+    if attribute == "content":
+        unit = node.attributes.get("unit") or node.attributes.get("currency")
+        if unit in UNIT_TYPES:
+            return UNIT_TYPES[unit]
+    return default_typing(node, attribute)
+
+
+def width_at_most(value: str, type_name: str) -> PatternTree:
+    pattern = PatternTree()
+    pattern.add_node(1)
+    pattern.add_node(2, parent=1, edge="pc")
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("part")),
+        Comparison("=", NodeTag(2), Constant("width")),
+        TypedComparison("<=", NodeContent(2), Constant(value, type_name)),
+    )
+    return pattern
+
+
+def price_at_most(value: str, type_name: str) -> PatternTree:
+    pattern = PatternTree()
+    pattern.add_node(1)
+    pattern.add_node(2, parent=1, edge="pc")
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("part")),
+        Comparison("=", NodeTag(2), Constant("price")),
+        TypedComparison("<=", NodeContent(2), Constant(value, type_name)),
+    )
+    return pattern
+
+
+def main() -> None:
+    system = TossSystem(epsilon=0.0, typing=unit_typing)
+    system.add_instance("catalogue", CATALOGUE)
+    system.build()
+
+    print("Parts at most 5 cm wide (25 mm converts to 2.5 cm, 4 cm stays):")
+    report = system.select("catalogue", width_at_most("5", "length_cm"),
+                           sl_labels=[1])
+    for tree in report.results:
+        width = tree.find_first("width")
+        print(f"  - {tree.find_first('name').text}: "
+              f"{width.text} {width.attributes['unit']}")
+    print()
+
+    print("Parts costing at most 3.20 EUR (3.50 USD converts to 3.15 EUR):")
+    report = system.select("catalogue", price_at_most("3.20", "eur"),
+                           sl_labels=[1])
+    for tree in report.results:
+        price = tree.find_first("price")
+        print(f"  - {tree.find_first('name').text}: "
+              f"{price.text} {price.attributes['currency']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Thin shim so legacy (non-PEP-517) editable installs work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,250 @@
+"""Command-line interface for the TOSS system.
+
+Subcommands:
+
+``repro-toss query``
+    Load XML documents into collections, build the SEO and run a query
+    written in the textual query language (see :mod:`repro.core.parser`)::
+
+        python -m repro.cli query --source dblp=dblp.xml \\
+            --epsilon 3 'inproceedings(author ~ "J. Ullman")'
+
+``repro-toss experiment``
+    Regenerate one of the paper's figures on synthetic data::
+
+        python -m repro.cli experiment fig15a
+
+``repro-toss seo``
+    Build and persist (or inspect) a similarity enhanced ontology::
+
+        python -m repro.cli seo --source dblp=dblp.xml --out seo.json
+
+Exit status is 0 on success, 2 on usage errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.system import TossSystem
+from .xmldb.serializer import serialize
+
+
+def _parse_sources(specs: Sequence[str]) -> List[tuple]:
+    sources = []
+    for spec in specs:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise SystemExit(f"--source must look like name=path, got {spec!r}")
+        sources.append((name, path))
+    return sources
+
+
+def _build_system(args: argparse.Namespace) -> TossSystem:
+    system = TossSystem(measure=args.measure, epsilon=args.epsilon)
+    for name, path in _parse_sources(args.source):
+        with open(path, "r", encoding="utf-8") as handle:
+            system.add_instance(name, handle.read())
+    for constraint in args.constraint or ():
+        system.add_constraint(constraint)
+    system.build()
+    return system
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.load:
+        from .core.persistence import load_system
+
+        system = load_system(args.load)
+        names = system.database.collection_names()
+    else:
+        if not args.source:
+            raise SystemExit("query needs --source name=path or --load DIR")
+        system = _build_system(args)
+        names = [name for name, _ in _parse_sources(args.source)]
+    collection = args.collection or names[0]
+    right = names[1] if len(names) > 1 else None
+    report = system.query(collection, args.query, right_collection=right)
+    print(
+        f"# {len(report.results)} results "
+        f"(rewrite {report.rewrite_seconds:.4f}s, "
+        f"xpath {report.xpath_seconds:.4f}s, "
+        f"convert {report.convert_seconds:.4f}s)"
+    )
+    for tree in report.results:
+        print(serialize(tree, indent=2).rstrip())
+    return 0
+
+
+def _cmd_seo(args: argparse.Namespace) -> int:
+    from .similarity.persistence import dump_seo, save_seo
+
+    system = _build_system(args)
+    print(
+        f"# SEO built in {system.build_seconds:.2f}s: "
+        f"{system.ontology_size()} terms, "
+        f"{len(system.seo.hierarchy)} enhanced nodes, "
+        f"epsilon={system.epsilon}"
+    )
+    if args.out:
+        save_seo(system.seo, args.out)
+        print(f"# written to {args.out}")
+    else:
+        print(dump_seo(system.seo, indent=2))
+    return 0
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from .core.persistence import save_system
+
+    system = _build_system(args)
+    save_system(system, args.out)
+    print(
+        f"# saved {len(system.instances)} instances, "
+        f"{system.ontology_size()}-term SEO to {args.out}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        epsilon_sweep,
+        join_scalability,
+        run_precision_recall_experiment,
+        selection_scalability,
+    )
+    from .experiments.reporting import (
+        epsilon_table,
+        fig15a_summary,
+        fig15a_table,
+        fig15b_series,
+        fig15c_series,
+        scalability_table,
+    )
+
+    name = args.figure
+    quick = args.quick
+    if name in ("fig15a", "fig15b", "fig15c"):
+        results = run_precision_recall_experiment(
+            n_datasets=1 if quick else args.datasets,
+            papers_per_dataset=min(50, args.papers) if quick else args.papers,
+            seed=args.seed,
+        )
+        if name == "fig15a":
+            print(fig15a_table(results))
+            print()
+            print(fig15a_summary(results))
+        elif name == "fig15b":
+            print(fig15b_series(results))
+        else:
+            print(fig15c_series(results))
+        return 0
+    if name == "fig16a":
+        points = selection_scalability(
+            paper_counts=(50, 100) if quick else (250, 500, 1000, 2000),
+            ontology_caps=(None,) if quick else (50, 200, None),
+            repeats=1 if quick else 3,
+            seed=args.seed,
+        )
+        print(scalability_table(points, "Figure 16(a): selection scalability"))
+        return 0
+    if name == "fig16b":
+        points = join_scalability(
+            paper_counts=(40, 80) if quick else (100, 200, 400, 800),
+            ontology_caps=(None,) if quick else (50, None),
+            repeats=1 if quick else 2,
+            seed=args.seed,
+        )
+        print(scalability_table(points, "Figure 16(b): join scalability"))
+        return 0
+    if name == "fig16c":
+        points = epsilon_sweep(
+            epsilons=(0.0, 2.0) if quick else (0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+            papers=60 if quick else 500,
+            join_papers=40 if quick else 200,
+            repeats=1 if quick else 2,
+            seed=args.seed,
+        )
+        print(epsilon_table(points))
+        return 0
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-toss",
+        description="TOSS: ontology- and similarity-extended XML querying",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_system_options(
+        sub: argparse.ArgumentParser, source_required: bool = True
+    ) -> None:
+        sub.add_argument(
+            "--source",
+            action="append",
+            required=source_required,
+            metavar="NAME=PATH",
+            help="an XML source to load (repeatable)",
+        )
+        sub.add_argument(
+            "--constraint",
+            action="append",
+            metavar="'x:src1 = y:src2'",
+            help="a DBA interoperation constraint (repeatable)",
+        )
+        sub.add_argument("--measure", default="levenshtein",
+                         help="similarity measure name (default: levenshtein)")
+        sub.add_argument("--epsilon", type=float, default=3.0,
+                         help="similarity threshold (default: 3.0)")
+
+    query = subparsers.add_parser("query", help="run a TOSS query")
+    add_system_options(query, source_required=False)
+    query.add_argument("--load", help="load a saved system directory instead of --source")
+    query.add_argument("--collection", help="collection to query (default: first source)")
+    query.add_argument("query", help="query text, e.g. 'paper(author ~ \"X\")'")
+    query.set_defaults(handler=_cmd_query)
+
+    seo = subparsers.add_parser("seo", help="build and persist the SEO")
+    add_system_options(seo)
+    seo.add_argument("--out", help="write the SEO JSON here (default: stdout)")
+    seo.set_defaults(handler=_cmd_seo)
+
+    save = subparsers.add_parser(
+        "save", help="build a system and persist it (database + SEOs + config)"
+    )
+    add_system_options(save)
+    save.add_argument("--out", required=True, help="directory to write the system to")
+    save.set_defaults(handler=_cmd_save)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=["fig15a", "fig15b", "fig15c", "fig16a", "fig16b", "fig16c"],
+    )
+    experiment.add_argument("--datasets", type=int, default=3)
+    experiment.add_argument("--papers", type=int, default=100)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny parameter grid (seconds instead of minutes)",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

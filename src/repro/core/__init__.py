@@ -1,0 +1,54 @@
+"""The TOSS core — the paper's primary contribution (Section 5).
+
+Extends the semistructured data model and the TAX algebra with ontologies
+and similarity: SEO instances, a typed condition language with semantic
+operators (``~``, ``instance_of``, ``subtype_of``, ``below``, ``above``,
+``part_of``), unit conversion functions, the TOSS algebra, the precision/
+recall/quality metrics, the XPath-rewriting query executor and the
+:class:`TossSystem` facade wiring the whole Figure 8 architecture.
+"""
+
+from .algebra import TossAlgebra
+from .conditions import (
+    Above,
+    Below,
+    InstanceOf,
+    Isa,
+    PartOf,
+    SeoConditionContext,
+    SimilarTo,
+    SubtypeOf,
+    TypedComparison,
+    rewrite_condition,
+)
+from .executor import QueryExecutor, QueryPlan
+from .instance import OntologyExtendedInstance, SemistructuredInstance, SeoInstance
+from .quality import QualityReport, precision_recall, quality
+from .system import TossSystem
+from .types import ConversionFunction, TypeSystem, default_type_system
+
+__all__ = [
+    "Above",
+    "Below",
+    "ConversionFunction",
+    "InstanceOf",
+    "Isa",
+    "OntologyExtendedInstance",
+    "PartOf",
+    "QualityReport",
+    "QueryExecutor",
+    "QueryPlan",
+    "SemistructuredInstance",
+    "SeoConditionContext",
+    "SeoInstance",
+    "SimilarTo",
+    "SubtypeOf",
+    "TossAlgebra",
+    "TossSystem",
+    "TypeSystem",
+    "TypedComparison",
+    "default_type_system",
+    "precision_recall",
+    "quality",
+    "rewrite_condition",
+]

@@ -1,0 +1,616 @@
+"""The Query Executor — component (3) of the TOSS architecture.
+
+Section 6 describes the prototype's execution pipeline, whose three timed
+phases all experiments report:
+
+(i)   parse the pattern tree and **rewrite** it into XPath queries, with
+      semantic conditions expanded through the precomputed SEO;
+(ii)  **execute** the XPath queries on the Xindice system (here:
+      :class:`repro.xmldb.Database`);
+(iii) **parse the results** returned and convert them to the form defined
+      by TAX (witness trees), verifying the full condition.
+
+Phase (ii) is a sound prefilter: it finds candidate subtree roots whose
+tag/content constraints can be pushed into XPath.  Phase (iii) then runs
+the real TAX/TOSS embedding machinery over just those candidates, so
+conditions that XPath cannot express (cross-node similarity, typed
+comparisons, negation) are still answered exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryExecutionError
+from ..tax import algebra as tax_algebra
+from ..tax.conditions import (
+    And,
+    Comparison,
+    Condition,
+    Constant,
+    Contains,
+    NodeContent,
+    NodeTag,
+    Or,
+    TrueCondition,
+    required_tags,
+)
+from ..tax.pattern import AD, PC, PatternTree
+from ..xmldb.database import Database
+from ..xmldb.model import XmlNode
+from .conditions import SeoConditionContext, rewrite_condition
+
+
+@dataclass
+class QueryPlan:
+    """:meth:`QueryExecutor.explain` output: the plan, not the answers."""
+
+    original: str
+    rewritten: str
+    xpath_queries: List[str]
+    rewrite_seconds: float
+
+    def __str__(self) -> str:
+        lines = [
+            f"original : {self.original}",
+            f"rewritten: {self.rewritten}",
+        ]
+        for index, xpath in enumerate(self.xpath_queries):
+            lines.append(f"xpath[{index}] : {xpath}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecutionReport:
+    """A query's results plus the paper's three timing components."""
+
+    results: List[XmlNode]
+    rewrite_seconds: float
+    xpath_seconds: float
+    convert_seconds: float
+    xpath_queries: List[str] = field(default_factory=list)
+    candidates: int = 0
+    #: semantic-hook invocations during this query (Section 6's "accesses
+    #: to the ontology"; 0 for plain TAX).
+    ontology_accesses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.rewrite_seconds + self.xpath_seconds + self.convert_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionReport({len(self.results)} results in "
+            f"{self.total_seconds:.4f}s; rewrite={self.rewrite_seconds:.4f} "
+            f"xpath={self.xpath_seconds:.4f} convert={self.convert_seconds:.4f})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pattern -> XPath compilation
+# ---------------------------------------------------------------------------
+
+
+def _xpath_literal(value: str) -> Optional[str]:
+    """Quote a string for XPath, or None when it cannot be quoted."""
+    if "'" not in value:
+        return f"'{value}'"
+    if '"' not in value:
+        return f'"{value}"'
+    return None  # mixed quotes: leave for the verification phase
+
+
+def _content_predicates(condition: Condition) -> Dict[int, List[str]]:
+    """Per-label XPath predicate fragments implied by the condition.
+
+    Collects, from the positive conjunctive structure, content equalities
+    (including disjunctions over one label), ``contains`` atoms and numeric
+    content comparisons.  Sound, not complete — anything unrecognised is
+    simply not pushed down.
+    """
+    predicates: Dict[int, List[str]] = {}
+
+    def add(label: int, fragment: str) -> None:
+        predicates.setdefault(label, []).append(fragment)
+
+    def equality_fragment(atom: Comparison) -> Optional[Tuple[int, str]]:
+        left, right = atom.left, atom.right
+        if isinstance(left, NodeContent) and isinstance(right, Constant):
+            literal = _xpath_literal(right.value)
+            if literal is not None:
+                return (left.label, f". = {literal}")
+        if isinstance(right, NodeContent) and isinstance(left, Constant):
+            literal = _xpath_literal(left.value)
+            if literal is not None:
+                return (right.label, f". = {literal}")
+        return None
+
+    def visit(node: Condition) -> None:
+        if isinstance(node, And):
+            for operand in node.operands:
+                visit(operand)
+            return
+        if isinstance(node, Comparison):
+            if node.op == "=":
+                pair = equality_fragment(node)
+                if pair is not None:
+                    add(pair[0], pair[1])
+                return
+            if node.op in ("<", "<=", ">", ">="):
+                left, right = node.left, node.right
+                if isinstance(left, NodeContent) and isinstance(right, Constant):
+                    try:
+                        number = float(right.value)
+                    except ValueError:
+                        return
+                    add(left.label, f"number(.) {node.op} {number:g}")
+                return
+            return
+        if isinstance(node, Contains):
+            # Contains is case-insensitive while XPath contains() is not,
+            # so pushing it down would be unsound (the prefilter could
+            # drop true matches); it is evaluated in the verify phase.
+            return
+        if isinstance(node, Or):
+            fragments: List[Tuple[int, str]] = []
+            for operand in node.operands:
+                if not isinstance(operand, Comparison) or operand.op != "=":
+                    return
+                pair = equality_fragment(operand)
+                if pair is None:
+                    return
+                fragments.append(pair)
+            labels = {label for label, _ in fragments}
+            if len(labels) == 1:
+                label = labels.pop()
+                add(label, "(" + " or ".join(f for _, f in fragments) + ")")
+            return
+
+    visit(condition)
+    return predicates
+
+
+def compile_pattern_to_xpath(
+    pattern: PatternTree, condition: Optional[Condition] = None
+) -> str:
+    """Compile a pattern tree (+ an already-rewritten condition) to XPath.
+
+    The query selects candidate images of the pattern *root*; structure
+    below the root becomes nested existence predicates (`pc` -> child
+    path, `ad` -> ``.//`` path) and per-node content constraints become
+    value predicates.
+    """
+    if condition is None:
+        condition = pattern.condition
+    tags = required_tags(condition)
+    contents = _content_predicates(condition)
+
+    def tag_expr(label: int) -> str:
+        restriction = tags.get(label)
+        if restriction is not None and len(restriction) == 1:
+            return next(iter(restriction))
+        return "*"
+
+    def name_predicate(label: int) -> Optional[str]:
+        restriction = tags.get(label)
+        if restriction is None or len(restriction) <= 1:
+            return None
+        alternatives = " or ".join(
+            f"name() = {_xpath_literal(tag)}" for tag in sorted(restriction)
+        )
+        return f"({alternatives})"
+
+    def node_expression(label: int, is_root: bool) -> str:
+        node = pattern.node(label)
+        if is_root:
+            prefix = "//"
+        elif node.edge == AD:
+            prefix = ".//"
+        else:
+            prefix = ""
+        expression = prefix + tag_expr(label)
+        predicates: List[str] = []
+        name_pred = name_predicate(label)
+        if name_pred is not None:
+            predicates.append(name_pred)
+        predicates.extend(contents.get(label, ()))
+        for child in pattern.children(label):
+            predicates.append(node_expression(child.label, is_root=False))
+        return expression + "".join(f"[{p}]" for p in predicates)
+
+    return node_expression(pattern.root, is_root=True)
+
+
+def _subtree_pattern(pattern: PatternTree, new_root: int) -> PatternTree:
+    """The sub-pattern rooted at ``new_root`` (structure only)."""
+    sub = PatternTree()
+    sub.add_node(new_root)
+
+    def copy_children(label: int) -> None:
+        for child in pattern.children(label):
+            sub.add_node(child.label, parent=label, edge=child.edge)
+            copy_children(child.label)
+
+    copy_children(new_root)
+    return sub
+
+
+def _side_condition(condition: Condition, side_labels: Set[int]) -> Condition:
+    """Conjuncts of ``condition`` that mention only ``side_labels``."""
+    kept: List[Condition] = []
+
+    def visit(node: Condition) -> None:
+        if isinstance(node, And):
+            for operand in node.operands:
+                visit(operand)
+            return
+        if node.labels() and node.labels() <= side_labels:
+            kept.append(node)
+
+    visit(condition)
+    if not kept:
+        return TrueCondition()
+    if len(kept) == 1:
+        return kept[0]
+    return And(*kept)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class QueryExecutor:
+    """Runs TOSS (or plain TAX) pattern queries against the database."""
+
+    def __init__(
+        self,
+        database: Database,
+        context: Optional[SeoConditionContext] = None,
+        similarity_hash_join: bool = True,
+    ) -> None:
+        self.database = database
+        self.context = context
+        #: Use the length-bucketed similarity hash join for cross-side
+        #: ``~`` conditions instead of the naive product (ablatable).
+        self.similarity_hash_join = similarity_hash_join
+
+    def _rewrite(self, pattern: PatternTree) -> Tuple[Condition, float]:
+        started = time.perf_counter()
+        if self.context is not None:
+            condition = rewrite_condition(pattern.condition, self.context)
+        else:
+            condition = pattern.condition
+        return condition, time.perf_counter() - started
+
+    def _evaluation_context(self):
+        from ..tax.conditions import DEFAULT_CONTEXT
+
+        return self.context if self.context is not None else DEFAULT_CONTEXT
+
+    def _accesses(self) -> int:
+        return self.context.ontology_accesses if self.context is not None else 0
+
+    def explain(self, pattern: PatternTree) -> "QueryPlan":
+        """The query plan without executing it: rewrite + compiled XPath.
+
+        Useful for debugging recall problems: the plan shows exactly which
+        exact-match disjuncts the SEO expanded each semantic atom into.
+        """
+        condition, rewrite_seconds = self._rewrite(pattern)
+        root_children = (
+            pattern.children(pattern.root) if len(pattern) > 1 else []
+        )
+        is_join = (
+            len(root_children) == 2
+            and pattern.condition.labels()
+            and pattern.root not in pattern.condition.labels()
+        )
+        if is_join:
+            xpaths = []
+            for child in root_children:
+                side = _subtree_pattern(pattern, child.label)
+                side.condition = _side_condition(condition, set(side.labels()))
+                xpaths.append(compile_pattern_to_xpath(side))
+        else:
+            xpaths = [compile_pattern_to_xpath(pattern, condition)]
+        return QueryPlan(
+            original=repr(pattern.condition),
+            rewritten=repr(condition),
+            xpath_queries=xpaths,
+            rewrite_seconds=rewrite_seconds,
+        )
+
+    def selection(
+        self,
+        collection_name: str,
+        pattern: PatternTree,
+        sl_labels: Iterable[int] = (),
+    ) -> ExecutionReport:
+        """Execute a selection query: rewrite -> XPath -> verify/convert."""
+        accesses_before = self._accesses()
+        condition, rewrite_seconds = self._rewrite(pattern)
+
+        started = time.perf_counter()
+        xpath = compile_pattern_to_xpath(pattern, condition)
+        rewrite_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        raw = self.database.xpath(collection_name, xpath)
+        candidates = [node for node in raw if isinstance(node, XmlNode)]
+        xpath_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        # Verify with the original condition when an SEO context is
+        # available: semantic atoms evaluate through the SEO index,
+        # which is cheaper than the expanded exact-match disjunction.
+        verified_pattern = PatternTree(
+            pattern.condition if self.context is not None else condition
+        )
+        _copy_structure(pattern, verified_pattern)
+        results = tax_algebra.selection(
+            candidates, verified_pattern, sl_labels, self._evaluation_context()
+        )
+        convert_seconds = time.perf_counter() - started
+        return ExecutionReport(
+            results,
+            rewrite_seconds,
+            xpath_seconds,
+            convert_seconds,
+            [xpath],
+            len(candidates),
+            self._accesses() - accesses_before,
+        )
+
+    def projection(
+        self,
+        collection_name: str,
+        pattern: PatternTree,
+        pl: Sequence[tax_algebra.ProjectionEntry],
+    ) -> ExecutionReport:
+        """Execute a projection query through the same pipeline."""
+        accesses_before = self._accesses()
+        condition, rewrite_seconds = self._rewrite(pattern)
+        started = time.perf_counter()
+        xpath = compile_pattern_to_xpath(pattern, condition)
+        rewrite_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        raw = self.database.xpath(collection_name, xpath)
+        candidates = [node for node in raw if isinstance(node, XmlNode)]
+        xpath_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        # Verify with the original condition when an SEO context is
+        # available: semantic atoms evaluate through the SEO index,
+        # which is cheaper than the expanded exact-match disjunction.
+        verified_pattern = PatternTree(
+            pattern.condition if self.context is not None else condition
+        )
+        _copy_structure(pattern, verified_pattern)
+        results = tax_algebra.projection(
+            candidates, verified_pattern, pl, self._evaluation_context()
+        )
+        convert_seconds = time.perf_counter() - started
+        return ExecutionReport(
+            results,
+            rewrite_seconds,
+            xpath_seconds,
+            convert_seconds,
+            [xpath],
+            len(candidates),
+            self._accesses() - accesses_before,
+        )
+
+    def join(
+        self,
+        left_collection: str,
+        right_collection: str,
+        pattern: PatternTree,
+        sl_labels: Iterable[int] = (),
+    ) -> ExecutionReport:
+        """Execute a join: per-side XPath prefilter, then product+selection.
+
+        The pattern's root must be the product root (tag
+        ``tax_prod_root``) with exactly two child subtrees, the left one
+        matching the left collection (Example 13's Figure 14 shape).
+        Cross-side conditions (e.g. ``title:1 ~ title:2``) are evaluated in
+        the verification phase.
+        """
+        root_children = pattern.children(pattern.root)
+        if len(root_children) != 2:
+            raise QueryExecutionError(
+                "a join pattern needs exactly two subtrees under the product root"
+            )
+        accesses_before = self._accesses()
+        condition, rewrite_seconds = self._rewrite(pattern)
+
+        started = time.perf_counter()
+        sides = []
+        for child in root_children:
+            side_pattern = _subtree_pattern(pattern, child.label)
+            side_labels = set(side_pattern.labels())
+            side_pattern.condition = _side_condition(condition, side_labels)
+            sides.append((side_pattern, compile_pattern_to_xpath(side_pattern)))
+        rewrite_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        left_candidates = [
+            node
+            for node in self.database.xpath(left_collection, sides[0][1])
+            if isinstance(node, XmlNode)
+        ]
+        right_candidates = [
+            node
+            for node in self.database.xpath(right_collection, sides[1][1])
+            if isinstance(node, XmlNode)
+        ]
+        xpath_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        # Verify with the original condition when an SEO context is
+        # available: semantic atoms evaluate through the SEO index,
+        # which is cheaper than the expanded exact-match disjunction.
+        verified_pattern = PatternTree(
+            pattern.condition if self.context is not None else condition
+        )
+        _copy_structure(pattern, verified_pattern)
+
+        pair_filter = None
+        if self.context is not None and self.similarity_hash_join:
+            left_labels = set(_subtree_pattern(pattern, root_children[0].label).labels())
+            right_labels = set(_subtree_pattern(pattern, root_children[1].label).labels())
+            atom = _cross_similarity_atom(pattern.condition, left_labels, right_labels)
+            if atom is not None:
+                pair_filter = self._similarity_join_pairs(
+                    left_candidates, right_candidates, atom, pattern.condition
+                )
+
+        if pair_filter is None:
+            results = tax_algebra.join(
+                left_candidates,
+                right_candidates,
+                verified_pattern,
+                sl_labels,
+                self._evaluation_context(),
+            )
+        else:
+            products: List[XmlNode] = []
+            for left_index, right_index in sorted(pair_filter):
+                root = XmlNode(tax_algebra.PRODUCT_ROOT_TAG)
+                root.append(left_candidates[left_index].copy())
+                root.append(right_candidates[right_index].copy())
+                products.append(root.renumber())
+            results = tax_algebra.selection(
+                products, verified_pattern, sl_labels, self._evaluation_context()
+            )
+        convert_seconds = time.perf_counter() - started
+        return ExecutionReport(
+            results,
+            rewrite_seconds,
+            xpath_seconds,
+            convert_seconds,
+            [sides[0][1], sides[1][1]],
+            len(left_candidates) + len(right_candidates),
+            self._accesses() - accesses_before,
+        )
+
+    def _similarity_join_pairs(
+        self,
+        left_candidates: Sequence[XmlNode],
+        right_candidates: Sequence[XmlNode],
+        atom,
+        condition: Condition,
+    ) -> Set[Tuple[int, int]]:
+        """Candidate pairs that can satisfy a cross-side ``~`` conjunct.
+
+        A length-bucketed similarity hash join: right-side values outside
+        the ontology are bucketed by string length; each left value probes
+        only the buckets the measure's length lower bound allows.  Values
+        known to the SEO go through ``seo.similar`` directly (fused terms
+        may be "similar" at arbitrary string distance, so the distance
+        bucketing must not prune them).  Sound: a pair is dropped only
+        when *no* value pair can satisfy the atom.
+        """
+        assert self.context is not None
+        seo = self.context.seo
+        measure = seo.measure
+        epsilon = seo.epsilon
+        tags = required_tags(condition)
+
+        def values_of(candidate: XmlNode, label: int) -> List[str]:
+            restriction = tags.get(label)
+            return [
+                node.text
+                for node in candidate.iter()
+                if node.text and (restriction is None or node.tag in restriction)
+            ]
+
+        left_label = next(iter(atom.left.labels()))
+        right_label = next(iter(atom.right.labels()))
+
+        by_length: Dict[int, List[Tuple[int, str]]] = {}
+        known_right: List[Tuple[int, str]] = []
+        for j, candidate in enumerate(right_candidates):
+            for value in values_of(candidate, right_label):
+                if value in seo:
+                    known_right.append((j, value))
+                else:
+                    by_length.setdefault(len(value), []).append((j, value))
+
+        radius = int(epsilon)
+        pairs: Set[Tuple[int, int]] = set()
+        for i, candidate in enumerate(left_candidates):
+            for value in values_of(candidate, left_label):
+                if value in seo:
+                    # Known terms may be similar to anything sharing an
+                    # SEO node: fall back to the semantic test everywhere.
+                    for j, other in known_right:
+                        if seo.similar(value, other):
+                            pairs.add((i, j))
+                    for bucket in by_length.values():
+                        for j, other in bucket:
+                            if seo.similar(value, other):
+                                pairs.add((i, j))
+                    continue
+                for length in range(len(value) - radius, len(value) + radius + 1):
+                    for j, other in by_length.get(length, ()):
+                        if (i, j) in pairs:
+                            continue
+                        if measure.bounded_distance(value, other, epsilon) <= epsilon:
+                            pairs.add((i, j))
+                for j, other in known_right:
+                    if seo.similar(value, other):
+                        pairs.add((i, j))
+        return pairs
+
+
+def _cross_similarity_atom(
+    condition: Condition, left_labels: Set[int], right_labels: Set[int]
+):
+    """The first top-level ``~`` conjunct relating content across sides.
+
+    Returns None when the condition has no such conjunct (then the join
+    must fall back to the full product).  Both operands must be single
+    node-content terms, one per side; the atom orientation is normalised
+    so its left term references the left side.
+    """
+    from .conditions import SimilarTo
+
+    def conjuncts(node: Condition):
+        if isinstance(node, And):
+            for operand in node.operands:
+                yield from conjuncts(operand)
+        else:
+            yield node
+
+    for atom in conjuncts(condition):
+        if not isinstance(atom, SimilarTo):
+            continue
+        if not isinstance(atom.left, NodeContent) or not isinstance(
+            atom.right, NodeContent
+        ):
+            continue
+        left_side = atom.left.labels()
+        right_side = atom.right.labels()
+        if left_side <= left_labels and right_side <= right_labels:
+            return atom
+        if left_side <= right_labels and right_side <= left_labels:
+            return SimilarTo(atom.right, atom.left)
+    return None
+
+
+def _copy_structure(source: PatternTree, target: PatternTree) -> None:
+    """Copy the node/edge structure of ``source`` into the empty ``target``.
+
+    Labels are added in the source's insertion order, which is parent-first
+    by :class:`PatternTree`'s construction invariant.
+    """
+    for label in source.labels():
+        node = source.node(label)
+        if node.parent is None:
+            target.add_node(label)
+        else:
+            target.add_node(label, parent=node.parent, edge=node.edge)

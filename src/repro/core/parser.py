@@ -1,0 +1,348 @@
+"""A compact textual query language for TOSS pattern trees.
+
+Building pattern trees by hand (``add_node`` + condition objects) is
+verbose; this module provides the equivalent of the paper's pattern-tree
+figures as one-line strings:
+
+    inproceedings(author ~ "J. Ullman", year = "1999")
+    inproceedings(booktitle below "database conference", .//title)
+    paper(affiliation part_of "us government")
+
+Grammar (informal)::
+
+    query    := element (',' element)* ('where' cond ('and' cond)*)?
+    element  := '//'? (NAME | '*') var? ('(' arg (',' arg)* ')')?
+    var      := '$' NAME
+    arg      := element                      -- child (pc; '//' makes it ad)
+              | element OP operand           -- child with content condition
+              | '.' OP operand               -- condition on this element
+    cond     := '$' NAME OP operand          -- cross-element conditions
+    OP       := '=' '!=' '<' '<=' '>' '>=' '~'
+              | 'contains' 'below' 'above' 'isa' 'subtype_of'
+              | 'instance_of' 'part_of'
+    operand  := '"literal"' | "'literal'" | '$' NAME
+
+Multiple top-level elements build a join pattern: a ``tax_prod_root``-style
+root with one ``ad`` subtree per element (Example 13's Figure 14 written
+as ``inproceedings(title $a), article(title $b) where $a ~ $b``).
+
+:func:`parse_query` returns a :class:`ParsedQuery` whose ``pattern`` is a
+ready :class:`~repro.tax.pattern.PatternTree` and whose ``variables`` maps
+``$name`` to pattern-node labels (handy for SL/PL lists).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ConditionError
+from ..tax.conditions import (
+    And,
+    Comparison,
+    Condition,
+    Constant,
+    Contains,
+    NodeContent,
+    NodeTag,
+    Term,
+)
+from ..tax.pattern import AD, PC, PatternTree
+from .conditions import (
+    Above,
+    Below,
+    InstanceOf,
+    Isa,
+    PartOf,
+    SimilarTo,
+    SubtypeOf,
+)
+
+#: operator keyword/symbol -> atom factory (left term, right term).
+_SEMANTIC_OPS = {
+    "~": SimilarTo,
+    "below": Below,
+    "above": Above,
+    "isa": Isa,
+    "subtype_of": SubtypeOf,
+    "instance_of": InstanceOf,
+    "part_of": PartOf,
+    "contains": Contains,
+}
+_COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<dslash>//)
+    | (?P<string>"[^"]*"|'[^']*')
+    | (?P<op><=|>=|!=|=|<|>|~)
+    | (?P<punct>[(),.])
+    | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<name>[A-Za-z_*][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ConditionError(
+                f"cannot tokenise query at position {index}: {text[index:index+10]!r}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group(0)
+        if kind != "ws":
+            if kind == "string":
+                value = value[1:-1]
+            tokens.append(_Token(kind, value, index))
+        index = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+@dataclass
+class ParsedQuery:
+    """A parsed query: the pattern tree plus variable bindings."""
+
+    pattern: PatternTree
+    variables: Dict[str, int] = field(default_factory=dict)
+    #: labels of the top-level elements (the answer roots).
+    roots: List[int] = field(default_factory=list)
+
+    def label(self, variable: str) -> int:
+        """The pattern label bound to ``$variable`` (leading $ optional)."""
+        key = variable.lstrip("$")
+        try:
+            return self.variables[key]
+        except KeyError:
+            raise ConditionError(f"query has no variable ${key}") from None
+
+
+class _QueryParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._next_label = 1
+        self._pattern: Optional[PatternTree] = None
+        self._conditions: List[Condition] = []
+        self._variables: Dict[str, int] = {}
+        self._roots: List[int] = []
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[_Token]:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            raise ConditionError(
+                f"expected {value or kind} at position {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+        return token
+
+    def _fresh_label(self) -> int:
+        label = self._next_label
+        self._next_label += 1
+        return label
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        top_specs: List[Tuple[int, bool]] = []
+        # First pass: parse elements into a staging structure, because the
+        # root (single element vs product root) depends on their count.
+        staged: List[_StagedElement] = []
+        staged.append(self._parse_element())
+        while self._accept("punct", ","):
+            staged.append(self._parse_element())
+
+        pattern = PatternTree()
+        if len(staged) == 1:
+            self._emit(pattern, staged[0], parent=None, is_top=True)
+        else:
+            product_root = self._fresh_label()
+            pattern.add_node(product_root)
+            for element in staged:
+                element.edge = AD
+                self._emit(pattern, element, parent=product_root, is_top=True)
+
+        if self._accept("name", "where"):
+            self._conditions.append(self._parse_where_condition())
+            while self._accept("name", "and"):
+                self._conditions.append(self._parse_where_condition())
+        self._expect("eof")
+
+        if len(self._conditions) == 1:
+            pattern.condition = self._conditions[0]
+        elif self._conditions:
+            pattern.condition = And(*self._conditions)
+        return ParsedQuery(pattern, self._variables, self._roots)
+
+    def _parse_element(self) -> "_StagedElement":
+        edge = AD if self._accept("dslash") else PC
+        tag = self._expect("name").value
+        element = _StagedElement(tag=tag, edge=edge, label=self._fresh_label())
+        var = self._accept("var")
+        if var is not None:
+            element.variable = var.value[1:]
+        if self._accept("punct", "("):
+            while True:
+                self._parse_arg(element)
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", ")")
+        return element
+
+    def _parse_arg(self, parent: "_StagedElement") -> None:
+        if self._accept("punct", "."):
+            op = self._parse_operator()
+            operand = self._parse_operand()
+            parent.self_conditions.append((op, operand))
+            return
+        child = self._parse_element()
+        parent.children.append(child)
+        op = self._maybe_operator()
+        if op is not None:
+            operand = self._parse_operand()
+            child.self_conditions.append((op, operand))
+
+    def _maybe_operator(self) -> Optional[str]:
+        token = self.current
+        if token.kind == "op":
+            return self._advance().value
+        if token.kind == "name" and token.value in _SEMANTIC_OPS:
+            return self._advance().value
+        return None
+
+    def _parse_operator(self) -> str:
+        op = self._maybe_operator()
+        if op is None:
+            raise ConditionError(
+                f"expected an operator at position {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+        return op
+
+    def _parse_operand(self) -> Union[str, Tuple[str]]:
+        token = self.current
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        if token.kind == "var":
+            self._advance()
+            return (token.value[1:],)  # variable reference marker
+        raise ConditionError(
+            f"expected a quoted literal or $variable at position "
+            f"{token.position}, found {token.value!r}"
+        )
+
+    def _parse_where_condition(self) -> Condition:
+        var = self._expect("var")
+        left = self._variable_term(var.value[1:], var.position)
+        op = self._parse_operator()
+        operand = self._parse_operand()
+        right = self._operand_term(operand)
+        return self._make_condition(op, left, right)
+
+    # -- emission -----------------------------------------------------------------
+
+    def _emit(
+        self,
+        pattern: PatternTree,
+        element: "_StagedElement",
+        parent: Optional[int],
+        is_top: bool = False,
+    ) -> None:
+        if parent is None:
+            pattern.add_node(element.label)
+        else:
+            pattern.add_node(element.label, parent=parent, edge=element.edge)
+        if is_top:
+            self._roots.append(element.label)
+        if element.variable is not None:
+            if element.variable in self._variables:
+                raise ConditionError(f"duplicate variable ${element.variable}")
+            self._variables[element.variable] = element.label
+        if element.tag != "*":
+            self._conditions.append(
+                Comparison("=", NodeTag(element.label), Constant(element.tag))
+            )
+        for op, operand in element.self_conditions:
+            right = self._operand_term(operand)
+            self._conditions.append(
+                self._make_condition(op, NodeContent(element.label), right)
+            )
+        for child in element.children:
+            self._emit(pattern, child, parent=element.label)
+
+    def _variable_term(self, name: str, position: int) -> Term:
+        if name not in self._variables:
+            raise ConditionError(
+                f"unknown variable ${name} at position {position}"
+            )
+        return NodeContent(self._variables[name])
+
+    def _operand_term(self, operand: Union[str, Tuple[str]]) -> Term:
+        if isinstance(operand, tuple):
+            return self._variable_term(operand[0], -1)
+        return Constant(operand)
+
+    @staticmethod
+    def _make_condition(op: str, left: Term, right: Term) -> Condition:
+        if op in _COMPARISON_OPS:
+            return Comparison(op, left, right)
+        factory = _SEMANTIC_OPS.get(op)
+        if factory is None:
+            raise ConditionError(f"unknown operator {op!r}")
+        return factory(left, right)
+
+
+@dataclass
+class _StagedElement:
+    tag: str
+    edge: str
+    label: int
+    variable: Optional[str] = None
+    children: List["_StagedElement"] = field(default_factory=list)
+    self_conditions: List[Tuple[str, Union[str, Tuple[str]]]] = field(
+        default_factory=list
+    )
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a textual TOSS query into a pattern tree.
+
+    >>> parsed = parse_query('inproceedings(author ~ "J. Ullman")')
+    >>> len(parsed.pattern)
+    2
+    """
+    if not text or not text.strip():
+        raise ConditionError("empty query")
+    return _QueryParser(text).parse()

@@ -1,0 +1,116 @@
+"""Whole-system persistence: save a built TossSystem, reload it for queries.
+
+Combines the two lower-level persistence layers — the XML database
+(:mod:`repro.xmldb.storage`) and the similarity enhanced ontologies
+(:mod:`repro.similarity.persistence`) — plus the system configuration into
+one directory:
+
+    root/
+      system.json          measure, epsilon, DBA constraints
+      database/            collections as plain XML files + manifest
+      seo/<relation>.json  one persisted SEO per relation
+
+A loaded system is immediately queryable (its SEOs are restored verbatim,
+not rebuilt); calling :meth:`~repro.core.system.TossSystem.build` on it
+recomputes everything from the restored documents, which is also how
+constraint edits are applied after loading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from ..errors import TossError
+from ..ontology.constraints import parse_constraint
+from ..ontology.hierarchy import Ontology
+from ..similarity.persistence import read_seo, save_seo
+from ..xmldb.storage import load_database, save_database
+from .conditions import SeoConditionContext
+from .executor import QueryExecutor
+from .instance import OntologyExtendedInstance
+from .system import TossSystem
+
+_SYSTEM_FILE = "system.json"
+_DATABASE_DIR = "database"
+_SEO_DIR = "seo"
+
+
+def save_system(system: TossSystem, root_dir: str) -> None:
+    """Persist a *built* system (database, SEOs, configuration)."""
+    if system.context is None:
+        raise TossError("build() the system before saving it")
+    if not system.measure.name:
+        raise TossError(
+            "only registry measures can be persisted; register the custom "
+            "measure with repro.similarity.register_measure first"
+        )
+    os.makedirs(root_dir, exist_ok=True)
+    save_database(system.database, os.path.join(root_dir, _DATABASE_DIR))
+    seo_dir = os.path.join(root_dir, _SEO_DIR)
+    os.makedirs(seo_dir, exist_ok=True)
+    for relation, seo in system.context.seos.items():
+        save_seo(seo, os.path.join(seo_dir, f"{relation}.json"))
+
+    constraints: Dict[str, List[str]] = {
+        relation: [repr(c) for c in items]
+        for relation, items in system._constraints.items()
+    }
+    payload = {
+        "format": 1,
+        "measure": system.measure.name,
+        "epsilon": system.epsilon,
+        "instances": sorted(system.instances),
+        "constraints": constraints,
+        "relations": sorted(system.context.seos),
+    }
+    with open(os.path.join(root_dir, _SYSTEM_FILE), "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=2, sort_keys=True)
+
+
+def load_system(root_dir: str) -> TossSystem:
+    """Restore a system saved with :func:`save_system`, ready to query."""
+    path = os.path.join(root_dir, _SYSTEM_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise TossError(f"no saved system at {root_dir}") from None
+    if payload.get("format") != 1:
+        raise TossError(f"unsupported system format {payload.get('format')!r}")
+
+    system = TossSystem(
+        measure=payload["measure"], epsilon=float(payload["epsilon"])
+    )
+    system.database = load_database(os.path.join(root_dir, _DATABASE_DIR))
+
+    # Restore instances with freshly extracted ontologies (deterministic,
+    # cheap, and only consulted by a future rebuild — the restored SEOs
+    # below carry the queried state).
+    for name in payload.get("instances", ()):
+        collection = system.database.get_collection(name)
+        roots = collection.roots()
+        ontology = system.maker.make_combined(roots)
+        system.instances[name] = OntologyExtendedInstance(
+            name, roots, ontology, system.typing
+        )
+
+    for relation, texts in payload.get("constraints", {}).items():
+        for text in texts:
+            system._constraints.setdefault(relation, []).append(
+                parse_constraint(text)
+            )
+
+    seos = {
+        relation: read_seo(os.path.join(root_dir, _SEO_DIR, f"{relation}.json"))
+        for relation in payload.get("relations", ())
+    }
+    isa_seo = seos.get(Ontology.ISA)
+    if isa_seo is None:
+        raise TossError("saved system lacks an isa SEO")
+    system.context = SeoConditionContext(
+        isa_seo, seos=seos, type_system=system.type_system, typing=system.typing
+    )
+    system.executor = QueryExecutor(system.database, system.context)
+    return system

@@ -1,0 +1,136 @@
+"""Ranked similarity queries — a graded extension of the ``~`` operator.
+
+TOSS's ``~`` is boolean: two terms either share an SEO node or they do
+not.  The related-work discussion (TIX) points towards *scored* answers;
+this module provides that extension without changing the algebra: a
+selection whose results are ranked by the total string distance its
+SimilarTo atoms incurred, best match first.
+
+The score of an embedding is the sum of ``d(x, y)`` over every
+:class:`~repro.core.conditions.SimilarTo` atom in the (positive,
+conjunctive) structure of the condition; a witness tree's score is the
+best score among the embeddings that produced it.  Plain TOSS semantics
+are preserved: only embeddings that *satisfy* the condition are scored,
+so the ranking refines, never widens, the boolean answer set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import TossError
+from ..tax.conditions import And, Condition
+from ..tax.embedding import find_embeddings, witness_tree
+from ..tax.pattern import PatternTree
+from ..tax.tree import Collection
+from ..xmldb.model import XmlNode
+from .conditions import SeoConditionContext, SimilarTo
+
+
+def similarity_atoms(condition: Condition) -> List[SimilarTo]:
+    """SimilarTo atoms in the positive conjunctive structure."""
+    atoms: List[SimilarTo] = []
+
+    def visit(node: Condition) -> None:
+        if isinstance(node, SimilarTo):
+            atoms.append(node)
+        elif isinstance(node, And):
+            for operand in node.operands:
+                visit(operand)
+
+    visit(condition)
+    return atoms
+
+
+@dataclass
+class ScoredResult:
+    """One witness tree with its similarity score (smaller is better)."""
+
+    tree: XmlNode
+    score: float
+
+    def __repr__(self) -> str:
+        return f"ScoredResult(score={self.score:.3f}, tree={self.tree!r})"
+
+
+@dataclass
+class ScoredPattern:
+    """A TIX-style scored pattern tree (the related-work extension).
+
+    ``atom_weights`` weights the SimilarTo atoms' distances (in the order
+    :func:`similarity_atoms` yields them); ``node_scorers`` attaches a
+    user-defined score function to a pattern node — it receives the bound
+    data node and returns a non-negative *penalty* that adds to the total
+    (smaller is better throughout, consistent with distance semantics).
+    """
+
+    pattern: PatternTree
+    atom_weights: Optional[Sequence[float]] = None
+    node_scorers: Mapping[int, Callable[[XmlNode], float]] = field(
+        default_factory=dict
+    )
+
+    def weights_for(self, atoms: Sequence[SimilarTo]) -> List[float]:
+        if self.atom_weights is None:
+            return [1.0] * len(atoms)
+        if len(self.atom_weights) != len(atoms):
+            raise TossError(
+                f"pattern has {len(atoms)} similarity atoms but "
+                f"{len(self.atom_weights)} weights were given"
+            )
+        return list(self.atom_weights)
+
+
+def ranked_selection(
+    collection: Collection,
+    pattern: "PatternTree | ScoredPattern",
+    context: SeoConditionContext,
+    sl_labels: Iterable[int] = (),
+    top_k: Optional[int] = None,
+) -> List[ScoredResult]:
+    """TOSS selection with results ranked by total similarity distance.
+
+    ``pattern`` may be a plain pattern tree (every ``~`` atom weighted
+    1.0) or a :class:`ScoredPattern` with per-atom weights and node score
+    functions.  ``top_k`` truncates the ranking (None returns everything).
+    Ties are broken by document order of discovery, which keeps the
+    ranking deterministic.
+    """
+    if isinstance(pattern, ScoredPattern):
+        scored = pattern
+        pattern = scored.pattern
+    else:
+        scored = ScoredPattern(pattern)
+    atoms = similarity_atoms(pattern.condition)
+    weights = scored.weights_for(atoms)
+    measure = context.seo.measure
+    sl = list(sl_labels)
+
+    best_by_key: dict = {}
+    order: List[Tuple] = []
+    for tree in collection:
+        for embedding in find_embeddings(pattern, tree, context):
+            score = 0.0
+            for atom, weight in zip(atoms, weights):
+                left = atom.left.resolve(embedding.binding)
+                right = atom.right.resolve(embedding.binding)
+                score += weight * measure.distance(left, right)
+            for label, scorer in scored.node_scorers.items():
+                bound = embedding.binding.get(label)
+                if bound is not None:
+                    score += scorer(bound)
+            witness = witness_tree(embedding, sl)
+            key = witness.canonical_key()
+            if key not in best_by_key:
+                best_by_key[key] = ScoredResult(witness, score)
+                order.append(key)
+            elif score < best_by_key[key].score:
+                best_by_key[key] = ScoredResult(witness, score)
+
+    ranked = sorted(
+        (best_by_key[key] for key in order), key=lambda result: result.score
+    )
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return ranked

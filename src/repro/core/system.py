@@ -1,0 +1,317 @@
+"""The TOSS system facade — Figure 8's three components wired together.
+
+:class:`TossSystem` owns a :class:`~repro.xmldb.Database` (the Xindice
+substitute), runs the **Ontology Maker** on every registered instance,
+auto-derives cross-source interoperation constraints (shared terms and
+lexicon synonyms — the paper's "WordNet ... lead[s] to a set of
+interoperation constraints"), lets the DBA add explicit constraints, runs
+the **Similarity Enhancer** (canonical fusion + SEA) at :meth:`build`
+time, and exposes the **Query Executor** plus the in-memory
+:class:`~repro.core.algebra.TossAlgebra`.
+
+Typical session::
+
+    system = TossSystem(measure="levenshtein", epsilon=3.0)
+    system.add_instance("dblp", dblp_xml)
+    system.add_instance("sigmod", sigmod_xml)
+    system.add_constraint("booktitle:dblp = conference:sigmod")
+    system.build()
+    report = system.select("dblp", pattern, sl_labels=[1])
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import TossError
+from ..ontology.constraints import (
+    EqualityConstraint,
+    InteroperationConstraint,
+    ScopedTerm,
+    parse_constraint,
+)
+from ..ontology.hierarchy import Hierarchy, Ontology
+from ..ontology.lexicon import Lexicon
+from ..ontology.maker import OntologyMaker
+from ..similarity.measures import StringSimilarityMeasure, get_measure
+from ..similarity.seo import SimilarityEnhancedOntology
+from ..tax import algebra as tax_algebra
+from ..tax.pattern import PatternTree
+from ..xmldb.database import Database
+from ..xmldb.model import XmlNode
+from .algebra import TossAlgebra
+from .conditions import SeoConditionContext, TypingFunction, default_typing
+from .executor import ExecutionReport, QueryExecutor
+from .instance import OntologyExtendedInstance
+from .types import TypeSystem, default_type_system
+
+DocumentInput = Union[str, XmlNode]
+
+
+class TossSystem:
+    """End-to-end TOSS: database + ontologies + SEO + query execution."""
+
+    def __init__(
+        self,
+        measure: "str | StringSimilarityMeasure" = "levenshtein",
+        epsilon: float = 3.0,
+        maker: Optional[OntologyMaker] = None,
+        type_system: Optional[TypeSystem] = None,
+        typing: TypingFunction = default_typing,
+        max_document_bytes: Optional[int] = None,
+    ) -> None:
+        self.measure = get_measure(measure) if isinstance(measure, str) else measure
+        self.epsilon = epsilon
+        self.maker = maker if maker is not None else OntologyMaker()
+        self.type_system = type_system if type_system is not None else default_type_system()
+        self.typing = typing
+        if max_document_bytes is None:
+            self.database = Database()
+        else:
+            self.database = Database(max_document_bytes)
+        self.instances: Dict[str, OntologyExtendedInstance] = {}
+        self._constraints: Dict[str, List[InteroperationConstraint]] = {}
+        self.context: Optional[SeoConditionContext] = None
+        self.executor: Optional[QueryExecutor] = None
+        self.build_seconds: float = 0.0
+
+    # -- administration ---------------------------------------------------------
+
+    def add_instance(
+        self,
+        name: str,
+        documents: "DocumentInput | Sequence[DocumentInput]",
+        ontology: Optional[Ontology] = None,
+    ) -> OntologyExtendedInstance:
+        """Register a source: store its documents, build (or take) its ontology."""
+        if name in self.instances:
+            raise TossError(f"instance {name!r} is already registered")
+        if isinstance(documents, (str, XmlNode)):
+            documents = [documents]
+        collection = self.database.create_collection(name)
+        roots: List[XmlNode] = []
+        for index, document in enumerate(documents):
+            roots.append(collection.add_document(f"{name}-{index}", document))
+        if ontology is None:
+            ontology = self.maker.make_combined(roots)
+        instance = OntologyExtendedInstance(name, roots, ontology, self.typing)
+        self.instances[name] = instance
+        self.context = None  # a new instance invalidates any built SEO
+        return instance
+
+    def add_documents(
+        self,
+        name: str,
+        documents: "DocumentInput | Sequence[DocumentInput]",
+    ) -> OntologyExtendedInstance:
+        """Append documents to an existing instance.
+
+        The instance's ontology is re-extracted over all of its documents
+        and the built SEO (if any) is invalidated — the next query needs a
+        :meth:`build`.  This mirrors real operation: data loads are
+        incremental, the SEO precomputation is batched.
+        """
+        try:
+            instance = self.instances[name]
+        except KeyError:
+            raise TossError(f"no instance named {name!r}; use add_instance") from None
+        if isinstance(documents, (str, XmlNode)):
+            documents = [documents]
+        collection = self.database.get_collection(name)
+        start = len(collection)
+        roots = list(instance.trees)
+        for offset, document in enumerate(documents):
+            roots.append(
+                collection.add_document(f"{name}-{start + offset}", document)
+            )
+        ontology = self.maker.make_combined(roots)
+        updated = OntologyExtendedInstance(name, roots, ontology, self.typing)
+        self.instances[name] = updated
+        self.context = None
+        return updated
+
+    def add_constraint(
+        self,
+        constraint: "str | InteroperationConstraint",
+        relation: str = Ontology.ISA,
+    ) -> InteroperationConstraint:
+        """Add a DBA interoperation constraint for one relation."""
+        if isinstance(constraint, str):
+            constraint = parse_constraint(constraint)
+        self._constraints.setdefault(relation, []).append(constraint)
+        self.context = None
+        return constraint
+
+    # -- the Similarity Enhancer --------------------------------------------------
+
+    def _auto_constraints(
+        self, relation: str, hierarchies: Mapping[str, Hierarchy]
+    ) -> List[InteroperationConstraint]:
+        """Cross-source equalities from shared terms and lexicon synonyms."""
+        constraints: List[InteroperationConstraint] = []
+        lexicon: Lexicon = self.maker.lexicon
+        names = list(hierarchies)
+        for first, second in itertools.combinations(names, 2):
+            terms_first = hierarchies[first].terms
+            terms_second = hierarchies[second].terms
+            for term in terms_first:
+                if term in terms_second:
+                    constraints.append(
+                        EqualityConstraint(
+                            ScopedTerm(term, first), ScopedTerm(term, second)
+                        )
+                    )
+                for synonym in lexicon.synonyms(str(term)):
+                    if synonym != term and synonym in terms_second:
+                        constraints.append(
+                            EqualityConstraint(
+                                ScopedTerm(term, first), ScopedTerm(synonym, second)
+                            )
+                        )
+        return constraints
+
+    def build(
+        self,
+        epsilon: Optional[float] = None,
+        relations: Iterable[str] = (Ontology.ISA, Ontology.PART_OF),
+        mode: str = "order-safe",
+    ) -> SeoConditionContext:
+        """Fuse all instance ontologies and similarity-enhance them.
+
+        This is the precomputation step of Section 6 ("we precompute an
+        SEO during integration"); its wall-clock cost is recorded in
+        :attr:`build_seconds`.  Must be re-run after adding instances or
+        constraints; queries before :meth:`build` raise.
+
+        ``mode`` defaults to SEA's always-consistent ``"order-safe"``
+        policy (similar terms merge only when they play the same
+        structural role); pass ``"strict"`` for Figure-12-verbatim
+        behaviour, which may raise
+        :class:`~repro.errors.SimilarityInconsistencyError` (Definition 9).
+        """
+        if not self.instances:
+            raise TossError("register at least one instance before build()")
+        if epsilon is not None:
+            self.epsilon = epsilon
+        started = time.perf_counter()
+        seos: Dict[str, SimilarityEnhancedOntology] = {}
+        for relation in relations:
+            hierarchies = {
+                name: instance.ontology[relation]
+                for name, instance in self.instances.items()
+            }
+            constraints = self._auto_constraints(relation, hierarchies)
+            constraints.extend(self._constraints.get(relation, ()))
+            seos[relation] = SimilarityEnhancedOntology.build(
+                hierarchies, self.measure, self.epsilon, constraints, mode=mode
+            )
+        self.build_seconds = time.perf_counter() - started
+        self.context = SeoConditionContext(
+            seos[Ontology.ISA],
+            seos=seos,
+            type_system=self.type_system,
+            typing=self.typing,
+        )
+        self.executor = QueryExecutor(self.database, self.context)
+        return self.context
+
+    @property
+    def seo(self) -> SimilarityEnhancedOntology:
+        """The built isa SEO (raises if :meth:`build` has not run)."""
+        return self._require_context().seo
+
+    def _require_context(self) -> SeoConditionContext:
+        if self.context is None:
+            raise TossError("call build() before querying")
+        return self.context
+
+    def ontology_size(self) -> int:
+        """Distinct term count of the built isa SEO (the paper's metric)."""
+        return self.seo.term_count()
+
+    # -- the Query Executor ------------------------------------------------------------
+
+    def select(
+        self,
+        collection: str,
+        pattern: PatternTree,
+        sl_labels: Iterable[int] = (),
+    ) -> ExecutionReport:
+        """TOSS selection through the XPath-rewriting executor."""
+        self._require_context()
+        assert self.executor is not None
+        return self.executor.selection(collection, pattern, sl_labels)
+
+    def project(
+        self,
+        collection: str,
+        pattern: PatternTree,
+        pl: Sequence[tax_algebra.ProjectionEntry],
+    ) -> ExecutionReport:
+        """TOSS projection through the executor."""
+        self._require_context()
+        assert self.executor is not None
+        return self.executor.projection(collection, pattern, pl)
+
+    def join(
+        self,
+        left_collection: str,
+        right_collection: str,
+        pattern: PatternTree,
+        sl_labels: Iterable[int] = (),
+    ) -> ExecutionReport:
+        """TOSS join through the executor."""
+        self._require_context()
+        assert self.executor is not None
+        return self.executor.join(left_collection, right_collection, pattern, sl_labels)
+
+    def query(
+        self,
+        collection: str,
+        text: str,
+        sl_variables: Iterable[str] = (),
+        right_collection: Optional[str] = None,
+    ) -> ExecutionReport:
+        """Run a query written in the textual query language.
+
+        Single-element queries run as selections (the element's full
+        subtree is returned); two-element queries run as joins and need
+        ``right_collection``.  ``sl_variables`` names additional
+        ``$variables`` whose subtrees should be inflated.
+
+        >>> system.query("dblp", 'inproceedings(author ~ "J. Ullman")')
+        ... # doctest: +SKIP
+        """
+        from .parser import parse_query
+
+        parsed = parse_query(text)
+        sl_labels = list(parsed.roots) + [
+            parsed.label(variable) for variable in sl_variables
+        ]
+        if len(parsed.roots) == 1:
+            return self.select(collection, parsed.pattern, sl_labels)
+        if len(parsed.roots) == 2:
+            if right_collection is None:
+                raise TossError(
+                    "a two-element query is a join; pass right_collection="
+                )
+            return self.join(collection, right_collection, parsed.pattern, sl_labels)
+        raise TossError("queries must have one or two top-level elements")
+
+    def tax_executor(self) -> QueryExecutor:
+        """A plain-TAX executor over the same database (the baseline)."""
+        return QueryExecutor(self.database, context=None)
+
+    def algebra(self) -> TossAlgebra:
+        """The in-memory TOSS algebra bound to the built context."""
+        return TossAlgebra(self._require_context())
+
+    def __repr__(self) -> str:
+        built = "built" if self.context is not None else "not built"
+        return (
+            f"TossSystem({len(self.instances)} instances, "
+            f"measure={self.measure.name or type(self.measure).__name__}, "
+            f"epsilon={self.epsilon}, {built})"
+        )

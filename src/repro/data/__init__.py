@@ -1,0 +1,42 @@
+"""Experiment data: schema-faithful synthetic DBLP / SIGMOD generators.
+
+The paper evaluates on the DBLP bibliography and the SIGMOD XML
+proceedings pages.  Neither dataset can be shipped here, so this package
+generates seeded synthetic corpora with the same schemas and — crucially —
+a *ground-truth registry*: every author, venue and paper is an entity with
+known surface-form variants ("Jeffrey D. Ullman" / "Jeffrey Ullman" /
+"J. Ullman" / typos), so the precision/recall of any query answer can be
+computed exactly instead of by the paper's manual inspection.
+
+Entry points: :func:`~repro.data.ground_truth.generate_corpus` builds the
+entity/paper world; :func:`~repro.data.dblp.render_dblp` and
+:func:`~repro.data.sigmod.render_sigmod_pages` serialise it in each
+source's schema.
+"""
+
+from .dblp import render_dblp
+from .ground_truth import (
+    AuthorEntity,
+    Corpus,
+    PaperRecord,
+    VenueEntity,
+    generate_corpus,
+)
+from .names import NameVariantGenerator
+from .sigmod import render_sigmod_pages
+from .titles import TitleGenerator
+from .venues import VENUE_POOL, VenueSpec
+
+__all__ = [
+    "AuthorEntity",
+    "Corpus",
+    "NameVariantGenerator",
+    "PaperRecord",
+    "TitleGenerator",
+    "VENUE_POOL",
+    "VenueEntity",
+    "VenueSpec",
+    "generate_corpus",
+    "render_dblp",
+    "render_sigmod_pages",
+]

@@ -1,0 +1,25 @@
+"""Lexicon rules for the synthetic corpora.
+
+The paper's Ontology Maker combines WordNet with "user-specified rules";
+for the bibliographic corpora those rules are the venue taxonomy: every
+venue's short and long surface forms are isa its category ("SIGMOD
+Conference" isa "database conference" isa "conference").  The isa
+conditions of the experiment workload traverse exactly these edges.
+"""
+
+from __future__ import annotations
+
+from ..ontology.lexicon import Lexicon, bibliography_lexicon
+from .venues import VENUE_CATEGORIES, VENUE_POOL
+
+
+def corpus_lexicon() -> Lexicon:
+    """The embedded lexicon extended with the venue taxonomy."""
+    lexicon = bibliography_lexicon()
+    for category, parent in VENUE_CATEGORIES.items():
+        lexicon.add_hypernym(category, parent)
+    for venue in VENUE_POOL:
+        lexicon.add_hypernym(venue.short, venue.category)
+        lexicon.add_hypernym(venue.long, venue.category)
+        lexicon.add_synonyms(venue.short, venue.long)
+    return lexicon

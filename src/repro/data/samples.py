@@ -1,0 +1,75 @@
+"""The paper's own sample instances (Figures 1 and 2), as canned XML.
+
+Tests, examples and interactive sessions all need the paper's running
+example; keeping one canonical copy here avoids drift between them.
+"""
+
+#: Figure 1 — a small DBLP fragment (the three papers the paper discusses).
+DBLP_FIGURE_1 = """
+<dblp>
+  <inproceedings key="CiancariniVX99">
+    <author>Paolo Ciancarini</author>
+    <author>Fabio Vitali</author>
+    <title>Managing Complex Documents Over the WWW</title>
+    <year>1999</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="AgrawalCN00">
+    <author>Sanjay Agrawal</author>
+    <title>Materialized View and Index Selection Tool for Microsoft SQL Server 2000</title>
+    <year>2000</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="DamianiVPS00">
+    <author>Ernesto Damiani</author>
+    <author>Pierangela Samarati</author>
+    <title>Securing XML Documents</title>
+    <year>2000</year>
+    <booktitle>EDBT</booktitle>
+  </inproceedings>
+</dblp>
+"""
+
+#: Figure 2 — the SIGMOD proceedings page (different schema, initials,
+#: spelled-out conference name, trailing title periods).
+SIGMOD_FIGURE_2 = """
+<ProceedingsPage>
+  <conference>ACM SIGMOD International Conference on Management of Data</conference>
+  <confYear>2000</confYear>
+  <articles>
+    <article>
+      <title>Materialized View and Index Selection Tool for Microsoft SQL Server 2000.</title>
+      <author>S. Agrawal</author>
+    </article>
+    <article>
+      <title>Securing XML Documents.</title>
+      <author>E. Damiani</author>
+      <author>P. Samarati</author>
+    </article>
+  </articles>
+</ProceedingsPage>
+"""
+
+#: Example 9/10's interoperation constraints between the two sources
+#: (source names match :func:`sample_system`'s instance names).
+FIGURE_10_CONSTRAINTS = (
+    "booktitle:dblp = conference:sigmod",
+    "year:dblp = confYear:sigmod",
+)
+
+
+def sample_system(measure: str = "levenshtein", epsilon: float = 3.0):
+    """A ready-built TossSystem over the paper's Figure 1/2 instances.
+
+    >>> system = sample_system()
+    >>> report = system.query("dblp", 'inproceedings(year = "2000")')
+    """
+    from ..core.system import TossSystem
+
+    system = TossSystem(measure=measure, epsilon=epsilon)
+    system.add_instance("dblp", DBLP_FIGURE_1)
+    system.add_instance("sigmod", SIGMOD_FIGURE_2)
+    for constraint in FIGURE_10_CONSTRAINTS:
+        system.add_constraint(constraint)
+    system.build()
+    return system

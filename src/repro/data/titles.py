@@ -1,0 +1,69 @@
+"""Paper-title generation from a small domain phrase grammar.
+
+Titles are ``<adjective> <technique> <connective> <subject>`` phrases
+("Efficient Indexing of Streaming XML Data"), deterministic under a seed,
+with optional punctuation jitter (the SIGMOD pages' trailing periods that
+Example 13's similarity join has to bridge).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+ADJECTIVES: Tuple[str, ...] = (
+    "Efficient", "Scalable", "Adaptive", "Incremental", "Approximate",
+    "Distributed", "Parallel", "Secure", "Robust", "Optimal",
+    "Declarative", "Semantic", "Probabilistic", "Dynamic", "Holistic",
+)
+
+TECHNIQUES: Tuple[str, ...] = (
+    "Indexing", "Query Processing", "View Maintenance", "Join Processing",
+    "Schema Matching", "Data Integration", "Query Optimization",
+    "Access Control", "Tree Pattern Matching", "Similarity Search",
+    "Duplicate Detection", "Cardinality Estimation", "Data Cleaning",
+    "Keyword Search", "Load Shedding", "Sampling",
+)
+
+CONNECTIVES: Tuple[str, ...] = ("for", "of", "over", "in", "with")
+
+SUBJECTS: Tuple[str, ...] = (
+    "XML Databases", "Semistructured Data", "Streaming Data",
+    "Relational Databases", "Data Warehouses", "Sensor Networks",
+    "Web Services", "Peer-to-Peer Systems", "Graph Databases",
+    "Moving Objects", "Text Collections", "Scientific Workflows",
+    "Spatial Data", "Temporal Databases", "Ontologies",
+    "Probabilistic Databases",
+)
+
+
+class TitleGenerator:
+    """Seeded title sampling; occasionally reuses phrases to create near-duplicates."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def title(self) -> str:
+        return " ".join(
+            (
+                self._rng.choice(ADJECTIVES),
+                self._rng.choice(TECHNIQUES),
+                self._rng.choice(CONNECTIVES),
+                self._rng.choice(SUBJECTS),
+            )
+        )
+
+    def variant(self, title: str) -> str:
+        """A lightly perturbed rendering of an existing title.
+
+        Used by the SIGMOD renderer: the same paper's title may gain a
+        trailing period or lose a word's capitalisation across sources.
+        """
+        choice = self._rng.random()
+        if choice < 0.5:
+            return title + "."
+        if choice < 0.75:
+            words = title.split()
+            words[-1] = words[-1].lower()
+            return " ".join(words)
+        return title

@@ -1,0 +1,110 @@
+"""Conference/venue pools with short and long surface forms.
+
+Mirrors the paper's Section 2.2 observation: DBLP stores "SIGMOD
+Conference" while the SIGMOD proceedings pages spell out the full name.
+Each venue carries a *category* (database conference, data mining
+conference, ...) that the lexicon turns into isa edges, which is what the
+workload's isa conditions exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class VenueSpec:
+    """One venue: DBLP short form, proceedings long form, isa category."""
+
+    key: str
+    short: str
+    long: str
+    category: str
+
+
+#: The venue universe; categories sit below "conference" in the lexicon.
+VENUE_POOL: Tuple[VenueSpec, ...] = (
+    VenueSpec("sigmod", "SIGMOD Conference",
+              "ACM SIGMOD International Conference on Management of Data",
+              "database conference"),
+    VenueSpec("vldb", "VLDB",
+              "International Conference on Very Large Data Bases",
+              "database conference"),
+    VenueSpec("pods", "PODS",
+              "ACM SIGMOD-SIGACT-SIGART Symposium on Principles of Database Systems",
+              "database conference"),
+    VenueSpec("icde", "ICDE",
+              "IEEE International Conference on Data Engineering",
+              "database conference"),
+    VenueSpec("edbt", "EDBT",
+              "International Conference on Extending Database Technology",
+              "database conference"),
+    VenueSpec("icdt", "ICDT",
+              "International Conference on Database Theory",
+              "database conference"),
+    VenueSpec("kdd", "KDD",
+              "ACM SIGKDD International Conference on Knowledge Discovery and Data Mining",
+              "data mining conference"),
+    VenueSpec("icdm", "ICDM",
+              "IEEE International Conference on Data Mining",
+              "data mining conference"),
+    VenueSpec("sigir", "SIGIR",
+              "International ACM SIGIR Conference on Research and Development in Information Retrieval",
+              "information retrieval conference"),
+    VenueSpec("cikm", "CIKM",
+              "International Conference on Information and Knowledge Management",
+              "information retrieval conference"),
+    VenueSpec("www", "WWW",
+              "International World Wide Web Conference",
+              "web conference"),
+    VenueSpec("icwe", "ICWE",
+              "International Conference on Web Engineering",
+              "web conference"),
+    VenueSpec("icml", "ICML",
+              "International Conference on Machine Learning",
+              "machine learning conference"),
+    VenueSpec("nips", "NIPS",
+              "Conference on Neural Information Processing Systems",
+              "machine learning conference"),
+    VenueSpec("sosp", "SOSP",
+              "ACM Symposium on Operating Systems Principles",
+              "systems conference"),
+    VenueSpec("osdi", "OSDI",
+              "USENIX Symposium on Operating Systems Design and Implementation",
+              "systems conference"),
+)
+
+#: category -> parent concept, consumed by the lexicon rules.
+VENUE_CATEGORIES: Dict[str, str] = {
+    "database conference": "conference",
+    "data mining conference": "conference",
+    "information retrieval conference": "conference",
+    "web conference": "conference",
+    "machine learning conference": "conference",
+    "systems conference": "conference",
+}
+
+
+def venue_by_key(key: str) -> VenueSpec:
+    for venue in VENUE_POOL:
+        if venue.key == key:
+            return venue
+    raise KeyError(f"unknown venue {key!r}")
+
+
+def venue_surface(
+    venue: VenueSpec, style: str, rng: Optional[random.Random] = None
+) -> str:
+    """Render a venue surface form: ``short``, ``long`` or ``typo``."""
+    if style == "short":
+        return venue.short
+    if style == "long":
+        return venue.long
+    if style == "typo":
+        base = venue.short
+        rng = rng if rng is not None else random.Random(0)
+        position = rng.randrange(1, len(base) - 1)
+        return base[:position] + base[position] + base[position:]
+    raise ValueError(f"unknown venue style {style!r}")

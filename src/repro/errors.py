@@ -1,0 +1,153 @@
+"""Exception hierarchy for the TOSS reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause.  Subsystems
+define narrower classes below; the class names mirror the paper's
+terminology (e.g. :class:`SimilarityInconsistencyError` is Definition 9's
+"similarity inconsistency").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# XML database substrate (repro.xmldb)
+# ---------------------------------------------------------------------------
+
+
+class XmlDbError(ReproError):
+    """Base class for errors raised by the XML database substrate."""
+
+
+class XmlParseError(XmlDbError):
+    """Malformed XML text could not be parsed into a data tree."""
+
+
+class XPathSyntaxError(XmlDbError):
+    """An XPath query string could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        #: Character offset in the query where parsing failed (-1 if unknown).
+        self.position = position
+
+
+class XPathEvaluationError(XmlDbError):
+    """A syntactically valid XPath query failed during evaluation."""
+
+
+class CollectionError(XmlDbError):
+    """Collection-level failure (duplicate name, missing document, ...)."""
+
+
+class DocumentTooLargeError(CollectionError):
+    """A document exceeded the collection's configured size cap.
+
+    Mirrors Apache Xindice's 5 MB per-document limitation, which shapes the
+    paper's scalability experiments (Section 6).
+    """
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(
+            f"document of {size} bytes exceeds the collection limit of {limit} bytes"
+        )
+        self.size = size
+        self.limit = limit
+
+
+# ---------------------------------------------------------------------------
+# TAX algebra (repro.tax)
+# ---------------------------------------------------------------------------
+
+
+class TaxError(ReproError):
+    """Base class for errors raised by the TAX algebra."""
+
+
+class PatternTreeError(TaxError):
+    """A pattern tree is structurally invalid (duplicate labels, cycles...)."""
+
+
+class ConditionError(TaxError):
+    """A selection condition is malformed or references unknown nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Ontologies (repro.ontology)
+# ---------------------------------------------------------------------------
+
+
+class OntologyError(ReproError):
+    """Base class for ontology-related errors."""
+
+
+class HierarchyCycleError(OntologyError):
+    """An edge set intended to define a partial order contains a cycle."""
+
+    def __init__(self, cycle: list) -> None:
+        super().__init__(f"hierarchy contains a cycle: {' -> '.join(map(str, cycle))}")
+        #: The offending node sequence (first node repeated at the end).
+        self.cycle = cycle
+
+
+class UnknownTermError(OntologyError):
+    """A term was looked up that is not present in the hierarchy."""
+
+
+class ConstraintError(OntologyError):
+    """An interoperation constraint references an unknown hierarchy/term."""
+
+
+class FusionInconsistencyError(OntologyError):
+    """The interoperation constraints are unsatisfiable.
+
+    Raised when a ``x:i != y:j`` constraint is violated by the canonical
+    fusion (the two terms end up in the same equivalence class).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Similarity (repro.similarity)
+# ---------------------------------------------------------------------------
+
+
+class SimilarityError(ReproError):
+    """Base class for similarity-subsystem errors."""
+
+
+class SimilarityInconsistencyError(SimilarityError):
+    """No similarity enhancement exists for (H, d, epsilon) — Definition 9."""
+
+
+# ---------------------------------------------------------------------------
+# TOSS core (repro.core)
+# ---------------------------------------------------------------------------
+
+
+class TossError(ReproError):
+    """Base class for errors raised by the TOSS core."""
+
+
+class TypeSystemError(TossError):
+    """Invalid type-hierarchy or conversion-function configuration."""
+
+
+class ConversionError(TypeSystemError):
+    """No conversion function exists between two types, or conversion failed."""
+
+
+class IllTypedConditionError(TossError):
+    """A selection condition is not well-typed in the context of an instance.
+
+    Section 5.1.1: a simple condition ``X op Y`` with a comparison operator
+    is well-typed only when X and Y have a least common supertype reachable
+    through registered conversion functions.
+    """
+
+
+class QueryExecutionError(TossError):
+    """The query executor failed to translate or run a query."""

@@ -1,0 +1,45 @@
+"""The experiment harness behind ``benchmarks/``.
+
+One module per concern: :mod:`workload` builds the paper's query
+workloads (12 selection queries with 1 isa + 1 similarTo + 3 tag
+conditions; conjunctive scalability selections; similarity joins),
+:mod:`runner` executes TAX vs TOSS(epsilon) and scores precision/recall/
+quality, :mod:`scalability` sweeps data and ontology sizes, and
+:mod:`reporting` renders the paper-shaped tables and series.
+"""
+
+from .runner import (
+    PrecisionRecallResults,
+    QueryOutcome,
+    run_precision_recall_experiment,
+)
+from .scalability import (
+    EpsilonPoint,
+    ScalabilityPoint,
+    epsilon_sweep,
+    join_scalability,
+    selection_scalability,
+)
+from .workload import (
+    SelectionQuery,
+    build_join_pattern,
+    build_scalability_pattern,
+    build_selection_workload,
+    build_system,
+)
+
+__all__ = [
+    "EpsilonPoint",
+    "PrecisionRecallResults",
+    "QueryOutcome",
+    "ScalabilityPoint",
+    "SelectionQuery",
+    "build_join_pattern",
+    "build_scalability_pattern",
+    "build_selection_workload",
+    "build_system",
+    "epsilon_sweep",
+    "join_scalability",
+    "run_precision_recall_experiment",
+    "selection_scalability",
+]

@@ -1,0 +1,232 @@
+"""Data-size / ontology-size / epsilon sweeps — the engine behind Figure 16.
+
+Each sweep renders progressively larger slices of a seeded corpus,
+precomputes the SEO (not timed in the query path, as the paper
+precomputes it), and times the executor's three phases for the fixed
+workload query.  Sizes are reported in serialized bytes so the series
+read like the paper's x-axes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.executor import ExecutionReport
+from ..data.dblp import render_dblp
+from ..data.ground_truth import Corpus, generate_corpus
+from ..data.sigmod import render_sigmod_pages
+from ..xmldb.serializer import document_bytes
+from .workload import (
+    build_epsilon_selection_pattern,
+    build_join_pattern,
+    build_scalability_pattern,
+    build_system,
+)
+
+
+@dataclass
+class ScalabilityPoint:
+    """One (data size, ontology size) timing measurement."""
+
+    papers: int
+    data_bytes: int
+    ontology_terms: int
+    system_name: str
+    seconds: float
+    rewrite_seconds: float
+    xpath_seconds: float
+    convert_seconds: float
+    results: int
+    ontology_accesses: int = 0
+
+
+@dataclass
+class EpsilonPoint:
+    """One epsilon timing measurement (Figure 16(c))."""
+
+    epsilon: float
+    operation: str
+    seconds: float
+    build_seconds: float
+    results: int
+
+
+def _run_reports(
+    reports: Sequence[ExecutionReport],
+) -> Tuple[float, float, float, float, int]:
+    total = sum(r.total_seconds for r in reports) / len(reports)
+    rewrite = sum(r.rewrite_seconds for r in reports) / len(reports)
+    xpath = sum(r.xpath_seconds for r in reports) / len(reports)
+    convert = sum(r.convert_seconds for r in reports) / len(reports)
+    accesses = reports[0].ontology_accesses
+    return total, rewrite, xpath, convert, accesses
+
+
+def selection_scalability(
+    paper_counts: Sequence[int] = (250, 500, 1000, 2000),
+    ontology_caps: Sequence[Optional[int]] = (50, 200, None),
+    epsilon: float = 3.0,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[ScalabilityPoint]:
+    """Figure 16(a): TOSS selection time vs data size and ontology size.
+
+    ``ontology_caps`` are Ontology-Maker content-term caps producing the
+    family of ontology-size curves (None = uncapped); a TAX baseline is
+    measured per data size.
+    """
+    corpus = generate_corpus(max(paper_counts), seed=seed)
+    all_keys = corpus.paper_keys()
+    points: List[ScalabilityPoint] = []
+
+    toss_pattern = build_scalability_pattern()
+    tax_pattern = build_scalability_pattern(tax_fallback=True)
+
+    for count in paper_counts:
+        subset = all_keys[:count]
+        dblp = render_dblp(corpus, seed=seed, paper_keys=subset)
+        size = document_bytes(dblp)
+        for cap in ontology_caps:
+            system = build_system(
+                corpus, [dblp], epsilon, max_content_terms=cap
+            )
+            reports = [
+                system.select("dblp", toss_pattern, sl_labels=[1])
+                for _ in range(repeats)
+            ]
+            total, rewrite, xpath, convert, accesses = _run_reports(reports)
+            points.append(
+                ScalabilityPoint(
+                    count, size, system.ontology_size(),
+                    f"TOSS(ont={system.ontology_size()})",
+                    total, rewrite, xpath, convert, len(reports[0].results),
+                    accesses,
+                )
+            )
+        tax_executor = system.tax_executor()
+        reports = [
+            tax_executor.selection("dblp", tax_pattern, sl_labels=[1])
+            for _ in range(repeats)
+        ]
+        total, rewrite, xpath, convert, accesses = _run_reports(reports)
+        points.append(
+            ScalabilityPoint(
+                count, size, 0, "TAX",
+                total, rewrite, xpath, convert, len(reports[0].results),
+                accesses,
+            )
+        )
+    return points
+
+
+def join_scalability(
+    paper_counts: Sequence[int] = (100, 200, 400, 800),
+    ontology_caps: Sequence[Optional[int]] = (50, None),
+    epsilon: float = 3.0,
+    repeats: int = 2,
+    seed: int = 0,
+) -> List[ScalabilityPoint]:
+    """Figure 16(b): join time vs total (DBLP + SIGMOD) data size."""
+    corpus = generate_corpus(max(paper_counts), seed=seed)
+    all_keys = corpus.paper_keys()
+    points: List[ScalabilityPoint] = []
+
+    toss_pattern = build_join_pattern()
+    tax_pattern = build_join_pattern(tax_fallback=True)
+
+    for count in paper_counts:
+        subset = all_keys[:count]
+        dblp = render_dblp(corpus, seed=seed, paper_keys=subset)
+        pages = render_sigmod_pages(corpus, seed=seed, paper_keys=subset)
+        size = document_bytes(dblp) + sum(document_bytes(p) for p in pages)
+        for cap in ontology_caps:
+            system = build_system(
+                corpus, [dblp], epsilon,
+                sigmod_documents=pages, max_content_terms=cap,
+            )
+            # Figure 16(b) reproduces the *paper's* execution strategy:
+            # product + selection, as the Xindice prototype ran it.  The
+            # optimised similarity hash join is measured separately in
+            # benchmarks/bench_ablation_hash_join.py.
+            assert system.executor is not None
+            system.executor.similarity_hash_join = False
+            reports = [
+                system.join("dblp", "sigmod", toss_pattern, sl_labels=[2, 5])
+                for _ in range(repeats)
+            ]
+            total, rewrite, xpath, convert, accesses = _run_reports(reports)
+            points.append(
+                ScalabilityPoint(
+                    count, size, system.ontology_size(),
+                    f"TOSS(ont={system.ontology_size()})",
+                    total, rewrite, xpath, convert, len(reports[0].results),
+                    accesses,
+                )
+            )
+        tax_executor = system.tax_executor()
+        reports = [
+            tax_executor.join("dblp", "sigmod", tax_pattern, sl_labels=[2, 5])
+            for _ in range(repeats)
+        ]
+        total, rewrite, xpath, convert, accesses = _run_reports(reports)
+        points.append(
+            ScalabilityPoint(
+                count, size, 0, "TAX",
+                total, rewrite, xpath, convert, len(reports[0].results),
+                accesses,
+            )
+        )
+    return points
+
+
+def epsilon_sweep(
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+    papers: int = 500,
+    join_papers: int = 200,
+    repeats: int = 2,
+    seed: int = 0,
+) -> List[EpsilonPoint]:
+    """Figure 16(c): TOSS selection and join time against epsilon."""
+    corpus = generate_corpus(papers, seed=seed)
+    dblp = render_dblp(corpus, seed=seed)
+    join_keys = corpus.paper_keys()[:join_papers]
+    join_dblp = render_dblp(corpus, seed=seed + 1, paper_keys=join_keys)
+    pages = render_sigmod_pages(corpus, seed=seed, paper_keys=join_keys)
+
+    # An author-similarity selection: its SEO expansion (and thus its
+    # answer set and output size) grows with epsilon, which is exactly
+    # the mechanism the paper credits for Figure 16(c)'s slope.
+    selection_pattern = build_epsilon_selection_pattern(corpus)
+    join_pattern = build_join_pattern()
+
+    points: List[EpsilonPoint] = []
+    for epsilon in epsilons:
+        system = build_system(corpus, [dblp], epsilon)
+        reports = [
+            system.select("dblp", selection_pattern, sl_labels=[1])
+            for _ in range(repeats)
+        ]
+        points.append(
+            EpsilonPoint(
+                epsilon, "selection",
+                sum(r.total_seconds for r in reports) / repeats,
+                system.build_seconds, len(reports[0].results),
+            )
+        )
+        join_system = build_system(
+            corpus, [join_dblp], epsilon, sigmod_documents=pages
+        )
+        reports = [
+            join_system.join("dblp", "sigmod", join_pattern, sl_labels=[2, 5])
+            for _ in range(repeats)
+        ]
+        points.append(
+            EpsilonPoint(
+                epsilon, "join",
+                sum(r.total_seconds for r in reports) / repeats,
+                join_system.build_seconds, len(reports[0].results),
+            )
+        )
+    return points

@@ -1,0 +1,43 @@
+"""Ontologies: hierarchies, interoperation constraints, and canonical fusion.
+
+Section 4 of the paper: an ontology w.r.t. a set of relation names (isa,
+part-of, ...) maps each name to a *hierarchy* — the Hasse diagram of a
+partial order over terms.  Ontologies of the instances in a semistructured
+database are merged into a single *canonical fusion* under DBA-specified
+interoperation constraints, following the paper's references [3, 2].
+
+The :class:`~repro.ontology.maker.OntologyMaker` automates ontology
+construction from XML instances using structural extraction plus an
+embedded lexical knowledge base (the WordNet substitute; see DESIGN.md).
+"""
+
+from .constraints import (
+    EqualityConstraint,
+    InequalityConstraint,
+    InteroperationConstraint,
+    ScopedTerm,
+    SubsumptionConstraint,
+    parse_constraint,
+)
+from .fusion import FusedNode, FusionResult, canonical_fusion, hierarchy_graph
+from .hierarchy import Hierarchy, Ontology
+from .lexicon import Lexicon, bibliography_lexicon
+from .maker import OntologyMaker
+
+__all__ = [
+    "EqualityConstraint",
+    "FusedNode",
+    "FusionResult",
+    "Hierarchy",
+    "InequalityConstraint",
+    "InteroperationConstraint",
+    "Lexicon",
+    "Ontology",
+    "OntologyMaker",
+    "ScopedTerm",
+    "SubsumptionConstraint",
+    "bibliography_lexicon",
+    "canonical_fusion",
+    "hierarchy_graph",
+    "parse_constraint",
+]

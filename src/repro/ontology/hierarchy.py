@@ -1,0 +1,359 @@
+"""Hierarchies (Hasse diagrams of partial orders) and ontologies.
+
+Section 4.1: "Suppose (S, <=) is a partially ordered set.  A *hierarchy*
+for (S, <=) is the Hasse diagram for (S, <=) ... a directed acyclic graph
+whose set of nodes is S [with] a minimal set of edges such that there is a
+path from u to v in the Hasse diagram iff u <= v."
+
+Edges therefore point *upward*: an edge ``u -> v`` means ``u <= v`` and v
+covers u (author -> article in the part-of example).  The constructor
+accepts any acyclic edge set and normalises it to the minimal (transitively
+reduced) Hasse form, so ``Hierarchy`` values are canonical: two hierarchies
+encode the same partial order iff they compare equal.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .. import graphutils
+from ..errors import OntologyError, UnknownTermError
+
+Term = Hashable
+
+
+class Hierarchy:
+    """An immutable Hasse diagram over a finite set of terms.
+
+    Parameters
+    ----------
+    edges:
+        Pairs ``(u, v)`` meaning ``u <= v`` (or a mapping ``u -> iterable``
+        of upper covers).  The pairs may contain redundant (transitively
+        implied) edges; they are reduced to Hasse form.
+    nodes:
+        Additional isolated terms that carry no order relationships.
+
+    Raises
+    ------
+    HierarchyCycleError
+        If the supplied edges contain a directed cycle (a partial order is
+        antisymmetric, so cycles are impossible).
+    """
+
+    __slots__ = ("_parents", "_children", "_up_closure", "_down_closure", "_hash")
+
+    def __init__(
+        self,
+        edges: "Iterable[Tuple[Term, Term]] | Mapping[Term, Iterable[Term]]" = (),
+        nodes: Iterable[Term] = (),
+    ) -> None:
+        if isinstance(edges, Mapping):
+            edge_pairs = [(u, v) for u, targets in edges.items() for v in targets]
+        else:
+            edge_pairs = [(u, v) for u, v in edges]
+        graph: Dict[Term, Set[Term]] = {}
+        for u, v in edge_pairs:
+            if u == v:
+                continue  # reflexive pairs are implicit in a partial order
+            graph.setdefault(u, set()).add(v)
+            graph.setdefault(v, set())
+        for node in nodes:
+            graph.setdefault(node, set())
+        reduced = graphutils.transitive_reduction(graph)  # also checks acyclicity
+        self._parents: Dict[Term, FrozenSet[Term]] = {
+            node: frozenset(targets) for node, targets in reduced.items()
+        }
+        children: Dict[Term, Set[Term]] = {node: set() for node in self._parents}
+        for node, targets in self._parents.items():
+            for target in targets:
+                children[target].add(node)
+        self._children: Dict[Term, FrozenSet[Term]] = {
+            node: frozenset(kids) for node, kids in children.items()
+        }
+        up = graphutils.transitive_closure(self._parents)
+        self._up_closure: Dict[Term, FrozenSet[Term]] = {
+            node: frozenset(targets) for node, targets in up.items()
+        }
+        down = graphutils.transitive_closure(self._children)
+        self._down_closure: Dict[Term, FrozenSet[Term]] = {
+            node: frozenset(targets) for node, targets in down.items()
+        }
+        self._hash: Optional[int] = None
+
+    # -- basic container protocol -----------------------------------------
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._parents
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._parents)
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    @property
+    def terms(self) -> AbstractSet[Term]:
+        """The node set S of the partial order."""
+        return self._parents.keys()
+
+    def edges(self) -> Iterator[Tuple[Term, Term]]:
+        """Hasse edges as ``(lower, upper)`` pairs."""
+        for node, targets in self._parents.items():
+            for target in targets:
+                yield (node, target)
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._parents.values())
+
+    # -- order queries ------------------------------------------------------
+
+    def _require(self, term: Term) -> None:
+        if term not in self._parents:
+            raise UnknownTermError(f"term {term!r} is not in the hierarchy")
+
+    def parents(self, term: Term) -> FrozenSet[Term]:
+        """Upper covers of ``term`` (immediate Hasse successors)."""
+        self._require(term)
+        return self._parents[term]
+
+    def children(self, term: Term) -> FrozenSet[Term]:
+        """Lower covers of ``term``."""
+        self._require(term)
+        return self._children[term]
+
+    def leq(self, lower: Term, upper: Term) -> bool:
+        """The partial order: True iff ``lower <= upper``.
+
+        Reflexive: ``leq(x, x)`` is True for any term in the hierarchy.
+        """
+        self._require(lower)
+        self._require(upper)
+        return lower == upper or upper in self._up_closure[lower]
+
+    def lt(self, lower: Term, upper: Term) -> bool:
+        """Strict order: ``lower <= upper`` and ``lower != upper``."""
+        return lower != upper and self.leq(lower, upper)
+
+    def ancestors(self, term: Term) -> FrozenSet[Term]:
+        """All terms strictly above ``term``."""
+        self._require(term)
+        return self._up_closure[term]
+
+    def descendants(self, term: Term) -> FrozenSet[Term]:
+        """All terms strictly below ``term``."""
+        self._require(term)
+        return self._down_closure[term]
+
+    def below(self, term: Term) -> FrozenSet[Term]:
+        """``{t | t <= term}`` — the paper's below-set without dom(tau)."""
+        return self.descendants(term) | {term}
+
+    def above(self, term: Term) -> FrozenSet[Term]:
+        """``{t | term <= t}`` including ``term`` itself."""
+        return self.ancestors(term) | {term}
+
+    def roots(self) -> FrozenSet[Term]:
+        """Maximal terms (no strict ancestors)."""
+        return frozenset(node for node in self._parents if not self._parents[node])
+
+    def leaves(self) -> FrozenSet[Term]:
+        """Minimal terms (no strict descendants)."""
+        return frozenset(node for node in self._children if not self._children[node])
+
+    def least_upper_bound(self, left: Term, right: Term) -> Optional[Term]:
+        """The least common upper bound of two terms, or None.
+
+        Used for the *least common supertype* of Section 5.1.1.  Returns
+        None when no upper bound exists or no unique least one does.
+        """
+        common = self.above(left) & self.above(right)
+        if not common:
+            return None
+        minimal = [
+            candidate
+            for candidate in common
+            if not any(self.lt(other, candidate) for other in common)
+        ]
+        if len(minimal) == 1:
+            return minimal[0]
+        return None
+
+    def comparable(self, left: Term, right: Term) -> bool:
+        """True iff the two terms are ordered one way or the other."""
+        return self.leq(left, right) or self.leq(right, left)
+
+    # -- derivation ----------------------------------------------------------
+
+    def restrict(self, keep: Iterable[Term]) -> "Hierarchy":
+        """Sub-hierarchy induced on ``keep``, preserving reachability.
+
+        If a dropped term lies between two kept terms, the kept terms stay
+        ordered (the restriction is of the partial order, not the diagram).
+        """
+        kept = set(keep)
+        missing = kept - set(self._parents)
+        if missing:
+            raise UnknownTermError(f"terms not in hierarchy: {sorted(map(repr, missing))}")
+        edges = [
+            (lower, upper)
+            for lower in kept
+            for upper in self._up_closure[lower]
+            if upper in kept
+        ]
+        return Hierarchy(edges, nodes=kept)
+
+    def with_edges(self, extra_edges: Iterable[Tuple[Term, Term]]) -> "Hierarchy":
+        """A new hierarchy with additional ``u <= v`` pairs added."""
+        return Hierarchy(list(self.edges()) + list(extra_edges), nodes=self.terms)
+
+    def with_terms(self, extra_terms: Iterable[Term]) -> "Hierarchy":
+        """A new hierarchy with additional isolated terms added."""
+        return Hierarchy(self.edges(), nodes=set(self.terms) | set(extra_terms))
+
+    def relabel(self, mapping: Mapping[Term, Term]) -> "Hierarchy":
+        """Apply a node renaming; unmapped terms keep their identity.
+
+        The mapping must be injective on the node set (a partial order
+        cannot merge nodes without re-checking antisymmetry — use the
+        fusion machinery for that).
+        """
+        def rename(term: Term) -> Term:
+            return mapping.get(term, term)
+
+        new_nodes = [rename(term) for term in self._parents]
+        if len(set(new_nodes)) != len(new_nodes):
+            raise OntologyError("relabel mapping must be injective on the node set")
+        return Hierarchy(
+            [(rename(u), rename(v)) for u, v in self.edges()], nodes=new_nodes
+        )
+
+    # -- value semantics ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hierarchy):
+            return NotImplemented
+        return self._parents == other._parents
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                frozenset((node, targets) for node, targets in self._parents.items())
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy({self.edge_count()} edges over {len(self)} terms)"
+        )
+
+    def pretty(self) -> str:
+        """Multi-line indented rendering, roots first."""
+        lines: List[str] = []
+
+        def visit(term: Term, depth: int) -> None:
+            lines.append("  " * depth + str(term))
+            for child in sorted(self._children[term], key=str):
+                visit(child, depth + 1)
+
+        for root in sorted(self.roots(), key=str):
+            visit(root, 0)
+        return "\n".join(lines)
+
+    def to_dot(self, name: str = "hierarchy", rankdir: str = "BT") -> str:
+        """Graphviz DOT rendering (edges point lower -> upper).
+
+        Handy for DBAs inspecting extracted, fused or similarity-enhanced
+        ontologies: ``dot -Tsvg`` the output.  ``rankdir=BT`` draws broader
+        concepts on top, the way the paper's Figures 9-11 are drawn.
+        """
+        def quote(term: Term) -> str:
+            escaped = str(term).replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+
+        lines = [f"digraph {name} {{", f"  rankdir={rankdir};"]
+        for term in sorted(self._parents, key=str):
+            lines.append(f"  {quote(term)};")
+        for lower, upper in sorted(self.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+            lines.append(f"  {quote(lower)} -> {quote(upper)};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class Ontology:
+    """Definition 3: a partial mapping from relation names to hierarchies.
+
+    The paper fixes a set Sigma of distinguished strings — at least ``isa``
+    and ``part-of`` — and an ontology assigns a hierarchy to each.  Missing
+    names default to the empty hierarchy so ``isa`` and ``part-of`` are
+    always defined, as the paper assumes.
+    """
+
+    ISA = "isa"
+    PART_OF = "part-of"
+
+    def __init__(self, hierarchies: Optional[Mapping[str, Hierarchy]] = None) -> None:
+        self._hierarchies: Dict[str, Hierarchy] = dict(hierarchies or {})
+        self._hierarchies.setdefault(self.ISA, Hierarchy())
+        self._hierarchies.setdefault(self.PART_OF, Hierarchy())
+
+    def __getitem__(self, relation: str) -> Hierarchy:
+        try:
+            return self._hierarchies[relation]
+        except KeyError:
+            raise KeyError(f"ontology has no {relation!r} hierarchy") from None
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._hierarchies
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._hierarchies)
+
+    def __len__(self) -> int:
+        return len(self._hierarchies)
+
+    @property
+    def isa(self) -> Hierarchy:
+        """The distinguished isa hierarchy."""
+        return self._hierarchies[self.ISA]
+
+    @property
+    def part_of(self) -> Hierarchy:
+        """The distinguished part-of hierarchy."""
+        return self._hierarchies[self.PART_OF]
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(self._hierarchies)
+
+    def with_hierarchy(self, relation: str, hierarchy: Hierarchy) -> "Ontology":
+        """A new ontology with ``relation`` (re)bound to ``hierarchy``."""
+        updated = dict(self._hierarchies)
+        updated[relation] = hierarchy
+        return Ontology(updated)
+
+    def term_count(self) -> int:
+        """Total number of terms across hierarchies (paper's ontology size)."""
+        return sum(len(h) for h in self._hierarchies.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ontology):
+            return NotImplemented
+        return self._hierarchies == other._hierarchies
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}: {len(h)} terms" for name, h in sorted(self._hierarchies.items())
+        )
+        return f"Ontology({parts})"

@@ -1,0 +1,57 @@
+"""Similarity measures and the SEA similarity-enhancement algorithm.
+
+The paper (Section 4.3) deliberately does not invent a new string
+similarity notion; it plugs in measures from the IR literature.  This
+package provides from-scratch implementations of the measures the paper
+names — Levenshtein, Monge-Elkan, Jaro, Jaccard, cosine — plus several
+companions (Damerau-Levenshtein, Jaro-Winkler, q-gram), a rule-based
+person/venue-name measure, and the SEA algorithm (Figure 12) that turns a
+fused hierarchy into a similarity enhanced ontology (SEO).
+"""
+
+from .measures import (
+    CosineTfIdf,
+    DamerauLevenshtein,
+    Jaccard,
+    Jaro,
+    JaroWinkler,
+    Levenshtein,
+    MongeElkan,
+    NormalizedLevenshtein,
+    QGram,
+    ScaledMeasure,
+    StringSimilarityMeasure,
+    get_measure,
+    register_measure,
+)
+from .measures import register_measure
+from .rules import NameRuleMeasure, VenueRuleMeasure
+from .sea import NodeDistance, SimilarityEnhancement, sea
+from .seo import SimilarityEnhancedOntology
+
+# The rule-based measures register late to avoid a circular import
+# between measures.py (registry) and rules.py (uses base measures).
+register_measure("name_rules", NameRuleMeasure)
+register_measure("venue_rules", VenueRuleMeasure)
+
+__all__ = [
+    "CosineTfIdf",
+    "DamerauLevenshtein",
+    "Jaccard",
+    "Jaro",
+    "JaroWinkler",
+    "Levenshtein",
+    "MongeElkan",
+    "NameRuleMeasure",
+    "NodeDistance",
+    "NormalizedLevenshtein",
+    "QGram",
+    "ScaledMeasure",
+    "SimilarityEnhancedOntology",
+    "SimilarityEnhancement",
+    "StringSimilarityMeasure",
+    "VenueRuleMeasure",
+    "get_measure",
+    "register_measure",
+    "sea",
+]

@@ -1,0 +1,158 @@
+"""Persisting similarity enhanced ontologies to JSON.
+
+Section 6: "We also precompute an SEO during integration of different XML
+databases" — a production deployment keeps that precomputation on disk so
+query processes can load it instead of re-running fusion + SEA.  The
+serialised form stores the *structure* (scoped terms, fused nodes,
+enhanced nodes, both Hasse edge sets, the witness and mu mappings) plus
+the measure name and epsilon; loading re-instantiates the measure from
+the registry.
+
+Round-trip guarantee: ``load_seo(dump_seo(seo))`` answers every
+``similar`` / ``expand_*`` / ``leq`` query identically (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Tuple
+
+from ..errors import SimilarityError
+from ..ontology.constraints import ScopedTerm
+from ..ontology.fusion import FusedNode, FusionResult
+from ..ontology.hierarchy import Hierarchy
+from .measures import StringSimilarityMeasure, get_measure
+from .sea import EnhancedNode, NodeDistance, SimilarityEnhancement
+from .seo import SimilarityEnhancedOntology
+
+FORMAT_VERSION = 1
+
+
+def _scoped_to_json(scoped: ScopedTerm) -> List[Any]:
+    return [scoped.term, scoped.source]
+
+
+def _scoped_from_json(payload: List[Any]) -> ScopedTerm:
+    return ScopedTerm(payload[0], payload[1])
+
+
+def _fused_to_json(node: FusedNode) -> List[List[Any]]:
+    return sorted((_scoped_to_json(member) for member in node.members), key=str)
+
+
+def _fused_from_json(payload: List[List[Any]]) -> FusedNode:
+    return FusedNode(frozenset(_scoped_from_json(member) for member in payload))
+
+
+def seo_to_dict(seo: SimilarityEnhancedOntology) -> Dict[str, Any]:
+    """Serialise an SEO into a JSON-compatible dictionary."""
+    measure = seo.measure
+    if not measure.name:
+        raise SimilarityError(
+            "only registry measures (with a .name) can be persisted; "
+            f"{type(measure).__name__} has none"
+        )
+
+    fused_nodes = sorted(seo.fusion.hierarchy.terms, key=str)
+    fused_index = {node: i for i, node in enumerate(fused_nodes)}
+    enhanced_nodes = sorted(seo.hierarchy.terms, key=str)
+    enhanced_index = {node: i for i, node in enumerate(enhanced_nodes)}
+
+    return {
+        "format": FORMAT_VERSION,
+        "measure": measure.name,
+        "epsilon": seo.epsilon,
+        "mode": seo.enhancement.mode,
+        "fusion": {
+            "nodes": [_fused_to_json(node) for node in fused_nodes],
+            "edges": [
+                [fused_index[lower], fused_index[upper]]
+                for lower, upper in seo.fusion.hierarchy.edges()
+            ],
+            "witness": [
+                [_scoped_to_json(scoped), fused_index[node]]
+                for scoped, node in sorted(
+                    seo.fusion.witness.items(), key=lambda kv: str(kv[0])
+                )
+            ],
+        },
+        "enhancement": {
+            "nodes": [
+                sorted(fused_index[member] for member in node.members)
+                for node in enhanced_nodes
+            ],
+            "edges": [
+                [enhanced_index[lower], enhanced_index[upper]]
+                for lower, upper in seo.hierarchy.edges()
+            ],
+        },
+    }
+
+
+def seo_from_dict(payload: Dict[str, Any]) -> SimilarityEnhancedOntology:
+    """Rebuild an SEO from :func:`seo_to_dict` output."""
+    version = payload.get("format")
+    if version != FORMAT_VERSION:
+        raise SimilarityError(f"unsupported SEO format version {version!r}")
+    measure = get_measure(payload["measure"])
+    epsilon = float(payload["epsilon"])
+
+    fused_nodes = [_fused_from_json(node) for node in payload["fusion"]["nodes"]]
+    fused_hierarchy = Hierarchy(
+        [
+            (fused_nodes[lower], fused_nodes[upper])
+            for lower, upper in payload["fusion"]["edges"]
+        ],
+        nodes=fused_nodes,
+    )
+    witness = {
+        _scoped_from_json(scoped): fused_nodes[index]
+        for scoped, index in payload["fusion"]["witness"]
+    }
+    fusion = FusionResult(fused_hierarchy, witness)
+
+    enhanced_nodes = [
+        EnhancedNode(frozenset(fused_nodes[i] for i in members))
+        for members in payload["enhancement"]["nodes"]
+    ]
+    enhanced_hierarchy = Hierarchy(
+        [
+            (enhanced_nodes[lower], enhanced_nodes[upper])
+            for lower, upper in payload["enhancement"]["edges"]
+        ],
+        nodes=enhanced_nodes,
+    )
+    mu: Dict[Hashable, set] = {node: set() for node in fused_nodes}
+    for enhanced in enhanced_nodes:
+        for member in enhanced.members:
+            mu[member].add(enhanced)
+    enhancement = SimilarityEnhancement(
+        enhanced_hierarchy,
+        {node: frozenset(groups) for node, groups in mu.items()},
+        epsilon,
+        NodeDistance(measure),
+        payload.get("mode", "strict"),
+    )
+    return SimilarityEnhancedOntology(fusion, enhancement)
+
+
+def dump_seo(seo: SimilarityEnhancedOntology, indent: int = 0) -> str:
+    """Serialise an SEO to a JSON string."""
+    return json.dumps(seo_to_dict(seo), indent=indent or None, sort_keys=True)
+
+
+def load_seo(text: str) -> SimilarityEnhancedOntology:
+    """Load an SEO from a JSON string."""
+    return seo_from_dict(json.loads(text))
+
+
+def save_seo(seo: SimilarityEnhancedOntology, path: str) -> None:
+    """Write an SEO to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_seo(seo, indent=2))
+
+
+def read_seo(path: str) -> SimilarityEnhancedOntology:
+    """Read an SEO from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_seo(handle.read())

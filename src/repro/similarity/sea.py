@@ -1,0 +1,490 @@
+"""The SEA algorithm (Figure 12): similarity enhancement of a hierarchy.
+
+Given a (fused) hierarchy H, a similarity measure d and a threshold
+epsilon, SEA builds the *similarity enhancement* (H', mu) of Definition 8:
+
+* the nodes of H' are the maximal sets of pairwise-epsilon-similar nodes of
+  H — i.e. the maximal cliques of the epsilon-similarity graph (conditions
+  2 and 3 of Definition 8), with subsumed sets removed (condition 4);
+* ``mu`` maps every node of H to the set of H' nodes containing it;
+* H' carries an edge (path) from V to W exactly when *every* pair
+  ``a in V, b in W`` satisfies ``a <= b`` in H (the only order relation
+  compatible with both directions of condition 1), transitively reduced to
+  Hasse form.
+
+If condition 1 cannot be satisfied — some pair ``a < b`` in H sits in
+cliques V, W whose full cross product is not ordered — or the induced
+relation is cyclic, no similarity enhancement exists (Definition 9,
+"similarity inconsistency") and :class:`SimilarityInconsistencyError` is
+raised with a diagnostic witness.
+
+Theorem 1 guarantees this construction is the unique enhancement up to
+isomorphism; Theorem 2's correctness argument is mirrored by the
+``_verify`` post-condition (enabled via ``verify=True``), and the test
+suite property-checks Definition 8's conditions on random inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .. import graphutils
+from ..errors import SimilarityInconsistencyError
+from ..ontology.hierarchy import Hierarchy
+from .measures import StringSimilarityMeasure
+
+Node = Hashable
+
+
+def node_strings(node: Node) -> FrozenSet[str]:
+    """The set of strings "contained in" a hierarchy node (Section 4.3).
+
+    Fused nodes carry several strings (their merged terms); plain string
+    nodes contain just themselves; anything else contributes ``str(node)``.
+    """
+    strings = getattr(node, "strings", None)
+    if strings is not None:
+        return frozenset(strings)
+    if isinstance(node, str):
+        return frozenset({node})
+    return frozenset({str(node)})
+
+
+class NodeDistance:
+    """Node-to-node distance induced by a string measure (Definition 7).
+
+    ``d(A, B) = min over X in S_A, Y in S_B of d_s(X, Y)`` where ``S_A`` is
+    the set of strings contained in node A.  For *strong* measures, Lemma 1
+    shows all cross pairs agree, so a single pair suffices — the fast path
+    used here.  Distances are cached symmetrically.
+    """
+
+    def __init__(
+        self,
+        measure: StringSimilarityMeasure,
+        strings_of: Callable[[Node], FrozenSet[str]] = node_strings,
+    ) -> None:
+        self.measure = measure
+        self.strings_of = strings_of
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def __call__(self, a: Node, b: Node) -> float:
+        if a == b:
+            return 0.0
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        strings_a = self.strings_of(a)
+        strings_b = self.strings_of(b)
+        if not strings_a or not strings_b:
+            raise SimilarityInconsistencyError(
+                f"node {a!r} or {b!r} contains no strings; distance undefined"
+            )
+        if self.measure.is_strong:
+            # Lemma 1: within a node all strings are distance 0 apart, and
+            # the triangle inequality forces every cross pair to agree.
+            value = self.measure.distance(next(iter(strings_a)), next(iter(strings_b)))
+        else:
+            value = min(
+                self.measure.distance(x, y)
+                for x in strings_a
+                for y in strings_b
+            )
+        self._cache[key] = value
+        return value
+
+    def within(self, a: Node, b: Node, epsilon: float) -> bool:
+        """``d(a, b) <= epsilon`` using the measure's bounded fast path.
+
+        Avoids computing exact distances for far-apart pairs — the
+        dominant cost when building the epsilon-similarity graph over a
+        large fused ontology.
+        """
+        if a == b:
+            return True
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached <= epsilon
+        strings_a = self.strings_of(a)
+        strings_b = self.strings_of(b)
+        if self.measure.is_strong:
+            return (
+                self.measure.bounded_distance(
+                    next(iter(strings_a)), next(iter(strings_b)), epsilon
+                )
+                <= epsilon
+            )
+        return any(
+            self.measure.bounded_distance(x, y, epsilon) <= epsilon
+            for x in strings_a
+            for y in strings_b
+        )
+
+
+@dataclass(frozen=True)
+class EnhancedNode:
+    """A node of the similarity-enhanced hierarchy: a set of H nodes.
+
+    ``strings`` unions the strings of the members, so enhanced hierarchies
+    can themselves be fed back through similarity machinery, and so the
+    query executor can expand a term into everything it co-habits with.
+    """
+
+    members: FrozenSet[Node]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("an enhanced node must contain at least one member")
+
+    @property
+    def strings(self) -> FrozenSet[str]:
+        result: Set[str] = set()
+        for member in self.members:
+            result.update(node_strings(member))
+        return frozenset(result)
+
+    @property
+    def label(self) -> str:
+        return min(self.strings)
+
+    def __str__(self) -> str:
+        if len(self.members) == 1:
+            return str(next(iter(self.members)))
+        return "{" + ", ".join(sorted(str(m) for m in self.members)) + "}"
+
+    def __repr__(self) -> str:
+        return f"EnhancedNode({str(self)})"
+
+
+class SimilarityEnhancement:
+    """The pair (H', mu) of Definition 8 plus its parameters.
+
+    Attributes
+    ----------
+    hierarchy:
+        H' — a :class:`Hierarchy` over :class:`EnhancedNode` values.
+    mu:
+        The mapping from each original node to the frozenset of enhanced
+        nodes containing it.
+    epsilon, distance:
+        The parameters the enhancement was built with.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        mu: Mapping[Node, FrozenSet[EnhancedNode]],
+        epsilon: float,
+        distance: NodeDistance,
+        mode: str = "strict",
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.mu: Dict[Node, FrozenSet[EnhancedNode]] = dict(mu)
+        self.epsilon = epsilon
+        self.distance = distance
+        self.mode = mode
+
+    def mu_inverse(self, enhanced: EnhancedNode) -> FrozenSet[Node]:
+        """``mu^{-1}``: the original nodes mapped into ``enhanced``."""
+        return enhanced.members
+
+    def nodes_containing(self, original: Node) -> FrozenSet[EnhancedNode]:
+        """All enhanced nodes whose member set includes ``original``."""
+        return self.mu.get(original, frozenset())
+
+    def cohabiting(self, a: Node, b: Node) -> bool:
+        """Definition 8's similarity test: do a and b share an H' node?
+
+        This is exactly the semantics of the ``~`` operator: "the condition
+        is true iff there exists a node containing both of them in the
+        similarity enhancement."
+        """
+        return a == b or bool(
+            {node for node in self.mu.get(a, frozenset())}
+            & {node for node in self.mu.get(b, frozenset())}
+        )
+
+    def similar_nodes(self, original: Node) -> FrozenSet[Node]:
+        """All original nodes sharing at least one enhanced node with this one."""
+        result: Set[Node] = set()
+        for enhanced in self.mu.get(original, frozenset()):
+            result.update(enhanced.members)
+        result.discard(original)
+        return frozenset(result)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityEnhancement({len(self.hierarchy)} nodes, "
+            f"epsilon={self.epsilon})"
+        )
+
+
+def _bigrams(text: str) -> FrozenSet[str]:
+    if len(text) < 2:
+        return frozenset({text})
+    return frozenset(text[i : i + 2] for i in range(len(text) - 1))
+
+
+def _similarity_cliques(
+    nodes: List[Node],
+    distance: NodeDistance,
+    epsilon: float,
+    hierarchy: Optional[Hierarchy] = None,
+) -> List[FrozenSet[Node]]:
+    """Maximal cliques of the epsilon-similarity graph over ``nodes``.
+
+    With ``hierarchy`` given (order-safe mode), an edge additionally
+    requires the two nodes to have identical order context — the same
+    strict ancestors and descendants — which provably guarantees a
+    similarity enhancement exists (see :func:`sea`).  In that mode nodes
+    are bucketed by order context, so only same-context pairs are ever
+    compared.
+
+    For strong unit-cost edit measures a sound q-gram lower bound
+    (Ukkonen: L1 distance of q-gram profiles <= 2q * edit distance, so
+    the *set* symmetric difference, which bounds the L1 from below,
+    does too) prunes most pairs before the dynamic programme runs.
+    """
+    measure = distance.measure
+    strings_of = distance.strings_of
+    adjacency: Dict[Node, Set[Node]] = {node: set() for node in nodes}
+
+    # Bucket by order context in order-safe mode; one bucket otherwise.
+    if hierarchy is not None:
+        buckets: Dict[object, List[Node]] = {}
+        for node in nodes:
+            key = (hierarchy.ancestors(node), hierarchy.descendants(node))
+            buckets.setdefault(key, []).append(node)
+        groups = list(buckets.values())
+    else:
+        groups = [nodes]
+
+    # The q-gram bound is only claimed for plain unit-cost Levenshtein.
+    from .measures import Levenshtein
+
+    use_qgram_bound = type(measure) is Levenshtein
+    qgram_budget = 4.0 * epsilon  # 2q * epsilon with q = 2
+
+    for group in groups:
+        if len(group) < 2:
+            continue
+        if measure.is_strong:
+            reps = [next(iter(strings_of(node))) for node in group]
+        else:
+            reps = [None] * len(group)
+        grams = (
+            [_bigrams(rep) for rep in reps] if use_qgram_bound else None
+        )
+        for i in range(len(group) - 1):
+            node_a = group[i]
+            rep_a = reps[i]
+            for j in range(i + 1, len(group)):
+                node_b = group[j]
+                if measure.is_strong:
+                    rep_b = reps[j]
+                    if rep_a == rep_b:
+                        close = True
+                    else:
+                        if grams is not None and len(grams[i] ^ grams[j]) > qgram_budget:
+                            continue
+                        close = (
+                            measure.bounded_distance(rep_a, rep_b, epsilon)
+                            <= epsilon
+                        )
+                else:
+                    close = any(
+                        measure.bounded_distance(x, y, epsilon) <= epsilon
+                        for x in strings_of(node_a)
+                        for y in strings_of(node_b)
+                    )
+                if close:
+                    adjacency[node_a].add(node_b)
+                    adjacency[node_b].add(node_a)
+    return graphutils.maximal_cliques(adjacency)
+
+
+#: SEA modes: "strict" is Figure 12 verbatim and may find the input
+#: similarity-inconsistent (Definition 9); "order-safe" additionally
+#: requires similar nodes to share their exact order context, under which
+#: an enhancement provably always exists (if u < v, every clique member of
+#: u's clique inherits v as an ancestor and vice versa, so the all-pairs
+#: edge rule is always satisfiable and acyclic).
+STRICT = "strict"
+ORDER_SAFE = "order-safe"
+
+
+def sea(
+    hierarchy: Hierarchy,
+    measure: "StringSimilarityMeasure | NodeDistance",
+    epsilon: float,
+    verify: bool = False,
+    mode: str = STRICT,
+) -> SimilarityEnhancement:
+    """Run the SEA algorithm of Figure 12.
+
+    Parameters
+    ----------
+    hierarchy:
+        The (fused) hierarchy H to enhance.
+    measure:
+        A string similarity measure, or a pre-built :class:`NodeDistance`.
+    epsilon:
+        The DBA's similarity threshold (>= 0).
+    verify:
+        When True, re-check Definition 8's four conditions on the output
+        (Theorem 2's correctness post-condition); useful in tests.
+    mode:
+        ``"strict"`` (the paper's algorithm — raises on similarity
+        inconsistency) or ``"order-safe"`` (only merges terms with the
+        same strict ancestors and descendants; never inconsistent, and the
+        natural policy when similar surface forms such as "article" /
+        "articles" play *different* structural roles).
+
+    Raises
+    ------
+    SimilarityInconsistencyError
+        When no similarity enhancement exists (Definition 9; strict mode).
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if mode not in (STRICT, ORDER_SAFE):
+        raise ValueError(f"mode must be 'strict' or 'order-safe', got {mode!r}")
+    distance = measure if isinstance(measure, NodeDistance) else NodeDistance(measure)
+
+    nodes = list(hierarchy.terms)
+    # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
+    cliques = _similarity_cliques(
+        nodes, distance, epsilon, hierarchy if mode == ORDER_SAFE else None
+    )
+    enhanced_nodes = [EnhancedNode(clique) for clique in cliques]
+
+    # Lines 9-10: mu maps each original node to the cliques containing it.
+    mu: Dict[Node, Set[EnhancedNode]] = {node: set() for node in nodes}
+    for enhanced in enhanced_nodes:
+        for member in enhanced.members:
+            mu[member].add(enhanced)
+
+    # Lines 11-13: V <=' W iff every cross pair is ordered a <= b in H.
+    # (The only relation compatible with both directions of condition 1;
+    # see the module docstring.)  For each clique V, precompute the set of
+    # H nodes that are above *every* member; W is then an upper neighbour
+    # exactly when its members all lie in that set.
+    above_all: Dict[EnhancedNode, FrozenSet[Node]] = {}
+    for enhanced in enhanced_nodes:
+        members = iter(enhanced.members)
+        common = set(hierarchy.above(next(members)))
+        for member in members:
+            common &= hierarchy.above(member)
+        above_all[enhanced] = frozenset(common)
+
+    edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
+    for lower in enhanced_nodes:
+        allowed_upper = above_all[lower]
+        for upper in enhanced_nodes:
+            if upper is lower:
+                continue
+            if upper.members <= allowed_upper:
+                edges.append((lower, upper))
+
+    # Condition-1 forward check: every strict pair a < b in H must be
+    # covered, for every pair of cliques containing a resp. b.
+    edge_set = set(edges)
+    for a in nodes:
+        for b in hierarchy.ancestors(a):
+            for lower in mu[a]:
+                for upper in mu[b]:
+                    if lower != upper and (lower, upper) not in edge_set:
+                        raise SimilarityInconsistencyError(
+                            f"no similarity enhancement exists: {a!s} < {b!s} in H, "
+                            f"but the enhanced nodes {lower} and {upper} cannot be "
+                            f"ordered without violating condition (1) of Definition 8"
+                        )
+
+    # Line 14: check-acyclic(H').  With the all-pairs edge rule the relation
+    # is provably acyclic on a DAG, but we keep the explicit check both for
+    # faithfulness to Figure 12 and as a defensive invariant.
+    adjacency = {node: set() for node in enhanced_nodes}  # type: Dict[EnhancedNode, Set[EnhancedNode]]
+    for lower, upper in edges:
+        adjacency[lower].add(upper)
+    cycle = graphutils.find_cycle(adjacency)
+    if cycle is not None:  # pragma: no cover - unreachable on valid inputs
+        raise SimilarityInconsistencyError(
+            f"similarity enhancement would contain a cycle: "
+            f"{' -> '.join(str(c) for c in cycle)}"
+        )
+
+    enhanced_hierarchy = Hierarchy(edges, nodes=enhanced_nodes)
+    enhancement = SimilarityEnhancement(
+        enhanced_hierarchy,
+        {node: frozenset(groups) for node, groups in mu.items()},
+        epsilon,
+        distance,
+        mode,
+    )
+    if verify:
+        _verify(hierarchy, enhancement)
+    return enhancement
+
+
+def _verify(hierarchy: Hierarchy, enhancement: SimilarityEnhancement) -> None:
+    """Assert Definition 8's four conditions hold for the output."""
+    distance = enhancement.distance
+    epsilon = enhancement.epsilon
+    enhanced = enhancement.hierarchy
+    mu = enhancement.mu
+
+    # Condition 2: co-members of any enhanced node are within epsilon.
+    for node in enhanced.terms:
+        for a, b in itertools.combinations(node.members, 2):
+            assert distance(a, b) <= epsilon, f"condition 2 violated by {a}, {b}"
+
+    # Condition 3: every epsilon-close pair shares an enhanced node.  In
+    # order-safe mode the similarity relation is deliberately restricted to
+    # order-equivalent pairs, so the unfiltered form of condition 3 does
+    # not apply.
+    originals = list(hierarchy.terms)
+    if enhancement.mode != ORDER_SAFE:
+        for a, b in itertools.combinations(originals, 2):
+            if distance(a, b) <= epsilon:
+                assert mu[a] & mu[b], f"condition 3 violated by {a}, {b}"
+
+    # Condition 4: no enhanced node's member set subsumes another's.
+    for first, second in itertools.permutations(enhanced.terms, 2):
+        assert not first.members < second.members, "condition 4 violated"
+
+    # Condition 1 (both directions).
+    for a in originals:
+        for b in originals:
+            if a == b or not hierarchy.leq(a, b):
+                continue
+            for lower in mu[a]:
+                for upper in mu[b]:
+                    assert enhanced.leq(lower, upper), (
+                        f"condition 1 (forward) violated: {a} <= {b} but "
+                        f"{lower} !<= {upper}"
+                    )
+    for lower in enhanced.terms:
+        for upper in enhanced.terms:
+            if lower == upper or not enhanced.leq(lower, upper):
+                continue  # zero-length paths impose nothing (Definition 8)
+            for a in lower.members:
+                for b in upper.members:
+                    assert hierarchy.leq(a, b), (
+                        f"condition 1 (backward) violated: {lower} <= {upper} "
+                        f"but {a} !<= {b}"
+                    )

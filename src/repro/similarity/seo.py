@@ -1,0 +1,220 @@
+"""Similarity enhanced (fused) ontologies — the SEO of the paper's title.
+
+A :class:`SimilarityEnhancedOntology` packages the whole Section 4
+pipeline: per-instance hierarchies are canonically fused under
+interoperation constraints, then the fused hierarchy is similarity-enhanced
+with SEA.  On top it offers the *string-level* query API the TOSS algebra
+and the query executor need:
+
+* ``similar(x, y)`` — the ``~`` operator of Section 5.1.1: true iff some
+  enhanced node contains both strings;
+* ``expand_similar(term)`` — every string co-habiting an enhanced node with
+  ``term`` (how the executor turns one search term into a disjunction);
+* ``expand_below(term)`` / ``expand_above(term)`` — downward/upward closure
+  through the enhanced hierarchy (isa / below / above conditions);
+* ``leq(x, y)`` — the enhanced partial order lifted to strings.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..errors import UnknownTermError
+from ..ontology.constraints import InteroperationConstraint
+from ..ontology.fusion import FusionResult, canonical_fusion
+from ..ontology.hierarchy import Hierarchy
+from .measures import StringSimilarityMeasure
+from .sea import EnhancedNode, NodeDistance, SimilarityEnhancement, sea
+
+
+class SimilarityEnhancedOntology:
+    """Fusion + similarity enhancement with string-level lookups."""
+
+    def __init__(
+        self,
+        fusion: FusionResult,
+        enhancement: SimilarityEnhancement,
+    ) -> None:
+        self.fusion = fusion
+        self.enhancement = enhancement
+        #: string -> enhanced nodes whose string set contains it
+        self._nodes_by_string: Dict[str, Set[EnhancedNode]] = {}
+        for node in enhancement.hierarchy.terms:
+            for string in node.strings:
+                self._nodes_by_string.setdefault(string, set()).add(node)
+        # The SEO is immutable after construction, so term expansions are
+        # memoised: `below`-style conditions evaluate once per embedding
+        # candidate and would otherwise recompute the closure every time.
+        self._expansion_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        hierarchies: Mapping[Hashable, Hierarchy],
+        measure: StringSimilarityMeasure,
+        epsilon: float,
+        constraints: Iterable[InteroperationConstraint] = (),
+        mode: str = "strict",
+    ) -> "SimilarityEnhancedOntology":
+        """Fuse ``hierarchies`` under ``constraints``, then enhance with SEA."""
+        fusion = canonical_fusion(hierarchies, constraints)
+        enhancement = sea(fusion.hierarchy, measure, epsilon, mode=mode)
+        return cls(fusion, enhancement)
+
+    @classmethod
+    def for_hierarchy(
+        cls,
+        hierarchy: Hierarchy,
+        measure: StringSimilarityMeasure,
+        epsilon: float,
+        mode: str = "strict",
+    ) -> "SimilarityEnhancedOntology":
+        """SEO over a single already-merged hierarchy (no constraints)."""
+        return cls.build({1: hierarchy}, measure, epsilon, mode=mode)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        return self.enhancement.epsilon
+
+    @property
+    def measure(self) -> StringSimilarityMeasure:
+        return self.enhancement.distance.measure
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The enhanced hierarchy H' (nodes are :class:`EnhancedNode`)."""
+        return self.enhancement.hierarchy
+
+    def strings(self) -> FrozenSet[str]:
+        """Every term string known to the ontology."""
+        return frozenset(self._nodes_by_string)
+
+    def term_count(self) -> int:
+        """Number of distinct term strings (the paper's "ontology size")."""
+        return len(self._nodes_by_string)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._nodes_by_string
+
+    # -- string-level queries ---------------------------------------------------
+
+    def nodes_of(self, term: str) -> FrozenSet[EnhancedNode]:
+        """Enhanced nodes whose string set contains ``term`` (may be empty)."""
+        return frozenset(self._nodes_by_string.get(term, frozenset()))
+
+    def similar(self, x: str, y: str) -> bool:
+        """The ``~`` operator: x and y share an enhanced node.
+
+        For strings absent from the ontology, falls back to comparing the
+        raw measure against epsilon, so ad-hoc query constants still work.
+        """
+        if x == y:
+            return True
+        nodes_x = self._nodes_by_string.get(x)
+        nodes_y = self._nodes_by_string.get(y)
+        if nodes_x and nodes_y:
+            return bool(nodes_x & nodes_y)
+        return self.measure.bounded_distance(x, y, self.epsilon) <= self.epsilon
+
+    def expand_similar(self, term: str) -> FrozenSet[str]:
+        """All strings similar to ``term`` (including ``term`` itself).
+
+        Known terms expand through the SEO index (precomputed, as Section 6
+        describes); unknown terms are compared against every known string
+        with the raw measure — the "(i) compare all nodes" fallback the
+        paper contrasts the SEO against.
+        """
+        cached = self._expansion_cache.get(("similar", term))
+        if cached is not None:
+            return cached
+        nodes = self._nodes_by_string.get(term)
+        if nodes:
+            result: Set[str] = set()
+            for node in nodes:
+                result.update(node.strings)
+            result.add(term)
+            expansion = frozenset(result)
+        else:
+            matches = {
+                known
+                for known in self._nodes_by_string
+                if self.measure.bounded_distance(term, known, self.epsilon)
+                <= self.epsilon
+            }
+            matches.add(term)
+            expansion = frozenset(matches)
+        self._expansion_cache[("similar", term)] = expansion
+        return expansion
+
+    def _closure(self, term: str, downward: bool) -> FrozenSet[str]:
+        key = ("below" if downward else "above", term)
+        cached = self._expansion_cache.get(key)
+        if cached is not None:
+            return cached
+        nodes = self._nodes_by_string.get(term)
+        if not nodes:
+            expansion = frozenset({term})
+        else:
+            result: Set[str] = set()
+            for node in nodes:
+                reach = (
+                    self.hierarchy.below(node)
+                    if downward
+                    else self.hierarchy.above(node)
+                )
+                for reached in reach:
+                    result.update(reached.strings)
+            result.add(term)
+            expansion = frozenset(result)
+        self._expansion_cache[key] = expansion
+        return expansion
+
+    def expand_below(self, term: str) -> FrozenSet[str]:
+        """Strings of every enhanced node <= a node containing ``term``.
+
+        This implements isa/below expansion: querying for "Company" should
+        match "web search company", "Google", etc.  Includes the similarity
+        expansion of ``term`` itself (nodes containing the term).
+        """
+        return self._closure(term, downward=True)
+
+    def expand_above(self, term: str) -> FrozenSet[str]:
+        """Strings of every enhanced node >= a node containing ``term``."""
+        return self._closure(term, downward=False)
+
+    def leq(self, lower: str, upper: str) -> bool:
+        """The enhanced order lifted to strings.
+
+        True iff some enhanced node containing ``lower`` is <= some node
+        containing ``upper``.  Raises :class:`UnknownTermError` when either
+        string is absent (order queries need ontology membership).
+        """
+        nodes_lower = self._nodes_by_string.get(lower)
+        nodes_upper = self._nodes_by_string.get(upper)
+        if not nodes_lower or not nodes_upper:
+            missing = lower if not nodes_lower else upper
+            raise UnknownTermError(f"term {missing!r} is not in the ontology")
+        return any(
+            self.hierarchy.leq(a, b)
+            for a in nodes_lower
+            for b in nodes_upper
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityEnhancedOntology({self.term_count()} terms, "
+            f"{len(self.hierarchy)} enhanced nodes, epsilon={self.epsilon})"
+        )

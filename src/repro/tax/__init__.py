@@ -1,0 +1,68 @@
+"""The TAX tree algebra (Jagadish et al. [8]) — the paper's substrate.
+
+TAX queries a semistructured database (a collection of ordered labelled
+trees) with *pattern trees*: node-labelled, pc/ad-edge-labelled trees plus
+a selection condition over the pattern nodes' tags and contents.  An
+*embedding* maps pattern nodes to data nodes preserving structure and
+satisfying the condition; each embedding induces a *witness tree*.
+
+This package implements the data trees (shared with :mod:`repro.xmldb`),
+pattern trees, the condition language, embedding enumeration with index
+pruning, witness-tree construction, and the algebra operators: selection,
+projection, product, join, union, intersection, difference.
+"""
+
+from .conditions import (
+    And,
+    Comparison,
+    Condition,
+    ConditionContext,
+    Constant,
+    Contains,
+    NodeContent,
+    NodeTag,
+    Not,
+    Or,
+    Term,
+)
+from .embedding import Embedding, find_embeddings, witness_tree
+from .pattern import EdgeKind, PatternNode, PatternTree
+from .algebra import (
+    difference,
+    intersection,
+    join,
+    product,
+    projection,
+    selection,
+    union,
+)
+from .grouping import aggregation, grouping
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Condition",
+    "ConditionContext",
+    "Constant",
+    "Contains",
+    "EdgeKind",
+    "Embedding",
+    "NodeContent",
+    "NodeTag",
+    "Not",
+    "Or",
+    "PatternNode",
+    "PatternTree",
+    "Term",
+    "aggregation",
+    "difference",
+    "find_embeddings",
+    "grouping",
+    "intersection",
+    "join",
+    "product",
+    "projection",
+    "selection",
+    "union",
+    "witness_tree",
+]

@@ -1,0 +1,124 @@
+"""The TAX algebra operators (Section 2.1.2 and Section 5.1.2's base forms).
+
+All operators take and return *collections*: lists of data-tree roots.
+They are pure — outputs are freshly copied trees — and evaluate
+conditions through a :class:`~repro.tax.conditions.ConditionContext`, so
+the same code runs plain TAX (default context) and TOSS (SEO context).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..xmldb.model import XmlNode
+from .conditions import ConditionContext, DEFAULT_CONTEXT
+from .embedding import assemble_forest, find_embeddings, witness_tree
+from .pattern import PatternTree
+from .tree import Collection, dedupe
+
+#: The synthetic root tag used by the product operator (Figure 7).
+PRODUCT_ROOT_TAG = "tax_prod_root"
+
+#: A projection-list entry: a label, or (label, keep_subtree).
+ProjectionEntry = Union[int, Tuple[int, bool]]
+
+
+def selection(
+    collection: Collection,
+    pattern: PatternTree,
+    sl_labels: Iterable[int] = (),
+    context: ConditionContext = DEFAULT_CONTEXT,
+) -> List[XmlNode]:
+    """``sigma_{P, SL}``: all witness trees of ``pattern`` over the collection.
+
+    ``sl_labels`` lists the pattern nodes whose images are inflated to
+    their full subtrees in each witness (Example 3).  Results use set
+    semantics: structurally duplicate witnesses are collapsed.
+    """
+    sl = list(sl_labels)
+    witnesses: List[XmlNode] = []
+    for tree in collection:
+        for embedding in find_embeddings(pattern, tree, context):
+            witnesses.append(witness_tree(embedding, sl))
+    return dedupe(witnesses)
+
+
+def projection(
+    collection: Collection,
+    pattern: PatternTree,
+    pl: Sequence[ProjectionEntry],
+    context: ConditionContext = DEFAULT_CONTEXT,
+) -> List[XmlNode]:
+    """``pi_{P, PL}``: keep nodes matched by the PL labels, per input tree.
+
+    For every input tree, the data nodes bound to a PL label in *some*
+    satisfying embedding are retained (with their full subtree when the
+    entry is ``(label, True)``), re-assembled under their hierarchical
+    relationships; unmatched trees contribute nothing.  Disconnected
+    matches become separate output trees (Example 5 returns a collection
+    of author subtrees).
+    """
+    entries: List[Tuple[int, bool]] = [
+        entry if isinstance(entry, tuple) else (entry, False) for entry in pl
+    ]
+    results: List[XmlNode] = []
+    for tree in collection:
+        matched: Set[XmlNode] = set()
+        for embedding in find_embeddings(pattern, tree, context):
+            for label, keep_subtree in entries:
+                image = embedding.binding.get(label)
+                if image is None:
+                    continue
+                matched.add(image)
+                if keep_subtree:
+                    matched.update(image.descendants())
+        if matched:
+            results.extend(assemble_forest(matched))
+    return dedupe(results)
+
+
+def product(left: Collection, right: Collection) -> List[XmlNode]:
+    """``SDB1 x SDB2``: pair every tree of each side under a new root.
+
+    "The product ... contains for each pair of trees T1, T2 a tree, whose
+    root is a new node (called tax_prod_root), left child is the root of
+    T1 and right child is the root of T2."
+    """
+    pairs: List[XmlNode] = []
+    for first in left:
+        for second in right:
+            root = XmlNode(PRODUCT_ROOT_TAG)
+            root.append(first.copy())
+            root.append(second.copy())
+            pairs.append(root.renumber())
+    return pairs
+
+
+def join(
+    left: Collection,
+    right: Collection,
+    pattern: PatternTree,
+    sl_labels: Iterable[int] = (),
+    context: ConditionContext = DEFAULT_CONTEXT,
+) -> List[XmlNode]:
+    """Condition join: product followed by selection (Example 6)."""
+    return selection(product(left, right), pattern, sl_labels, context)
+
+
+def union(left: Collection, right: Collection) -> List[XmlNode]:
+    """Set union under the paper's tree equality."""
+    return dedupe([tree.copy().renumber() for tree in list(left) + list(right)])
+
+
+def intersection(left: Collection, right: Collection) -> List[XmlNode]:
+    """Set intersection under tree equality."""
+    right_keys = {tree.canonical_key() for tree in right}
+    kept = [tree for tree in dedupe(left) if tree.canonical_key() in right_keys]
+    return [tree.copy().renumber() for tree in kept]
+
+
+def difference(left: Collection, right: Collection) -> List[XmlNode]:
+    """Set difference (left minus right) under tree equality."""
+    right_keys = {tree.canonical_key() for tree in right}
+    kept = [tree for tree in dedupe(left) if tree.canonical_key() not in right_keys]
+    return [tree.copy().renumber() for tree in kept]

@@ -1,0 +1,142 @@
+"""Grouping and aggregation — the rest of the original TAX algebra.
+
+The TAX paper (Jagadish et al., the paper's reference [8]) includes a
+grouping operator alongside selection/projection/join: witness trees are
+partitioned by the values of a *grouping basis* (a list of pattern-node
+attributes), and each group becomes one output tree whose root carries the
+basis values and the group's members.  TOSS inherits these operators
+unchanged (its conditions only refine *satisfaction*), so they evaluate
+under any :class:`~repro.tax.conditions.ConditionContext`.
+
+Output shape for one group::
+
+    tax_group_root
+      tax_grouping_basis
+        key[value of basis term 1]
+        key[value of basis term 2] ...
+      tax_group_subroot
+        <witness tree 1>
+        <witness tree 2> ...
+
+:func:`aggregation` then folds each group to a single value (count, sum,
+min, max, avg over the member trees' contents selected by a tag).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import TaxError
+from ..xmldb.model import XmlNode
+from .conditions import ConditionContext, DEFAULT_CONTEXT, Term
+from .embedding import find_embeddings, witness_tree
+from .pattern import PatternTree
+from .tree import Collection, dedupe
+
+GROUP_ROOT_TAG = "tax_group_root"
+GROUP_BASIS_TAG = "tax_grouping_basis"
+GROUP_SUBROOT_TAG = "tax_group_subroot"
+AGGREGATE_TAG = "tax_aggregate"
+
+
+def grouping(
+    collection: Collection,
+    pattern: PatternTree,
+    grouping_basis: Sequence[Term],
+    sl_labels: Iterable[int] = (),
+    context: ConditionContext = DEFAULT_CONTEXT,
+) -> List[XmlNode]:
+    """Group the pattern's witness trees by the basis terms' values.
+
+    Groups are emitted in order of first appearance; members keep document
+    order and deduplicate structurally (set semantics, like selection).
+    """
+    if not grouping_basis:
+        raise TaxError("grouping requires at least one basis term")
+    sl = list(sl_labels)
+    members: Dict[Tuple[str, ...], List[XmlNode]] = {}
+    order: List[Tuple[str, ...]] = []
+    for tree in collection:
+        for embedding in find_embeddings(pattern, tree, context):
+            key = tuple(term.resolve(embedding.binding) for term in grouping_basis)
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(witness_tree(embedding, sl))
+
+    groups: List[XmlNode] = []
+    for key in order:
+        root = XmlNode(GROUP_ROOT_TAG)
+        basis = root.element(GROUP_BASIS_TAG)
+        for value in key:
+            basis.element("key", value)
+        subroot = root.element(GROUP_SUBROOT_TAG)
+        for witness in dedupe(members[key]):
+            subroot.append(witness)
+        groups.append(root.renumber())
+    return groups
+
+
+#: Aggregate name -> fold over a list of floats.
+_NUMERIC_AGGREGATES: Dict[str, Callable[[List[float]], float]] = {
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+def aggregation(
+    groups: Collection,
+    function: str = "count",
+    value_tag: Optional[str] = None,
+) -> List[XmlNode]:
+    """Fold each group tree into a ``tax_aggregate`` result tree.
+
+    ``count`` counts the group's member trees; the numeric aggregates
+    (``sum``/``min``/``max``/``avg``) fold the float contents of member
+    descendants tagged ``value_tag``.  Output per group::
+
+        tax_aggregate
+          tax_grouping_basis (copied)
+          value[rendered aggregate]
+    """
+    if function != "count" and function not in _NUMERIC_AGGREGATES:
+        known = ", ".join(sorted(_NUMERIC_AGGREGATES) + ["count"])
+        raise TaxError(f"unknown aggregate {function!r}; known: {known}")
+    if function != "count" and value_tag is None:
+        raise TaxError(f"aggregate {function!r} requires value_tag=")
+
+    results: List[XmlNode] = []
+    for group in groups:
+        if group.tag != GROUP_ROOT_TAG:
+            raise TaxError(
+                f"aggregation expects {GROUP_ROOT_TAG} trees, got {group.tag!r}"
+            )
+        basis = group.child_by_tag(GROUP_BASIS_TAG)
+        subroot = group.child_by_tag(GROUP_SUBROOT_TAG)
+        if function == "count":
+            value = float(len(subroot.children) if subroot else 0)
+        else:
+            numbers: List[float] = []
+            if subroot is not None:
+                for member in subroot.children:
+                    for node in member.iter():
+                        if node.tag == value_tag and node.text:
+                            try:
+                                numbers.append(float(node.text))
+                            except ValueError:
+                                raise TaxError(
+                                    f"non-numeric content {node.text!r} under "
+                                    f"{value_tag!r} in {function} aggregate"
+                                ) from None
+            if not numbers:
+                continue
+            value = _NUMERIC_AGGREGATES[function](numbers)
+        result = XmlNode(AGGREGATE_TAG)
+        if basis is not None:
+            result.append(basis.copy())
+        rendered = f"{int(value)}" if value == int(value) else f"{value:g}"
+        result.element("value", rendered)
+        results.append(result.renumber())
+    return results

@@ -1,0 +1,146 @@
+"""Pattern trees (Definition 2).
+
+A pattern tree is a pair ``P = (T, F)`` where T is a tree whose nodes are
+labelled by distinct integers and whose edges are labelled ``pc``
+(parent-child) or ``ad`` (ancestor-descendant), and F is a selection
+condition over the node labels.
+
+The paper's Figure 3 example — find titles of 1999 inproceedings — builds
+as::
+
+    pattern = PatternTree()
+    pattern.add_node(1)                      # the inproceedings element
+    pattern.add_node(2, parent=1, edge="pc") # its title child
+    pattern.add_node(3, parent=1, edge="pc") # its year child
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("inproceedings")),
+        Comparison("=", NodeTag(2), Constant("title")),
+        Comparison("=", NodeTag(3), Constant("year")),
+        Comparison("=", NodeContent(3), Constant("1999")),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import PatternTreeError
+from .conditions import Condition, TrueCondition
+
+#: Edge kinds.
+PC = "pc"
+AD = "ad"
+EdgeKind = str
+
+
+@dataclass
+class PatternNode:
+    """One node of a pattern tree."""
+
+    label: int
+    parent: Optional[int] = None
+    edge: EdgeKind = PC
+    children: List[int] = field(default_factory=list)
+
+
+class PatternTree:
+    """A pattern tree ``(T, F)`` with integer-labelled nodes.
+
+    Nodes must be added parent-first; the first node becomes the root.
+    ``condition`` defaults to the always-true condition.
+    """
+
+    def __init__(self, condition: Optional[Condition] = None) -> None:
+        self._nodes: Dict[int, PatternNode] = {}
+        self._root: Optional[int] = None
+        self.condition: Condition = condition if condition is not None else TrueCondition()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(
+        self,
+        label: int,
+        parent: Optional[int] = None,
+        edge: EdgeKind = PC,
+    ) -> PatternNode:
+        """Add a node; the first added node is the root (no parent)."""
+        if label in self._nodes:
+            raise PatternTreeError(f"duplicate pattern node label {label}")
+        if edge not in (PC, AD):
+            raise PatternTreeError(f"edge kind must be 'pc' or 'ad', got {edge!r}")
+        if parent is None:
+            if self._root is not None:
+                raise PatternTreeError(
+                    "pattern tree already has a root; give parent= for other nodes"
+                )
+            self._root = label
+        else:
+            if parent not in self._nodes:
+                raise PatternTreeError(
+                    f"parent label {parent} must be added before child {label}"
+                )
+            self._nodes[parent].children.append(label)
+        node = PatternNode(label, parent, edge)
+        self._nodes[label] = node
+        return node
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        if self._root is None:
+            raise PatternTreeError("pattern tree is empty")
+        return self._root
+
+    def node(self, label: int) -> PatternNode:
+        try:
+            return self._nodes[label]
+        except KeyError:
+            raise PatternTreeError(f"no pattern node labelled {label}") from None
+
+    def labels(self) -> List[int]:
+        """All node labels in insertion (parent-first) order."""
+        return list(self._nodes)
+
+    def children(self, label: int) -> List[PatternNode]:
+        return [self._nodes[child] for child in self.node(label).children]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, label: int) -> bool:
+        return label in self._nodes
+
+    def preorder(self) -> Iterator[PatternNode]:
+        """Preorder walk from the root."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            label = stack.pop()
+            node = self._nodes[label]
+            yield node
+            stack.extend(reversed(node.children))
+
+    def validate(self) -> None:
+        """Check the structural invariants of Definition 2."""
+        if self._root is None:
+            raise PatternTreeError("pattern tree is empty")
+        reached = sum(1 for _ in self.preorder())
+        if reached != len(self._nodes):
+            raise PatternTreeError("pattern tree is not connected")
+
+    def __repr__(self) -> str:
+        return f"PatternTree({len(self)} nodes, condition={self.condition!r})"
+
+
+def pattern_of(
+    edges: List[Tuple[int, Optional[int], EdgeKind]],
+    condition: Optional[Condition] = None,
+) -> PatternTree:
+    """Bulk constructor: ``[(label, parent_or_None, edge), ...]``, root first."""
+    pattern = PatternTree(condition)
+    for label, parent, edge in edges:
+        pattern.add_node(label, parent, edge)
+    return pattern

@@ -1,0 +1,133 @@
+"""Named collections of XML documents, Xindice style.
+
+A collection stores documents under string keys, enforces a per-document
+size cap (Xindice's "5MB maximum data size limitation" shapes the paper's
+Section 6 experiments — we default to the same 5 MB and make it
+configurable), and runs XPath queries over all or one of its documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import CollectionError, DocumentTooLargeError
+from .indexes import CollectionIndex, DocumentIndex
+from .model import XmlNode
+from .parser import parse_document
+from .serializer import document_bytes
+from .xpath import XPathQuery
+from .xpath.engine import ResultNode
+
+#: Apache Xindice's practical per-document limit, bytes.
+XINDICE_DOCUMENT_LIMIT = 5 * 1024 * 1024
+
+
+class Collection:
+    """An ordered mapping of document keys to XML trees."""
+
+    def __init__(
+        self,
+        name: str,
+        max_document_bytes: int = XINDICE_DOCUMENT_LIMIT,
+    ) -> None:
+        if not name:
+            raise CollectionError("collection name must be non-empty")
+        self.name = name
+        self.max_document_bytes = max_document_bytes
+        self._documents: Dict[str, XmlNode] = {}
+        self._index = CollectionIndex()
+
+    # -- document management ---------------------------------------------------
+
+    def add_document(self, key: str, document: "XmlNode | str") -> XmlNode:
+        """Store a document under ``key``.
+
+        Accepts a parsed tree or raw XML text.  Raises
+        :class:`DocumentTooLargeError` if the serialised document exceeds
+        the configured cap and :class:`CollectionError` on duplicate keys.
+        """
+        if key in self._documents:
+            raise CollectionError(
+                f"collection {self.name!r} already has a document {key!r}"
+            )
+        if isinstance(document, str):
+            root = parse_document(document)
+        else:
+            root = document.renumber()
+        size = document_bytes(root)
+        if size > self.max_document_bytes:
+            raise DocumentTooLargeError(size, self.max_document_bytes)
+        self._documents[key] = root
+        return root
+
+    def replace_document(self, key: str, document: "XmlNode | str") -> XmlNode:
+        """Overwrite (or create) the document under ``key``."""
+        if key in self._documents:
+            self._index.invalidate(self._documents[key])
+            del self._documents[key]
+        return self.add_document(key, document)
+
+    def remove_document(self, key: str) -> None:
+        try:
+            root = self._documents.pop(key)
+        except KeyError:
+            raise CollectionError(
+                f"collection {self.name!r} has no document {key!r}"
+            ) from None
+        self._index.invalidate(root)
+
+    def get_document(self, key: str) -> XmlNode:
+        try:
+            return self._documents[key]
+        except KeyError:
+            raise CollectionError(
+                f"collection {self.name!r} has no document {key!r}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._documents)
+
+    def documents(self) -> Iterator[Tuple[str, XmlNode]]:
+        return iter(self._documents.items())
+
+    def roots(self) -> List[XmlNode]:
+        return list(self._documents.values())
+
+    # -- statistics ----------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Sum of compact-serialised document sizes (paper's data size)."""
+        return sum(document_bytes(root) for root in self._documents.values())
+
+    def total_nodes(self) -> int:
+        return sum(root.size() for root in self._documents.values())
+
+    # -- querying ----------------------------------------------------------------
+
+    def index_for(self, root: XmlNode) -> DocumentIndex:
+        """Per-document tag/value index (built lazily, cached)."""
+        return self._index.index_for(root)
+
+    def xpath(self, query: "str | XPathQuery") -> List[ResultNode]:
+        """Run an XPath query over every document, concatenating results."""
+        compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
+        results: List[ResultNode] = []
+        for root in self._documents.values():
+            results.extend(compiled.select(root))
+        return results
+
+    def xpath_document(
+        self, key: str, query: "str | XPathQuery"
+    ) -> List[ResultNode]:
+        """Run an XPath query over a single document."""
+        compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
+        return compiled.select(self.get_document(key))
+
+    def __repr__(self) -> str:
+        return f"Collection({self.name!r}, {len(self)} documents)"

@@ -1,0 +1,120 @@
+"""The database facade: named collections + query statistics.
+
+Plays the role Apache Xindice plays in the paper's architecture (Figure 8):
+the Query Executor hands it XPath strings and gets node-sets back.  The
+:class:`QueryStatistics` counter records how many queries ran and how long
+they took, which the scalability experiments report (the paper breaks its
+timings into pattern-tree rewrite time, Xindice execution time and result
+re-parse time — the middle term is measured here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import CollectionError
+from .collection import XINDICE_DOCUMENT_LIMIT, Collection
+from .xpath import XPathQuery
+from .xpath.engine import ResultNode
+
+
+@dataclass
+class QueryStatistics:
+    """Aggregate query counters for one database."""
+
+    queries_run: int = 0
+    total_seconds: float = 0.0
+    results_returned: int = 0
+
+    def record(self, seconds: float, result_count: int) -> None:
+        self.queries_run += 1
+        self.total_seconds += seconds
+        self.results_returned += result_count
+
+    def reset(self) -> None:
+        self.queries_run = 0
+        self.total_seconds = 0.0
+        self.results_returned = 0
+
+
+class Database:
+    """A set of named collections with an XPath query service."""
+
+    def __init__(self, max_document_bytes: int = XINDICE_DOCUMENT_LIMIT) -> None:
+        self.max_document_bytes = max_document_bytes
+        self._collections: Dict[str, Collection] = {}
+        self.statistics = QueryStatistics()
+        self._query_cache: Dict[str, XPathQuery] = {}
+
+    # -- collection management --------------------------------------------------
+
+    def create_collection(self, name: str) -> Collection:
+        if name in self._collections:
+            raise CollectionError(f"collection {name!r} already exists")
+        collection = Collection(name, self.max_document_bytes)
+        self._collections[name] = collection
+        return collection
+
+    def get_collection(self, name: str) -> Collection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise CollectionError(f"no collection named {name!r}") from None
+
+    def get_or_create_collection(self, name: str) -> Collection:
+        if name in self._collections:
+            return self._collections[name]
+        return self.create_collection(name)
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self._collections:
+            raise CollectionError(f"no collection named {name!r}")
+        del self._collections[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def collections(self) -> Iterator[Collection]:
+        return iter(self._collections.values())
+
+    def collection_names(self) -> List[str]:
+        return list(self._collections)
+
+    # -- query service ------------------------------------------------------------
+
+    def compile(self, query: str) -> XPathQuery:
+        """Parse an XPath query, caching compiled forms."""
+        compiled = self._query_cache.get(query)
+        if compiled is None:
+            compiled = XPathQuery(query)
+            self._query_cache[query] = compiled
+        return compiled
+
+    def xpath(
+        self, collection_name: str, query: str, document_key: Optional[str] = None
+    ) -> List[ResultNode]:
+        """Run an XPath query against a collection (or one document of it).
+
+        Timing and result counts are accumulated in :attr:`statistics`.
+        """
+        collection = self.get_collection(collection_name)
+        compiled = self.compile(query)
+        started = time.perf_counter()
+        if document_key is None:
+            results = collection.xpath(compiled)
+        else:
+            results = collection.xpath_document(document_key, compiled)
+        self.statistics.record(time.perf_counter() - started, len(results))
+        return results
+
+    def total_bytes(self) -> int:
+        return sum(c.total_bytes() for c in self._collections.values())
+
+    def __repr__(self) -> str:
+        inventory = ", ".join(
+            f"{name}({len(collection)})"
+            for name, collection in self._collections.items()
+        )
+        return f"Database({inventory})"

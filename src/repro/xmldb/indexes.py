@@ -1,0 +1,99 @@
+"""Tag and value indexes over collections.
+
+Xindice supports element/value indexes to accelerate XPath; the TAX
+embedding engine in this reproduction uses the same idea to prune its
+candidate sets: ``TagIndex`` maps an element name to every node carrying
+it, ``ValueIndex`` maps ``(tag, content)`` pairs to nodes.  Both are
+per-document and composed by :class:`CollectionIndex` at collection level.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from .model import XmlNode
+
+
+class TagIndex:
+    """tag -> nodes (document order) for one tree."""
+
+    def __init__(self, root: XmlNode) -> None:
+        self._by_tag: Dict[str, List[XmlNode]] = defaultdict(list)
+        for node in root.iter():
+            self._by_tag[node.tag].append(node)
+
+    def nodes(self, tag: str) -> List[XmlNode]:
+        return self._by_tag.get(tag, [])
+
+    def tags(self) -> Iterable[str]:
+        return self._by_tag.keys()
+
+    def count(self, tag: str) -> int:
+        return len(self._by_tag.get(tag, ()))
+
+
+class ValueIndex:
+    """(tag, content) -> nodes for one tree; also content -> nodes."""
+
+    def __init__(self, root: XmlNode) -> None:
+        self._by_pair: Dict[Tuple[str, str], List[XmlNode]] = defaultdict(list)
+        self._by_content: Dict[str, List[XmlNode]] = defaultdict(list)
+        for node in root.iter():
+            if node.text:
+                self._by_pair[(node.tag, node.text)].append(node)
+                self._by_content[node.text].append(node)
+
+    def nodes(self, tag: str, content: str) -> List[XmlNode]:
+        return self._by_pair.get((tag, content), [])
+
+    def nodes_with_content(self, content: str) -> List[XmlNode]:
+        return self._by_content.get(content, [])
+
+    def contents(self) -> Iterable[str]:
+        return self._by_content.keys()
+
+
+class DocumentIndex:
+    """Both indexes for one document root."""
+
+    def __init__(self, root: XmlNode) -> None:
+        self.root = root
+        self.tags = TagIndex(root)
+        self.values = ValueIndex(root)
+
+
+class CollectionIndex:
+    """Lazy per-document indexes for a whole collection."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[int, DocumentIndex] = {}
+
+    def index_for(self, root: XmlNode) -> DocumentIndex:
+        index = self._documents.get(root.object_id)
+        if index is None or index.root is not root:
+            index = DocumentIndex(root)
+            self._documents[root.object_id] = index
+        return index
+
+    def invalidate(self, root: XmlNode) -> None:
+        self._documents.pop(root.object_id, None)
+
+    def clear(self) -> None:
+        self._documents.clear()
+
+    def distinct_tags(self, roots: Iterable[XmlNode]) -> Set[str]:
+        """Union of element names across the given documents."""
+        tags: Set[str] = set()
+        for root in roots:
+            tags.update(self.index_for(root).tags.tags())
+        return tags
+
+    def distinct_contents(self, roots: Iterable[XmlNode]) -> Iterator[str]:
+        """All distinct content strings across the given documents."""
+        seen: Set[str] = set()
+        for root in roots:
+            for content in self.index_for(root).values.contents():
+                if content not in seen:
+                    seen.add(content)
+                    yield content

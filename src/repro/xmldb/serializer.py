@@ -1,0 +1,67 @@
+""":class:`XmlNode` trees -> XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import XmlNode
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+_ATTR_ESCAPES = dict(_ESCAPES)
+_ATTR_ESCAPES['"'] = "&quot;"
+
+
+def escape_text(text: str) -> str:
+    """Escape character data."""
+    for raw, quoted in _ESCAPES.items():
+        text = text.replace(raw, quoted)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape an attribute value for double-quoted output."""
+    for raw, quoted in _ATTR_ESCAPES.items():
+        text = text.replace(raw, quoted)
+    return text
+
+
+def serialize(node: XmlNode, indent: int = 0, _depth: int = 0) -> str:
+    """Render a tree as XML text.
+
+    ``indent > 0`` pretty-prints with that many spaces per level;
+    ``indent == 0`` produces compact single-line output whose byte size is
+    what the collection size caps measure.
+    """
+    parts: List[str] = []
+    _serialize_into(node, parts, indent, _depth)
+    return "".join(parts)
+
+
+def _serialize_into(node: XmlNode, parts: List[str], indent: int, depth: int) -> None:
+    pad = " " * (indent * depth) if indent else ""
+    newline = "\n" if indent else ""
+    attributes = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    if not node.children and not node.text:
+        parts.append(f"{pad}<{node.tag}{attributes}/>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attributes}>")
+    if node.text:
+        parts.append(escape_text(node.text))
+    if node.children:
+        parts.append(newline)
+        for child in node.children:
+            _serialize_into(child, parts, indent, depth + 1)
+        parts.append(pad)
+    parts.append(f"</{node.tag}>{newline}")
+
+
+def document_bytes(node: XmlNode) -> int:
+    """Byte size of the compact serialisation (for Xindice-style caps)."""
+    return len(serialize(node).encode("utf-8"))

@@ -1,0 +1,93 @@
+"""On-disk persistence for the XML database.
+
+Xindice stores collections in a filesystem-backed repository; this module
+gives the in-memory substitute the same capability — ``save_database``
+writes one directory per collection with one ``.xml`` file per document
+plus a manifest, ``load_database`` reconstructs the database from it.
+The layout is human-readable on purpose (documents stay plain XML):
+
+    root/
+      manifest.json            {"collections": {...}, "max_document_bytes": N}
+      <collection>/
+        <document-key>.xml
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List
+
+from ..errors import XmlDbError
+from .collection import Collection
+from .database import Database
+from .serializer import serialize
+
+MANIFEST_NAME = "manifest.json"
+_SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _filename_for(key: str) -> str:
+    """A filesystem-safe file name for a document key."""
+    return _SAFE_COMPONENT.sub("_", key) + ".xml"
+
+
+def save_database(database: Database, root_dir: str) -> None:
+    """Write every collection and document under ``root_dir``.
+
+    The directory is created if missing; existing contents for the same
+    collections are overwritten, foreign files are left alone.
+    """
+    os.makedirs(root_dir, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "format": 1,
+        "max_document_bytes": database.max_document_bytes,
+        "collections": {},
+    }
+    for collection in database.collections():
+        directory = os.path.join(root_dir, _SAFE_COMPONENT.sub("_", collection.name))
+        os.makedirs(directory, exist_ok=True)
+        documents: Dict[str, str] = {}
+        for key, tree in collection.documents():
+            filename = _filename_for(key)
+            if filename in documents.values():
+                # Two keys collapsing to one file name: disambiguate.
+                filename = f"{len(documents)}-{filename}"
+            documents[key] = filename
+            with open(os.path.join(directory, filename), "w", encoding="utf-8") as out:
+                out.write(serialize(tree, indent=2))
+        manifest["collections"][collection.name] = {  # type: ignore[index]
+            "directory": os.path.basename(directory),
+            "documents": documents,
+            "max_document_bytes": collection.max_document_bytes,
+        }
+    with open(os.path.join(root_dir, MANIFEST_NAME), "w", encoding="utf-8") as out:
+        json.dump(manifest, out, indent=2, sort_keys=True)
+
+
+def load_database(root_dir: str) -> Database:
+    """Rebuild a database from :func:`save_database` output."""
+    manifest_path = os.path.join(root_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise XmlDbError(f"no database manifest at {manifest_path}") from None
+    except json.JSONDecodeError as exc:
+        raise XmlDbError(f"corrupt database manifest: {exc}") from exc
+    if manifest.get("format") != 1:
+        raise XmlDbError(f"unsupported database format {manifest.get('format')!r}")
+
+    database = Database(int(manifest.get("max_document_bytes", 5 * 1024 * 1024)))
+    for name, info in manifest.get("collections", {}).items():
+        collection = database.create_collection(name)
+        collection.max_document_bytes = int(
+            info.get("max_document_bytes", database.max_document_bytes)
+        )
+        directory = os.path.join(root_dir, info["directory"])
+        for key, filename in info.get("documents", {}).items():
+            path = os.path.join(directory, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                collection.add_document(key, handle.read())
+    return database

@@ -1,0 +1,21 @@
+"""An XPath 1.0 subset engine for the XML database.
+
+Xindice's query surface is XPath; the TOSS query executor compiles pattern
+trees into XPath strings and runs them here.  The subset covers what the
+paper's workload needs (and a good deal more): absolute/relative location
+paths, ``child``/``descendant-or-self``/``self``/``parent``/``attribute``
+axes via their abbreviations, name and ``text()``/``node()`` tests,
+predicates with full boolean/relational expressions, the core function
+library (``contains``, ``starts-with``, ``normalize-space``, ``name``,
+``string``, ``number``, ``count``, ``position``, ``last``, ``not``,
+``true``, ``false``, ``concat``, ``string-length``), union ``|`` and
+numeric arithmetic.
+
+The public helpers are :func:`evaluate_xpath` (one-shot) and
+:class:`XPathQuery` (parse once, run many times).
+"""
+
+from .engine import XPathQuery, evaluate_xpath
+from .parser import parse_xpath
+
+__all__ = ["XPathQuery", "evaluate_xpath", "parse_xpath"]

@@ -1,0 +1,175 @@
+"""Abstract syntax for the XPath subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+# -- axes -------------------------------------------------------------------
+
+CHILD = "child"
+DESCENDANT = "descendant"
+DESCENDANT_OR_SELF = "descendant-or-self"
+ANCESTOR = "ancestor"
+ANCESTOR_OR_SELF = "ancestor-or-self"
+FOLLOWING_SIBLING = "following-sibling"
+PRECEDING_SIBLING = "preceding-sibling"
+SELF = "self"
+PARENT = "parent"
+ATTRIBUTE = "attribute"
+
+#: Axes nameable with the explicit ``axis::`` syntax.
+NAMED_AXES = frozenset(
+    {
+        CHILD,
+        DESCENDANT,
+        DESCENDANT_OR_SELF,
+        ANCESTOR,
+        ANCESTOR_OR_SELF,
+        FOLLOWING_SIBLING,
+        PRECEDING_SIBLING,
+        SELF,
+        PARENT,
+        ATTRIBUTE,
+    }
+)
+
+# -- node tests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """Match elements (or attributes) by name; ``*`` matches all."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TextTest:
+    """``text()`` — select the node's character data."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class AnyNodeTest:
+    """``node()`` — match any node."""
+
+    def __str__(self) -> str:
+        return "node()"
+
+
+NodeTest = Union[NameTest, TextTest, AnyNodeTest]
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """``or``, ``and``, comparisons, and arithmetic."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryMinus:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"-({self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, zero or more predicates."""
+
+    axis: str
+    test: NodeTest
+    predicates: Tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        prefix = "@" if self.axis == ATTRIBUTE else ""
+        if self.axis == SELF and isinstance(self.test, AnyNodeTest):
+            body = "."
+        elif self.axis == PARENT and isinstance(self.test, AnyNodeTest):
+            body = ".."
+        else:
+            body = f"{prefix}{self.test}"
+        return body + "".join(f"[{predicate}]" for predicate in self.predicates)
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A sequence of steps; ``descendant_joins[i]`` marks a ``//`` before step i."""
+
+    absolute: bool
+    steps: Tuple[Step, ...]
+    descendant_joins: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) != len(self.descendant_joins):
+            raise ValueError("steps and descendant_joins must align")
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        for index, (step, deep) in enumerate(zip(self.steps, self.descendant_joins)):
+            if index == 0:
+                if self.absolute:
+                    parts.append("//" if deep else "/")
+                elif deep:
+                    parts.append("//")
+            else:
+                parts.append("//" if deep else "/")
+            parts.append(str(step))
+        return "".join(parts) or ("/" if self.absolute else ".")
+
+
+@dataclass(frozen=True)
+class Union_:
+    """``expr | expr`` — node-set union in document order."""
+
+    paths: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return " | ".join(str(path) for path in self.paths)
+
+
+Expr = Union[Literal, Number, BinaryOp, UnaryMinus, FunctionCall, LocationPath, Union_]

@@ -1,0 +1,273 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (precedence low to high), a faithful slice of XPath 1.0:
+
+    Expr        := OrExpr
+    OrExpr      := AndExpr ('or' AndExpr)*
+    AndExpr     := EqExpr ('and' EqExpr)*
+    EqExpr      := RelExpr (('='|'!=') RelExpr)*
+    RelExpr     := AddExpr (('<'|'<='|'>'|'>=') AddExpr)*
+    AddExpr     := MulExpr (('+'|'-') MulExpr)*
+    MulExpr     := UnaryExpr (('*'|'div'|'mod') UnaryExpr)*
+    UnaryExpr   := '-' UnaryExpr | UnionExpr
+    UnionExpr   := PathExpr ('|' PathExpr)*
+    PathExpr    := Literal | Number | FunctionCall | LocationPath | '(' Expr ')'
+    LocationPath:= ('/' | '//')? Step (('/' | '//') Step)*
+    Step        := '.' | '..' | '@'? NodeTest Predicate*
+    NodeTest    := Name | '*' | 'text' '(' ')' | 'node' '(' ')'
+    Predicate   := '[' Expr ']'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import XPathSyntaxError
+from . import ast
+from . import lexer
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise XPathSyntaxError(
+                f"expected {kind}, found {self.current.kind} ({self.current.value!r})",
+                self.current.position,
+            )
+        return self.advance()
+
+    def peek_is_name(self, value: str) -> bool:
+        return self.current.kind == lexer.NAME and self.current.value == value
+
+    # -- expression levels -------------------------------------------------------
+
+    def parse(self) -> ast.Expr:
+        expression = self.parse_expr()
+        self.expect(lexer.EOF)
+        return expression
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def _parse_left_assoc(self, parse_operand, operators) -> ast.Expr:
+        left = parse_operand()
+        while True:
+            matched = None
+            for op_name, token_kind, keyword in operators:
+                if token_kind is not None and self.current.kind == token_kind:
+                    matched = op_name
+                    self.advance()
+                    break
+                if keyword is not None and self.peek_is_name(keyword) and self._operator_position():
+                    matched = op_name
+                    self.advance()
+                    break
+            if matched is None:
+                return left
+            right = parse_operand()
+            left = ast.BinaryOp(matched, left, right)
+
+    def _operator_position(self) -> bool:
+        """A NAME like 'and' is an operator only when an operand precedes.
+
+        Since _parse_left_assoc calls this after parsing a left operand,
+        the answer is always yes; kept as a named hook for clarity.
+        """
+        return True
+
+    def parse_or(self) -> ast.Expr:
+        return self._parse_left_assoc(self.parse_and, [("or", None, "or")])
+
+    def parse_and(self) -> ast.Expr:
+        return self._parse_left_assoc(self.parse_equality, [("and", None, "and")])
+
+    def parse_equality(self) -> ast.Expr:
+        return self._parse_left_assoc(
+            self.parse_relational,
+            [("=", lexer.EQ, None), ("!=", lexer.NEQ, None)],
+        )
+
+    def parse_relational(self) -> ast.Expr:
+        return self._parse_left_assoc(
+            self.parse_additive,
+            [
+                ("<=", lexer.LE, None),
+                ("<", lexer.LT, None),
+                (">=", lexer.GE, None),
+                (">", lexer.GT, None),
+            ],
+        )
+
+    def parse_additive(self) -> ast.Expr:
+        return self._parse_left_assoc(
+            self.parse_multiplicative,
+            [("+", lexer.PLUS, None), ("-", lexer.MINUS, None)],
+        )
+
+    def parse_multiplicative(self) -> ast.Expr:
+        return self._parse_left_assoc(
+            self.parse_unary,
+            [("*", lexer.STAR, None), ("div", None, "div"), ("mod", None, "mod")],
+        )
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept(lexer.MINUS):
+            return ast.UnaryMinus(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> ast.Expr:
+        first = self.parse_path_expr()
+        if self.current.kind != lexer.PIPE:
+            return first
+        paths = [first]
+        while self.accept(lexer.PIPE):
+            paths.append(self.parse_path_expr())
+        return ast.Union_(tuple(paths))
+
+    # -- paths and primaries ------------------------------------------------------
+
+    def parse_path_expr(self) -> ast.Expr:
+        token = self.current
+        if token.kind == lexer.LITERAL:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == lexer.NUMBER:
+            self.advance()
+            return ast.Number(float(token.value))
+        if token.kind == lexer.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(lexer.RPAREN)
+            return inner
+        if token.kind == lexer.NAME and self._is_function_call():
+            return self.parse_function_call()
+        return self.parse_location_path()
+
+    def _is_function_call(self) -> bool:
+        nxt = self._tokens[self._index + 1]
+        if nxt.kind != lexer.LPAREN:
+            return False
+        # text() and node() are node tests, not functions, when a step is
+        # expected; they are only functions... never, in this subset.
+        return self.current.value not in ("text", "node")
+
+    def parse_function_call(self) -> ast.FunctionCall:
+        name = self.expect(lexer.NAME).value
+        self.expect(lexer.LPAREN)
+        args: List[ast.Expr] = []
+        if self.current.kind != lexer.RPAREN:
+            args.append(self.parse_expr())
+            while self.accept(lexer.COMMA):
+                args.append(self.parse_expr())
+        self.expect(lexer.RPAREN)
+        return ast.FunctionCall(name, tuple(args))
+
+    def parse_location_path(self) -> ast.LocationPath:
+        absolute = False
+        steps: List[ast.Step] = []
+        joins: List[bool] = []
+
+        if self.current.kind == lexer.SLASH:
+            self.advance()
+            absolute = True
+            if not self._step_starts():
+                # bare "/" selects the root
+                return ast.LocationPath(True, (), ())
+            joins.append(False)
+        elif self.current.kind == lexer.DOUBLE_SLASH:
+            self.advance()
+            absolute = True
+            joins.append(True)
+        else:
+            if not self._step_starts():
+                raise XPathSyntaxError(
+                    f"expected a location step, found {self.current.value!r}",
+                    self.current.position,
+                )
+            joins.append(False)
+
+        steps.append(self.parse_step())
+        while self.current.kind in (lexer.SLASH, lexer.DOUBLE_SLASH):
+            joins.append(self.advance().kind == lexer.DOUBLE_SLASH)
+            steps.append(self.parse_step())
+        return ast.LocationPath(absolute, tuple(steps), tuple(joins))
+
+    def _step_starts(self) -> bool:
+        return self.current.kind in (
+            lexer.NAME,
+            lexer.STAR,
+            lexer.AT,
+            lexer.DOT,
+            lexer.DOTDOT,
+        )
+
+    def parse_step(self) -> ast.Step:
+        if self.accept(lexer.DOT):
+            return ast.Step(ast.SELF, ast.AnyNodeTest(), self._parse_predicates())
+        if self.accept(lexer.DOTDOT):
+            return ast.Step(ast.PARENT, ast.AnyNodeTest(), self._parse_predicates())
+        axis = ast.CHILD
+        if self.accept(lexer.AT):
+            axis = ast.ATTRIBUTE
+        elif (
+            self.current.kind == lexer.NAME
+            and self._tokens[self._index + 1].kind == lexer.COLONCOLON
+        ):
+            axis_token = self.advance()
+            self.advance()  # '::'
+            if axis_token.value not in ast.NAMED_AXES:
+                raise XPathSyntaxError(
+                    f"unknown axis {axis_token.value!r}", axis_token.position
+                )
+            axis = axis_token.value
+        test = self._parse_node_test()
+        return ast.Step(axis, test, self._parse_predicates())
+
+    def _parse_node_test(self) -> ast.NodeTest:
+        if self.accept(lexer.STAR):
+            return ast.NameTest("*")
+        token = self.expect(lexer.NAME)
+        if token.value in ("text", "node") and self.current.kind == lexer.LPAREN:
+            self.advance()
+            self.expect(lexer.RPAREN)
+            return ast.TextTest() if token.value == "text" else ast.AnyNodeTest()
+        return ast.NameTest(token.value)
+
+    def _parse_predicates(self) -> Tuple[ast.Expr, ...]:
+        predicates: List[ast.Expr] = []
+        while self.accept(lexer.LBRACKET):
+            predicates.append(self.parse_expr())
+            self.expect(lexer.RBRACKET)
+        return tuple(predicates)
+
+
+def parse_xpath(query: str) -> ast.Expr:
+    """Parse an XPath string into an AST.
+
+    >>> str(parse_xpath("//inproceedings[author='J. Ullman']/title"))
+    "//inproceedings[child::author = 'J. Ullman']/title" # doctest: +SKIP
+    """
+    if not query or not query.strip():
+        raise XPathSyntaxError("empty XPath expression", 0)
+    return _Parser(tokenize(query)).parse()

@@ -1,0 +1,153 @@
+"""Unit tests for the TOSS algebra (Section 5.1.2)."""
+
+import pytest
+
+from repro.core.algebra import TossAlgebra
+from repro.core.conditions import Below, SeoConditionContext, SimilarTo
+from repro.core.instance import SemistructuredInstance, SeoInstance
+from repro.ontology import Hierarchy
+from repro.similarity.measures import Levenshtein
+from repro.similarity.seo import SimilarityEnhancedOntology
+from repro.tax.conditions import And, Comparison, Constant, NodeContent, NodeTag
+from repro.tax.pattern import AD, PC, pattern_of
+from repro.xmldb.parser import parse_document
+
+DBLP = """
+<dblp>
+  <inproceedings>
+    <author>J. Smith</author>
+    <title>Paper One</title>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings>
+    <author>J. Smyth</author>
+    <title>Paper Two</title>
+    <booktitle>VLDB</booktitle>
+  </inproceedings>
+  <inproceedings>
+    <author>P. Chen</author>
+    <title>Paper Three</title>
+    <booktitle>SOSP</booktitle>
+  </inproceedings>
+</dblp>
+"""
+
+
+@pytest.fixture
+def algebra():
+    hierarchy = Hierarchy(
+        [
+            ("J. Smith", "author"),
+            ("J. Smyth", "author"),
+            ("P. Chen", "author"),
+            ("SIGMOD Conference", "database conference"),
+            ("VLDB", "database conference"),
+            ("SOSP", "systems conference"),
+        ]
+    )
+    seo = SimilarityEnhancedOntology.for_hierarchy(hierarchy, Levenshtein(), 1.0)
+    return TossAlgebra(SeoConditionContext(seo))
+
+
+@pytest.fixture
+def dblp():
+    return [parse_document(DBLP)]
+
+
+def author_similar_pattern(surface):
+    pattern = pattern_of([(1, None, PC), (2, 1, PC)])
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("inproceedings")),
+        Comparison("=", NodeTag(2), Constant("author")),
+        SimilarTo(NodeContent(2), Constant(surface)),
+    )
+    return pattern
+
+
+class TestSelection:
+    def test_similarity_widens_selection(self, algebra, dblp):
+        results = algebra.selection(dblp, author_similar_pattern("J. Smith"), [1])
+        titles = sorted(t.find_first("title").text for t in results)
+        assert titles == ["Paper One", "Paper Two"]
+
+    def test_below_condition(self, algebra, dblp):
+        pattern = pattern_of([(1, None, PC), (2, 1, PC)])
+        pattern.condition = And(
+            Comparison("=", NodeTag(1), Constant("inproceedings")),
+            Comparison("=", NodeTag(2), Constant("booktitle")),
+            Below(NodeContent(2), Constant("database conference")),
+        )
+        results = algebra.selection(dblp, pattern, [1])
+        titles = sorted(t.find_first("title").text for t in results)
+        assert titles == ["Paper One", "Paper Two"]
+
+    def test_accepts_instances(self, algebra, dblp):
+        instance = SemistructuredInstance("dblp", dblp)
+        results = algebra.selection(instance, author_similar_pattern("J. Smith"), [1])
+        assert len(results) == 2
+
+
+class TestProjection:
+    def test_projection_through_seo(self, algebra, dblp):
+        pattern = author_similar_pattern("J. Smith")
+        results = algebra.projection(dblp, pattern, [2])
+        assert sorted(t.text for t in results) == ["J. Smith", "J. Smyth"]
+
+
+class TestJoinAndSets:
+    def test_join_on_similar_authors(self, algebra, dblp):
+        other = [parse_document(DBLP.replace("J. Smyth", "J. Smith"))]
+        pattern = pattern_of(
+            [(0, None, PC), (1, 0, AD), (2, 1, PC), (3, 0, AD), (4, 3, PC)]
+        )
+        pattern.condition = And(
+            Comparison("=", NodeTag(1), Constant("inproceedings")),
+            Comparison("=", NodeTag(2), Constant("author")),
+            Comparison("=", NodeTag(3), Constant("inproceedings")),
+            Comparison("=", NodeTag(4), Constant("author")),
+            SimilarTo(NodeContent(2), NodeContent(4)),
+        )
+        results = algebra.join(dblp, other, pattern, sl_labels=[2, 4])
+        pairs = {
+            tuple(node.text for node in tree.find_all("author"))
+            for tree in results
+        }
+        # Smith ~ Smith, Smith ~ Smyth, Smyth ~ Smith, Chen ~ Chen...
+        assert ("J. Smith", "J. Smith") in pairs
+        assert ("J. Smyth", "J. Smith") in pairs
+        assert ("P. Chen", "P. Chen") in pairs
+        assert ("P. Chen", "J. Smith") not in pairs
+
+    def test_product(self, algebra, dblp):
+        pairs = algebra.product(dblp, dblp)
+        assert len(pairs) == 1
+        assert len(pairs[0].children) == 2
+
+    def test_set_operators(self, algebra, dblp):
+        a = algebra.selection(dblp, author_similar_pattern("J. Smith"), [1])
+        b = algebra.selection(dblp, author_similar_pattern("P. Chen"), [1])
+        assert len(algebra.union(a, b)) == 3
+        assert len(algebra.intersection(a, b)) == 0
+        assert len(algebra.difference(a, b)) == 2
+        assert len(algebra.intersection(a, a)) == 2
+
+
+class TestGrouping:
+    def test_grouping_under_seo_conditions(self, algebra, dblp):
+        from repro.tax.conditions import NodeContent as Content
+        from repro.tax.grouping import GROUP_BASIS_TAG
+
+        pattern = author_similar_pattern("J. Smith")
+        groups = algebra.grouping(dblp, pattern, [Content(2)], sl_labels=[1])
+        keys = sorted(
+            g.child_by_tag(GROUP_BASIS_TAG).children[0].text for g in groups
+        )
+        assert keys == ["J. Smith", "J. Smyth"]
+
+
+class TestLift:
+    def test_lift_produces_seo_instance(self, algebra, dblp):
+        instance = SemistructuredInstance("dblp", dblp)
+        lifted = algebra.lift(instance)
+        assert isinstance(lifted, SeoInstance)
+        assert lifted.seo is algebra.context.seo

@@ -1,0 +1,62 @@
+"""Unit tests for incremental document addition."""
+
+import pytest
+
+from repro.errors import TossError
+from repro.core.parser import parse_query
+from repro.core.system import TossSystem
+
+FIRST = """
+<dblp>
+  <inproceedings key="p1"><author>J. Smith</author><title>One</title></inproceedings>
+</dblp>
+"""
+
+SECOND = """
+<dblp>
+  <inproceedings key="p2"><author>J. Smyth</author><title>Two</title></inproceedings>
+</dblp>
+"""
+
+
+class TestAddDocuments:
+    def test_appends_and_invalidates(self):
+        system = TossSystem(epsilon=1.0)
+        system.add_instance("dblp", FIRST)
+        system.build()
+        system.add_documents("dblp", SECOND)
+        # The SEO is stale: querying before rebuild raises.
+        parsed = parse_query('inproceedings(author ~ "J. Smith")')
+        with pytest.raises(TossError):
+            system.select("dblp", parsed.pattern, parsed.roots)
+
+    def test_rebuild_sees_new_terms(self):
+        system = TossSystem(epsilon=1.0)
+        system.add_instance("dblp", FIRST)
+        system.build()
+        before = system.ontology_size()
+        system.add_documents("dblp", SECOND)
+        system.build()
+        assert system.ontology_size() > before
+        parsed = parse_query('inproceedings(author ~ "J. Smith")')
+        report = system.select("dblp", parsed.pattern, parsed.roots)
+        assert {t.attributes["key"] for t in report.results} == {"p1", "p2"}
+
+    def test_unknown_instance_rejected(self):
+        system = TossSystem()
+        with pytest.raises(TossError):
+            system.add_documents("nope", FIRST)
+
+    def test_document_keys_do_not_collide(self):
+        system = TossSystem(epsilon=0.0)
+        system.add_instance("dblp", [FIRST])
+        system.add_documents("dblp", [SECOND])
+        system.add_documents("dblp", [FIRST.replace("p1", "p3")])
+        assert len(system.database.get_collection("dblp")) == 3
+
+    def test_instance_object_replaced_not_mutated(self):
+        system = TossSystem(epsilon=0.0)
+        original = system.add_instance("dblp", FIRST)
+        system.add_documents("dblp", SECOND)
+        assert len(original.trees) == 1  # caller's snapshot unchanged
+        assert len(system.instances["dblp"].trees) == 2

@@ -1,0 +1,163 @@
+"""Unit tests for the textual query language."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.core.conditions import Below, PartOf, SimilarTo
+from repro.core.parser import parse_query
+from repro.tax.conditions import And, Comparison, Constant, Contains, NodeTag
+from repro.tax.pattern import AD, PC
+
+
+def condition_atoms(pattern):
+    condition = pattern.condition
+    return list(condition.operands) if isinstance(condition, And) else [condition]
+
+
+class TestElements:
+    def test_bare_element(self):
+        parsed = parse_query("inproceedings")
+        assert len(parsed.pattern) == 1
+        assert parsed.roots == [1]
+        atoms = condition_atoms(parsed.pattern)
+        assert repr(atoms[0]) == "(#1.tag = 'inproceedings')"
+
+    def test_wildcard_element_has_no_tag_condition(self):
+        parsed = parse_query("*(author)")
+        atoms = condition_atoms(parsed.pattern)
+        assert all("'*'" not in repr(atom) for atom in atoms)
+
+    def test_children_default_pc(self):
+        parsed = parse_query("inproceedings(author, title)")
+        assert len(parsed.pattern) == 3
+        assert parsed.pattern.node(2).edge == PC
+        assert parsed.pattern.node(3).edge == PC
+
+    def test_double_slash_makes_ad(self):
+        parsed = parse_query("dblp(//author)")
+        assert parsed.pattern.node(2).edge == AD
+
+    def test_nesting(self):
+        parsed = parse_query("articles(article(title, author))")
+        assert parsed.pattern.node(3).parent == 2
+        assert parsed.pattern.node(4).parent == 2
+
+
+class TestConditions:
+    def test_child_content_condition(self):
+        parsed = parse_query('inproceedings(year = "1999")')
+        atoms = condition_atoms(parsed.pattern)
+        assert any(repr(a) == "(#2.content = '1999')" for a in atoms)
+
+    def test_similarity_operator(self):
+        parsed = parse_query('inproceedings(author ~ "J. Ullman")')
+        atoms = condition_atoms(parsed.pattern)
+        assert any(isinstance(a, SimilarTo) for a in atoms)
+
+    def test_keyword_operators(self):
+        parsed = parse_query(
+            'paper(venue below "conference", affiliation part_of "us government",'
+            ' title contains "XML")'
+        )
+        atoms = condition_atoms(parsed.pattern)
+        kinds = {type(a).__name__ for a in atoms}
+        assert {"Below", "PartOf", "Contains"} <= kinds
+
+    def test_dot_condition_applies_to_element_itself(self):
+        parsed = parse_query('author(. = "J. Ullman")')
+        atoms = condition_atoms(parsed.pattern)
+        assert any(repr(a) == "(#1.content = 'J. Ullman')" for a in atoms)
+
+    def test_numeric_style_comparisons(self):
+        parsed = parse_query('inproceedings(year <= "2000", year > "1995")')
+        atoms = condition_atoms(parsed.pattern)
+        operators = [a.op for a in atoms if isinstance(a, Comparison) and a.op != "="]
+        assert sorted(operators) == ["<=", ">"]
+
+    def test_single_quotes_work(self):
+        parsed = parse_query("author(. = 'X')")
+        assert any("'X'" in repr(a) for a in condition_atoms(parsed.pattern))
+
+
+class TestVariablesAndJoins:
+    def test_variable_binding(self):
+        parsed = parse_query("inproceedings(title $t)")
+        assert parsed.variables == {"t": 2}
+        assert parsed.label("$t") == 2
+        assert parsed.label("t") == 2
+
+    def test_unknown_variable_lookup(self):
+        parsed = parse_query("inproceedings")
+        with pytest.raises(ConditionError):
+            parsed.label("missing")
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_query("a(b $x, c $x)")
+
+    def test_join_query_builds_product_pattern(self):
+        parsed = parse_query(
+            'inproceedings(title $a), article(title $b) where $a ~ $b'
+        )
+        root = parsed.pattern.root
+        children = parsed.pattern.children(root)
+        assert len(children) == 2
+        assert all(child.edge == AD for child in children)
+        assert parsed.roots == [child.label for child in children]
+        atoms = condition_atoms(parsed.pattern)
+        similar = [a for a in atoms if isinstance(a, SimilarTo)]
+        assert len(similar) == 1
+        assert similar[0].labels() == {parsed.label("a"), parsed.label("b")}
+
+    def test_where_with_literal(self):
+        parsed = parse_query('inproceedings(year $y) where $y = "1999"')
+        atoms = condition_atoms(parsed.pattern)
+        assert any(repr(a) == "(#2.content = '1999')" for a in atoms)
+
+    def test_where_and_chains(self):
+        parsed = parse_query(
+            'inproceedings(year $y, title $t) where $y = "1999" and $t contains "XML"'
+        )
+        atoms = condition_atoms(parsed.pattern)
+        assert sum(isinstance(a, (Comparison, Contains)) for a in atoms) >= 4
+
+    def test_where_unknown_variable(self):
+        with pytest.raises(ConditionError):
+            parse_query('inproceedings where $nope = "x"')
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(ConditionError):
+            parse_query("   ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ConditionError):
+            parse_query("a(b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ConditionError):
+            parse_query("a b c")
+
+    def test_missing_operand(self):
+        with pytest.raises(ConditionError):
+            parse_query("a(b =)")
+
+    def test_bad_character(self):
+        with pytest.raises(ConditionError):
+            parse_query("a(&)")
+
+
+class TestEndToEnd:
+    def test_parsed_pattern_runs_through_tax(self):
+        from repro.tax.algebra import selection
+        from repro.xmldb import parse_document
+
+        doc = parse_document(
+            "<dblp><inproceedings><title>X</title><year>1999</year>"
+            "</inproceedings></dblp>"
+        )
+        parsed = parse_query('inproceedings(title, year = "1999")')
+        results = selection([doc], parsed.pattern, sl_labels=parsed.roots)
+        assert len(results) == 1
+        assert results[0].find_first("title").text == "X"

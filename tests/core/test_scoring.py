@@ -1,0 +1,157 @@
+"""Unit tests for ranked similarity queries."""
+
+import pytest
+
+from repro.core.conditions import SeoConditionContext, SimilarTo
+from repro.core.scoring import ScoredResult, ranked_selection, similarity_atoms
+from repro.ontology import Hierarchy
+from repro.similarity.measures import Levenshtein
+from repro.similarity.seo import SimilarityEnhancedOntology
+from repro.tax.conditions import And, Comparison, Constant, NodeContent, NodeTag, Not
+from repro.tax.pattern import pattern_of
+from repro.xmldb import parse_document
+
+DOC = """
+<dblp>
+  <inproceedings key="exact"><author>J. Smith</author></inproceedings>
+  <inproceedings key="near"><author>J. Smyth</author></inproceedings>
+  <inproceedings key="far"><author>J. Smythe</author></inproceedings>
+  <inproceedings key="other"><author>P. Chen</author></inproceedings>
+</dblp>
+"""
+
+
+@pytest.fixture
+def context():
+    hierarchy = Hierarchy(
+        [
+            ("J. Smith", "author"),
+            ("J. Smyth", "author"),
+            ("J. Smythe", "author"),
+            ("P. Chen", "author"),
+        ]
+    )
+    seo = SimilarityEnhancedOntology.for_hierarchy(hierarchy, Levenshtein(), 2.0)
+    return SeoConditionContext(seo)
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+def author_pattern(surface):
+    pattern = pattern_of([(1, None, "pc"), (2, 1, "pc")])
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("inproceedings")),
+        Comparison("=", NodeTag(2), Constant("author")),
+        SimilarTo(NodeContent(2), Constant(surface)),
+    )
+    return pattern
+
+
+class TestSimilarityAtoms:
+    def test_collects_conjunctive_atoms(self):
+        condition = And(
+            SimilarTo(NodeContent(1), Constant("x")),
+            Comparison("=", NodeTag(1), Constant("a")),
+            SimilarTo(NodeContent(2), Constant("y")),
+        )
+        assert len(similarity_atoms(condition)) == 2
+
+    def test_ignores_negated_atoms(self):
+        condition = Not(SimilarTo(NodeContent(1), Constant("x")))
+        assert similarity_atoms(condition) == []
+
+
+class TestRankedSelection:
+    def test_results_ordered_by_distance(self, doc, context):
+        ranked = ranked_selection(
+            [doc], author_pattern("J. Smith"), context, sl_labels=[1]
+        )
+        keys = [result.tree.attributes["key"] for result in ranked]
+        assert keys == ["exact", "near", "far"]
+        scores = [result.score for result in ranked]
+        assert scores == sorted(scores)
+        assert scores[0] == 0.0
+
+    def test_ranking_refines_boolean_answer(self, doc, context):
+        """Ranked results = boolean TOSS results, just ordered."""
+        from repro.tax.algebra import selection
+
+        boolean = selection([doc], author_pattern("J. Smith"), [1], context)
+        ranked = ranked_selection(
+            [doc], author_pattern("J. Smith"), context, sl_labels=[1]
+        )
+        assert {r.tree.canonical_key() for r in ranked} == {
+            t.canonical_key() for t in boolean
+        }
+
+    def test_top_k(self, doc, context):
+        ranked = ranked_selection(
+            [doc], author_pattern("J. Smith"), context, sl_labels=[1], top_k=2
+        )
+        assert len(ranked) == 2
+        assert ranked[0].score <= ranked[1].score
+
+    def test_duplicate_witnesses_keep_best_score(self, context):
+        doc = parse_document(
+            "<dblp><inproceedings key='two'>"
+            "<author>J. Smith</author><author>J. Smyth</author>"
+            "</inproceedings></dblp>"
+        )
+        ranked = ranked_selection(
+            [doc], author_pattern("J. Smith"), context, sl_labels=[1]
+        )
+        assert len(ranked) == 1
+        assert ranked[0].score == 0.0  # the exact-match embedding wins
+
+    def test_no_similarity_atoms_gives_zero_scores(self, doc, context):
+        pattern = pattern_of([(1, None, "pc")])
+        pattern.condition = Comparison("=", NodeTag(1), Constant("author"))
+        ranked = ranked_selection([doc], pattern, context)
+        assert all(result.score == 0.0 for result in ranked)
+        assert len(ranked) == 4
+
+
+class TestScoredPattern:
+    def test_atom_weights_scale_scores(self, doc, context):
+        from repro.core.scoring import ScoredPattern
+
+        pattern = author_pattern("J. Smith")
+        plain = ranked_selection([doc], pattern, context, sl_labels=[1])
+        weighted = ranked_selection(
+            [doc],
+            ScoredPattern(pattern, atom_weights=[2.0]),
+            context,
+            sl_labels=[1],
+        )
+        assert [r.score for r in weighted] == [r.score * 2 for r in plain]
+
+    def test_weight_arity_checked(self, doc, context):
+        from repro.errors import TossError
+        from repro.core.scoring import ScoredPattern
+
+        pattern = author_pattern("J. Smith")
+        with pytest.raises(TossError):
+            ranked_selection(
+                [doc],
+                ScoredPattern(pattern, atom_weights=[1.0, 2.0]),
+                context,
+            )
+
+    def test_node_scorers_add_penalties(self, doc, context):
+        from repro.core.scoring import ScoredPattern
+
+        pattern = author_pattern("J. Smith")
+        # Penalise the record whose key is "exact" so it ranks last.
+        scored = ScoredPattern(
+            pattern,
+            node_scorers={
+                1: lambda node: 10.0 if node.attributes.get("key") == "exact" else 0.0
+            },
+        )
+        ranked = ranked_selection([doc], scored, context, sl_labels=[1])
+        keys = [r.tree.attributes["key"] for r in ranked]
+        assert keys[-1] == "exact"
+        assert ranked[-1].score == pytest.approx(10.0)

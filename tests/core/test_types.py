@@ -1,0 +1,127 @@
+"""Unit tests for the type system and conversion functions (Section 5)."""
+
+import pytest
+
+from repro.errors import ConversionError, TypeSystemError
+from repro.core.types import STRING, TypeSystem, default_type_system
+
+
+class TestRegistration:
+    def test_string_always_present(self):
+        system = TypeSystem()
+        assert system.has_type(STRING)
+
+    def test_add_type_below_supertype(self):
+        system = TypeSystem()
+        system.add_type("int", supertype=STRING, parser=int)
+        assert system.subtype("int", STRING)
+
+    def test_duplicate_type_rejected(self):
+        system = TypeSystem()
+        system.add_type("int")
+        with pytest.raises(TypeSystemError):
+            system.add_type("int")
+
+    def test_unknown_supertype_rejected(self):
+        with pytest.raises(TypeSystemError):
+            TypeSystem().add_type("x", supertype="nope")
+
+    def test_duplicate_conversion_rejected(self):
+        """The paper assumes at most one conversion per type pair."""
+        system = TypeSystem()
+        system.add_type("a")
+        system.add_type("b")
+        system.add_conversion("a", "b", str)
+        with pytest.raises(TypeSystemError):
+            system.add_conversion("a", "b", repr)
+
+    def test_conversion_requires_known_types(self):
+        with pytest.raises(TypeSystemError):
+            TypeSystem().add_conversion("x", STRING, str)
+
+
+class TestConversion:
+    def test_identity_exists_for_every_type(self):
+        system = TypeSystem()
+        system.add_type("mm")
+        assert system.convert(5, "mm", "mm") == 5
+
+    def test_direct_conversion(self):
+        system = default_type_system()
+        assert system.convert(25.0, "length_mm", "length_cm") == 2.5
+
+    def test_composed_conversion(self):
+        system = default_type_system()
+        # mm -> cm -> m composes automatically.
+        assert system.convert(2500.0, "length_mm", "length_m") == pytest.approx(2.5)
+
+    def test_missing_conversion_raises(self):
+        system = default_type_system()
+        with pytest.raises(ConversionError):
+            system.convert(1.0, "usd", "length_m")
+
+    def test_can_convert(self):
+        system = default_type_system()
+        assert system.can_convert("length_mm", "length_m")
+        assert not system.can_convert("eur", "length_cm")
+        assert system.can_convert("year", STRING)
+
+    def test_parse_value(self):
+        system = default_type_system()
+        assert system.parse_value("1999", "year") == 1999
+        assert system.parse_value("free text", STRING) == "free text"
+
+    def test_parse_value_domain_violation(self):
+        system = default_type_system()
+        with pytest.raises(ConversionError):
+            system.parse_value("not-a-year", "year")
+
+    def test_in_domain(self):
+        system = default_type_system()
+        assert system.in_domain(1999, "year")
+        assert not system.in_domain("x", "int")
+
+
+class TestLeastCommonSupertype:
+    def test_siblings_meet_at_parent(self):
+        system = default_type_system()
+        assert system.least_common_supertype("usd", "eur") == "currency"
+        assert system.least_common_supertype("length_mm", "length_cm") == "length"
+
+    def test_comparable_pair(self):
+        system = default_type_system()
+        assert system.least_common_supertype("year", "int") == "int"
+
+    def test_same_type(self):
+        system = default_type_system()
+        assert system.least_common_supertype("usd", "usd") == "usd"
+
+    def test_cross_branch_meets_at_string(self):
+        system = default_type_system()
+        assert system.least_common_supertype("usd", "length_mm") == STRING
+
+    def test_unknown_type_gives_none(self):
+        system = default_type_system()
+        assert system.least_common_supertype("usd", "martian") is None
+
+
+class TestValidation:
+    def test_default_system_validates(self):
+        default_type_system().validate(check_routes=True, probes=[1.0, 10.0])
+
+    def test_missing_hierarchy_conversion_detected(self):
+        system = TypeSystem()
+        system.add_type("broken", supertype=STRING)  # no conversion to string
+        with pytest.raises(TypeSystemError):
+            system.validate()
+
+    def test_inconsistent_routes_detected(self):
+        system = TypeSystem()
+        system.add_type("a")
+        system.add_type("b")
+        system.add_type("c")
+        system.add_conversion("a", "b", lambda v: v * 2)
+        system.add_conversion("b", "c", lambda v: v + 1)
+        system.add_conversion("a", "c", lambda v: v)  # disagrees with a->b->c
+        with pytest.raises(TypeSystemError):
+            system.validate(check_routes=True, probes=[3])

@@ -1,0 +1,95 @@
+"""Unit tests for author-name pools and variant generation."""
+
+import pytest
+
+from repro.data.names import NameParts, NameVariantGenerator
+from repro.similarity.measures import Levenshtein
+
+
+@pytest.fixture
+def generator():
+    return NameVariantGenerator(seed=7)
+
+
+@pytest.fixture
+def name():
+    return NameParts("Jeffrey", "Dale", "Ullman")
+
+
+class TestNameParts:
+    def test_canonical_with_middle(self, name):
+        assert name.canonical == "Jeffrey Dale Ullman"
+
+    def test_canonical_without_middle(self):
+        assert NameParts("Ann", None, "Lee").canonical == "Ann Lee"
+
+
+class TestVariants:
+    def test_full(self, generator, name):
+        assert generator.variant(name, "full") == "Jeffrey Dale Ullman"
+
+    def test_no_middle(self, generator, name):
+        assert generator.variant(name, "no_middle") == "Jeffrey Ullman"
+
+    def test_middle_initial(self, generator, name):
+        assert generator.variant(name, "middle_initial") == "Jeffrey D. Ullman"
+
+    def test_initials(self, generator, name):
+        assert generator.variant(name, "initials") == "J. D. Ullman"
+
+    def test_first_initial(self, generator, name):
+        assert generator.variant(name, "first_initial") == "J. Ullman"
+
+    def test_joined(self, generator, name):
+        assert generator.variant(name, "joined") == "JeffreyDale Ullman"
+
+    def test_typo_is_one_slip(self, generator, name):
+        lev = Levenshtein()
+        for _ in range(20):
+            typo = generator.variant(name, "typo")
+            assert lev.distance(typo, name.canonical) <= 1
+
+    def test_unknown_kind(self, generator, name):
+        with pytest.raises(ValueError):
+            generator.variant(name, "cryptic")
+
+    def test_sampled_kind_is_deterministic_per_seed(self, name):
+        first = [NameVariantGenerator(seed=3).variant(name) for _ in range(5)]
+        second = [NameVariantGenerator(seed=3).variant(name) for _ in range(5)]
+        assert first == second
+
+    def test_all_variants_unique_and_include_full(self, generator, name):
+        variants = generator.all_variants(name)
+        assert name.canonical in variants
+        assert len(variants) == len(set(variants))
+
+    def test_middle_initial_distance_is_three_for_length_four_middles(
+        self, generator, name
+    ):
+        """The tuned epsilon=3-only gap (see names.py docstring)."""
+        lev = Levenshtein()
+        full = generator.variant(name, "full")
+        middle_initial = generator.variant(name, "middle_initial")
+        assert lev.distance(full, middle_initial) == 3.0
+
+
+class TestSampling:
+    def test_sample_name_uses_pools(self, generator):
+        from repro.data.names import FIRST_NAMES, LAST_NAMES
+
+        name = generator.sample_name()
+        assert name.first in FIRST_NAMES
+        assert name.last in LAST_NAMES
+
+    def test_confusable_pool_has_close_pairs(self):
+        """The pools must contain distinct names within distance 2."""
+        lev = Levenshtein()
+        from repro.data.names import LAST_NAMES
+
+        close_pairs = [
+            (a, b)
+            for i, a in enumerate(LAST_NAMES)
+            for b in LAST_NAMES[i + 1 :]
+            if 0 < lev.distance(a, b) <= 2
+        ]
+        assert len(close_pairs) >= 10

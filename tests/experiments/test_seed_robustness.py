@@ -1,0 +1,21 @@
+"""The Figure 15 orderings must hold for seeds the workload was not tuned on."""
+
+import pytest
+
+from repro.experiments import run_precision_recall_experiment
+
+
+@pytest.mark.parametrize("seed", [7, 23])
+def test_fig15_shape_holds_across_seeds(seed):
+    results = run_precision_recall_experiment(
+        n_datasets=1, papers_per_dataset=100, n_queries=12, seed=seed
+    )
+    tax_p, tax_r, tax_q = results.averages("TAX")
+    toss2_p, toss2_r, toss2_q = results.averages("TOSS(e=2)")
+    toss3_p, toss3_r, toss3_q = results.averages("TOSS(e=3)")
+
+    assert tax_p == 1.0
+    assert toss3_r > toss2_r > tax_r
+    assert toss2_p >= toss3_p - 0.05
+    assert toss3_q > tax_q
+    assert toss3_p > 0.75

@@ -1,0 +1,124 @@
+"""Unit tests for the Ontology Maker."""
+
+import pytest
+
+from repro.ontology.hierarchy import Ontology
+from repro.ontology.lexicon import Lexicon
+from repro.ontology.maker import OntologyMaker
+from repro.xmldb import parse_document
+
+DBLP_DOC = """
+<dblp>
+  <inproceedings>
+    <author>Jeffrey D. Ullman</author>
+    <title>A Survey</title>
+    <year>1999</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+</dblp>
+"""
+
+
+class TestPartOfExtraction:
+    def test_nesting_becomes_part_of(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        part_of = ontology.part_of
+        assert part_of.leq("author", "inproceedings")
+        assert part_of.leq("inproceedings", "dblp")
+        assert part_of.leq("author", "dblp")
+
+    def test_self_nesting_does_not_cycle(self):
+        doc = parse_document("<cite><cite><ref>x</ref></cite></cite>")
+        ontology = OntologyMaker().make(doc)
+        assert "cite" in ontology.part_of  # present, no crash
+
+    def test_mutual_nesting_keeps_first_direction(self):
+        doc = parse_document("<a><b><a><c/></a></b></a>")
+        ontology = OntologyMaker().make(doc)
+        part_of = ontology.part_of
+        # one of the two directions survives, never both
+        assert part_of.comparable("a", "b")
+
+    def test_lexicon_holonyms_added_for_tags(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        # title part-of publication comes from the lexicon.
+        assert ontology.part_of.leq("title", "publication")
+
+
+class TestIsaExtraction:
+    def test_tags_get_lexicon_hypernyms(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        isa = ontology.isa
+        assert isa.leq("author", "person")
+        assert isa.leq("inproceedings", "publication")
+
+    def test_chains_are_transitive(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        assert ontology.isa.leq("author", "entity")
+
+    def test_content_values_below_their_tag(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        assert ontology.isa.leq("Jeffrey D. Ullman", "author")
+        assert ontology.isa.leq("SIGMOD Conference", "booktitle")
+
+    def test_titles_not_lifted_by_default(self):
+        ontology = OntologyMaker().make(parse_document(DBLP_DOC))
+        assert "A Survey" not in ontology.isa
+
+    def test_content_tags_configurable(self):
+        maker = OntologyMaker(content_tags={"title"})
+        ontology = maker.make(parse_document(DBLP_DOC))
+        assert "A Survey" in ontology.isa
+        assert "Jeffrey D. Ullman" not in ontology.isa
+
+    def test_max_content_terms_caps_lifting(self):
+        doc = parse_document(
+            "<db>" + "".join(
+                f"<r><author>Person {i}</author></r>" for i in range(10)
+            ) + "</db>"
+        )
+        maker = OntologyMaker(max_content_terms=3)
+        ontology = maker.make(doc)
+        lifted = [t for t in ontology.isa.terms if str(t).startswith("Person")]
+        assert len(lifted) == 3
+
+    def test_all_tags_present_even_isolated(self):
+        ontology = OntologyMaker().make(parse_document("<weird><thing/></weird>"))
+        assert "weird" in ontology.isa
+        assert "thing" in ontology.isa
+
+
+class TestRules:
+    def test_dba_rules_layered(self):
+        maker = OntologyMaker(
+            rules=[("isa", "SIGMOD Conference", "database conference")]
+        )
+        ontology = maker.make(parse_document(DBLP_DOC))
+        assert ontology.isa.leq("SIGMOD Conference", "database conference")
+
+    def test_part_of_rules(self):
+        maker = OntologyMaker(rules=[("part-of", "year", "calendar")])
+        ontology = maker.make(parse_document(DBLP_DOC))
+        assert ontology.part_of.leq("year", "calendar")
+
+    def test_unknown_relation_rejected(self):
+        maker = OntologyMaker(rules=[("color-of", "a", "b")])
+        with pytest.raises(ValueError):
+            maker.make(parse_document(DBLP_DOC))
+
+
+class TestCombined:
+    def test_make_combined_unions_documents(self):
+        docs = [
+            parse_document("<db><r><author>A One</author></r></db>"),
+            parse_document("<db><r><author>B Two</author></r></db>"),
+        ]
+        ontology = OntologyMaker().make_combined(docs)
+        assert ontology.isa.leq("A One", "author")
+        assert ontology.isa.leq("B Two", "author")
+
+    def test_make_many_returns_one_per_document(self):
+        docs = [parse_document("<a/>"), parse_document("<b/>")]
+        ontologies = OntologyMaker().make_many(docs)
+        assert len(ontologies) == 2
+        assert all(isinstance(o, Ontology) for o in ontologies)

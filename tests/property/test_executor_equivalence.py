@@ -1,0 +1,81 @@
+"""Property: the Query Executor and the direct algebra agree exactly.
+
+The executor's XPath prefilter + verification pipeline must be a pure
+optimisation: for any query, its answers equal those of evaluating the
+same pattern directly with the in-memory TOSS algebra over the whole
+collection.  We fuzz over corpus seeds, query targets and epsilons.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_query
+from repro.data import generate_corpus, render_dblp
+from repro.experiments.workload import build_system
+
+# Building a system is costly; share a few across examples.
+_SYSTEMS = {}
+
+
+def _system(seed: int, epsilon: float):
+    key = (seed, epsilon)
+    if key not in _SYSTEMS:
+        corpus = generate_corpus(40, seed=seed)
+        dblp = render_dblp(corpus, seed=seed)
+        _SYSTEMS[key] = (corpus, build_system(corpus, [dblp], epsilon))
+    return _SYSTEMS[key]
+
+
+def _keys(trees):
+    found = set()
+    for tree in trees:
+        key = tree.attributes.get("key")
+        if key:
+            found.add(key)
+    return found
+
+
+@given(
+    seed=st.sampled_from([1, 2]),
+    epsilon=st.sampled_from([1.0, 3.0]),
+    author_index=st.integers(min_value=0, max_value=9),
+    category=st.sampled_from(
+        ["conference", "database conference", "data mining conference"]
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_executor_equals_algebra_on_selections(
+    seed, epsilon, author_index, category
+):
+    corpus, system = _system(seed, epsilon)
+    authors = sorted(corpus.authors.values(), key=lambda a: a.entity_id)
+    author = authors[author_index % len(authors)]
+    query = (
+        f'inproceedings(author ~ "{author.canonical}", '
+        f'booktitle below "{category}")'
+    )
+    parsed = parse_query(query)
+
+    via_executor = system.select("dblp", parsed.pattern, parsed.roots).results
+    via_algebra = system.algebra().selection(
+        system.instances["dblp"], parsed.pattern, parsed.roots
+    )
+    assert _keys(via_executor) == _keys(via_algebra)
+
+
+@given(
+    seed=st.sampled_from([1, 2]),
+    year=st.integers(min_value=1994, max_value=2003),
+)
+@settings(max_examples=20, deadline=None)
+def test_executor_equals_algebra_on_year_queries(seed, year):
+    corpus, system = _system(seed, 1.0)
+    parsed = parse_query(f'inproceedings(year = "{year}", title)')
+    via_executor = system.select("dblp", parsed.pattern, parsed.roots).results
+    via_algebra = system.algebra().selection(
+        system.instances["dblp"], parsed.pattern, parsed.roots
+    )
+    assert _keys(via_executor) == _keys(via_algebra)
+    oracle = corpus.relevant_papers(year=year)
+    assert _keys(via_executor) == set(oracle)

@@ -1,0 +1,111 @@
+"""Property-based tests: canonical fusion satisfies Definition 5's axioms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FusionInconsistencyError
+from repro.ontology import Hierarchy
+from repro.ontology.constraints import (
+    EqualityConstraint,
+    InequalityConstraint,
+    ScopedTerm,
+    SubsumptionConstraint,
+)
+from repro.ontology.fusion import canonical_fusion
+
+terms = st.text(alphabet="xyz", min_size=1, max_size=3)
+
+
+@st.composite
+def hierarchy_pairs_with_constraints(draw):
+    left_terms = draw(st.lists(terms, min_size=1, max_size=5, unique=True))
+    right_terms = draw(st.lists(terms, min_size=1, max_size=5, unique=True))
+
+    def random_hierarchy(term_list):
+        edges = []
+        for i, lower in enumerate(term_list):
+            for upper in term_list[i + 1 :]:
+                if draw(st.booleans()) and draw(st.booleans()):
+                    edges.append((lower, upper))
+        return Hierarchy(edges, nodes=term_list)
+
+    left = random_hierarchy(left_terms)
+    right = random_hierarchy(right_terms)
+
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        l_term = draw(st.sampled_from(left_terms))
+        r_term = draw(st.sampled_from(right_terms))
+        kind = draw(st.sampled_from(["eq", "leq", "geq"]))
+        left_scoped = ScopedTerm(l_term, 1)
+        right_scoped = ScopedTerm(r_term, 2)
+        if kind == "eq":
+            constraints.append(EqualityConstraint(left_scoped, right_scoped))
+        elif kind == "leq":
+            constraints.append(SubsumptionConstraint(left_scoped, right_scoped))
+        else:
+            constraints.append(SubsumptionConstraint(right_scoped, left_scoped))
+    return left, right, constraints
+
+
+@given(data=hierarchy_pairs_with_constraints())
+@settings(max_examples=80, deadline=None)
+def test_fusion_preserves_input_orders(data):
+    """Definition 5 axiom (1): psi_i(x) <= psi_i(y) whenever x <=_i y."""
+    left, right, constraints = data
+    fusion = canonical_fusion({1: left, 2: right}, constraints)
+    for source, hierarchy in ((1, left), (2, right)):
+        psi = fusion.psi(source)
+        for lower in hierarchy.terms:
+            for upper in hierarchy.terms:
+                if hierarchy.leq(lower, upper):
+                    assert fusion.hierarchy.leq(psi[lower], psi[upper])
+
+
+@given(data=hierarchy_pairs_with_constraints())
+@settings(max_examples=80, deadline=None)
+def test_fusion_preserves_constraints(data):
+    """Definition 5 axiom (2): constraints hold in the fused order."""
+    left, right, constraints = data
+    fusion = canonical_fusion({1: left, 2: right}, constraints)
+    for constraint in constraints:
+        source = fusion.witness[constraint.left]
+        target = fusion.witness[constraint.right]
+        assert fusion.hierarchy.leq(source, target)
+        if isinstance(constraint, EqualityConstraint):
+            assert source == target
+
+
+@given(data=hierarchy_pairs_with_constraints())
+@settings(max_examples=60, deadline=None)
+def test_witness_total_and_nodes_partition(data):
+    """Every scoped term maps to exactly one fused node; the fused nodes'
+    member sets partition the scoped-term universe."""
+    left, right, constraints = data
+    fusion = canonical_fusion({1: left, 2: right}, constraints)
+    scoped_universe = {ScopedTerm(t, 1) for t in left.terms} | {
+        ScopedTerm(t, 2) for t in right.terms
+    }
+    assert set(fusion.witness) == scoped_universe
+    seen = set()
+    for node in fusion.hierarchy.terms:
+        assert not (node.members & seen)
+        seen |= node.members
+    assert seen == scoped_universe
+
+
+@given(data=hierarchy_pairs_with_constraints())
+@settings(max_examples=40, deadline=None)
+def test_inequality_post_check(data):
+    """Adding x != y either raises (when x, y got fused) or keeps them apart."""
+    left, right, constraints = data
+    l_term = next(iter(left.terms))
+    r_term = next(iter(right.terms))
+    inequality = InequalityConstraint(ScopedTerm(l_term, 1), ScopedTerm(r_term, 2))
+    try:
+        fusion = canonical_fusion({1: left, 2: right}, constraints + [inequality])
+    except FusionInconsistencyError:
+        base = canonical_fusion({1: left, 2: right}, constraints)
+        assert base.witness[inequality.left] == base.witness[inequality.right]
+    else:
+        assert fusion.witness[inequality.left] != fusion.witness[inequality.right]

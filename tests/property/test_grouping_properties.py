@@ -1,0 +1,65 @@
+"""Property: grouping partitions the selection's answer multiset."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tax.algebra import selection
+from repro.tax.conditions import And, Comparison, Constant, NodeContent, NodeTag
+from repro.tax.grouping import GROUP_BASIS_TAG, GROUP_SUBROOT_TAG, aggregation, grouping
+from repro.tax.pattern import pattern_of
+from repro.xmldb.model import XmlNode
+
+years = st.sampled_from(["1999", "2000", "2001"])
+venues = st.sampled_from(["A", "B"])
+
+
+@st.composite
+def random_bibliographies(draw):
+    root = XmlNode("dblp")
+    for index in range(draw(st.integers(min_value=0, max_value=8))):
+        record = root.element("inproceedings", key=f"p{index}")
+        record.element("year", draw(years))
+        record.element("venue", draw(venues))
+    return root.renumber()
+
+
+def year_pattern():
+    pattern = pattern_of([(1, None, "pc"), (2, 1, "pc")])
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("inproceedings")),
+        Comparison("=", NodeTag(2), Constant("year")),
+    )
+    return pattern
+
+
+@given(doc=random_bibliographies())
+@settings(max_examples=60, deadline=None)
+def test_groups_partition_selection(doc):
+    """Union of group members == selection output; groups are disjoint."""
+    pattern = year_pattern()
+    selected = selection([doc], pattern, sl_labels=[1])
+    groups = grouping([doc], pattern, [NodeContent(2)], sl_labels=[1])
+
+    member_keys = []
+    group_keys = set()
+    for group in groups:
+        key = group.child_by_tag(GROUP_BASIS_TAG).children[0].text
+        assert key not in group_keys, "duplicate group key"
+        group_keys.add(key)
+        subroot = group.child_by_tag(GROUP_SUBROOT_TAG)
+        for member in subroot.children:
+            assert member.find_first("year").text == key
+            member_keys.append(member.canonical_key())
+
+    assert sorted(member_keys) == sorted(t.canonical_key() for t in selected)
+
+
+@given(doc=random_bibliographies())
+@settings(max_examples=60, deadline=None)
+def test_counts_sum_to_selection_size(doc):
+    pattern = year_pattern()
+    selected = selection([doc], pattern, sl_labels=[1])
+    groups = grouping([doc], pattern, [NodeContent(2)], sl_labels=[1])
+    counts = aggregation(groups, "count")
+    total = sum(int(c.child_by_tag("value").text) for c in counts)
+    assert total == len(selected)

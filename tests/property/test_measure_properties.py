@@ -1,0 +1,86 @@
+"""Property-based tests: Definition 7's axioms on every measure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    DamerauLevenshtein,
+    Jaccard,
+    Levenshtein,
+    QGram,
+    get_measure,
+)
+
+short_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=122), max_size=16
+)
+
+ALL_MEASURES = [
+    "levenshtein", "normalized_levenshtein", "damerau", "jaro",
+    "jaro_winkler", "jaccard", "cosine", "qgram", "monge_elkan",
+]
+
+STRONG_MEASURES = [Levenshtein(), DamerauLevenshtein(), Jaccard(), QGram(2)]
+
+
+@pytest.mark.parametrize("name", ALL_MEASURES)
+@given(x=short_text, y=short_text)
+@settings(max_examples=40, deadline=None)
+def test_nonnegative_symmetric_identity(name, x, y):
+    measure = get_measure(name)
+    assert measure.distance(x, y) >= 0.0
+    assert measure.distance(x, x) == 0.0
+    assert measure.distance(x, y) == pytest.approx(measure.distance(y, x))
+
+
+@pytest.mark.parametrize("measure", STRONG_MEASURES, ids=lambda m: type(m).__name__)
+@given(x=short_text, y=short_text, z=short_text)
+@settings(max_examples=60, deadline=None)
+def test_strong_measures_satisfy_triangle_inequality(measure, x, y, z):
+    assert (
+        measure.distance(x, y) + measure.distance(y, z)
+        >= measure.distance(x, z) - 1e-9
+    )
+
+
+@given(x=short_text, y=short_text, bound=st.floats(min_value=0, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_bounded_levenshtein_agrees_with_exact(x, y, bound):
+    measure = Levenshtein()
+    exact = measure.distance(x, y)
+    bounded = measure.bounded_distance(x, y, bound)
+    if exact <= bound:
+        assert bounded == exact
+    else:
+        assert bounded > bound
+
+
+@given(x=short_text, y=short_text)
+@settings(max_examples=60, deadline=None)
+def test_levenshtein_bounded_by_length_sum_and_below_by_diff(x, y):
+    measure = Levenshtein()
+    d = measure.distance(x, y)
+    assert d <= max(len(x), len(y))
+    assert d >= abs(len(x) - len(y))
+
+
+@given(x=short_text, y=short_text)
+@settings(max_examples=60, deadline=None)
+def test_damerau_never_exceeds_levenshtein(x, y):
+    assert DamerauLevenshtein().distance(x, y) <= Levenshtein().distance(x, y)
+
+
+@given(x=short_text, y=short_text)
+@settings(max_examples=60, deadline=None)
+def test_qgram_set_bound_is_sound_for_levenshtein(x, y):
+    """The SEA prefilter's invariant: set-symdiff of bigrams <= 4 * lev."""
+    from repro.similarity.sea import _bigrams
+
+    lev = Levenshtein().distance(x, y)
+    symdiff = len(_bigrams(x) ^ _bigrams(y))
+    assert symdiff <= 4.0 * lev + 4.0  # +4 slack for the <2-char fallback
+
+    # The exact form used by the prefilter (only applied when len >= 2).
+    if len(x) >= 2 and len(y) >= 2:
+        assert symdiff <= 4.0 * lev

@@ -1,0 +1,87 @@
+"""Property-based tests: SEA output satisfies Definition 8 on random DAGs."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimilarityInconsistencyError
+from repro.ontology import Hierarchy
+from repro.similarity.measures import Levenshtein
+from repro.similarity.sea import ORDER_SAFE, sea
+
+# Short lower-case words: small alphabet so similarities actually occur.
+words = st.text(alphabet="abcd", min_size=1, max_size=5)
+
+
+@st.composite
+def random_hierarchies(draw):
+    """A random DAG: terms plus edges from earlier to later terms."""
+    terms = draw(
+        st.lists(words, min_size=2, max_size=8, unique=True)
+    )
+    edges = []
+    for i, lower in enumerate(terms):
+        for upper in terms[i + 1 :]:
+            if draw(st.booleans()) and draw(st.booleans()):
+                edges.append((lower, upper))
+    return Hierarchy(edges, nodes=terms)
+
+
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([0.0, 1.0, 2.0]))
+@settings(max_examples=60, deadline=None)
+def test_order_safe_sea_always_exists_and_verifies(hierarchy, epsilon):
+    """Order-safe mode never raises and satisfies conditions 1, 2, 4."""
+    enhancement = sea(
+        hierarchy, Levenshtein(), epsilon, mode=ORDER_SAFE, verify=True
+    )
+    # mu is total: every original node appears in some enhanced node.
+    for term in hierarchy.terms:
+        assert enhancement.mu[term]
+
+
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([0.0, 1.0, 2.0]))
+@settings(max_examples=60, deadline=None)
+def test_strict_sea_verifies_when_it_exists(hierarchy, epsilon):
+    """Strict mode either raises Definition 9's inconsistency or returns a
+    verified enhancement (Theorem 2)."""
+    try:
+        sea(hierarchy, Levenshtein(), epsilon, verify=True)
+    except SimilarityInconsistencyError:
+        pass
+
+
+@given(hierarchy=random_hierarchies())
+@settings(max_examples=40, deadline=None)
+def test_epsilon_zero_is_isomorphic(hierarchy):
+    """At epsilon 0 (distinct terms), H' ~ H: Theorem 1's base case."""
+    enhancement = sea(hierarchy, Levenshtein(), 0.0, verify=True)
+    assert len(enhancement.hierarchy) == len(hierarchy)
+    mapping = {next(iter(node.members)): node for node in enhancement.hierarchy.terms}
+    for lower in hierarchy.terms:
+        for upper in hierarchy.terms:
+            assert hierarchy.leq(lower, upper) == enhancement.hierarchy.leq(
+                mapping[lower], mapping[upper]
+            )
+
+
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([1.0, 2.0]))
+@settings(max_examples=40, deadline=None)
+def test_similarity_expansion_monotone_in_epsilon(hierarchy, epsilon):
+    """cohabiting at epsilon implies cohabiting at any larger epsilon
+    (order-safe mode, where enhancements always exist)."""
+    small = sea(hierarchy, Levenshtein(), epsilon, mode=ORDER_SAFE)
+    large = sea(hierarchy, Levenshtein(), epsilon + 1.0, mode=ORDER_SAFE)
+    for a, b in itertools.combinations(hierarchy.terms, 2):
+        if small.cohabiting(a, b):
+            assert large.cohabiting(a, b)
+
+
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([0.0, 1.0]))
+@settings(max_examples=40, deadline=None)
+def test_enhancement_theorem_1_uniqueness(hierarchy, epsilon):
+    """Running SEA twice yields identical (not just isomorphic) output."""
+    first = sea(hierarchy, Levenshtein(), epsilon, mode=ORDER_SAFE)
+    second = sea(hierarchy, Levenshtein(), epsilon, mode=ORDER_SAFE)
+    assert first.hierarchy == second.hierarchy
+    assert first.mu == second.mu

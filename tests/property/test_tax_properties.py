@@ -1,0 +1,102 @@
+"""Property-based tests: TAX algebra invariants on random documents."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tax.algebra import difference, intersection, selection, union
+from repro.tax.conditions import And, Comparison, Constant, NodeContent, NodeTag
+from repro.tax.embedding import find_embeddings
+from repro.tax.pattern import AD, PC, pattern_of
+from repro.tax.tree import dedupe
+from repro.xmldb.model import XmlNode
+
+tags = st.sampled_from(["a", "b", "c", "d"])
+texts = st.sampled_from(["", "x", "y", "zz"])
+
+
+@st.composite
+def random_trees(draw, max_depth=3):
+    def make(depth):
+        node = XmlNode(draw(tags), draw(texts))
+        if depth < max_depth:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                node.append(make(depth + 1))
+        return node
+
+    return make(0).renumber()
+
+
+@st.composite
+def random_patterns(draw):
+    """Two-node patterns with random edge kind and tag constraints."""
+    edge = draw(st.sampled_from([PC, AD]))
+    pattern = pattern_of([(1, None, PC), (2, 1, edge)])
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant(draw(tags))),
+        Comparison("=", NodeTag(2), Constant(draw(tags))),
+    )
+    return pattern
+
+
+@given(tree=random_trees(), pattern=random_patterns())
+@settings(max_examples=80, deadline=None)
+def test_embeddings_preserve_structure_and_condition(tree, pattern):
+    for embedding in find_embeddings(pattern, tree):
+        root_image = embedding.image(1)
+        child_image = embedding.image(2)
+        if pattern.node(2).edge == PC:
+            assert child_image.parent is root_image
+        else:
+            assert root_image in list(child_image.ancestors())
+        assert pattern.condition.evaluate(embedding.binding)
+
+
+@given(tree=random_trees(), pattern=random_patterns())
+@settings(max_examples=60, deadline=None)
+def test_selection_results_satisfy_pattern(tree, pattern):
+    """Every witness tree itself embeds the pattern (soundness)."""
+    for witness in selection([tree], pattern):
+        assert any(True for _ in find_embeddings(pattern, witness))
+
+
+@given(tree=random_trees(), pattern=random_patterns())
+@settings(max_examples=60, deadline=None)
+def test_selection_is_idempotent_on_its_output(tree, pattern):
+    """Selecting from the witnesses returns the same witnesses."""
+    first = selection([tree], pattern, sl_labels=[1, 2])
+    second = selection(first, pattern, sl_labels=[1, 2])
+    keys_first = {t.canonical_key() for t in first}
+    keys_second = {t.canonical_key() for t in second}
+    assert keys_first == keys_second
+
+
+@given(left=st.lists(random_trees(), max_size=4), right=st.lists(random_trees(), max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_set_operator_laws(left, right):
+    left = dedupe(left)
+    right = dedupe(right)
+
+    def keys(collection):
+        return {tree.canonical_key() for tree in collection}
+
+    union_keys = keys(union(left, right))
+    inter_keys = keys(intersection(left, right))
+    diff_keys = keys(difference(left, right))
+
+    assert union_keys == keys(left) | keys(right)
+    assert inter_keys == keys(left) & keys(right)
+    assert diff_keys == keys(left) - keys(right)
+    # Partition law: difference and intersection split the left side.
+    assert diff_keys | inter_keys == keys(left)
+    assert not (diff_keys & inter_keys)
+
+
+@given(tree=random_trees())
+@settings(max_examples=60, deadline=None)
+def test_structural_equality_is_equivalence(tree):
+    copy = tree.copy().renumber()
+    assert tree.structurally_equal(tree)
+    assert tree.structurally_equal(copy)
+    assert copy.structurally_equal(tree)
+    assert (tree.canonical_key() == copy.canonical_key()) == tree.structurally_equal(copy)

@@ -1,0 +1,96 @@
+"""Property-based tests: XPath engine vs a naive reference evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldb.model import XmlNode
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+from repro.xmldb.xpath import evaluate_xpath
+
+tags = st.sampled_from(["a", "b", "c"])
+texts = st.sampled_from(["", "1", "two", "x y"])
+
+
+@st.composite
+def random_documents(draw, max_depth=3):
+    def make(depth):
+        node = XmlNode(draw(tags), draw(texts))
+        if depth < max_depth:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                node.append(make(depth + 1))
+        return node
+
+    return make(0).renumber()
+
+
+def reference_descendant_or_self(root, tag):
+    return [node for node in root.iter() if node.tag == tag]
+
+
+def reference_children(nodes, tag):
+    result = []
+    for node in nodes:
+        result.extend(child for child in node.children if child.tag == tag)
+    # XPath node-sets are in document order regardless of evaluation order.
+    return sorted(result, key=lambda node: node.pre)
+
+
+@given(doc=random_documents(), tag=tags)
+@settings(max_examples=80, deadline=None)
+def test_descendant_axis_matches_reference(doc, tag):
+    engine = evaluate_xpath(doc, f"//{tag}")
+    reference = reference_descendant_or_self(doc, tag)
+    assert engine == reference  # identity and order
+
+
+@given(doc=random_documents(), outer=tags, inner=tags)
+@settings(max_examples=80, deadline=None)
+def test_child_step_matches_reference(doc, outer, inner):
+    engine = evaluate_xpath(doc, f"//{outer}/{inner}")
+    reference = reference_children(reference_descendant_or_self(doc, outer), inner)
+    # engine result is ordered + deduplicated; reference may contain
+    # duplicates only if a node has two matching parents (impossible).
+    assert engine == reference
+
+
+@given(doc=random_documents(), tag=tags, value=texts)
+@settings(max_examples=80, deadline=None)
+def test_value_predicate_matches_reference(doc, tag, value):
+    if not value:
+        return
+    engine = evaluate_xpath(doc, f"//{tag}[. = '{value}']")
+    reference = [
+        node
+        for node in reference_descendant_or_self(doc, tag)
+        if node.string_value() == value
+    ]
+    assert engine == reference
+
+
+@given(doc=random_documents())
+@settings(max_examples=60, deadline=None)
+def test_count_agrees_with_nodeset_length(doc):
+    for tag in ("a", "b", "c"):
+        count = evaluate_xpath(doc, f"count(//{tag})")
+        nodes = evaluate_xpath(doc, f"//{tag}")
+        assert count == float(len(nodes))
+
+
+@given(doc=random_documents())
+@settings(max_examples=60, deadline=None)
+def test_serialize_parse_roundtrip_preserves_xpath_results(doc):
+    """Serialise -> reparse -> same XPath answers (modulo whitespace)."""
+    reparsed = parse_document(serialize(doc))
+    for tag in ("a", "b", "c"):
+        original = [n.text for n in evaluate_xpath(doc, f"//{tag}")]
+        roundtripped = [n.text for n in evaluate_xpath(reparsed, f"//{tag}")]
+        assert original == roundtripped
+
+
+@given(doc=random_documents(), tag=tags)
+@settings(max_examples=60, deadline=None)
+def test_union_is_idempotent(doc, tag):
+    single = evaluate_xpath(doc, f"//{tag}")
+    doubled = evaluate_xpath(doc, f"//{tag} | //{tag}")
+    assert single == doubled

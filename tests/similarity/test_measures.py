@@ -1,0 +1,214 @@
+"""Unit tests for the string similarity measures."""
+
+import math
+
+import pytest
+
+from repro.similarity.measures import (
+    CosineTfIdf,
+    DamerauLevenshtein,
+    Jaccard,
+    Jaro,
+    JaroWinkler,
+    Levenshtein,
+    MongeElkan,
+    NormalizedLevenshtein,
+    QGram,
+    ScaledMeasure,
+    get_measure,
+    register_measure,
+)
+from repro.similarity.tokenize import CorpusStatistics
+
+
+class TestRegistry:
+    def test_get_known_measure(self):
+        measure = get_measure("levenshtein")
+        assert isinstance(measure, Levenshtein)
+        assert measure.name == "levenshtein"
+
+    def test_unknown_measure_lists_known(self):
+        with pytest.raises(KeyError) as info:
+            get_measure("nope")
+        assert "levenshtein" in str(info.value)
+
+    def test_register_custom(self):
+        class Constant0(Levenshtein):
+            pass
+
+        register_measure("constant0-test", Constant0)
+        assert isinstance(get_measure("constant0-test"), Constant0)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "levenshtein", "normalized_levenshtein", "damerau", "jaro",
+            "jaro_winkler", "jaccard", "cosine", "qgram", "monge_elkan",
+        ],
+    )
+    def test_all_registered_measures_satisfy_definition_7(self, name):
+        measure = get_measure(name)
+        pairs = [
+            ("abc", "abd"), ("J. Ullman", "Jeffrey Ullman"),
+            ("", "x"), ("same", "same"),
+        ]
+        for x, y in pairs:
+            d = measure.distance(x, y)
+            assert d >= 0.0
+            assert measure.distance(x, x) == 0.0
+            assert measure.distance(x, y) == pytest.approx(measure.distance(y, x))
+
+
+class TestLevenshtein:
+    def setup_method(self):
+        self.measure = Levenshtein()
+
+    @pytest.mark.parametrize(
+        "x, y, expected",
+        [
+            ("kitten", "sitting", 3),
+            ("model", "models", 1),
+            ("relation", "relational", 2),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("same", "same", 0),
+            ("Gian Luigi Ferrari", "GianLuigi Ferrari", 1),
+            ("Marco Ferrari", "Mauro Ferrari", 2),
+        ],
+    )
+    def test_known_distances(self, x, y, expected):
+        assert self.measure.distance(x, y) == expected
+
+    def test_is_strong(self):
+        assert self.measure.is_strong
+
+    def test_lower_bound_is_length_difference(self):
+        assert self.measure.lower_bound("ab", "abcdef") == 4.0
+
+    @pytest.mark.parametrize(
+        "x, y, bound",
+        [
+            ("kitten", "sitting", 3), ("kitten", "sitting", 2),
+            ("abcdef", "abcdef", 0), ("a", "z", 0),
+            ("Jeffrey D. Ullman", "Jeffrey Ullman", 3),
+            ("completely", "different!", 4),
+        ],
+    )
+    def test_bounded_matches_exact_within_bound(self, x, y, bound):
+        exact = self.measure.distance(x, y)
+        bounded = self.measure.bounded_distance(x, y, bound)
+        if exact <= bound:
+            assert bounded == exact
+        else:
+            assert bounded > bound
+
+    def test_similar_uses_bound(self):
+        assert self.measure.similar("model", "models", 1)
+        assert not self.measure.similar("model", "relational", 3)
+
+
+class TestDamerau:
+    def test_transposition_counts_one(self):
+        measure = DamerauLevenshtein()
+        assert measure.distance("abcd", "abdc") == 1.0
+        assert Levenshtein().distance("abcd", "abdc") == 2.0
+
+    def test_reduces_to_levenshtein_without_transpositions(self):
+        measure = DamerauLevenshtein()
+        assert measure.distance("kitten", "sitting") == 3.0
+
+    def test_empty_strings(self):
+        measure = DamerauLevenshtein()
+        assert measure.distance("", "abc") == 3.0
+        assert measure.distance("abc", "") == 3.0
+
+
+class TestJaroFamily:
+    def test_jaro_identity_and_disjoint(self):
+        jaro = Jaro()
+        assert jaro.distance("x", "x") == 0.0
+        assert jaro.distance("abc", "xyz") == 1.0
+
+    def test_jaro_known_value(self):
+        # Classic example: MARTHA vs MARHTA -> similarity 0.944...
+        assert Jaro().similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_jaro_winkler_boosts_prefix(self):
+        jaro = Jaro()
+        winkler = JaroWinkler()
+        assert winkler.distance("prefixed", "prefixes") <= jaro.distance(
+            "prefixed", "prefixes"
+        )
+
+    def test_jaro_winkler_validates_weight(self):
+        with pytest.raises(ValueError):
+            JaroWinkler(prefix_weight=0.5)
+
+    def test_empty_string(self):
+        assert Jaro().distance("", "abc") == 1.0
+
+
+class TestTokenMeasures:
+    def test_jaccard_word_sets(self):
+        measure = Jaccard()
+        assert measure.distance("data base systems", "data base") == pytest.approx(1 / 3)
+        assert measure.distance("alpha beta", "gamma delta") == 1.0
+        assert measure.distance("", "") == 0.0
+
+    def test_jaccard_is_strong(self):
+        assert Jaccard().is_strong
+
+    def test_cosine_identity(self):
+        corpus = CorpusStatistics(["data base systems", "query processing"])
+        measure = CosineTfIdf(corpus)
+        assert measure.distance("data base", "data base") == 0.0
+        assert measure.distance("data base", "query processing") == pytest.approx(1.0)
+
+    def test_cosine_partial_overlap(self):
+        measure = CosineTfIdf()
+        d = measure.distance("data base", "data warehouse")
+        assert 0.0 < d < 1.0
+
+    def test_qgram_known(self):
+        measure = QGram(q=2)
+        # "ab" vs "ab": identical profiles.
+        assert measure.distance("ab", "ab") == 0.0
+        assert measure.distance("ab", "ba") > 0
+
+    def test_qgram_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            QGram(q=0)
+
+    def test_monge_elkan_token_best_match(self):
+        measure = MongeElkan()
+        close = measure.distance("Jeffrey Ullman", "Ullman Jeffrey")
+        far = measure.distance("Jeffrey Ullman", "Paolo Ciancarini")
+        assert close < far
+        assert measure.distance("x y", "x y") == 0.0
+
+    def test_monge_elkan_empty(self):
+        measure = MongeElkan()
+        assert measure.distance("", "") == 0.0
+        assert measure.distance("", "word") == 1.0
+
+
+class TestScaledMeasure:
+    def test_scales_distance(self):
+        scaled = ScaledMeasure(Levenshtein(), 0.5)
+        assert scaled.distance("model", "models") == 0.5
+
+    def test_preserves_strongness(self):
+        assert ScaledMeasure(Levenshtein(), 2.0).is_strong
+        assert not ScaledMeasure(Jaro(), 2.0).is_strong
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledMeasure(Levenshtein(), 0.0)
+
+
+class TestNormalizedLevenshtein:
+    def test_bounded_by_one(self):
+        measure = NormalizedLevenshtein()
+        assert measure.distance("abc", "xyz") == 1.0
+        assert measure.distance("", "") == 0.0
+        assert 0 < measure.distance("model", "models") < 1

@@ -1,0 +1,95 @@
+"""Unit tests for SEO persistence (JSON round trips)."""
+
+import json
+
+import pytest
+
+from repro.errors import SimilarityError
+from repro.ontology import Hierarchy, parse_constraint
+from repro.similarity.measures import Levenshtein, get_measure
+from repro.similarity.persistence import (
+    dump_seo,
+    load_seo,
+    read_seo,
+    save_seo,
+    seo_from_dict,
+    seo_to_dict,
+)
+from repro.similarity.seo import SimilarityEnhancedOntology
+
+
+@pytest.fixture
+def seo():
+    left = Hierarchy(
+        [("J. Smith", "author"), ("J. Smyth", "author"), ("author", "person")]
+    )
+    right = Hierarchy([("P. Chen", "author"), ("author", "person")])
+    return SimilarityEnhancedOntology.build(
+        {1: left, 2: right},
+        get_measure("levenshtein"),
+        1.0,
+        [
+            parse_constraint("author:1 = author:2"),
+            parse_constraint("person:1 = person:2"),
+        ],
+        mode="order-safe",
+    )
+
+
+class TestRoundTrip:
+    def test_queries_survive_round_trip(self, seo):
+        loaded = load_seo(dump_seo(seo))
+        assert loaded.epsilon == seo.epsilon
+        assert loaded.strings() == seo.strings()
+        for x in seo.strings():
+            for y in seo.strings():
+                assert loaded.similar(x, y) == seo.similar(x, y)
+                assert loaded.leq(x, y) == seo.leq(x, y)
+            assert loaded.expand_similar(x) == seo.expand_similar(x)
+            assert loaded.expand_below(x) == seo.expand_below(x)
+            assert loaded.expand_above(x) == seo.expand_above(x)
+
+    def test_witness_survives(self, seo):
+        loaded = load_seo(dump_seo(seo))
+        assert set(loaded.fusion.witness) == set(seo.fusion.witness)
+        for scoped in seo.fusion.witness:
+            assert (
+                loaded.fusion.witness[scoped].strings
+                == seo.fusion.witness[scoped].strings
+            )
+
+    def test_mode_preserved(self, seo):
+        loaded = load_seo(dump_seo(seo))
+        assert loaded.enhancement.mode == "order-safe"
+
+    def test_json_is_deterministic(self, seo):
+        assert dump_seo(seo) == dump_seo(seo)
+
+    def test_file_round_trip(self, seo, tmp_path):
+        path = tmp_path / "seo.json"
+        save_seo(seo, str(path))
+        loaded = read_seo(str(path))
+        assert loaded.strings() == seo.strings()
+
+
+class TestErrors:
+    def test_unnamed_measure_rejected(self):
+        class Anonymous(Levenshtein):
+            pass
+
+        anonymous = Anonymous()
+        anonymous.name = ""
+        seo = SimilarityEnhancedOntology.for_hierarchy(
+            Hierarchy(nodes=["x"]), anonymous, 0.0
+        )
+        with pytest.raises(SimilarityError):
+            seo_to_dict(seo)
+
+    def test_bad_version_rejected(self, seo):
+        payload = seo_to_dict(seo)
+        payload["format"] = 99
+        with pytest.raises(SimilarityError):
+            seo_from_dict(payload)
+
+    def test_payload_is_pure_json(self, seo):
+        json.loads(dump_seo(seo))  # no exotic types slipped through

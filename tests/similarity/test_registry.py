@@ -1,0 +1,29 @@
+"""Tests for the public measure registry surface."""
+
+from repro.similarity.measures import available_measures, get_measure
+from repro.similarity.rules import NameRuleMeasure, VenueRuleMeasure
+
+
+class TestAvailableMeasures:
+    def test_lists_core_and_rule_measures(self):
+        names = available_measures()
+        for expected in (
+            "levenshtein", "damerau", "jaro", "jaro_winkler", "jaccard",
+            "cosine", "qgram", "monge_elkan", "normalized_levenshtein",
+            "name_rules", "venue_rules",
+        ):
+            assert expected in names
+
+    def test_sorted(self):
+        names = available_measures()
+        assert names == sorted(names)
+
+    def test_every_listed_name_instantiates(self):
+        for name in available_measures():
+            measure = get_measure(name)
+            assert measure.distance("abc", "abc") == 0.0
+            assert measure.name == name
+
+    def test_rule_measures_via_registry(self):
+        assert isinstance(get_measure("name_rules"), NameRuleMeasure)
+        assert isinstance(get_measure("venue_rules"), VenueRuleMeasure)

@@ -1,0 +1,78 @@
+"""Unit tests for the rule-based name/venue measures."""
+
+import pytest
+
+from repro.similarity.rules import NameRuleMeasure, VenueRuleMeasure
+
+
+class TestNameRules:
+    def setup_method(self):
+        self.measure = NameRuleMeasure()
+
+    def test_identity(self):
+        assert self.measure.distance("J. Ullman", "J. Ullman") == 0.0
+
+    @pytest.mark.parametrize(
+        "x, y",
+        [
+            ("J. Ullman", "Jeffrey D. Ullman"),
+            ("J. D. Ullman", "Jeffrey D. Ullman"),
+            ("Jeffrey Ullman", "Jeffrey D. Ullman"),
+            ("Ullman, Jeffrey D.", "Jeffrey D. Ullman"),
+        ],
+    )
+    def test_paper_ullman_variants_match(self, x, y):
+        assert self.measure.distance(x, y) == 0.5
+
+    def test_joined_name_matches_at_one(self):
+        assert self.measure.distance(
+            "Gian Luigi Ferrari", "GianLuigi Ferrari"
+        ) <= 1.0
+
+    def test_different_people_far(self):
+        # Marco vs Mauro Ferrari: different first names, not initial-compatible.
+        assert self.measure.distance("Marco Ferrari", "Mauro Ferrari") >= 2.0
+
+    def test_incompatible_initials(self):
+        assert self.measure.distance("K. Ullman", "Jeffrey Ullman") >= 2.0
+
+    def test_suffixes_ignored(self):
+        assert self.measure.distance("John Smith Jr.", "John Smith") == 0.5
+
+    def test_symmetry(self):
+        pairs = [
+            ("J. Ullman", "Jeffrey Ullman"),
+            ("Marco Ferrari", "GianLuigi Ferrari"),
+        ]
+        for x, y in pairs:
+            assert self.measure.distance(x, y) == self.measure.distance(y, x)
+
+    def test_empty_name_falls_back(self):
+        assert self.measure.distance("", "Jeffrey Ullman") >= 2.0
+
+
+class TestVenueRules:
+    def setup_method(self):
+        self.measure = VenueRuleMeasure()
+
+    def test_identity(self):
+        assert self.measure.distance("VLDB", "VLDB") == 0.0
+
+    def test_short_vs_long_sigmod(self):
+        d = self.measure.distance(
+            "SIGMOD Conference",
+            "ACM SIGMOD International Conference on Management of Data",
+        )
+        assert d == 0.5
+
+    def test_unrelated_venues_far(self):
+        d = self.measure.distance("SIGMOD Conference", "SOSP")
+        assert d > 2.0
+
+    def test_acronym_expansion_overlap(self):
+        d = self.measure.distance("VLDB", "Very Large Data Bases Conference")
+        assert d < 2.0
+
+    def test_symmetry(self):
+        x, y = "KDD", "Knowledge Discovery and Data Mining"
+        assert self.measure.distance(x, y) == self.measure.distance(y, x)

@@ -1,0 +1,171 @@
+"""Unit tests for the TAX condition language."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.tax.conditions import (
+    And,
+    Comparison,
+    ConditionContext,
+    Constant,
+    Contains,
+    NodeContent,
+    NodeTag,
+    Not,
+    Or,
+    TrueCondition,
+    required_tags,
+)
+from repro.xmldb.model import build
+
+
+@pytest.fixture
+def binding():
+    paper = build(
+        "inproceedings",
+        build("author", "Jeffrey D. Ullman"),
+        build("year", "1999"),
+    )
+    paper.renumber()
+    return {1: paper, 2: paper.children[0], 3: paper.children[1]}
+
+
+class TestTerms:
+    def test_node_tag_resolves(self, binding):
+        assert NodeTag(2).resolve(binding) == "author"
+
+    def test_node_content_resolves(self, binding):
+        assert NodeContent(2).resolve(binding) == "Jeffrey D. Ullman"
+
+    def test_constant(self, binding):
+        assert Constant("x").resolve(binding) == "x"
+        assert Constant("x").labels() == set()
+
+    def test_unbound_label_raises(self, binding):
+        with pytest.raises(ConditionError):
+            NodeTag(9).resolve(binding)
+
+    def test_term_equality(self):
+        assert NodeTag(1) == NodeTag(1)
+        assert NodeTag(1) != NodeContent(1)
+        assert Constant("a") == Constant("a")
+        assert Constant("a", "year") != Constant("a")
+
+
+class TestComparison:
+    def test_equality(self, binding):
+        condition = Comparison("=", NodeTag(2), Constant("author"))
+        assert condition.evaluate(binding)
+
+    def test_inequality(self, binding):
+        assert Comparison("!=", NodeTag(2), Constant("title")).evaluate(binding)
+
+    def test_numeric_coercion(self, binding):
+        assert Comparison("<=", NodeContent(3), Constant("2000")).evaluate(binding)
+        assert not Comparison(">", NodeContent(3), Constant("2000")).evaluate(binding)
+
+    def test_string_fallback_for_non_numeric(self, binding):
+        condition = Comparison("<", NodeContent(2), Constant("Z"))
+        assert condition.evaluate(binding)  # lexicographic
+
+    def test_invalid_operator(self):
+        with pytest.raises(ConditionError):
+            Comparison("~", NodeTag(1), Constant("x"))
+
+    def test_labels(self):
+        condition = Comparison("=", NodeTag(1), NodeContent(2))
+        assert condition.labels() == {1, 2}
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self, binding):
+        tag_ok = Comparison("=", NodeTag(2), Constant("author"))
+        year_no = Comparison("=", NodeContent(3), Constant("1883"))
+        assert And(tag_ok, Not(year_no)).evaluate(binding)
+        assert Or(year_no, tag_ok).evaluate(binding)
+        assert not And(tag_ok, year_no).evaluate(binding)
+
+    def test_operator_overloads(self, binding):
+        tag_ok = Comparison("=", NodeTag(2), Constant("author"))
+        year_no = Comparison("=", NodeContent(3), Constant("1883"))
+        assert (tag_ok & ~year_no).evaluate(binding)
+        assert (year_no | tag_ok).evaluate(binding)
+
+    def test_arity_enforced(self):
+        only = Comparison("=", NodeTag(1), Constant("x"))
+        with pytest.raises(ConditionError):
+            And(only)
+        with pytest.raises(ConditionError):
+            Or(only)
+
+    def test_labels_union(self, binding):
+        condition = And(
+            Comparison("=", NodeTag(1), Constant("a")),
+            Or(
+                Comparison("=", NodeTag(2), Constant("b")),
+                Comparison("=", NodeContent(3), Constant("c")),
+            ),
+        )
+        assert condition.labels() == {1, 2, 3}
+
+
+class TestContains:
+    def test_case_insensitive(self, binding):
+        assert Contains(NodeContent(2), Constant("ullman")).evaluate(binding)
+
+    def test_negative(self, binding):
+        assert not Contains(NodeContent(2), Constant("ciancarini")).evaluate(binding)
+
+
+class TestSemanticOpsRejectedByBaseContext:
+    def test_similar_raises(self):
+        with pytest.raises(ConditionError):
+            ConditionContext().similar("a", "b")
+
+    @pytest.mark.parametrize(
+        "hook", ["instance_of", "subtype_of", "below", "above", "part_of"]
+    )
+    def test_ontology_hooks_raise(self, hook):
+        with pytest.raises(ConditionError):
+            getattr(ConditionContext(), hook)("a", "b")
+
+
+class TestRequiredTags:
+    def test_collects_conjunctive_tag_equalities(self):
+        condition = And(
+            Comparison("=", NodeTag(1), Constant("inproceedings")),
+            Comparison("=", Constant("author"), NodeTag(2)),
+            Comparison("=", NodeContent(2), Constant("someone")),
+        )
+        assert required_tags(condition) == {
+            1: {"inproceedings"},
+            2: {"author"},
+        }
+
+    def test_same_label_disjunction(self):
+        condition = Or(
+            Comparison("=", NodeTag(1), Constant("article")),
+            Comparison("=", NodeTag(1), Constant("inproceedings")),
+        )
+        assert required_tags(condition) == {1: {"article", "inproceedings"}}
+
+    def test_mixed_disjunction_gives_nothing(self):
+        condition = Or(
+            Comparison("=", NodeTag(1), Constant("article")),
+            Comparison("=", NodeContent(1), Constant("x")),
+        )
+        assert required_tags(condition) == {}
+
+    def test_negated_atoms_ignored(self):
+        condition = Not(Comparison("=", NodeTag(1), Constant("article")))
+        assert required_tags(condition) == {}
+
+    def test_conflicting_constraints_intersect(self):
+        condition = And(
+            Comparison("=", NodeTag(1), Constant("a")),
+            Comparison("=", NodeTag(1), Constant("b")),
+        )
+        assert required_tags(condition) == {1: set()}
+
+    def test_true_condition(self):
+        assert required_tags(TrueCondition()) == {}

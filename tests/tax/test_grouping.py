@@ -1,0 +1,155 @@
+"""Unit tests for the TAX grouping and aggregation operators."""
+
+import pytest
+
+from repro.errors import TaxError
+from repro.tax.conditions import And, Comparison, Constant, NodeContent, NodeTag
+from repro.tax.grouping import (
+    AGGREGATE_TAG,
+    GROUP_BASIS_TAG,
+    GROUP_ROOT_TAG,
+    GROUP_SUBROOT_TAG,
+    aggregation,
+    grouping,
+)
+from repro.tax.pattern import pattern_of
+from repro.xmldb.parser import parse_document
+
+DOC = """
+<dblp>
+  <inproceedings><title>A</title><year>1999</year><pages>10</pages></inproceedings>
+  <inproceedings><title>B</title><year>1999</year><pages>20</pages></inproceedings>
+  <inproceedings><title>C</title><year>2001</year><pages>30</pages></inproceedings>
+</dblp>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+def paper_pattern():
+    pattern = pattern_of([(1, None, "pc"), (2, 1, "pc")])
+    pattern.condition = And(
+        Comparison("=", NodeTag(1), Constant("inproceedings")),
+        Comparison("=", NodeTag(2), Constant("year")),
+    )
+    return pattern
+
+
+class TestGrouping:
+    def test_groups_by_year(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)], sl_labels=[1])
+        assert len(groups) == 2
+        assert all(g.tag == GROUP_ROOT_TAG for g in groups)
+        keys = [g.child_by_tag(GROUP_BASIS_TAG).children[0].text for g in groups]
+        assert keys == ["1999", "2001"]
+
+    def test_group_members(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)], sl_labels=[1])
+        first = groups[0].child_by_tag(GROUP_SUBROOT_TAG)
+        titles = sorted(n.text for n in first.find_all("title"))
+        assert titles == ["A", "B"]
+        second = groups[1].child_by_tag(GROUP_SUBROOT_TAG)
+        assert [n.text for n in second.find_all("title")] == ["C"]
+
+    def test_multi_term_basis(self, doc):
+        groups = grouping(
+            [doc], paper_pattern(), [NodeTag(1), NodeContent(2)], sl_labels=[1]
+        )
+        basis = groups[0].child_by_tag(GROUP_BASIS_TAG)
+        assert [k.text for k in basis.children] == ["inproceedings", "1999"]
+
+    def test_empty_basis_rejected(self, doc):
+        with pytest.raises(TaxError):
+            grouping([doc], paper_pattern(), [])
+
+    def test_members_deduplicated(self, doc):
+        # Without SL, both 1999 witnesses are (inproceedings, year) pairs
+        # with distinct year text -> 2 members; duplicates would arise
+        # from identical witnesses only.
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)])
+        first = groups[0].child_by_tag(GROUP_SUBROOT_TAG)
+        assert len(first.children) == 1  # both 1999 witnesses identical
+
+
+class TestAggregation:
+    def test_count(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)], sl_labels=[1])
+        counts = aggregation(groups, "count")
+        assert [c.tag for c in counts] == [AGGREGATE_TAG] * 2
+        values = {
+            c.child_by_tag(GROUP_BASIS_TAG).children[0].text:
+            c.child_by_tag("value").text
+            for c in counts
+        }
+        assert values == {"1999": "2", "2001": "1"}
+
+    @pytest.mark.parametrize(
+        "function, expected_1999",
+        [("sum", "30"), ("min", "10"), ("max", "20"), ("avg", "15")],
+    )
+    def test_numeric_aggregates(self, doc, function, expected_1999):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)], sl_labels=[1])
+        results = aggregation(groups, function, value_tag="pages")
+        values = {
+            r.child_by_tag(GROUP_BASIS_TAG).children[0].text:
+            r.child_by_tag("value").text
+            for r in results
+        }
+        assert values["1999"] == expected_1999
+
+    def test_unknown_aggregate(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)])
+        with pytest.raises(TaxError):
+            aggregation(groups, "median")
+
+    def test_numeric_aggregate_requires_value_tag(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)])
+        with pytest.raises(TaxError):
+            aggregation(groups, "sum")
+
+    def test_non_numeric_content_rejected(self, doc):
+        groups = grouping([doc], paper_pattern(), [NodeContent(2)], sl_labels=[1])
+        with pytest.raises(TaxError):
+            aggregation(groups, "sum", value_tag="title")
+
+    def test_wrong_input_shape(self, doc):
+        with pytest.raises(TaxError):
+            aggregation([doc], "count")
+
+
+class TestGroupingUnderSeo:
+    def test_similarity_grouping(self):
+        """Grouping composes with TOSS conditions: group similar authors."""
+        from repro.core.conditions import SeoConditionContext, SimilarTo
+        from repro.ontology import Hierarchy
+        from repro.similarity.measures import Levenshtein
+        from repro.similarity.seo import SimilarityEnhancedOntology
+
+        doc = parse_document(
+            "<db>"
+            "<r><a>J. Smith</a><v>1</v></r>"
+            "<r><a>J. Smyth</a><v>2</v></r>"
+            "<r><a>P. Chen</a><v>3</v></r>"
+            "</db>"
+        )
+        hierarchy = Hierarchy(
+            [("J. Smith", "a"), ("J. Smyth", "a"), ("P. Chen", "a")]
+        )
+        seo = SimilarityEnhancedOntology.for_hierarchy(hierarchy, Levenshtein(), 1.0)
+        context = SeoConditionContext(seo)
+        pattern = pattern_of([(1, None, "pc"), (2, 1, "pc")])
+        pattern.condition = And(
+            Comparison("=", NodeTag(1), Constant("r")),
+            Comparison("=", NodeTag(2), Constant("a")),
+            SimilarTo(NodeContent(2), Constant("J. Smith")),
+        )
+        groups = grouping(
+            [doc], pattern, [NodeContent(2)], sl_labels=[1], context=context
+        )
+        keys = sorted(
+            g.child_by_tag(GROUP_BASIS_TAG).children[0].text for g in groups
+        )
+        assert keys == ["J. Smith", "J. Smyth"]

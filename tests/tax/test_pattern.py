@@ -1,0 +1,85 @@
+"""Unit tests for pattern trees (Definition 2)."""
+
+import pytest
+
+from repro.errors import PatternTreeError
+from repro.tax.pattern import AD, PC, PatternTree, pattern_of
+
+
+class TestConstruction:
+    def test_first_node_is_root(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        assert pattern.root == 1
+
+    def test_children_recorded_in_order(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        pattern.add_node(2, parent=1)
+        pattern.add_node(3, parent=1, edge=AD)
+        assert [n.label for n in pattern.children(1)] == [2, 3]
+        assert pattern.node(3).edge == AD
+        assert pattern.node(2).edge == PC
+
+    def test_duplicate_label_rejected(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        with pytest.raises(PatternTreeError):
+            pattern.add_node(1, parent=1)
+
+    def test_second_root_rejected(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        with pytest.raises(PatternTreeError):
+            pattern.add_node(2)
+
+    def test_parent_must_exist(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        with pytest.raises(PatternTreeError):
+            pattern.add_node(2, parent=9)
+
+    def test_bad_edge_kind(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        with pytest.raises(PatternTreeError):
+            pattern.add_node(2, parent=1, edge="sibling")
+
+    def test_empty_pattern_root_raises(self):
+        with pytest.raises(PatternTreeError):
+            PatternTree().root
+
+    def test_unknown_label(self):
+        pattern = PatternTree()
+        pattern.add_node(1)
+        with pytest.raises(PatternTreeError):
+            pattern.node(7)
+
+    def test_bulk_constructor(self):
+        pattern = pattern_of([(1, None, PC), (2, 1, PC), (3, 2, AD)])
+        assert len(pattern) == 3
+        assert pattern.node(3).parent == 2
+
+
+class TestTraversal:
+    def test_preorder(self):
+        pattern = pattern_of(
+            [(1, None, PC), (2, 1, PC), (4, 2, PC), (3, 1, PC)]
+        )
+        assert [n.label for n in pattern.preorder()] == [1, 2, 4, 3]
+
+    def test_labels_insertion_order(self):
+        pattern = pattern_of([(5, None, PC), (2, 5, PC)])
+        assert pattern.labels() == [5, 2]
+
+    def test_validate_ok(self):
+        pattern = pattern_of([(1, None, PC), (2, 1, PC)])
+        pattern.validate()
+
+    def test_validate_empty_raises(self):
+        with pytest.raises(PatternTreeError):
+            PatternTree().validate()
+
+    def test_default_condition_is_true(self):
+        pattern = pattern_of([(1, None, PC)])
+        assert pattern.condition.evaluate({})

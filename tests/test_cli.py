@@ -1,0 +1,174 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DBLP = """
+<dblp>
+  <inproceedings key="p1">
+    <author>J. Smith</author>
+    <title>Paper One</title>
+  </inproceedings>
+  <inproceedings key="p2">
+    <author>J. Smyth</author>
+    <title>Paper Two</title>
+  </inproceedings>
+</dblp>
+"""
+
+SIGMOD = """
+<ProceedingsPage>
+  <articles>
+    <article key="p1"><title>Paper One.</title></article>
+  </articles>
+</ProceedingsPage>
+"""
+
+
+@pytest.fixture
+def dblp_file(tmp_path):
+    path = tmp_path / "dblp.xml"
+    path.write_text(DBLP)
+    return str(path)
+
+
+@pytest.fixture
+def sigmod_file(tmp_path):
+    path = tmp_path / "sigmod.xml"
+    path.write_text(SIGMOD)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_similarity_query(self, dblp_file, capsys):
+        status = main(
+            [
+                "query",
+                "--source", f"dblp={dblp_file}",
+                "--epsilon", "1",
+                'inproceedings(author ~ "J. Smith")',
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# 2 results" in out
+        assert "Paper One" in out and "Paper Two" in out
+
+    def test_join_query(self, dblp_file, sigmod_file, capsys):
+        status = main(
+            [
+                "query",
+                "--source", f"dblp={dblp_file}",
+                "--source", f"sigmod={sigmod_file}",
+                "--epsilon", "2",
+                'inproceedings(title $a), //article(title $b) where $a ~ $b',
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# 1 results" in out
+
+    def test_bad_source_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--source", "no-equals-sign", "a"])
+
+    def test_measure_option(self, dblp_file, capsys):
+        status = main(
+            [
+                "query",
+                "--source", f"dblp={dblp_file}",
+                "--measure", "jaro_winkler",
+                "--epsilon", "0.1",
+                'inproceedings(author ~ "J. Smith")',
+            ]
+        )
+        assert status == 0
+
+
+class TestSeoCommand:
+    def test_seo_to_stdout(self, dblp_file, capsys):
+        status = main(
+            ["seo", "--source", f"dblp={dblp_file}", "--epsilon", "1"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        body = out[out.index("{"):]
+        payload = json.loads(body)
+        assert payload["measure"] == "levenshtein"
+
+    def test_seo_to_file(self, dblp_file, tmp_path, capsys):
+        out_path = tmp_path / "seo.json"
+        status = main(
+            [
+                "seo",
+                "--source", f"dblp={dblp_file}",
+                "--out", str(out_path),
+            ]
+        )
+        assert status == 0
+        from repro.similarity.persistence import read_seo
+
+        seo = read_seo(str(out_path))
+        assert "J. Smith" in seo
+
+
+class TestExperimentCommand:
+    def test_fig15a_small(self, capsys):
+        status = main(
+            ["experiment", "fig15a", "--datasets", "1", "--papers", "40"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "avg precision" in out
+
+    @pytest.mark.parametrize("figure", ["fig15b", "fig15c"])
+    def test_fig15_series_quick(self, figure, capsys):
+        assert main(["experiment", figure, "--quick"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig16a_quick(self, capsys):
+        assert main(["experiment", "fig16a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TAX" in out and "TOSS" in out
+
+    def test_fig16b_quick(self, capsys):
+        assert main(["experiment", "fig16b", "--quick"]) == 0
+        assert "join" in capsys.readouterr().out
+
+    def test_fig16c_quick(self, capsys):
+        assert main(["experiment", "fig16c", "--quick"]) == 0
+        assert "epsilon" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestSaveLoad:
+    def test_save_then_query_loaded(self, dblp_file, tmp_path, capsys):
+        store = str(tmp_path / "system")
+        status = main(
+            ["save", "--source", f"dblp={dblp_file}", "--epsilon", "1",
+             "--out", store]
+        )
+        assert status == 0
+        assert "saved 1 instances" in capsys.readouterr().out
+        status = main(
+            ["query", "--load", store, 'inproceedings(author ~ "J. Smith")']
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# 2 results" in out
+
+    def test_query_needs_source_or_load(self):
+        with pytest.raises(SystemExit):
+            main(["query", "a(b)"])
+
+
+class TestUsage:
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,188 @@
+"""Failure injection: malformed inputs and boundary conditions everywhere."""
+
+import pytest
+
+from repro.errors import (
+    CollectionError,
+    ConditionError,
+    ConstraintError,
+    DocumentTooLargeError,
+    FusionInconsistencyError,
+    HierarchyCycleError,
+    PatternTreeError,
+    ReproError,
+    SimilarityInconsistencyError,
+    TossError,
+    UnknownTermError,
+    XPathSyntaxError,
+    XmlParseError,
+)
+from repro.core.system import TossSystem
+from repro.ontology import Hierarchy, parse_constraint
+from repro.ontology.fusion import canonical_fusion
+from repro.similarity.measures import Levenshtein
+from repro.similarity.sea import sea
+from repro.tax.pattern import PatternTree
+from repro.xmldb.collection import Collection
+from repro.xmldb.parser import parse_document
+from repro.xmldb.xpath import XPathQuery
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            CollectionError, ConditionError, ConstraintError,
+            DocumentTooLargeError, FusionInconsistencyError,
+            HierarchyCycleError, PatternTreeError,
+            SimilarityInconsistencyError, TossError, UnknownTermError,
+            XPathSyntaxError, XmlParseError,
+        ],
+    )
+    def test_all_errors_are_repro_errors(self, exception):
+        assert issubclass(exception, ReproError)
+
+
+class TestMalformedXml:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "<",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "plain text",
+            "<a attr=unquoted/>",
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(XmlParseError):
+            parse_document(text)
+
+    def test_instance_with_malformed_xml_fails_cleanly(self):
+        system = TossSystem()
+        with pytest.raises(XmlParseError):
+            system.add_instance("bad", "<a><b></a>")
+        # the failed collection is created but the system stays usable
+        system.add_instance("good", "<a><b>x</b></a>")
+
+
+class TestOversizedDocuments:
+    def test_document_cap_and_recovery(self):
+        collection = Collection("tiny", max_document_bytes=50)
+        with pytest.raises(DocumentTooLargeError):
+            collection.add_document("big", "<a>" + "x" * 200 + "</a>")
+        # the failed add leaves no partial state
+        assert len(collection) == 0
+        collection.add_document("small", "<a>ok</a>")
+        assert len(collection) == 1
+
+
+class TestBadQueries:
+    @pytest.mark.parametrize(
+        "query",
+        ["", "//", "//a[", "//a]", "//a[@]", "//a/b[", "foo(", "1 +", "//a[''=]"],
+    )
+    def test_xpath_syntax_errors(self, query):
+        with pytest.raises(XPathSyntaxError):
+            XPathQuery(query)
+
+    def test_pattern_validation(self):
+        pattern = PatternTree()
+        with pytest.raises(PatternTreeError):
+            pattern.validate()
+
+
+class TestInconsistentKnowledge:
+    def test_contradictory_constraints(self):
+        with pytest.raises(FusionInconsistencyError):
+            canonical_fusion(
+                {1: Hierarchy(nodes=["a"]), 2: Hierarchy(nodes=["b"])},
+                [parse_constraint("a:1 = b:2"), parse_constraint("a:1 != b:2")],
+            )
+
+    def test_indirectly_contradictory_constraints(self):
+        # a:1 <= b:2 plus b's hierarchy ordering b <= c plus c:2 <= a:1
+        # forces {a, b, c} into one equivalence class; a != c then fails.
+        hierarchies = {
+            1: Hierarchy(nodes=["a"]),
+            2: Hierarchy([("b", "c")]),
+        }
+        with pytest.raises(FusionInconsistencyError):
+            canonical_fusion(
+                hierarchies,
+                [
+                    parse_constraint("a:1 <= b:2"),
+                    parse_constraint("c:2 <= a:1"),
+                    parse_constraint("a:1 != c:2"),
+                ],
+            )
+
+    def test_similarity_inconsistency_message_names_terms(self):
+        hierarchy = Hierarchy([("article", "document")], nodes=["articles"])
+        with pytest.raises(SimilarityInconsistencyError) as info:
+            sea(hierarchy, Levenshtein(), 1.0)
+        message = str(info.value)
+        assert "article" in message and "document" in message
+
+    def test_cyclic_ontology_rejected_at_construction(self):
+        with pytest.raises(HierarchyCycleError):
+            Hierarchy([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestSystemMisuse:
+    def test_unknown_collection_query(self):
+        system = TossSystem()
+        system.add_instance("dblp", "<a><b>x</b></a>")
+        system.build()
+        from repro.core.parser import parse_query
+
+        parsed = parse_query("a(b)")
+        with pytest.raises(CollectionError):
+            system.select("nowhere", parsed.pattern)
+
+    def test_join_needs_right_collection(self):
+        system = TossSystem()
+        system.add_instance("dblp", "<a><b>x</b></a>")
+        system.build()
+        with pytest.raises(TossError):
+            system.query("dblp", "a(b $x), c(d $y) where $x ~ $y")
+
+    def test_unknown_measure_name(self):
+        with pytest.raises(KeyError):
+            TossSystem(measure="frobnicator")
+
+    def test_constraint_against_missing_source(self):
+        system = TossSystem()
+        system.add_instance("dblp", "<a><b>x</b></a>")
+        system.add_constraint("b:dblp = c:missing")
+        with pytest.raises(ConstraintError):
+            system.build()
+
+
+class TestDegenerateInputs:
+    def test_empty_document_element(self):
+        system = TossSystem()
+        system.add_instance("empty", "<root/>")
+        system.build()
+        assert system.ontology_size() >= 1
+
+    def test_single_node_hierarchy_sea(self):
+        enhancement = sea(Hierarchy(nodes=["only"]), Levenshtein(), 5.0)
+        assert len(enhancement.hierarchy) == 1
+
+    def test_empty_hierarchy_sea(self):
+        enhancement = sea(Hierarchy(), Levenshtein(), 1.0)
+        assert len(enhancement.hierarchy) == 0
+
+    def test_unicode_content_roundtrip(self):
+        from repro.xmldb.serializer import serialize
+
+        doc = parse_document("<a><b>Grüße, 世界 — “quotes”</b></a>")
+        again = parse_document(serialize(doc))
+        assert again.children[0].text == "Grüße, 世界 — “quotes”"
+
+    def test_whitespace_only_content_dropped(self):
+        doc = parse_document("<a>   \n\t  </a>")
+        assert doc.text == ""

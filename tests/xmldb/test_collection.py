@@ -1,0 +1,168 @@
+"""Unit tests for collections, the database facade and indexes."""
+
+import pytest
+
+from repro.errors import CollectionError, DocumentTooLargeError
+from repro.xmldb.collection import Collection
+from repro.xmldb.database import Database
+from repro.xmldb.indexes import CollectionIndex, DocumentIndex
+from repro.xmldb.model import XmlNode
+from repro.xmldb.parser import parse_document
+
+DOC = "<dblp><inproceedings><author>A</author><year>1999</year></inproceedings></dblp>"
+
+
+class TestCollection:
+    def test_add_and_get(self):
+        collection = Collection("dblp")
+        root = collection.add_document("d1", DOC)
+        assert collection.get_document("d1") is root
+        assert "d1" in collection
+        assert len(collection) == 1
+
+    def test_add_parsed_tree(self):
+        collection = Collection("dblp")
+        tree = parse_document(DOC)
+        assert collection.add_document("d1", tree) is tree
+
+    def test_duplicate_key_rejected(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        with pytest.raises(CollectionError):
+            collection.add_document("d1", DOC)
+
+    def test_replace_document(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        collection.replace_document("d1", "<other/>")
+        assert collection.get_document("d1").tag == "other"
+
+    def test_remove_document(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        collection.remove_document("d1")
+        assert "d1" not in collection
+        with pytest.raises(CollectionError):
+            collection.remove_document("d1")
+
+    def test_missing_document(self):
+        with pytest.raises(CollectionError):
+            Collection("dblp").get_document("nope")
+
+    def test_size_cap_enforced(self):
+        collection = Collection("tiny", max_document_bytes=20)
+        with pytest.raises(DocumentTooLargeError) as info:
+            collection.add_document("big", DOC)
+        assert info.value.limit == 20
+        assert info.value.size > 20
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CollectionError):
+            Collection("")
+
+    def test_xpath_over_all_documents(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        collection.add_document("d2", DOC.replace("1999", "2000"))
+        years = collection.xpath("//year")
+        assert sorted(node.text for node in years) == ["1999", "2000"]
+
+    def test_xpath_single_document(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        collection.add_document("d2", DOC.replace("1999", "2000"))
+        years = collection.xpath_document("d2", "//year")
+        assert [node.text for node in years] == ["2000"]
+
+    def test_statistics(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        assert collection.total_bytes() > 0
+        assert collection.total_nodes() == 4
+
+
+class TestDatabase:
+    def test_create_get_drop(self):
+        database = Database()
+        database.create_collection("dblp")
+        assert "dblp" in database
+        assert database.get_collection("dblp").name == "dblp"
+        database.drop_collection("dblp")
+        assert "dblp" not in database
+        with pytest.raises(CollectionError):
+            database.drop_collection("dblp")
+
+    def test_duplicate_collection_rejected(self):
+        database = Database()
+        database.create_collection("dblp")
+        with pytest.raises(CollectionError):
+            database.create_collection("dblp")
+
+    def test_get_or_create(self):
+        database = Database()
+        first = database.get_or_create_collection("x")
+        assert database.get_or_create_collection("x") is first
+
+    def test_unknown_collection(self):
+        with pytest.raises(CollectionError):
+            Database().get_collection("nope")
+
+    def test_xpath_records_statistics(self):
+        database = Database()
+        database.create_collection("dblp").add_document("d1", DOC)
+        results = database.xpath("dblp", "//author")
+        assert len(results) == 1
+        assert database.statistics.queries_run == 1
+        assert database.statistics.results_returned == 1
+        assert database.statistics.total_seconds >= 0
+        database.statistics.reset()
+        assert database.statistics.queries_run == 0
+
+    def test_query_cache_reuses_compiled(self):
+        database = Database()
+        assert database.compile("//a") is database.compile("//a")
+
+    def test_document_size_limit_propagates(self):
+        database = Database(max_document_bytes=10)
+        collection = database.create_collection("tiny")
+        with pytest.raises(DocumentTooLargeError):
+            collection.add_document("big", DOC)
+
+    def test_total_bytes(self):
+        database = Database()
+        database.create_collection("dblp").add_document("d1", DOC)
+        assert database.total_bytes() > 0
+
+    def test_collection_names(self):
+        database = Database()
+        database.create_collection("a")
+        database.create_collection("b")
+        assert database.collection_names() == ["a", "b"]
+
+
+class TestIndexes:
+    def test_tag_index(self):
+        index = DocumentIndex(parse_document(DOC))
+        assert len(index.tags.nodes("author")) == 1
+        assert index.tags.count("inproceedings") == 1
+        assert index.tags.nodes("missing") == []
+
+    def test_value_index(self):
+        index = DocumentIndex(parse_document(DOC))
+        assert len(index.values.nodes("year", "1999")) == 1
+        assert index.values.nodes("year", "1883") == []
+        assert len(index.values.nodes_with_content("A")) == 1
+
+    def test_collection_index_caches(self):
+        root = parse_document(DOC)
+        index = CollectionIndex()
+        assert index.index_for(root) is index.index_for(root)
+        index.invalidate(root)
+        index.clear()
+
+    def test_distinct_tags_and_contents(self):
+        roots = [parse_document(DOC), parse_document("<x><y>A</y></x>")]
+        index = CollectionIndex()
+        assert "y" in index.distinct_tags(roots)
+        contents = list(index.distinct_contents(roots))
+        assert contents.count("A") == 1  # de-duplicated

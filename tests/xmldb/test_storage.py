@@ -1,0 +1,86 @@
+"""Unit tests for database directory persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import XmlDbError
+from repro.xmldb.database import Database
+from repro.xmldb.storage import load_database, save_database
+
+DOC_A = "<dblp><inproceedings key='p1'><title>One</title></inproceedings></dblp>"
+DOC_B = "<page><article key='p1'><title>One.</title></article></page>"
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_collection("dblp").add_document("doc-a", DOC_A)
+    sigmod = db.create_collection("sigmod")
+    sigmod.add_document("doc-b", DOC_B)
+    sigmod.add_document("weird key/with:chars", DOC_B)
+    return db
+
+
+class TestRoundTrip:
+    def test_structure_survives(self, database, tmp_path):
+        save_database(database, str(tmp_path / "store"))
+        loaded = load_database(str(tmp_path / "store"))
+        assert sorted(loaded.collection_names()) == ["dblp", "sigmod"]
+        assert len(loaded.get_collection("sigmod")) == 2
+        original = database.get_collection("dblp").get_document("doc-a")
+        reloaded = loaded.get_collection("dblp").get_document("doc-a")
+        assert original.structurally_equal(reloaded)
+
+    def test_queries_survive(self, database, tmp_path):
+        save_database(database, str(tmp_path / "store"))
+        loaded = load_database(str(tmp_path / "store"))
+        titles = [n.text for n in loaded.xpath("dblp", "//title")]
+        assert titles == ["One"]
+
+    def test_documents_are_plain_xml_files(self, database, tmp_path):
+        root = tmp_path / "store"
+        save_database(database, str(root))
+        files = list((root / "dblp").iterdir())
+        assert len(files) == 1
+        assert files[0].suffix == ".xml"
+        assert "<title>" in files[0].read_text()
+
+    def test_unsafe_keys_sanitised(self, database, tmp_path):
+        root = tmp_path / "store"
+        save_database(database, str(root))
+        loaded = load_database(str(root))
+        assert "weird key/with:chars" in loaded.get_collection("sigmod")
+
+    def test_resave_overwrites(self, database, tmp_path):
+        root = str(tmp_path / "store")
+        save_database(database, root)
+        save_database(database, root)  # idempotent
+        loaded = load_database(root)
+        assert len(loaded.get_collection("dblp")) == 1
+
+    def test_size_cap_preserved(self, tmp_path):
+        db = Database(max_document_bytes=1234)
+        db.create_collection("x").max_document_bytes = 99999
+        db.get_collection("x").add_document("d", "<a/>")
+        save_database(db, str(tmp_path / "s"))
+        loaded = load_database(str(tmp_path / "s"))
+        assert loaded.max_document_bytes == 1234
+        assert loaded.get_collection("x").max_document_bytes == 99999
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(XmlDbError):
+            load_database(str(tmp_path))
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(XmlDbError):
+            load_database(str(tmp_path))
+
+    def test_bad_format_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": 9}))
+        with pytest.raises(XmlDbError):
+            load_database(str(tmp_path))

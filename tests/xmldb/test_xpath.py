@@ -1,0 +1,271 @@
+"""Unit tests for the XPath lexer, parser and engine."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathEvaluationError, XPathSyntaxError
+from repro.xmldb.parser import parse_document
+from repro.xmldb.xpath import XPathQuery, evaluate_xpath, parse_xpath
+from repro.xmldb.xpath.engine import AttributeNode, TextNode
+from repro.xmldb.xpath.lexer import tokenize
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        """
+        <dblp>
+          <inproceedings key="p1">
+            <author>Jeffrey D. Ullman</author>
+            <author>Second Author</author>
+            <title>A Survey of Deductive Database Systems</title>
+            <year>1999</year>
+            <booktitle>SIGMOD Conference</booktitle>
+          </inproceedings>
+          <inproceedings key="p2">
+            <author>Paolo Ciancarini</author>
+            <title>Managing Complex Documents</title>
+            <year>2000</year>
+            <booktitle>VLDB</booktitle>
+          </inproceedings>
+          <article key="p3">
+            <author>Paolo Ciancarini</author>
+            <title>Another One</title>
+            <year>1999</year>
+          </article>
+        </dblp>
+        """
+    )
+
+
+def texts(results):
+    return [node.text for node in results]
+
+
+class TestLexer:
+    def test_tokenizes_path(self):
+        kinds = [t.kind for t in tokenize("//a/b[@k='v']")]
+        assert kinds == [
+            "DOUBLE_SLASH", "NAME", "SLASH", "NAME", "LBRACKET",
+            "AT", "NAME", "EQ", "LITERAL", "RBRACKET", "EOF",
+        ]
+
+    def test_numbers_including_decimal(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", ".75"]
+
+    def test_comparison_operators(self):
+        kinds = [t.kind for t in tokenize("< <= > >= != =")]
+        assert kinds[:-1] == ["LT", "LE", "GT", "GE", "NEQ", "EQ"]
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            tokenize("a $ b")
+        assert info.value.position == 2
+
+
+class TestParser:
+    def test_parse_roundtrips_structure(self):
+        expr = parse_xpath("//inproceedings[year='1999']/title")
+        assert "inproceedings" in str(expr)
+
+    def test_empty_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//a]")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//a[year=]")
+
+
+class TestPaths:
+    def test_absolute_child_path(self, doc):
+        assert texts(evaluate_xpath(doc, "/dblp/inproceedings/author"))[0] == (
+            "Jeffrey D. Ullman"
+        )
+
+    def test_descendant_axis(self, doc):
+        assert len(evaluate_xpath(doc, "//author")) == 4
+
+    def test_wildcard(self, doc):
+        assert len(evaluate_xpath(doc, "/dblp/*")) == 3
+
+    def test_nested_descendant(self, doc):
+        titles = evaluate_xpath(doc, "//inproceedings//title")
+        assert len(titles) == 2
+
+    def test_parent_step(self, doc):
+        results = evaluate_xpath(doc, "//author/..")
+        tags = {node.tag for node in results}
+        assert tags == {"inproceedings", "article"}
+
+    def test_self_step(self, doc):
+        assert len(evaluate_xpath(doc, "//author/.")) == 4
+
+    def test_root_path(self, doc):
+        results = evaluate_xpath(doc, "/")
+        assert [node.tag for node in results] == ["dblp"]
+
+    def test_results_in_document_order_without_duplicates(self, doc):
+        results = evaluate_xpath(doc, "//inproceedings/* | //author")
+        pres = [node.pre for node in results]
+        assert pres == sorted(pres)
+        assert len(pres) == len(set(pres))
+
+
+class TestPredicates:
+    def test_value_equality(self, doc):
+        titles = texts(evaluate_xpath(doc, "//inproceedings[year='1999']/title"))
+        assert titles == ["A Survey of Deductive Database Systems"]
+
+    def test_numeric_comparison(self, doc):
+        titles = evaluate_xpath(doc, "//inproceedings[year > 1999]/title")
+        assert texts(titles) == ["Managing Complex Documents"]
+
+    def test_existence_predicate(self, doc):
+        assert len(evaluate_xpath(doc, "//*[booktitle]")) == 2
+
+    def test_position_predicate(self, doc):
+        second = evaluate_xpath(doc, "/dblp/inproceedings[2]/author")
+        assert texts(second) == ["Paolo Ciancarini"]
+
+    def test_position_function(self, doc):
+        first = evaluate_xpath(doc, "/dblp/inproceedings[position()=1]")
+        assert first[0].attributes["key"] == "p1"
+
+    def test_last_function(self, doc):
+        last = evaluate_xpath(doc, "/dblp/*[last()]")
+        assert last[0].attributes["key"] == "p3"
+
+    def test_and_or(self, doc):
+        results = evaluate_xpath(
+            doc, "//inproceedings[year='1999' and booktitle='SIGMOD Conference']"
+        )
+        assert len(results) == 1
+        results = evaluate_xpath(
+            doc, "//*[year='2000' or booktitle='SIGMOD Conference']"
+        )
+        assert len(results) == 2
+
+    def test_not(self, doc):
+        results = evaluate_xpath(doc, "//inproceedings[not(year='1999')]")
+        assert results[0].attributes["key"] == "p2"
+
+    def test_nested_path_predicate(self, doc):
+        results = evaluate_xpath(
+            doc, "//inproceedings[author='Paolo Ciancarini']"
+        )
+        assert results[0].attributes["key"] == "p2"
+
+    def test_chained_predicates(self, doc):
+        results = evaluate_xpath(doc, "//inproceedings[author][year='1999']")
+        assert len(results) == 1
+
+
+class TestAttributesAndText:
+    def test_attribute_selection(self, doc):
+        keys = evaluate_xpath(doc, "//inproceedings/@key")
+        assert [node.value for node in keys] == ["p1", "p2"]
+        assert all(isinstance(node, AttributeNode) for node in keys)
+
+    def test_attribute_predicate(self, doc):
+        results = evaluate_xpath(doc, "//*[@key='p3']")
+        assert results[0].tag == "article"
+
+    def test_attribute_wildcard(self, doc):
+        attrs = evaluate_xpath(doc, "//article/@*")
+        assert {a.name for a in attrs} == {"key"}
+
+    def test_text_selection(self, doc):
+        nodes = evaluate_xpath(doc, "//title/text()")
+        assert all(isinstance(node, TextNode) for node in nodes)
+        assert nodes[0].string_value().startswith("A Survey")
+
+    def test_text_in_predicate(self, doc):
+        results = evaluate_xpath(doc, "//author[text()='Paolo Ciancarini']")
+        assert len(results) == 2
+
+
+class TestFunctions:
+    def test_count(self, doc):
+        assert evaluate_xpath(doc, "count(//author)") == 4.0
+
+    def test_contains(self, doc):
+        results = evaluate_xpath(doc, "//title[contains(., 'Database')]")
+        assert len(results) == 1
+
+    def test_starts_with(self, doc):
+        results = evaluate_xpath(doc, "//author[starts-with(., 'Paolo')]")
+        assert len(results) == 2
+
+    def test_string_length(self, doc):
+        assert evaluate_xpath(doc, "string-length('abc')") == 3.0
+
+    def test_normalize_space(self, doc):
+        assert evaluate_xpath(doc, "normalize-space('  a   b ')") == "a b"
+
+    def test_concat(self, doc):
+        assert evaluate_xpath(doc, "concat('a', 'b', 'c')") == "abc"
+
+    def test_name(self, doc):
+        assert evaluate_xpath(doc, "name(//*[@key='p3'])") == "article"
+
+    def test_boolean_casts(self, doc):
+        assert evaluate_xpath(doc, "boolean(//article)") is True
+        assert evaluate_xpath(doc, "boolean(//nothing)") is False
+
+    def test_number_conversion(self, doc):
+        assert evaluate_xpath(doc, "number('12') + 3") == 15.0
+        assert math.isnan(evaluate_xpath(doc, "number('abc')"))
+
+    def test_true_false_not(self, doc):
+        assert evaluate_xpath(doc, "not(false())") is True
+
+    def test_unknown_function(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            evaluate_xpath(doc, "frobnicate(1)")
+
+
+class TestArithmetic:
+    def test_basic_ops(self, doc):
+        assert evaluate_xpath(doc, "1 + 2 * 3") == 7.0
+        assert evaluate_xpath(doc, "(1 + 2) * 3") == 9.0
+        assert evaluate_xpath(doc, "7 mod 3") == 1.0
+        assert evaluate_xpath(doc, "8 div 2") == 4.0
+        assert evaluate_xpath(doc, "-(3)") == -3.0
+
+    def test_division_by_zero(self, doc):
+        assert evaluate_xpath(doc, "1 div 0") == math.inf
+        assert math.isnan(evaluate_xpath(doc, "0 div 0"))
+
+    def test_nodeset_comparison_existential(self, doc):
+        # node-set = string is true if ANY node matches.
+        assert evaluate_xpath(doc, "//year = '1999'") is True
+        assert evaluate_xpath(doc, "//year = '1883'") is False
+        # != is also existential (any node differing).
+        assert evaluate_xpath(doc, "//year != '1999'") is True
+
+
+class TestQueryObject:
+    def test_select_elements_filters(self, doc):
+        query = XPathQuery("//inproceedings/@key")
+        assert query.select_elements(doc) == []
+
+    def test_select_requires_nodeset(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            XPathQuery("count(//a)").select(doc)
+
+    def test_reusable_across_documents(self, doc):
+        other = parse_document("<dblp><inproceedings><title>t</title></inproceedings></dblp>")
+        query = XPathQuery("//inproceedings/title")
+        assert len(query.select(doc)) == 2
+        assert len(query.select(other)) == 1

@@ -1,0 +1,104 @@
+"""Unit tests for XPath value conversions and AST rendering."""
+
+import math
+
+import pytest
+
+from repro.xmldb.parser import parse_document
+from repro.xmldb.xpath import parse_xpath
+from repro.xmldb.xpath.engine import to_boolean, to_number, to_string
+
+
+@pytest.fixture
+def node():
+    return parse_document("<a>text</a>")
+
+
+class TestToBoolean:
+    def test_booleans(self):
+        assert to_boolean(True) is True
+        assert to_boolean(False) is False
+
+    def test_numbers(self):
+        assert to_boolean(1.0) is True
+        assert to_boolean(-0.5) is True
+        assert to_boolean(0.0) is False
+        assert to_boolean(float("nan")) is False
+
+    def test_strings(self):
+        assert to_boolean("x") is True
+        assert to_boolean("") is False
+
+    def test_nodesets(self, node):
+        assert to_boolean([node]) is True
+        assert to_boolean([]) is False
+
+
+class TestToString:
+    def test_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_numbers(self):
+        assert to_string(3.0) == "3"
+        assert to_string(float("nan")) == "NaN"
+
+    def test_nodeset_uses_first_node(self, node):
+        assert to_string([node]) == "text"
+        assert to_string([]) == ""
+
+
+class TestToNumber:
+    def test_parses_strings(self):
+        assert to_number("  42 ") == 42.0
+        assert math.isnan(to_number("nope"))
+
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_nodeset(self, node):
+        assert math.isnan(to_number([node]))  # "text" is not numeric
+
+
+class TestAstRendering:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//a/b[. = 'x']",
+            "//a[year > 1999 and not(b)]/c",
+            "count(//a) + 2 * 3",
+            "//a | //b",
+            "a/..//b/./text()",
+            "//a[@id='x']",
+            "-(1)",
+        ],
+    )
+    def test_str_is_reparseable(self, query):
+        """str(parse(q)) parses again to an equivalent expression."""
+        first = parse_xpath(query)
+        second = parse_xpath(str(first))
+        assert str(first) == str(second)
+
+    def test_str_mentions_structure(self):
+        rendered = str(parse_xpath("//a[b = '1']"))
+        assert "a" in rendered and "b" in rendered and "'1'" in rendered
+
+
+class TestWorkloadBuilders:
+    def test_epsilon_selection_pattern_targets_top_author(self):
+        from repro.core.conditions import SimilarTo
+        from repro.data import generate_corpus
+        from repro.experiments.workload import build_epsilon_selection_pattern
+        from repro.tax.conditions import Constant
+
+        corpus = generate_corpus(50, seed=9)
+        pattern = build_epsilon_selection_pattern(corpus)
+        similar = [
+            op for op in pattern.condition.operands if isinstance(op, SimilarTo)
+        ]
+        assert len(similar) == 1
+        target = similar[0].right
+        assert isinstance(target, Constant)
+        canonicals = {a.canonical for a in corpus.authors.values()}
+        assert target.value in canonicals
