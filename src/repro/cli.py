@@ -19,7 +19,14 @@ Subcommands:
 
         python -m repro.cli seo --source dblp=dblp.xml --out seo.json
 
-Exit status is 0 on success, 2 on usage errors (argparse convention).
+``repro-toss db``
+    Integrity-check or repair a saved store::
+
+        python -m repro.cli db verify ./store
+        python -m repro.cli db recover ./store
+
+Exit status is 0 on success, 1 when ``db verify`` finds damage, 2 on
+usage errors (argparse convention).
 """
 
 from __future__ import annotations
@@ -105,6 +112,52 @@ def _cmd_save(args: argparse.Namespace) -> int:
         f"# saved {len(system.instances)} instances, "
         f"{system.ontology_size()}-term SEO to {args.out}"
     )
+    return 0
+
+
+def _db_root(root: str) -> str:
+    """Accept either a database directory or a saved-system directory."""
+    import os
+
+    from .xmldb.storage import MANIFEST_NAME
+
+    if not os.path.exists(os.path.join(root, MANIFEST_NAME)):
+        nested = os.path.join(root, "database")
+        if os.path.exists(os.path.join(nested, MANIFEST_NAME)):
+            return nested
+    return root
+
+
+def _cmd_db_verify(args: argparse.Namespace) -> int:
+    from .errors import XmlDbError
+    from .xmldb.storage import verify_database
+
+    try:
+        report = verify_database(_db_root(args.root))
+    except XmlDbError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_db_recover(args: argparse.Namespace) -> int:
+    from .errors import XmlDbError
+    from .xmldb.storage import QUARANTINE_DIR, recover_database, save_database
+
+    root = _db_root(args.root)
+    try:
+        report = recover_database(root)
+    except XmlDbError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    if not report.ok:
+        assert report.database is not None
+        # Rewrite the store from the salvaged documents so the manifest no
+        # longer references quarantined files and verify passes afterwards.
+        save_database(report.database, root)
+        print(f"# store rewritten; damaged files kept under {root}/{QUARANTINE_DIR}")
     return 0
 
 
@@ -218,6 +271,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
     add_system_options(save)
     save.add_argument("--out", required=True, help="directory to write the system to")
     save.set_defaults(handler=_cmd_save)
+
+    db = subparsers.add_parser(
+        "db", help="integrity-check or repair a saved database directory"
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    db_verify = db_sub.add_parser(
+        "verify", help="re-check every document and checksum (read-only)"
+    )
+    db_verify.add_argument("root", help="database directory to verify")
+    db_verify.set_defaults(handler=_cmd_db_verify)
+    db_recover = db_sub.add_parser(
+        "recover", help="quarantine damaged files and rewrite a clean manifest"
+    )
+    db_recover.add_argument("root", help="database directory to recover")
+    db_recover.set_defaults(handler=_cmd_db_recover)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"

@@ -179,6 +179,44 @@ class SeoConditionContext(ConditionContext):
         return _apply_op(op, left_value, right_value)
 
 
+class ExactFallbackContext(ConditionContext):
+    """Degraded-mode evaluation: semantic operators become exact matching.
+
+    When the SEO build fails or times out, :class:`~repro.core.system.
+    TossSystem` keeps answering queries through this context instead of
+    raising — ``~`` and the ontology operators degrade to plain string
+    equality (the TAX baseline), ``instance_of`` (strictly below) to
+    False, and typed comparisons to the base syntactic comparison.
+    Results are sound but not similarity-complete; execution reports
+    carry ``degraded=True`` so callers can tell.
+    """
+
+    def similar(self, left: str, right: str) -> bool:
+        return left == right
+
+    def instance_of(self, left: str, right: str) -> bool:
+        return False
+
+    def subtype_of(self, left: str, right: str) -> bool:
+        return left == right
+
+    def below(self, left: str, right: str) -> bool:
+        return left == right
+
+    def above(self, left: str, right: str) -> bool:
+        return left == right
+
+    def part_of(self, left: str, right: str) -> bool:
+        return left == right
+
+    def typed_compare(self, op: str, left: Term, right: Term, binding: Binding) -> bool:
+        return self.compare(op, left.resolve(binding), right.resolve(binding))
+
+
+#: Shared stateless instance of the degraded-mode context.
+EXACT_FALLBACK_CONTEXT = ExactFallbackContext()
+
+
 def _apply_op(op: str, left: object, right: object) -> bool:
     if op == "=":
         return left == right

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryExecutionError
+from ..guard import ResourceGuard
 from ..tax import algebra as tax_algebra
+from ..tax.tree import dedupe
 from ..tax.conditions import (
     And,
     Comparison,
@@ -75,6 +77,9 @@ class ExecutionReport:
     #: semantic-hook invocations during this query (Section 6's "accesses
     #: to the ontology"; 0 for plain TAX).
     ontology_accesses: int = 0
+    #: True when the query ran in degraded mode (SEO build failed or timed
+    #: out; semantic operators fell back to exact TAX matching).
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -270,12 +275,21 @@ class QueryExecutor:
         database: Database,
         context: Optional[SeoConditionContext] = None,
         similarity_hash_join: bool = True,
+        guard: Optional[ResourceGuard] = None,
+        exact_fallback: bool = False,
     ) -> None:
         self.database = database
         self.context = context
         #: Use the length-bucketed similarity hash join for cross-side
         #: ``~`` conditions instead of the naive product (ablatable).
         self.similarity_hash_join = similarity_hash_join
+        #: Default per-query resource guard (restarted at each query); a
+        #: per-call ``guard=`` argument overrides it.
+        self.guard = guard
+        #: With no SEO context, evaluate semantic atoms as exact string
+        #: matches instead of raising (degraded mode; see
+        #: :class:`~repro.core.conditions.ExactFallbackContext`).
+        self.exact_fallback = exact_fallback
 
     def _rewrite(self, pattern: PatternTree) -> Tuple[Condition, float]:
         started = time.perf_counter()
@@ -288,7 +302,42 @@ class QueryExecutor:
     def _evaluation_context(self):
         from ..tax.conditions import DEFAULT_CONTEXT
 
-        return self.context if self.context is not None else DEFAULT_CONTEXT
+        if self.context is not None:
+            return self.context
+        if self.exact_fallback:
+            from .conditions import EXACT_FALLBACK_CONTEXT
+
+            return EXACT_FALLBACK_CONTEXT
+        return DEFAULT_CONTEXT
+
+    def _start_guard(self, guard: Optional[ResourceGuard]) -> Optional[ResourceGuard]:
+        """Resolve the effective guard for one query and restart its clock."""
+        guard = guard if guard is not None else self.guard
+        if guard is not None:
+            guard.start()
+        return guard
+
+    def _guarded_per_tree(
+        self,
+        candidates: Sequence[XmlNode],
+        guard: Optional[ResourceGuard],
+        run,
+    ) -> List[XmlNode]:
+        """Run a per-tree algebra operator over ``candidates`` under a guard.
+
+        Selection and projection treat input trees independently, so with
+        a guard active the candidates are processed one at a time with a
+        deadline/step check between each — a pathological verification
+        phase is interrupted instead of blocking until the end.
+        """
+        if guard is None:
+            return run(list(candidates))
+        results: List[XmlNode] = []
+        for candidate in candidates:
+            guard.tick(what="result verification")
+            results.extend(run([candidate]))
+            guard.check_results(len(results), "query verification")
+        return dedupe(results)
 
     def _accesses(self) -> int:
         return self.context.ontology_accesses if self.context is not None else 0
@@ -328,8 +377,10 @@ class QueryExecutor:
         collection_name: str,
         pattern: PatternTree,
         sl_labels: Iterable[int] = (),
+        guard: Optional[ResourceGuard] = None,
     ) -> ExecutionReport:
         """Execute a selection query: rewrite -> XPath -> verify/convert."""
+        guard = self._start_guard(guard)
         accesses_before = self._accesses()
         condition, rewrite_seconds = self._rewrite(pattern)
 
@@ -338,7 +389,7 @@ class QueryExecutor:
         rewrite_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        raw = self.database.xpath(collection_name, xpath)
+        raw = self.database.xpath(collection_name, xpath, guard=guard)
         candidates = [node for node in raw if isinstance(node, XmlNode)]
         xpath_seconds = time.perf_counter() - started
 
@@ -350,8 +401,13 @@ class QueryExecutor:
             pattern.condition if self.context is not None else condition
         )
         _copy_structure(pattern, verified_pattern)
-        results = tax_algebra.selection(
-            candidates, verified_pattern, sl_labels, self._evaluation_context()
+        sl = list(sl_labels)
+        results = self._guarded_per_tree(
+            candidates,
+            guard,
+            lambda trees: tax_algebra.selection(
+                trees, verified_pattern, sl, self._evaluation_context()
+            ),
         )
         convert_seconds = time.perf_counter() - started
         return ExecutionReport(
@@ -369,8 +425,10 @@ class QueryExecutor:
         collection_name: str,
         pattern: PatternTree,
         pl: Sequence[tax_algebra.ProjectionEntry],
+        guard: Optional[ResourceGuard] = None,
     ) -> ExecutionReport:
         """Execute a projection query through the same pipeline."""
+        guard = self._start_guard(guard)
         accesses_before = self._accesses()
         condition, rewrite_seconds = self._rewrite(pattern)
         started = time.perf_counter()
@@ -378,7 +436,7 @@ class QueryExecutor:
         rewrite_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        raw = self.database.xpath(collection_name, xpath)
+        raw = self.database.xpath(collection_name, xpath, guard=guard)
         candidates = [node for node in raw if isinstance(node, XmlNode)]
         xpath_seconds = time.perf_counter() - started
 
@@ -390,8 +448,12 @@ class QueryExecutor:
             pattern.condition if self.context is not None else condition
         )
         _copy_structure(pattern, verified_pattern)
-        results = tax_algebra.projection(
-            candidates, verified_pattern, pl, self._evaluation_context()
+        results = self._guarded_per_tree(
+            candidates,
+            guard,
+            lambda trees: tax_algebra.projection(
+                trees, verified_pattern, pl, self._evaluation_context()
+            ),
         )
         convert_seconds = time.perf_counter() - started
         return ExecutionReport(
@@ -410,6 +472,7 @@ class QueryExecutor:
         right_collection: str,
         pattern: PatternTree,
         sl_labels: Iterable[int] = (),
+        guard: Optional[ResourceGuard] = None,
     ) -> ExecutionReport:
         """Execute a join: per-side XPath prefilter, then product+selection.
 
@@ -424,6 +487,7 @@ class QueryExecutor:
             raise QueryExecutionError(
                 "a join pattern needs exactly two subtrees under the product root"
             )
+        guard = self._start_guard(guard)
         accesses_before = self._accesses()
         condition, rewrite_seconds = self._rewrite(pattern)
 
@@ -439,12 +503,12 @@ class QueryExecutor:
         started = time.perf_counter()
         left_candidates = [
             node
-            for node in self.database.xpath(left_collection, sides[0][1])
+            for node in self.database.xpath(left_collection, sides[0][1], guard=guard)
             if isinstance(node, XmlNode)
         ]
         right_candidates = [
             node
-            for node in self.database.xpath(right_collection, sides[1][1])
+            for node in self.database.xpath(right_collection, sides[1][1], guard=guard)
             if isinstance(node, XmlNode)
         ]
         xpath_seconds = time.perf_counter() - started
@@ -458,6 +522,7 @@ class QueryExecutor:
         )
         _copy_structure(pattern, verified_pattern)
 
+        sl = list(sl_labels)
         pair_filter = None
         if self.context is not None and self.similarity_hash_join:
             left_labels = set(_subtree_pattern(pattern, root_children[0].label).labels())
@@ -465,26 +530,49 @@ class QueryExecutor:
             atom = _cross_similarity_atom(pattern.condition, left_labels, right_labels)
             if atom is not None:
                 pair_filter = self._similarity_join_pairs(
-                    left_candidates, right_candidates, atom, pattern.condition
+                    left_candidates, right_candidates, atom, pattern.condition, guard
                 )
 
         if pair_filter is None:
-            results = tax_algebra.join(
-                left_candidates,
-                right_candidates,
-                verified_pattern,
-                sl_labels,
-                self._evaluation_context(),
-            )
+            if guard is None:
+                results = tax_algebra.join(
+                    left_candidates,
+                    right_candidates,
+                    verified_pattern,
+                    sl,
+                    self._evaluation_context(),
+                )
+            else:
+                # Account for the product size up front (the step budget
+                # rejects a blow-up before it is materialised), then
+                # verify product trees one at a time under the deadline.
+                guard.tick(
+                    len(left_candidates) * len(right_candidates),
+                    what="join product",
+                )
+                products = tax_algebra.product(left_candidates, right_candidates)
+                results = self._guarded_per_tree(
+                    products,
+                    guard,
+                    lambda trees: tax_algebra.selection(
+                        trees, verified_pattern, sl, self._evaluation_context()
+                    ),
+                )
         else:
             products: List[XmlNode] = []
             for left_index, right_index in sorted(pair_filter):
+                if guard is not None:
+                    guard.tick(what="join product")
                 root = XmlNode(tax_algebra.PRODUCT_ROOT_TAG)
                 root.append(left_candidates[left_index].copy())
                 root.append(right_candidates[right_index].copy())
                 products.append(root.renumber())
-            results = tax_algebra.selection(
-                products, verified_pattern, sl_labels, self._evaluation_context()
+            results = self._guarded_per_tree(
+                products,
+                guard,
+                lambda trees: tax_algebra.selection(
+                    trees, verified_pattern, sl, self._evaluation_context()
+                ),
             )
         convert_seconds = time.perf_counter() - started
         return ExecutionReport(
@@ -503,6 +591,7 @@ class QueryExecutor:
         right_candidates: Sequence[XmlNode],
         atom,
         condition: Condition,
+        guard: Optional[ResourceGuard] = None,
     ) -> Set[Tuple[int, int]]:
         """Candidate pairs that can satisfy a cross-side ``~`` conjunct.
 
@@ -543,6 +632,8 @@ class QueryExecutor:
         radius = int(epsilon)
         pairs: Set[Tuple[int, int]] = set()
         for i, candidate in enumerate(left_candidates):
+            if guard is not None:
+                guard.tick(what="similarity hash join")
             for value in values_of(candidate, left_label):
                 if value in seo:
                     # Known terms may be similar to anything sharing an

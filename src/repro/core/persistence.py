@@ -22,7 +22,8 @@ import json
 import os
 from typing import Dict, List
 
-from ..errors import TossError
+from ..errors import ReproError, SimilarityError, TossError
+from ..ioutils import atomic_write_text
 from ..ontology.constraints import parse_constraint
 from ..ontology.hierarchy import Ontology
 from ..similarity.persistence import read_seo, save_seo
@@ -65,30 +66,48 @@ def save_system(system: TossSystem, root_dir: str) -> None:
         "constraints": constraints,
         "relations": sorted(system.context.seos),
     }
-    with open(os.path.join(root_dir, _SYSTEM_FILE), "w", encoding="utf-8") as out:
-        json.dump(payload, out, indent=2, sort_keys=True)
+    # The system file is written last and atomically: a crash anywhere in
+    # save_system leaves either the previous complete system or the new one.
+    atomic_write_text(
+        os.path.join(root_dir, _SYSTEM_FILE),
+        json.dumps(payload, indent=2, sort_keys=True),
+    )
 
 
-def load_system(root_dir: str) -> TossSystem:
-    """Restore a system saved with :func:`save_system`, ready to query."""
+def load_system(root_dir: str, on_corruption: str = "raise") -> TossSystem:
+    """Restore a system saved with :func:`save_system`, ready to query.
+
+    ``on_corruption`` is forwarded to
+    :func:`~repro.xmldb.storage.load_database`; in ``"quarantine"`` mode
+    damaged document files are moved aside instead of aborting the load
+    (see ``system.database.recovery_report``), and unreadable SEO files
+    are recomputed from the restored documents via
+    :meth:`~repro.core.system.TossSystem.build` rather than raised.
+    """
     path = os.path.join(root_dir, _SYSTEM_FILE)
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except FileNotFoundError:
         raise TossError(f"no saved system at {root_dir}") from None
+    except json.JSONDecodeError as exc:
+        raise TossError(f"corrupt system file at {path}: {exc}") from exc
     if payload.get("format") != 1:
         raise TossError(f"unsupported system format {payload.get('format')!r}")
 
     system = TossSystem(
         measure=payload["measure"], epsilon=float(payload["epsilon"])
     )
-    system.database = load_database(os.path.join(root_dir, _DATABASE_DIR))
+    system.database = load_database(
+        os.path.join(root_dir, _DATABASE_DIR), on_corruption=on_corruption
+    )
 
     # Restore instances with freshly extracted ontologies (deterministic,
     # cheap, and only consulted by a future rebuild — the restored SEOs
     # below carry the queried state).
     for name in payload.get("instances", ()):
+        if on_corruption == "quarantine" and name not in system.database:
+            continue  # the whole collection was lost to quarantine
         collection = system.database.get_collection(name)
         roots = collection.roots()
         ontology = system.maker.make_combined(roots)
@@ -102,12 +121,35 @@ def load_system(root_dir: str) -> TossSystem:
                 parse_constraint(text)
             )
 
-    seos = {
-        relation: read_seo(os.path.join(root_dir, _SEO_DIR, f"{relation}.json"))
-        for relation in payload.get("relations", ())
-    }
+    seos = {}
+    damaged: List[str] = []
+    for relation in payload.get("relations", ()):
+        seo_path = os.path.join(root_dir, _SEO_DIR, f"{relation}.json")
+        try:
+            seos[relation] = read_seo(seo_path)
+        except (OSError, SimilarityError, KeyError, TypeError, ValueError) as exc:
+            if on_corruption != "quarantine":
+                raise TossError(
+                    f"corrupt or missing SEO file {seo_path}: {exc}"
+                ) from exc
+            damaged.append(relation)
+    if damaged and system.instances:
+        # The SEO cache is expensive but recomputable: rebuild all
+        # relations from the restored documents instead of failing.
+        system.build(
+            relations=tuple(payload.get("relations", ())), on_failure="degrade"
+        )
+        return system
     isa_seo = seos.get(Ontology.ISA)
     if isa_seo is None:
+        if on_corruption == "quarantine":
+            # nothing left to rebuild from (documents were quarantined
+            # too): hand back an exact-match system rather than nothing
+            system.degraded = True
+            system.executor = QueryExecutor(
+                system.database, None, guard=system.guard, exact_fallback=True
+            )
+            return system
         raise TossError("saved system lacks an isa SEO")
     system.context = SeoConditionContext(
         isa_seo, seos=seos, type_system=system.type_system, typing=system.typing

@@ -25,7 +25,8 @@ import itertools
 import time
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import TossError
+from ..errors import ReproError, TossError
+from ..guard import ResourceGuard
 from ..ontology.constraints import (
     EqualityConstraint,
     InteroperationConstraint,
@@ -61,6 +62,7 @@ class TossSystem:
         type_system: Optional[TypeSystem] = None,
         typing: TypingFunction = default_typing,
         max_document_bytes: Optional[int] = None,
+        guard: Optional[ResourceGuard] = None,
     ) -> None:
         self.measure = get_measure(measure) if isinstance(measure, str) else measure
         self.epsilon = epsilon
@@ -76,6 +78,13 @@ class TossSystem:
         self.context: Optional[SeoConditionContext] = None
         self.executor: Optional[QueryExecutor] = None
         self.build_seconds: float = 0.0
+        #: Default resource guard for builds and queries (None = unbounded).
+        self.guard = guard
+        #: True when the last build failed and queries run in exact-match
+        #: fallback mode (see :meth:`build` with ``on_failure="degrade"``).
+        self.degraded: bool = False
+        #: The exception that forced degradation, for diagnostics.
+        self.build_error: Optional[ReproError] = None
 
     # -- administration ---------------------------------------------------------
 
@@ -177,7 +186,9 @@ class TossSystem:
         epsilon: Optional[float] = None,
         relations: Iterable[str] = (Ontology.ISA, Ontology.PART_OF),
         mode: str = "order-safe",
-    ) -> SeoConditionContext:
+        guard: Optional[ResourceGuard] = None,
+        on_failure: str = "raise",
+    ) -> Optional[SeoConditionContext]:
         """Fuse all instance ontologies and similarity-enhance them.
 
         This is the precomputation step of Section 6 ("we precompute an
@@ -190,31 +201,68 @@ class TossSystem:
         structural role); pass ``"strict"`` for Figure-12-verbatim
         behaviour, which may raise
         :class:`~repro.errors.SimilarityInconsistencyError` (Definition 9).
+
+        ``guard`` (default: the system's guard) bounds the SEO
+        precomputation with a deadline / step budget.  ``on_failure``
+        selects what happens when the build raises a
+        :class:`~repro.errors.ReproError` (inconsistency, bad constraint,
+        guard timeout...): ``"raise"`` propagates it; ``"degrade"``
+        records it in :attr:`build_error`, flips :attr:`degraded` and
+        wires an exact-match fallback executor — similarity queries keep
+        working with plain TAX semantics and their
+        :class:`~repro.core.executor.ExecutionReport` carries
+        ``degraded=True``.  Returns None when degraded.
         """
+        if on_failure not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'degrade', got {on_failure!r}"
+            )
         if not self.instances:
             raise TossError("register at least one instance before build()")
         if epsilon is not None:
             self.epsilon = epsilon
+        guard = guard if guard is not None else self.guard
         started = time.perf_counter()
         seos: Dict[str, SimilarityEnhancedOntology] = {}
-        for relation in relations:
-            hierarchies = {
-                name: instance.ontology[relation]
-                for name, instance in self.instances.items()
-            }
-            constraints = self._auto_constraints(relation, hierarchies)
-            constraints.extend(self._constraints.get(relation, ()))
-            seos[relation] = SimilarityEnhancedOntology.build(
-                hierarchies, self.measure, self.epsilon, constraints, mode=mode
+        try:
+            if guard is not None:
+                guard.start()
+            for relation in relations:
+                hierarchies = {
+                    name: instance.ontology[relation]
+                    for name, instance in self.instances.items()
+                }
+                constraints = self._auto_constraints(relation, hierarchies)
+                constraints.extend(self._constraints.get(relation, ()))
+                seos[relation] = SimilarityEnhancedOntology.build(
+                    hierarchies,
+                    self.measure,
+                    self.epsilon,
+                    constraints,
+                    mode=mode,
+                    guard=guard,
+                )
+        except ReproError as exc:
+            self.build_seconds = time.perf_counter() - started
+            if on_failure == "raise":
+                raise
+            self.context = None
+            self.degraded = True
+            self.build_error = exc
+            self.executor = QueryExecutor(
+                self.database, None, guard=self.guard, exact_fallback=True
             )
+            return None
         self.build_seconds = time.perf_counter() - started
+        self.degraded = False
+        self.build_error = None
         self.context = SeoConditionContext(
             seos[Ontology.ISA],
             seos=seos,
             type_system=self.type_system,
             typing=self.typing,
         )
-        self.executor = QueryExecutor(self.database, self.context)
+        self.executor = QueryExecutor(self.database, self.context, guard=self.guard)
         return self.context
 
     @property
@@ -224,8 +272,25 @@ class TossSystem:
 
     def _require_context(self) -> SeoConditionContext:
         if self.context is None:
+            if self.degraded:
+                raise TossError(
+                    "the SEO build failed and the system is degraded to exact "
+                    f"matching; similarity features are unavailable "
+                    f"(cause: {self.build_error})"
+                )
             raise TossError("call build() before querying")
         return self.context
+
+    def _query_executor(self) -> Tuple[QueryExecutor, bool]:
+        """The executor to run a query with, plus the degraded flag.
+
+        In degraded mode (the SEO build failed with ``on_failure=
+        "degrade"``) queries run through the exact-match fallback executor
+        instead of raising; reports are stamped ``degraded=True``.
+        """
+        if self.executor is not None and (self.context is not None or self.degraded):
+            return self.executor, self.degraded
+        raise TossError("call build() before querying")
 
     def ontology_size(self) -> int:
         """Distinct term count of the built isa SEO (the paper's metric)."""
@@ -240,9 +305,10 @@ class TossSystem:
         sl_labels: Iterable[int] = (),
     ) -> ExecutionReport:
         """TOSS selection through the XPath-rewriting executor."""
-        self._require_context()
-        assert self.executor is not None
-        return self.executor.selection(collection, pattern, sl_labels)
+        executor, degraded = self._query_executor()
+        report = executor.selection(collection, pattern, sl_labels)
+        report.degraded = degraded
+        return report
 
     def project(
         self,
@@ -251,9 +317,10 @@ class TossSystem:
         pl: Sequence[tax_algebra.ProjectionEntry],
     ) -> ExecutionReport:
         """TOSS projection through the executor."""
-        self._require_context()
-        assert self.executor is not None
-        return self.executor.projection(collection, pattern, pl)
+        executor, degraded = self._query_executor()
+        report = executor.projection(collection, pattern, pl)
+        report.degraded = degraded
+        return report
 
     def join(
         self,
@@ -263,9 +330,10 @@ class TossSystem:
         sl_labels: Iterable[int] = (),
     ) -> ExecutionReport:
         """TOSS join through the executor."""
-        self._require_context()
-        assert self.executor is not None
-        return self.executor.join(left_collection, right_collection, pattern, sl_labels)
+        executor, degraded = self._query_executor()
+        report = executor.join(left_collection, right_collection, pattern, sl_labels)
+        report.degraded = degraded
+        return report
 
     def query(
         self,

@@ -40,6 +40,15 @@ class XPathEvaluationError(XmlDbError):
     """A syntactically valid XPath query failed during evaluation."""
 
 
+class StorageCorruptionError(XmlDbError):
+    """A persisted file is truncated, unreadable or fails its checksum.
+
+    Raised by :func:`repro.xmldb.storage.load_database` in ``raise`` mode;
+    in ``quarantine`` mode the offending file is moved aside and recorded
+    in a :class:`~repro.xmldb.storage.RecoveryReport` instead.
+    """
+
+
 class CollectionError(XmlDbError):
     """Collection-level failure (duplicate name, missing document, ...)."""
 
@@ -57,6 +66,37 @@ class DocumentTooLargeError(CollectionError):
         )
         self.size = size
         self.limit = limit
+
+
+# ---------------------------------------------------------------------------
+# Resource guards (repro.guard)
+# ---------------------------------------------------------------------------
+
+
+class ResourceLimitError(ReproError):
+    """Base class for resource-guard violations (deadline, step, result caps)."""
+
+
+class QueryTimeoutError(ResourceLimitError):
+    """An operation exceeded its wall-clock deadline.
+
+    Attributes
+    ----------
+    deadline, elapsed:
+        The configured budget and the measured wall-clock time, seconds.
+    """
+
+    def __init__(self, what: str, deadline: float, elapsed: float) -> None:
+        super().__init__(
+            f"{what} exceeded its deadline of {deadline:.3f}s "
+            f"(ran for {elapsed:.3f}s)"
+        )
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class ResourceExhaustedError(ResourceLimitError):
+    """An evaluation-step or result-count budget was exceeded."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,133 @@
+"""Resource guards: deadlines and budgets for queries and SEO builds.
+
+Apache Xindice — and every production XML store — bounds what a single
+request may consume; the paper's experiments implicitly rely on that (the
+5 MB document cap of Section 6 is one such bound).  A
+:class:`ResourceGuard` makes the same discipline explicit for this
+reproduction: one guard instance watches one operation (an XPath query, a
+TOSS selection, an SEA build) and raises
+:class:`~repro.errors.QueryTimeoutError` /
+:class:`~repro.errors.ResourceExhaustedError` when the operation exceeds
+its wall-clock deadline, its evaluation-step budget or its result-count
+cap.
+
+Guards are cheap to consult: callers ``tick()`` at fine-grained points
+(once per XPath evaluation step, once per verified candidate, once per
+compared node pair) and the guard amortises the actual clock reads —
+the deadline is re-checked every :data:`CHECK_INTERVAL` steps, so a
+query that exceeds its deadline is interrupted well within 2x the
+configured budget even when individual steps are microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .errors import QueryTimeoutError, ResourceExhaustedError
+
+#: Steps between wall-clock reads in :meth:`ResourceGuard.tick`.
+CHECK_INTERVAL = 64
+
+
+class ResourceGuard:
+    """Deadline + step budget + result cap for one guarded operation.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock budget; ``None`` disables the deadline.
+    max_results:
+        Upper bound on the number of results an operation may accumulate;
+        ``None`` disables the cap.
+    max_steps:
+        Upper bound on ``tick()`` counts (XPath evaluation steps,
+        verification candidates, SEA pair comparisons); ``None`` disables
+        the budget.
+
+    The clock starts at construction; callers reusing one guard across
+    operations (e.g. a :class:`~repro.core.executor.QueryExecutor`
+    configured with a per-query guard) call :meth:`start` to reset it.
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_results",
+        "max_steps",
+        "_started",
+        "_steps",
+        "_since_check",
+    )
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_results: Optional[int] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        if deadline_seconds is not None and deadline_seconds < 0:
+            raise ValueError(f"deadline_seconds must be >= 0, got {deadline_seconds}")
+        if max_results is not None and max_results < 0:
+            raise ValueError(f"max_results must be >= 0, got {max_results}")
+        if max_steps is not None and max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+        self.deadline_seconds = deadline_seconds
+        self.max_results = max_results
+        self.max_steps = max_steps
+        self.start()
+
+    def start(self) -> "ResourceGuard":
+        """(Re)start the clock and zero the step counter; returns self."""
+        self._started = time.perf_counter()
+        self._steps = 0
+        self._since_check = 0
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`start`."""
+        return time.perf_counter() - self._started
+
+    @property
+    def steps(self) -> int:
+        """Steps ticked since construction or the last :meth:`start`."""
+        return self._steps
+
+    def check_deadline(self, what: str = "operation") -> None:
+        """Raise :class:`QueryTimeoutError` if the deadline has passed."""
+        if self.deadline_seconds is None:
+            return
+        elapsed = time.perf_counter() - self._started
+        if elapsed > self.deadline_seconds:
+            raise QueryTimeoutError(what, self.deadline_seconds, elapsed)
+
+    def tick(self, steps: int = 1, what: str = "operation") -> None:
+        """Account for ``steps`` units of work.
+
+        Raises :class:`ResourceExhaustedError` when the step budget is
+        exceeded; re-checks the deadline every :data:`CHECK_INTERVAL`
+        accumulated steps.
+        """
+        self._steps += steps
+        if self.max_steps is not None and self._steps > self.max_steps:
+            raise ResourceExhaustedError(
+                f"{what} exceeded its evaluation budget of {self.max_steps} steps"
+            )
+        self._since_check += steps
+        if self._since_check >= CHECK_INTERVAL:
+            self._since_check = 0
+            self.check_deadline(what)
+
+    def check_results(self, count: int, what: str = "query") -> None:
+        """Raise :class:`ResourceExhaustedError` when ``count`` exceeds the cap."""
+        if self.max_results is not None and count > self.max_results:
+            raise ResourceExhaustedError(
+                f"{what} produced {count} results, exceeding the cap of "
+                f"{self.max_results}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceGuard(deadline_seconds={self.deadline_seconds}, "
+            f"max_results={self.max_results}, max_steps={self.max_steps})"
+        )

@@ -1,0 +1,64 @@
+"""Durable file-writing primitives shared by every persistence layer.
+
+A crash (power loss, ``kill -9``, full disk) in the middle of a bare
+``open()/write()`` leaves a truncated file behind with no way to tell it
+apart from a complete one.  Every writer in this code base therefore goes
+through :func:`atomic_write_text`: the data is written to a temporary file
+in the *same directory*, flushed and fsynced, then atomically renamed over
+the destination with :func:`os.replace` — readers observe either the old
+complete content or the new complete content, never a torn write.  The
+containing directory is fsynced afterwards so the rename itself survives
+a crash (best effort on platforms without directory fds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of ``text`` encoded as UTF-8."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory's metadata (renames) to disk, best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Durably replace the file at ``path`` with ``text``.
+
+    Write-to-temp + fsync + :func:`os.replace`, with the temporary file
+    created in the destination directory so the rename never crosses a
+    filesystem boundary.  On any failure the temporary file is removed
+    and the destination is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)

@@ -36,6 +36,7 @@ from typing import (
 
 from .. import graphutils
 from ..errors import ConstraintError, FusionInconsistencyError
+from ..guard import ResourceGuard
 from .constraints import (
     EqualityConstraint,
     InequalityConstraint,
@@ -176,8 +177,13 @@ def hierarchy_graph(
 def canonical_fusion(
     hierarchies: Mapping[Hashable, Hierarchy],
     constraints: Iterable[InteroperationConstraint] = (),
+    guard: Optional["ResourceGuard"] = None,
 ) -> FusionResult:
     """Compute the canonical fusion of the input hierarchies under IC.
+
+    ``guard`` (a :class:`~repro.guard.ResourceGuard`) bounds the build:
+    the graph construction and condensation tick it per node, so a fusion
+    over pathological inputs raises instead of hanging.
 
     Raises
     ------
@@ -188,7 +194,13 @@ def canonical_fusion(
     """
     constraint_list = list(constraints)
     graph = hierarchy_graph(hierarchies, constraint_list)
+    if guard is not None:
+        guard.tick(len(graph), what="canonical fusion")
+        guard.check_deadline("canonical fusion")
     dag, membership = graphutils.condensation(graph)
+    if guard is not None:
+        guard.tick(len(membership), what="canonical fusion")
+        guard.check_deadline("canonical fusion")
 
     fused_of_component: Dict[FrozenSet[ScopedTerm], FusedNode] = {
         component: FusedNode(component) for component in dag

@@ -18,6 +18,7 @@ import json
 from typing import Any, Dict, Hashable, List, Tuple
 
 from ..errors import SimilarityError
+from ..ioutils import atomic_write_text
 from ..ontology.constraints import ScopedTerm
 from ..ontology.fusion import FusedNode, FusionResult
 from ..ontology.hierarchy import Hierarchy
@@ -143,16 +144,28 @@ def dump_seo(seo: SimilarityEnhancedOntology, indent: int = 0) -> str:
 
 def load_seo(text: str) -> SimilarityEnhancedOntology:
     """Load an SEO from a JSON string."""
-    return seo_from_dict(json.loads(text))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimilarityError(f"corrupt SEO data: {exc}") from exc
+    return seo_from_dict(payload)
 
 
 def save_seo(seo: SimilarityEnhancedOntology, path: str) -> None:
-    """Write an SEO to a JSON file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_seo(seo, indent=2))
+    """Write an SEO to a JSON file (atomically: temp + fsync + replace).
+
+    SEOs are the dominant precomputation cost (taxonomic similarity over
+    the fused hierarchy), so their on-disk cache must never be left torn
+    by a crash mid-write.
+    """
+    atomic_write_text(path, dump_seo(seo, indent=2))
 
 
 def read_seo(path: str) -> SimilarityEnhancedOntology:
-    """Read an SEO from a JSON file."""
+    """Read an SEO from a JSON file.
+
+    Raises :class:`~repro.errors.SimilarityError` on truncated or
+    otherwise corrupt files (callers can then rebuild from source data).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         return load_seo(handle.read())

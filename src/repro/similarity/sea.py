@@ -43,6 +43,7 @@ from typing import (
 
 from .. import graphutils
 from ..errors import SimilarityInconsistencyError
+from ..guard import ResourceGuard
 from ..ontology.hierarchy import Hierarchy
 from .measures import StringSimilarityMeasure
 
@@ -245,6 +246,7 @@ def _similarity_cliques(
     distance: NodeDistance,
     epsilon: float,
     hierarchy: Optional[Hierarchy] = None,
+    guard: Optional[ResourceGuard] = None,
 ) -> List[FrozenSet[Node]]:
     """Maximal cliques of the epsilon-similarity graph over ``nodes``.
 
@@ -293,6 +295,10 @@ def _similarity_cliques(
         for i in range(len(group) - 1):
             node_a = group[i]
             rep_a = reps[i]
+            if guard is not None:
+                # One tick per outer node; the pair loop below is the
+                # quadratic hot spot of the whole SEO precomputation.
+                guard.tick(len(group) - 1 - i, what="SEA similarity graph")
             for j in range(i + 1, len(group)):
                 node_b = group[j]
                 if measure.is_strong:
@@ -334,6 +340,7 @@ def sea(
     epsilon: float,
     verify: bool = False,
     mode: str = STRICT,
+    guard: Optional[ResourceGuard] = None,
 ) -> SimilarityEnhancement:
     """Run the SEA algorithm of Figure 12.
 
@@ -354,6 +361,12 @@ def sea(
         same strict ancestors and descendants; never inconsistent, and the
         natural policy when similar surface forms such as "article" /
         "articles" play *different* structural roles).
+    guard:
+        Optional :class:`~repro.guard.ResourceGuard`; the quadratic
+        similarity-graph and edge-derivation loops tick it, so a build
+        over a pathological hierarchy is interrupted by
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.ResourceExhaustedError` instead of hanging.
 
     Raises
     ------
@@ -366,10 +379,12 @@ def sea(
         raise ValueError(f"mode must be 'strict' or 'order-safe', got {mode!r}")
     distance = measure if isinstance(measure, NodeDistance) else NodeDistance(measure)
 
+    if guard is not None:
+        guard.check_deadline("SEA build")
     nodes = list(hierarchy.terms)
     # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
     cliques = _similarity_cliques(
-        nodes, distance, epsilon, hierarchy if mode == ORDER_SAFE else None
+        nodes, distance, epsilon, hierarchy if mode == ORDER_SAFE else None, guard
     )
     enhanced_nodes = [EnhancedNode(clique) for clique in cliques]
 
@@ -395,6 +410,8 @@ def sea(
     edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
     for lower in enhanced_nodes:
         allowed_upper = above_all[lower]
+        if guard is not None:
+            guard.tick(len(enhanced_nodes), what="SEA edge derivation")
         for upper in enhanced_nodes:
             if upper is lower:
                 continue

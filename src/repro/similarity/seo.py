@@ -29,6 +29,7 @@ from typing import (
 )
 
 from ..errors import UnknownTermError
+from ..guard import ResourceGuard
 from ..ontology.constraints import InteroperationConstraint
 from ..ontology.fusion import FusionResult, canonical_fusion
 from ..ontology.hierarchy import Hierarchy
@@ -66,10 +67,15 @@ class SimilarityEnhancedOntology:
         epsilon: float,
         constraints: Iterable[InteroperationConstraint] = (),
         mode: str = "strict",
+        guard: Optional[ResourceGuard] = None,
     ) -> "SimilarityEnhancedOntology":
-        """Fuse ``hierarchies`` under ``constraints``, then enhance with SEA."""
-        fusion = canonical_fusion(hierarchies, constraints)
-        enhancement = sea(fusion.hierarchy, measure, epsilon, mode=mode)
+        """Fuse ``hierarchies`` under ``constraints``, then enhance with SEA.
+
+        ``guard`` bounds both phases (fusion and SEA) with a deadline /
+        step budget — see :class:`~repro.guard.ResourceGuard`.
+        """
+        fusion = canonical_fusion(hierarchies, constraints, guard=guard)
+        enhancement = sea(fusion.hierarchy, measure, epsilon, mode=mode, guard=guard)
         return cls(fusion, enhancement)
 
     @classmethod

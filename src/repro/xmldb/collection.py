@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import CollectionError, DocumentTooLargeError
+from ..guard import ResourceGuard
 from .indexes import CollectionIndex, DocumentIndex
 from .model import XmlNode
 from .parser import parse_document
@@ -114,20 +115,34 @@ class Collection:
         """Per-document tag/value index (built lazily, cached)."""
         return self._index.index_for(root)
 
-    def xpath(self, query: "str | XPathQuery") -> List[ResultNode]:
-        """Run an XPath query over every document, concatenating results."""
+    def xpath(
+        self,
+        query: "str | XPathQuery",
+        guard: Optional[ResourceGuard] = None,
+    ) -> List[ResultNode]:
+        """Run an XPath query over every document, concatenating results.
+
+        A :class:`~repro.guard.ResourceGuard` bounds the evaluation: its
+        deadline and step budget apply inside the XPath engine, and its
+        result cap is checked as results accumulate across documents.
+        """
         compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
         results: List[ResultNode] = []
         for root in self._documents.values():
-            results.extend(compiled.select(root))
+            results.extend(compiled.select(root, guard=guard))
+            if guard is not None:
+                guard.check_results(len(results), f"query over {self.name!r}")
         return results
 
     def xpath_document(
-        self, key: str, query: "str | XPathQuery"
+        self,
+        key: str,
+        query: "str | XPathQuery",
+        guard: Optional[ResourceGuard] = None,
     ) -> List[ResultNode]:
         """Run an XPath query over a single document."""
         compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
-        return compiled.select(self.get_document(key))
+        return compiled.select(self.get_document(key), guard=guard)
 
     def __repr__(self) -> str:
         return f"Collection({self.name!r}, {len(self)} documents)"

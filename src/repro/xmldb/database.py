@@ -11,13 +11,18 @@ re-parse time — the middle term is measured here).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import CollectionError
+from ..guard import ResourceGuard
 from .collection import XINDICE_DOCUMENT_LIMIT, Collection
 from .xpath import XPathQuery
 from .xpath.engine import ResultNode
+
+#: Default size of the compiled-XPath LRU cache.
+DEFAULT_QUERY_CACHE_SIZE = 256
 
 
 @dataclass
@@ -27,6 +32,9 @@ class QueryStatistics:
     queries_run: int = 0
     total_seconds: float = 0.0
     results_returned: int = 0
+    #: Compiled-XPath cache counters (see :meth:`Database.compile`).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, seconds: float, result_count: int) -> None:
         self.queries_run += 1
@@ -37,16 +45,26 @@ class QueryStatistics:
         self.queries_run = 0
         self.total_seconds = 0.0
         self.results_returned = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 class Database:
     """A set of named collections with an XPath query service."""
 
-    def __init__(self, max_document_bytes: int = XINDICE_DOCUMENT_LIMIT) -> None:
+    def __init__(
+        self,
+        max_document_bytes: int = XINDICE_DOCUMENT_LIMIT,
+        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+    ) -> None:
         self.max_document_bytes = max_document_bytes
+        self.query_cache_size = query_cache_size
         self._collections: Dict[str, Collection] = {}
         self.statistics = QueryStatistics()
-        self._query_cache: Dict[str, XPathQuery] = {}
+        self._query_cache: "OrderedDict[str, XPathQuery]" = OrderedDict()
+        #: Set by :func:`repro.xmldb.storage.load_database` when the
+        #: database was salvaged from a damaged directory.
+        self.recovery_report = None
 
     # -- collection management --------------------------------------------------
 
@@ -85,28 +103,49 @@ class Database:
     # -- query service ------------------------------------------------------------
 
     def compile(self, query: str) -> XPathQuery:
-        """Parse an XPath query, caching compiled forms."""
-        compiled = self._query_cache.get(query)
-        if compiled is None:
-            compiled = XPathQuery(query)
-            self._query_cache[query] = compiled
+        """Parse an XPath query, caching compiled forms in a bounded LRU.
+
+        The cache holds at most :attr:`query_cache_size` entries (the
+        least recently used is evicted first); hit/miss counts are kept
+        on :attr:`statistics`.  A size of 0 disables caching.
+        """
+        cache = self._query_cache
+        compiled = cache.get(query)
+        if compiled is not None:
+            cache.move_to_end(query)
+            self.statistics.cache_hits += 1
+            return compiled
+        self.statistics.cache_misses += 1
+        compiled = XPathQuery(query)
+        if self.query_cache_size > 0:
+            cache[query] = compiled
+            while len(cache) > self.query_cache_size:
+                cache.popitem(last=False)
         return compiled
 
     def xpath(
-        self, collection_name: str, query: str, document_key: Optional[str] = None
+        self,
+        collection_name: str,
+        query: str,
+        document_key: Optional[str] = None,
+        guard: Optional[ResourceGuard] = None,
     ) -> List[ResultNode]:
         """Run an XPath query against a collection (or one document of it).
 
         Timing and result counts are accumulated in :attr:`statistics`.
+        With a :class:`~repro.guard.ResourceGuard`, evaluation honours its
+        deadline/step budget and the result-count cap.
         """
         collection = self.get_collection(collection_name)
         compiled = self.compile(query)
         started = time.perf_counter()
         if document_key is None:
-            results = collection.xpath(compiled)
+            results = collection.xpath(compiled, guard=guard)
         else:
-            results = collection.xpath_document(document_key, compiled)
+            results = collection.xpath_document(document_key, compiled, guard=guard)
         self.statistics.record(time.perf_counter() - started, len(results))
+        if guard is not None:
+            guard.check_results(len(results), f"xpath query {query!r}")
         return results
 
     def total_bytes(self) -> int:

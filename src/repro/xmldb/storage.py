@@ -1,4 +1,4 @@
-"""On-disk persistence for the XML database.
+"""On-disk persistence for the XML database, crash-safe.
 
 Xindice stores collections in a filesystem-backed repository; this module
 gives the in-memory substitute the same capability — ``save_database``
@@ -7,9 +7,25 @@ plus a manifest, ``load_database`` reconstructs the database from it.
 The layout is human-readable on purpose (documents stay plain XML):
 
     root/
-      manifest.json            {"collections": {...}, "max_document_bytes": N}
+      manifest.json            {"format": 2, "collections": {...}, ...}
       <collection>/
         <document-key>.xml
+      .quarantine/             corrupted files moved aside during recovery
+        <collection>/<file>.xml
+
+Durability (format 2, see ``docs/PERSISTENCE.md``):
+
+* every file is written via write-to-temp + fsync + atomic ``os.replace``
+  (:mod:`repro.ioutils`), the manifest last — a crash mid-save leaves
+  either the previous consistent state or the new one, never a torn file;
+* the manifest records a SHA-256 checksum and byte count per document, so
+  silent corruption is detected at load time;
+* :func:`load_database` with ``on_corruption="quarantine"`` never dies on
+  a damaged store: bad files are moved under ``root/.quarantine/`` and a
+  structured :class:`RecoveryReport` lists what was lost.
+
+Format 1 directories (no checksums, plain ``{key: filename}`` document
+maps) written by earlier versions still load.
 """
 
 from __future__ import annotations
@@ -17,14 +33,18 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import XmlDbError
+from ..errors import StorageCorruptionError, XmlDbError
+from ..ioutils import atomic_write_text, fsync_directory, sha256_text
 from .collection import Collection
 from .database import Database
 from .serializer import serialize
 
 MANIFEST_NAME = "manifest.json"
+QUARANTINE_DIR = ".quarantine"
+FORMAT_VERSION = 2
 _SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]")
 
 
@@ -33,61 +53,396 @@ def _filename_for(key: str) -> str:
     return _SAFE_COMPONENT.sub("_", key) + ".xml"
 
 
+def _unique_filename(key: str, used: Set[str]) -> str:
+    """A file name for ``key`` not already in ``used``.
+
+    Sanitisation can collapse distinct keys onto one name, and a numeric
+    prefix alone is not enough (a key literally named ``1-a_b`` collides
+    with the disambiguated form of ``a b``), so probe counters until the
+    name is free.
+    """
+    filename = _filename_for(key)
+    if filename not in used:
+        return filename
+    stem = filename[: -len(".xml")]
+    counter = 1
+    while True:
+        candidate = f"{counter}-{stem}.xml"
+        if candidate not in used:
+            return candidate
+        counter += 1
+
+
+def _check_component(part: str) -> str:
+    """Validate one manifest-supplied path component (no traversal)."""
+    if (
+        not part
+        or part in (".", "..")
+        or part != os.path.basename(part)
+        or "/" in part
+        or "\\" in part
+    ):
+        raise XmlDbError(
+            f"manifest names unsafe path component {part!r}; refusing to "
+            f"read outside the database root"
+        )
+    return part
+
+
+def _resolve_inside(root_dir: str, *parts: str) -> str:
+    """Join ``parts`` under ``root_dir``, rejecting any escape attempt."""
+    path = os.path.join(root_dir, *(_check_component(part) for part in parts))
+    base = os.path.realpath(root_dir)
+    resolved = os.path.realpath(path)
+    if resolved != base and not resolved.startswith(base + os.sep):
+        raise XmlDbError(
+            f"manifest path {path!r} escapes the database root {root_dir!r}"
+        )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Saving
+# ---------------------------------------------------------------------------
+
+
 def save_database(database: Database, root_dir: str) -> None:
-    """Write every collection and document under ``root_dir``.
+    """Write every collection and document under ``root_dir``, atomically.
 
     The directory is created if missing; existing contents for the same
-    collections are overwritten, foreign files are left alone.
+    collections are overwritten, foreign files are left alone.  Document
+    files are written first (each atomically), the manifest last — so the
+    store always has a manifest describing fully-written files, no matter
+    where a crash lands.
     """
     os.makedirs(root_dir, exist_ok=True)
     manifest: Dict[str, object] = {
-        "format": 1,
+        "format": FORMAT_VERSION,
         "max_document_bytes": database.max_document_bytes,
         "collections": {},
     }
     for collection in database.collections():
-        directory = os.path.join(root_dir, _SAFE_COMPONENT.sub("_", collection.name))
+        dirname = _SAFE_COMPONENT.sub("_", collection.name)
+        directory = os.path.join(root_dir, dirname)
         os.makedirs(directory, exist_ok=True)
-        documents: Dict[str, str] = {}
+        documents: Dict[str, Dict[str, object]] = {}
+        used: Set[str] = set()
         for key, tree in collection.documents():
-            filename = _filename_for(key)
-            if filename in documents.values():
-                # Two keys collapsing to one file name: disambiguate.
-                filename = f"{len(documents)}-{filename}"
-            documents[key] = filename
-            with open(os.path.join(directory, filename), "w", encoding="utf-8") as out:
-                out.write(serialize(tree, indent=2))
+            filename = _unique_filename(key, used)
+            used.add(filename)
+            text = serialize(tree, indent=2)
+            atomic_write_text(os.path.join(directory, filename), text)
+            documents[key] = {
+                "file": filename,
+                "sha256": sha256_text(text),
+                "bytes": len(text.encode("utf-8")),
+            }
         manifest["collections"][collection.name] = {  # type: ignore[index]
-            "directory": os.path.basename(directory),
+            "directory": dirname,
             "documents": documents,
             "max_document_bytes": collection.max_document_bytes,
         }
-    with open(os.path.join(root_dir, MANIFEST_NAME), "w", encoding="utf-8") as out:
-        json.dump(manifest, out, indent=2, sort_keys=True)
+    atomic_write_text(
+        os.path.join(root_dir, MANIFEST_NAME),
+        json.dumps(manifest, indent=2, sort_keys=True),
+    )
 
 
-def load_database(root_dir: str) -> Database:
-    """Rebuild a database from :func:`save_database` output."""
+# ---------------------------------------------------------------------------
+# Recovery reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QuarantinedDocument:
+    """One document (or the manifest) that failed integrity checks."""
+
+    collection: str
+    key: str
+    filename: Optional[str]
+    reason: str
+    #: Where the damaged file was moved, or None when it was missing
+    #: entirely (nothing to move) or the load ran in verify-only mode.
+    quarantined_to: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" -> {self.quarantined_to}" if self.quarantined_to else ""
+        return f"{self.collection}/{self.key} ({self.reason}){where}"
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`load_database` found (and salvaged) in a directory."""
+
+    root_dir: str
+    format: Optional[int] = None
+    manifest_ok: bool = True
+    loaded_documents: int = 0
+    quarantined: List[QuarantinedDocument] = field(default_factory=list)
+    #: The salvaged database (populated by load/recover, None for verify).
+    database: Optional[Database] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every file loaded clean."""
+        return self.manifest_ok and not self.quarantined
+
+    def summary(self) -> str:
+        lines = [
+            f"database at {self.root_dir}: format {self.format}, "
+            f"{self.loaded_documents} documents ok, "
+            f"{len(self.quarantined)} quarantined"
+        ]
+        if not self.manifest_ok:
+            lines.append("manifest: CORRUPT (documents recoverable by directory scan)")
+        for item in self.quarantined:
+            lines.append(f"  - {item}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Loading / verification
+# ---------------------------------------------------------------------------
+
+_RAISE = "raise"
+_QUARANTINE = "quarantine"
+_VERIFY = "verify"
+
+
+def load_database(root_dir: str, on_corruption: str = _RAISE) -> Database:
+    """Rebuild a database from :func:`save_database` output.
+
+    ``on_corruption`` selects the failure policy for truncated, missing,
+    unparseable or checksum-mismatched files:
+
+    ``"raise"`` (default)
+        Raise :class:`~repro.errors.StorageCorruptionError` on the first
+        damaged file (the historical behaviour, suitable for callers that
+        treat any damage as fatal).
+
+    ``"quarantine"``
+        Never die: damaged files are moved under ``root/.quarantine/``,
+        the surviving documents are loaded, and the returned database
+        carries a :class:`RecoveryReport` as ``database.recovery_report``
+        listing every quarantined document.
+    """
+    if on_corruption not in (_RAISE, _QUARANTINE):
+        raise ValueError(
+            f"on_corruption must be 'raise' or 'quarantine', got {on_corruption!r}"
+        )
+    report = _load(root_dir, on_corruption)
+    assert report.database is not None
+    report.database.recovery_report = report
+    return report.database
+
+
+def recover_database(root_dir: str) -> RecoveryReport:
+    """Quarantine-load ``root_dir``; the report carries the salvaged database."""
+    report = _load(root_dir, _QUARANTINE)
+    assert report.database is not None
+    report.database.recovery_report = report
+    return report
+
+
+def verify_database(root_dir: str) -> RecoveryReport:
+    """Integrity-check a saved database without modifying anything.
+
+    Reads the manifest, re-parses every document and re-computes every
+    checksum; records failures in the report but moves no files and
+    builds no database (``report.database`` is None).
+    """
+    return _load(root_dir, _VERIFY)
+
+
+def _quarantine_file(root_dir: str, collection_dir: str, path: str) -> Optional[str]:
+    """Move a damaged file under ``root/.quarantine/``; returns the new path."""
+    if not os.path.exists(path):
+        return None
+    target_dir = os.path.join(root_dir, QUARANTINE_DIR, collection_dir)
+    os.makedirs(target_dir, exist_ok=True)
+    base = os.path.basename(path)
+    target = os.path.join(target_dir, base)
+    counter = 1
+    while os.path.exists(target):
+        target = os.path.join(target_dir, f"{counter}-{base}")
+        counter += 1
+    os.replace(path, target)
+    fsync_directory(target_dir)
+    return target
+
+
+def _document_entries(
+    info: Dict[str, object], version: int
+) -> List[Tuple[str, str, Optional[str]]]:
+    """Normalise a manifest collection entry to (key, filename, sha256)."""
+    entries: List[Tuple[str, str, Optional[str]]] = []
+    documents = info.get("documents", {})
+    if not isinstance(documents, dict):
+        raise StorageCorruptionError("manifest 'documents' is not an object")
+    for key, value in documents.items():
+        if version == 1:
+            if not isinstance(value, str):
+                raise StorageCorruptionError(
+                    f"format-1 manifest entry for {key!r} is not a file name"
+                )
+            entries.append((key, value, None))
+        else:
+            if not isinstance(value, dict) or "file" not in value:
+                raise StorageCorruptionError(
+                    f"manifest entry for {key!r} lacks a 'file' field"
+                )
+            sha = value.get("sha256")
+            entries.append((key, str(value["file"]), str(sha) if sha else None))
+    return entries
+
+
+def _salvage_without_manifest(root_dir: str, report: RecoveryReport) -> Database:
+    """Rebuild a database by scanning collection directories directly.
+
+    Last-resort recovery for a destroyed manifest: every subdirectory
+    (except the quarantine area) becomes a collection, every parseable
+    ``.xml`` file inside becomes a document keyed by its file stem.
+    Unparseable files are quarantined.  Original document keys that were
+    sanitised at save time cannot be reconstructed — the stem is the best
+    available approximation, and the data itself is preserved.
+    """
+    database = Database()
+    for entry in sorted(os.listdir(root_dir)):
+        if entry == QUARANTINE_DIR or entry.startswith("."):
+            continue
+        directory = os.path.join(root_dir, entry)
+        if not os.path.isdir(directory):
+            continue
+        collection = database.create_collection(entry)
+        for filename in sorted(os.listdir(directory)):
+            if not filename.endswith(".xml"):
+                continue
+            path = os.path.join(directory, filename)
+            key = filename[: -len(".xml")]
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+                collection.add_document(key, text)
+            except (OSError, UnicodeDecodeError, XmlDbError) as exc:
+                moved = _quarantine_file(root_dir, entry, path)
+                report.quarantined.append(
+                    QuarantinedDocument(entry, key, filename, f"unsalvageable: {exc}", moved)
+                )
+                continue
+            report.loaded_documents += 1
+    return database
+
+
+def _load(root_dir: str, policy: str) -> RecoveryReport:
+    report = RecoveryReport(root_dir=root_dir)
     manifest_path = os.path.join(root_dir, MANIFEST_NAME)
     try:
         with open(manifest_path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
+        if not isinstance(manifest, dict):
+            raise StorageCorruptionError("database manifest is not a JSON object")
     except FileNotFoundError:
         raise XmlDbError(f"no database manifest at {manifest_path}") from None
-    except json.JSONDecodeError as exc:
-        raise XmlDbError(f"corrupt database manifest: {exc}") from exc
-    if manifest.get("format") != 1:
-        raise XmlDbError(f"unsupported database format {manifest.get('format')!r}")
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        if policy == _RAISE:
+            raise StorageCorruptionError(
+                f"corrupt database manifest: {exc}"
+            ) from exc
+        report.manifest_ok = False
+        report.quarantined.append(
+            QuarantinedDocument(
+                collection="",
+                key=MANIFEST_NAME,
+                filename=MANIFEST_NAME,
+                reason=f"corrupt manifest: {exc}",
+                quarantined_to=(
+                    _quarantine_file(root_dir, "", manifest_path)
+                    if policy == _QUARANTINE
+                    else None
+                ),
+            )
+        )
+        if policy == _QUARANTINE:
+            report.database = _salvage_without_manifest(root_dir, report)
+            # rewrite a clean manifest over the salvage, otherwise the next
+            # load would find no manifest at all and refuse the directory
+            save_database(report.database, root_dir)
+        return report
+
+    version = manifest.get("format")
+    if version not in (1, FORMAT_VERSION):
+        raise XmlDbError(f"unsupported database format {version!r}")
+    report.format = version
 
     database = Database(int(manifest.get("max_document_bytes", 5 * 1024 * 1024)))
-    for name, info in manifest.get("collections", {}).items():
+
+    def fail(
+        collection_name: str,
+        collection_dir: str,
+        key: str,
+        filename: Optional[str],
+        reason: str,
+        path: Optional[str] = None,
+    ) -> None:
+        if policy == _RAISE:
+            raise StorageCorruptionError(
+                f"document {key!r} in collection {collection_name!r}: {reason}"
+            )
+        moved = None
+        if policy == _QUARANTINE and path is not None:
+            moved = _quarantine_file(root_dir, collection_dir, path)
+        report.quarantined.append(
+            QuarantinedDocument(collection_name, key, filename, reason, moved)
+        )
+
+    collections = manifest.get("collections", {})
+    if not isinstance(collections, dict):
+        raise XmlDbError("database manifest 'collections' is not an object")
+    for name, info in collections.items():
+        if not isinstance(info, dict) or "directory" not in info:
+            fail(name, "", "", None, "manifest collection entry is malformed")
+            continue
         collection = database.create_collection(name)
         collection.max_document_bytes = int(
             info.get("max_document_bytes", database.max_document_bytes)
         )
-        directory = os.path.join(root_dir, info["directory"])
-        for key, filename in info.get("documents", {}).items():
-            path = os.path.join(directory, filename)
-            with open(path, "r", encoding="utf-8") as handle:
-                collection.add_document(key, handle.read())
-    return database
+        # Path-traversal hardening happens before any policy applies: a
+        # manifest pointing outside the root is an attack, not damage.
+        collection_dir = str(info["directory"])
+        directory = _resolve_inside(root_dir, collection_dir)
+        try:
+            entries = _document_entries(info, version)
+        except StorageCorruptionError as exc:
+            fail(name, collection_dir, "", None, str(exc))
+            continue
+        for key, filename, expected_sha in entries:
+            path = _resolve_inside(root_dir, collection_dir, filename)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except FileNotFoundError:
+                fail(name, collection_dir, key, filename, "file missing")
+                continue
+            except (OSError, UnicodeDecodeError) as exc:
+                fail(name, collection_dir, key, filename, f"unreadable: {exc}", path)
+                continue
+            if expected_sha is not None and sha256_text(text) != expected_sha:
+                fail(
+                    name,
+                    collection_dir,
+                    key,
+                    filename,
+                    "checksum mismatch (truncated or corrupted)",
+                    path,
+                )
+                continue
+            try:
+                collection.add_document(key, text)
+            except XmlDbError as exc:
+                fail(name, collection_dir, key, filename, f"invalid document: {exc}", path)
+                continue
+            report.loaded_documents += 1
+
+    if policy != _VERIFY:
+        report.database = database
+    return report

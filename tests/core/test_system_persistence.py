@@ -57,3 +57,50 @@ class TestErrors:
     def test_missing_directory(self, tmp_path):
         with pytest.raises(TossError):
             load_system(str(tmp_path / "nothing-here"))
+
+    def test_corrupt_system_file(self, tmp_path):
+        save_system(samples.sample_system(epsilon=3.0), str(tmp_path / "sys"))
+        (tmp_path / "sys" / "system.json").write_text("{torn")
+        with pytest.raises(TossError):
+            load_system(str(tmp_path / "sys"))
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_document_raises_by_default(self, built_system, tmp_path):
+        root = tmp_path / "sys"
+        save_system(built_system, str(root))
+        victim = next((root / "database" / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        from repro.errors import StorageCorruptionError
+
+        with pytest.raises(StorageCorruptionError):
+            load_system(str(root))
+
+    def test_corrupt_document_quarantined(self, built_system, tmp_path):
+        root = tmp_path / "sys"
+        save_system(built_system, str(root))
+        victim = next((root / "database" / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        loaded = load_system(str(root), on_corruption="quarantine")
+        report = loaded.database.recovery_report
+        assert len(report.quarantined) == 1
+        # the surviving collections still answer queries
+        out = loaded.query("sigmod", "article(title)")
+        assert len(out.results) > 0
+
+    def test_corrupt_seo_rebuilt_from_documents(self, built_system, tmp_path):
+        root = tmp_path / "sys"
+        save_system(built_system, str(root))
+        (root / "seo" / "isa.json").write_text("{torn json")
+        with pytest.raises(TossError):
+            load_system(str(root))
+        loaded = load_system(str(root), on_corruption="quarantine")
+        assert not loaded.degraded  # rebuilt, not degraded
+        query = "inproceedings(title $a), //article(title $b) where $a ~ $b"
+        original = built_system.query(
+            "dblp", query, right_collection="sigmod"
+        ).results
+        restored = loaded.query("dblp", query, right_collection="sigmod").results
+        assert {t.canonical_key() for t in original} == {
+            t.canonical_key() for t in restored
+        }

@@ -168,6 +168,45 @@ class TestSaveLoad:
             main(["query", "a(b)"])
 
 
+class TestDbCommand:
+    @pytest.fixture
+    def store(self, dblp_file, tmp_path, capsys):
+        root = str(tmp_path / "system")
+        assert main(
+            ["save", "--source", f"dblp={dblp_file}", "--epsilon", "1",
+             "--out", root]
+        ) == 0
+        capsys.readouterr()
+        return root
+
+    def test_verify_clean(self, store, capsys):
+        assert main(["db", "verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 quarantined" in out
+
+    def test_verify_detects_corruption(self, store, tmp_path, capsys):
+        victim = next((tmp_path / "system" / "database" / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        assert main(["db", "verify", store]) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+        assert victim.exists()  # verify is read-only
+
+    def test_recover_quarantines_and_rewrites(self, store, tmp_path, capsys):
+        victim = next((tmp_path / "system" / "database" / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        assert main(["db", "recover", store]) == 0
+        out = capsys.readouterr().out
+        assert "store rewritten" in out
+        assert not victim.exists()
+        assert (tmp_path / "system" / "database" / ".quarantine").is_dir()
+        # after recovery the store verifies clean again
+        assert main(["db", "verify", store]) == 0
+
+    def test_verify_missing_store(self, tmp_path, capsys):
+        assert main(["db", "verify", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestUsage:
     def test_no_command(self):
         with pytest.raises(SystemExit):

@@ -1,5 +1,8 @@
 """Failure injection: malformed inputs and boundary conditions everywhere."""
 
+import json
+import os
+
 import pytest
 
 from repro.errors import (
@@ -10,21 +13,29 @@ from repro.errors import (
     FusionInconsistencyError,
     HierarchyCycleError,
     PatternTreeError,
+    QueryTimeoutError,
     ReproError,
+    ResourceExhaustedError,
+    ResourceLimitError,
     SimilarityInconsistencyError,
+    StorageCorruptionError,
     TossError,
     UnknownTermError,
     XPathSyntaxError,
+    XmlDbError,
     XmlParseError,
 )
 from repro.core.system import TossSystem
+from repro.guard import ResourceGuard
 from repro.ontology import Hierarchy, parse_constraint
 from repro.ontology.fusion import canonical_fusion
 from repro.similarity.measures import Levenshtein
 from repro.similarity.sea import sea
 from repro.tax.pattern import PatternTree
 from repro.xmldb.collection import Collection
+from repro.xmldb.database import Database
 from repro.xmldb.parser import parse_document
+from repro.xmldb.storage import load_database, save_database
 from repro.xmldb.xpath import XPathQuery
 
 
@@ -34,13 +45,21 @@ class TestErrorHierarchy:
         [
             CollectionError, ConditionError, ConstraintError,
             DocumentTooLargeError, FusionInconsistencyError,
-            HierarchyCycleError, PatternTreeError,
-            SimilarityInconsistencyError, TossError, UnknownTermError,
-            XPathSyntaxError, XmlParseError,
+            HierarchyCycleError, PatternTreeError, QueryTimeoutError,
+            ResourceExhaustedError, ResourceLimitError,
+            SimilarityInconsistencyError, StorageCorruptionError, TossError,
+            UnknownTermError, XPathSyntaxError, XmlParseError,
         ],
     )
     def test_all_errors_are_repro_errors(self, exception):
         assert issubclass(exception, ReproError)
+
+    def test_storage_corruption_is_an_xmldb_error(self):
+        assert issubclass(StorageCorruptionError, XmlDbError)
+
+    def test_timeout_and_exhaustion_are_resource_limit_errors(self):
+        assert issubclass(QueryTimeoutError, ResourceLimitError)
+        assert issubclass(ResourceExhaustedError, ResourceLimitError)
 
 
 class TestMalformedXml:
@@ -186,3 +205,272 @@ class TestDegenerateInputs:
     def test_whitespace_only_content_dropped(self):
         doc = parse_document("<a>   \n\t  </a>")
         assert doc.text == ""
+
+
+def _small_database():
+    db = Database()
+    coll = db.create_collection("bib")
+    for i in range(4):
+        coll.add_document(
+            f"doc{i}", f"<bib><paper><title>Paper {i}</title></paper></bib>"
+        )
+    return db
+
+
+def _store_files(root):
+    """Every data file of a saved store (documents + manifest), sorted."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != ".quarantine"]
+        for name in filenames:
+            found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+class TestCrashRecovery:
+    """A kill-9 mid-save must never leave the store unloadable."""
+
+    def test_truncated_document_raise_mode(self, tmp_path):
+        root = str(tmp_path / "s")
+        save_database(_small_database(), root)
+        victim = _store_files(root)[1]  # some document
+        with open(victim, "r+") as handle:
+            handle.truncate(10)
+        with pytest.raises(StorageCorruptionError):
+            load_database(root)
+
+    def test_truncated_document_quarantine_mode(self, tmp_path):
+        root = str(tmp_path / "s")
+        save_database(_small_database(), root)
+        doc = next(f for f in _store_files(root) if f.endswith(".xml"))
+        with open(doc, "r+") as handle:
+            handle.truncate(10)
+        db = load_database(root, on_corruption="quarantine")
+        report = db.recovery_report
+        assert not report.ok
+        assert report.loaded_documents == 3
+        assert [q.reason for q in report.quarantined] == [
+            "checksum mismatch (truncated or corrupted)"
+        ]
+        # the survivors still answer queries
+        assert len(db.xpath("bib", "//title")) == 3
+
+    def test_checksum_flip_detected_even_when_well_formed(self, tmp_path):
+        root = str(tmp_path / "s")
+        save_database(_small_database(), root)
+        doc = next(f for f in _store_files(root) if f.endswith(".xml"))
+        with open(doc) as handle:
+            text = handle.read()
+        with open(doc, "w") as handle:
+            handle.write(text.replace("Paper", "Papre", 1))  # still valid XML
+        with pytest.raises(StorageCorruptionError, match="checksum"):
+            load_database(root)
+        db = load_database(root, on_corruption="quarantine")
+        assert len(db.recovery_report.quarantined) == 1
+
+    def test_corrupt_manifest_quarantine_salvages_documents(self, tmp_path):
+        root = tmp_path / "s"
+        save_database(_small_database(), str(root))
+        (root / "manifest.json").write_text('{"format": 2, "collections": {')
+        db = load_database(str(root), on_corruption="quarantine")
+        report = db.recovery_report
+        assert not report.manifest_ok
+        # the documents are rebuilt from a directory scan
+        assert db.collection_names() == ["bib"]
+        assert len(db.xpath("bib", "//title")) == 4
+        # the torn manifest was moved aside, not destroyed
+        moved = report.quarantined[0].quarantined_to
+        assert moved and os.path.exists(moved)
+        # a fresh manifest was rewritten: the next load is clean
+        again = load_database(str(root))
+        assert len(again.get_collection("bib")) == 4
+
+    def test_kill9_sweep_store_always_loadable(self, tmp_path):
+        """Simulate a crash at every possible point of a save.
+
+        Atomic per-file writes mean the only states a kill -9 can leave
+        behind are: a file fully written, absent, or (on filesystems
+        without atomic rename, which we still defend against) torn.
+        Sweep every file x {truncated, deleted}: quarantine-mode loading
+        must always return a working database plus a recovery report.
+        """
+        pristine = tmp_path / "pristine"
+        save_database(_small_database(), str(pristine))
+        files = _store_files(str(pristine))
+        assert len(files) == 5  # 4 documents + manifest
+        import shutil
+
+        for index, victim in enumerate(files):
+            for action in ("truncate", "delete"):
+                root = tmp_path / f"crash-{index}-{action}"
+                shutil.copytree(pristine, root)
+                target = os.path.join(str(root), os.path.relpath(victim, pristine))
+                if action == "truncate":
+                    with open(target, "r+") as handle:
+                        handle.truncate(7)
+                else:
+                    os.remove(target)
+                if target.endswith("manifest.json") and action == "delete":
+                    # no manifest at all = not a database directory; that is
+                    # a usage error, not silent data loss
+                    with pytest.raises(XmlDbError):
+                        load_database(str(root), on_corruption="quarantine")
+                    continue
+                db = load_database(str(root), on_corruption="quarantine")
+                report = db.recovery_report
+                assert report.database is db
+                assert not report.ok
+                assert report.loaded_documents >= 3 or not report.manifest_ok
+                # loading again after quarantine is clean or at least stable
+                db2 = load_database(str(root), on_corruption="quarantine")
+                assert db2.recovery_report.loaded_documents <= report.loaded_documents
+
+
+class TestResourceGuard:
+    def _big_database(self, papers=200):
+        db = Database()
+        body = "".join(
+            f"<paper><title>Paper number {i}</title></paper>" for i in range(papers)
+        )
+        db.create_collection("bib").add_document("d", f"<bib>{body}</bib>")
+        return db
+
+    def test_guard_rejects_negative_limits(self):
+        with pytest.raises(ValueError):
+            ResourceGuard(deadline_seconds=-1)
+        with pytest.raises(ValueError):
+            ResourceGuard(max_steps=-5)
+
+    def test_deadline_raises_query_timeout(self):
+        db = self._big_database()
+        guard = ResourceGuard(deadline_seconds=0.0)
+        guard.start()
+        with pytest.raises(QueryTimeoutError) as info:
+            db.xpath("bib", "//paper[title]", guard=guard)
+        assert info.value.deadline == 0.0
+        assert info.value.elapsed >= 0.0
+
+    def test_deadline_enforced_within_twice_the_deadline(self):
+        import time
+
+        db = self._big_database(400)
+        deadline = 0.02
+        guard = ResourceGuard(deadline_seconds=deadline)
+        guard.start()
+        began = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            for _ in range(1000):  # keep issuing work until the guard trips
+                db.xpath("bib", "//paper[contains(title, 'number')]", guard=guard)
+        waited = time.monotonic() - began
+        assert waited < 10 * deadline + 0.5  # generous CI bound; typical ~1x
+
+    def test_step_budget_raises_resource_exhausted(self):
+        db = self._big_database()
+        guard = ResourceGuard(max_steps=50)
+        guard.start()
+        with pytest.raises(ResourceExhaustedError, match="evaluation budget"):
+            db.xpath("bib", "//paper/title", guard=guard)
+
+    def test_result_cap_raises_resource_exhausted(self):
+        db = self._big_database()
+        guard = ResourceGuard(max_results=10)
+        guard.start()
+        with pytest.raises(ResourceExhaustedError):
+            db.xpath("bib", "//title", guard=guard)
+
+    def test_unlimited_guard_is_a_no_op(self):
+        db = self._big_database(20)
+        guard = ResourceGuard()
+        guard.start()
+        results = db.xpath("bib", "//title", guard=guard)
+        assert len(results) == 20
+        assert guard.steps > 0
+
+    def test_guarded_system_query_times_out(self):
+        system = TossSystem(epsilon=1.0)
+        body = "".join(
+            f"<paper><author>Name {i}</author></paper>" for i in range(100)
+        )
+        system.add_instance("bib", f"<bib>{body}</bib>")
+        system.build()
+        system.executor.guard = ResourceGuard(deadline_seconds=0.0)
+        with pytest.raises(QueryTimeoutError):
+            system.query("bib", 'paper(author ~ "Name 1")')
+
+    def test_guarded_seo_build_times_out(self):
+        guard = ResourceGuard(deadline_seconds=0.0)
+        system = TossSystem(epsilon=2.0, guard=guard)
+        system.add_instance("bib", "<bib><paper><author>A</author></paper></bib>")
+        with pytest.raises(QueryTimeoutError):
+            system.build()
+
+    def test_sea_respects_step_budget(self):
+        hierarchy = Hierarchy(nodes=[f"term-{i:03d}" for i in range(60)])
+        guard = ResourceGuard(max_steps=20)
+        guard.start()
+        with pytest.raises(ResourceExhaustedError):
+            sea(hierarchy, Levenshtein(), 1.0, guard=guard)
+
+
+class TestGracefulDegradation:
+    def _failing_system(self):
+        system = TossSystem(epsilon=2.0)
+        system.add_instance(
+            "bib",
+            "<bib><paper><author>J. Ullman</author></paper>"
+            "<paper><author>J Ullman</author></paper></bib>",
+        )
+        # reference a source that does not exist: build() must fail
+        system.add_constraint("author:bib = writer:nowhere")
+        return system
+
+    def test_build_failure_raises_by_default(self):
+        with pytest.raises(ConstraintError):
+            self._failing_system().build()
+
+    def test_build_failure_degrades_on_request(self):
+        system = self._failing_system()
+        system.build(on_failure="degrade")
+        assert system.degraded
+        assert isinstance(system.build_error, ConstraintError)
+        report = system.query("bib", 'paper(author ~ "J. Ullman")')
+        assert report.degraded
+        # exact matching: only the literally equal author survives
+        assert len(report.results) == 1
+
+    def test_degraded_timeout_also_degrades(self):
+        system = TossSystem(epsilon=2.0)
+        system.add_instance(
+            "bib", "<bib><paper><author>J. Ullman</author></paper></bib>"
+        )
+        system.build(guard=ResourceGuard(deadline_seconds=0.0), on_failure="degrade")
+        assert system.degraded
+        assert isinstance(system.build_error, QueryTimeoutError)
+        report = system.query("bib", 'paper(author ~ "J. Ullman")')
+        assert report.degraded and len(report.results) == 1
+
+    def test_successful_rebuild_clears_degradation(self):
+        system = TossSystem(epsilon=2.0)
+        system.add_instance(
+            "bib", "<bib><paper><author>J. Ullman</author></paper></bib>"
+        )
+        system.build(guard=ResourceGuard(deadline_seconds=0.0), on_failure="degrade")
+        assert system.degraded
+        system.build()  # no guard: succeeds
+        assert not system.degraded
+        assert system.build_error is None
+        report = system.query("bib", 'paper(author ~ "J Ullman")')
+        assert not report.degraded
+        assert len(report.results) == 1  # similarity matching is back
+
+    def test_invalid_on_failure_value(self):
+        system = self._failing_system()
+        with pytest.raises(ValueError):
+            system.build(on_failure="explode")
+
+    def test_degraded_instance_of_matches_nothing(self):
+        system = self._failing_system()
+        system.build(on_failure="degrade")
+        report = system.query("bib", 'paper(author isa "person")')
+        assert report.degraded
+        assert len(report.results) == 0

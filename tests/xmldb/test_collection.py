@@ -122,6 +122,41 @@ class TestDatabase:
         database = Database()
         assert database.compile("//a") is database.compile("//a")
 
+    def test_query_cache_counts_hits_and_misses(self):
+        database = Database()
+        database.compile("//a")
+        database.compile("//a")
+        database.compile("//b")
+        assert database.statistics.cache_misses == 2
+        assert database.statistics.cache_hits == 1
+        database.statistics.reset()
+        assert database.statistics.cache_hits == 0
+        assert database.statistics.cache_misses == 0
+
+    def test_query_cache_evicts_least_recently_used(self):
+        database = Database(query_cache_size=2)
+        first = database.compile("//a")
+        database.compile("//b")
+        database.compile("//a")  # refresh //a: //b is now the LRU entry
+        database.compile("//c")  # evicts //b
+        assert database.compile("//a") is first
+        stale = database.compile("//b")  # recompiled after eviction
+        assert stale is not None
+        assert database.compile("//b") is stale
+
+    def test_query_cache_bounded_size(self):
+        database = Database(query_cache_size=3)
+        for i in range(10):
+            database.compile(f"//tag{i}")
+        assert len(database._query_cache) == 3
+
+    def test_query_cache_disabled_with_zero_size(self):
+        database = Database(query_cache_size=0)
+        a1 = database.compile("//a")
+        a2 = database.compile("//a")
+        assert a1 is not a2
+        assert len(database._query_cache) == 0
+
     def test_document_size_limit_propagates(self):
         database = Database(max_document_bytes=10)
         collection = database.create_collection("tiny")

@@ -5,9 +5,15 @@ import os
 
 import pytest
 
-from repro.errors import XmlDbError
+from repro.errors import StorageCorruptionError, XmlDbError
+from repro.ioutils import sha256_text
 from repro.xmldb.database import Database
-from repro.xmldb.storage import load_database, save_database
+from repro.xmldb.storage import (
+    load_database,
+    recover_database,
+    save_database,
+    verify_database,
+)
 
 DOC_A = "<dblp><inproceedings key='p1'><title>One</title></inproceedings></dblp>"
 DOC_B = "<page><article key='p1'><title>One.</title></article></page>"
@@ -84,3 +90,165 @@ class TestErrors:
         (tmp_path / "manifest.json").write_text(json.dumps({"format": 9}))
         with pytest.raises(XmlDbError):
             load_database(str(tmp_path))
+
+    def test_bad_on_corruption_value(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_database(str(tmp_path), on_corruption="shrug")
+
+
+class TestFilenameCollisions:
+    def test_sanitised_keys_get_distinct_files(self, tmp_path):
+        db = Database()
+        coll = db.create_collection("c")
+        # both sanitise to "a_b.xml"; a literal "1-a_b" also collides with
+        # the naive numeric-prefix disambiguation
+        coll.add_document("a b", "<x>one</x>")
+        coll.add_document("a:b", "<x>two</x>")
+        coll.add_document("1-a_b", "<x>three</x>")
+        coll.add_document("a/b", "<x>four</x>")
+        root = str(tmp_path / "s")
+        save_database(db, root)
+        loaded = load_database(root)
+        got = {
+            key: loaded.get_collection("c").get_document(key).text
+            for key in ("a b", "a:b", "1-a_b", "a/b")
+        }
+        assert got == {"a b": "one", "a:b": "two", "1-a_b": "three", "a/b": "four"}
+        files = [p for p in (tmp_path / "s" / "c").iterdir() if p.suffix == ".xml"]
+        assert len(files) == 4
+
+
+class TestPathTraversal:
+    def _store(self, tmp_path):
+        db = Database()
+        db.create_collection("c").add_document("d", "<a/>")
+        root = tmp_path / "s"
+        save_database(db, str(root))
+        return root
+
+    def _manifest(self, root):
+        return json.loads((root / "manifest.json").read_text())
+
+    def test_directory_escape_rejected(self, tmp_path):
+        root = self._store(tmp_path)
+        manifest = self._manifest(root)
+        manifest["collections"]["c"]["directory"] = "../evil"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(XmlDbError, match="unsafe|escapes"):
+            load_database(str(root))
+
+    def test_filename_escape_rejected(self, tmp_path):
+        root = self._store(tmp_path)
+        manifest = self._manifest(root)
+        docs = manifest["collections"]["c"]["documents"]
+        docs["d"]["file"] = "../../etc/passwd"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(XmlDbError, match="unsafe|escapes"):
+            load_database(str(root))
+
+    def test_traversal_rejected_even_in_quarantine_mode(self, tmp_path):
+        root = self._store(tmp_path)
+        manifest = self._manifest(root)
+        manifest["collections"]["c"]["documents"]["d"]["file"] = "..\\..\\boom.xml"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(XmlDbError):
+            load_database(str(root), on_corruption="quarantine")
+
+    def test_absolute_path_rejected(self, tmp_path):
+        root = self._store(tmp_path)
+        manifest = self._manifest(root)
+        manifest["collections"]["c"]["documents"]["d"]["file"] = "/etc/hostname"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(XmlDbError):
+            load_database(str(root))
+
+
+class TestFormatV2:
+    def test_manifest_records_checksums(self, database, tmp_path):
+        root = tmp_path / "s"
+        save_database(database, str(root))
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["format"] == 2
+        entry = manifest["collections"]["dblp"]["documents"]["doc-a"]
+        text = (root / "dblp" / entry["file"]).read_text()
+        assert entry["sha256"] == sha256_text(text)
+        assert entry["bytes"] == len(text.encode("utf-8"))
+
+    def test_format_1_still_loads(self, tmp_path):
+        # hand-write a format-1 store: plain {key: filename} document maps,
+        # no checksums — what earlier versions of save_database produced
+        root = tmp_path / "old"
+        (root / "dblp").mkdir(parents=True)
+        (root / "dblp" / "doc-a.xml").write_text(DOC_A)
+        manifest = {
+            "format": 1,
+            "max_document_bytes": 5 * 1024 * 1024,
+            "collections": {
+                "dblp": {
+                    "directory": "dblp",
+                    "documents": {"doc-a": "doc-a.xml"},
+                    "max_document_bytes": 5 * 1024 * 1024,
+                }
+            },
+        }
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_database(str(root))
+        assert len(loaded.get_collection("dblp")) == 1
+        assert loaded.recovery_report.format == 1
+        # corruption in a format-1 file is still caught (parse failure)
+        (root / "dblp" / "doc-a.xml").write_text("<dblp><broken>")
+        with pytest.raises(StorageCorruptionError):
+            load_database(str(root))
+
+    def test_checksum_mismatch_raises(self, database, tmp_path):
+        root = tmp_path / "s"
+        save_database(database, str(root))
+        victim = next((root / "dblp").glob("*.xml"))
+        # still well-formed XML, so only the checksum can catch it
+        victim.write_text(DOC_B)
+        with pytest.raises(StorageCorruptionError, match="checksum"):
+            load_database(str(root))
+
+
+class TestVerifyAndRecover:
+    def test_verify_clean_store(self, database, tmp_path):
+        root = str(tmp_path / "s")
+        save_database(database, root)
+        report = verify_database(root)
+        assert report.ok
+        assert report.loaded_documents == 3
+        assert report.database is None  # read-only
+
+    def test_verify_reports_without_moving(self, database, tmp_path):
+        root = tmp_path / "s"
+        save_database(database, str(root))
+        victim = next((root / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        report = verify_database(str(root))
+        assert not report.ok
+        assert len(report.quarantined) == 1
+        assert victim.exists()  # verify never moves files
+        assert not (root / ".quarantine").exists()
+
+    def test_recover_moves_and_salvages(self, database, tmp_path):
+        root = tmp_path / "s"
+        save_database(database, str(root))
+        victim = next((root / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        report = recover_database(str(root))
+        assert report.database is not None
+        assert len(report.database.get_collection("sigmod")) == 2
+        assert not victim.exists()
+        assert len(report.quarantined) == 1
+        moved = report.quarantined[0].quarantined_to
+        assert moved and os.path.exists(moved)
+        assert ".quarantine" in moved
+
+    def test_recover_then_resave_verifies_clean(self, database, tmp_path):
+        root = str(tmp_path / "s")
+        save_database(database, root)
+        victim = next((tmp_path / "s" / "dblp").glob("*.xml"))
+        victim.write_text("garbage")
+        report = recover_database(root)
+        save_database(report.database, root)
+        assert verify_database(root).ok
