@@ -20,8 +20,11 @@ Subcommands:
         python -m repro.cli seo --source dblp=dblp.xml --out seo.json
 
 ``repro-toss db``
-    Integrity-check or repair a saved store::
+    Build, inspect, integrity-check or repair a saved store::
 
+        python -m repro.cli db build --source dblp=dblp.xml \\
+            --workers 4 --cache-dir ./seo-cache ./store
+        python -m repro.cli db stats ./store
         python -m repro.cli db verify ./store
         python -m repro.cli db recover ./store
 
@@ -50,13 +53,18 @@ def _parse_sources(specs: Sequence[str]) -> List[tuple]:
 
 
 def _build_system(args: argparse.Namespace) -> TossSystem:
-    system = TossSystem(measure=args.measure, epsilon=args.epsilon)
+    system = TossSystem(
+        measure=args.measure,
+        epsilon=args.epsilon,
+        workers=getattr(args, "workers", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
     for name, path in _parse_sources(args.source):
         with open(path, "r", encoding="utf-8") as handle:
             system.add_instance(name, handle.read())
     for constraint in args.constraint or ():
         system.add_constraint(constraint)
-    system.build()
+    system.build(use_cache=not getattr(args, "no_cache", False))
     return system
 
 
@@ -161,6 +169,52 @@ def _cmd_db_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_db_build(args: argparse.Namespace) -> int:
+    from .core.persistence import save_system
+
+    system = _build_system(args)
+    save_system(system, args.root)
+    assert system.build_report is not None
+    print(system.build_report.summary())
+    if system.seo_cache is not None:
+        cache = system.seo_cache.stats()
+        print(
+            f"# seo cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['stores']} stored ({system.seo_cache.directory})"
+        )
+    print(f"# saved {len(system.instances)} instances to {args.root}")
+    return 0
+
+
+def _cmd_db_stats(args: argparse.Namespace) -> int:
+    from .core.persistence import load_build_report, load_system
+
+    system = load_system(args.root)
+    database = system.database
+    print(f"# system at {args.root}")
+    print(
+        f"collections: {len(database.collection_names())}, "
+        f"documents: {sum(len(database.get_collection(n)) for n in database.collection_names())}, "
+        f"bytes: {database.total_bytes()}"
+    )
+    stats = database.statistics
+    print(
+        f"xpath query cache: size {database.query_cache_size}, "
+        f"hits {stats.cache_hits}, misses {stats.cache_misses}"
+    )
+    report = load_build_report(args.root)
+    if report is None:
+        print("build report: none persisted")
+    else:
+        print(report.summary())
+        print(
+            f"seo cache outcome: {report.cache_hits} hits, "
+            f"{report.cache_misses} misses; "
+            f"pairs pruned {report.pairs_pruned} of {report.total_pairs}"
+        )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import (
         epsilon_sweep,
@@ -252,6 +306,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
                          help="similarity measure name (default: levenshtein)")
         sub.add_argument("--epsilon", type=float, default=3.0,
                          help="similarity threshold (default: 3.0)")
+        sub.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes for the SEO build (default: 1)")
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent similarity-graph cache directory")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="bypass the similarity-graph cache for this build")
 
     query = subparsers.add_parser("query", help="run a TOSS query")
     add_system_options(query, source_required=False)
@@ -273,9 +333,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
     save.set_defaults(handler=_cmd_save)
 
     db = subparsers.add_parser(
-        "db", help="integrity-check or repair a saved database directory"
+        "db", help="build, inspect, integrity-check or repair a saved system"
     )
     db_sub = db.add_subparsers(dest="db_command", required=True)
+    db_build = db_sub.add_parser(
+        "build",
+        help="build a system from sources and persist it with its build report",
+    )
+    add_system_options(db_build)
+    db_build.add_argument("root", help="directory to write the system to")
+    db_build.set_defaults(handler=_cmd_db_build)
+    db_stats = db_sub.add_parser(
+        "stats",
+        help="show collection sizes, query-cache counters and the build report",
+    )
+    db_stats.add_argument("root", help="saved system directory")
+    db_stats.set_defaults(handler=_cmd_db_stats)
     db_verify = db_sub.add_parser(
         "verify", help="re-check every document and checksum (read-only)"
     )

@@ -28,6 +28,7 @@ from ..ontology.constraints import parse_constraint
 from ..ontology.hierarchy import Ontology
 from ..similarity.persistence import read_seo, save_seo
 from ..xmldb.storage import load_database, save_database
+from .build_report import BuildReport
 from .conditions import SeoConditionContext
 from .executor import QueryExecutor
 from .instance import OntologyExtendedInstance
@@ -36,6 +37,7 @@ from .system import TossSystem
 _SYSTEM_FILE = "system.json"
 _DATABASE_DIR = "database"
 _SEO_DIR = "seo"
+_BUILD_REPORT_FILE = "build_report.json"
 
 
 def save_system(system: TossSystem, root_dir: str) -> None:
@@ -53,6 +55,11 @@ def save_system(system: TossSystem, root_dir: str) -> None:
     os.makedirs(seo_dir, exist_ok=True)
     for relation, seo in system.context.seos.items():
         save_seo(seo, os.path.join(seo_dir, f"{relation}.json"))
+    if system.build_report is not None:
+        atomic_write_text(
+            os.path.join(root_dir, _BUILD_REPORT_FILE),
+            json.dumps(system.build_report.to_dict(), indent=2, sort_keys=True),
+        )
 
     constraints: Dict[str, List[str]] = {
         relation: [repr(c) for c in items]
@@ -72,6 +79,20 @@ def save_system(system: TossSystem, root_dir: str) -> None:
         os.path.join(root_dir, _SYSTEM_FILE),
         json.dumps(payload, indent=2, sort_keys=True),
     )
+
+
+def load_build_report(root_dir: str) -> "BuildReport | None":
+    """The persisted build report of a saved system, or None.
+
+    Best-effort: the report is diagnostics, so a missing or damaged file
+    never blocks loading the system itself.
+    """
+    path = os.path.join(root_dir, _BUILD_REPORT_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return BuildReport.from_dict(json.load(handle))
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
 
 
 def load_system(root_dir: str, on_corruption: str = "raise") -> TossSystem:
@@ -101,6 +122,7 @@ def load_system(root_dir: str, on_corruption: str = "raise") -> TossSystem:
     system.database = load_database(
         os.path.join(root_dir, _DATABASE_DIR), on_corruption=on_corruption
     )
+    system.build_report = load_build_report(root_dir)
 
     # Restore instances with freshly extracted ontologies (deterministic,
     # cheap, and only consulted by a future rebuild — the restored SEOs

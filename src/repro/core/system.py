@@ -36,8 +36,11 @@ from ..ontology.constraints import (
 from ..ontology.hierarchy import Hierarchy, Ontology
 from ..ontology.lexicon import Lexicon
 from ..ontology.maker import OntologyMaker
+from ..parallel import BuildOptions
+from ..similarity.cache import SimilarityGraphCache
 from ..similarity.measures import StringSimilarityMeasure, get_measure
 from ..similarity.seo import SimilarityEnhancedOntology
+from .build_report import BuildReport, RelationBuild
 from ..tax import algebra as tax_algebra
 from ..tax.pattern import PatternTree
 from ..xmldb.database import Database
@@ -63,6 +66,8 @@ class TossSystem:
         typing: TypingFunction = default_typing,
         max_document_bytes: Optional[int] = None,
         guard: Optional[ResourceGuard] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.measure = get_measure(measure) if isinstance(measure, str) else measure
         self.epsilon = epsilon
@@ -85,6 +90,14 @@ class TossSystem:
         self.degraded: bool = False
         #: The exception that forced degradation, for diagnostics.
         self.build_error: Optional[ReproError] = None
+        #: Default worker count for the similarity-graph phase (None = 1).
+        self.workers = workers if workers is not None else 1
+        #: Persistent similarity-graph cache (None = caching disabled).
+        self.seo_cache: Optional[SimilarityGraphCache] = (
+            SimilarityGraphCache(cache_dir) if cache_dir else None
+        )
+        #: :class:`~repro.core.build_report.BuildReport` of the last build.
+        self.build_report: Optional[BuildReport] = None
 
     # -- administration ---------------------------------------------------------
 
@@ -188,6 +201,10 @@ class TossSystem:
         mode: str = "order-safe",
         guard: Optional[ResourceGuard] = None,
         on_failure: str = "raise",
+        workers: Optional[int] = None,
+        candidate_filter: Optional[bool] = None,
+        parallel_threshold: Optional[int] = None,
+        use_cache: bool = True,
     ) -> Optional[SeoConditionContext]:
         """Fuse all instance ontologies and similarity-enhance them.
 
@@ -212,6 +229,12 @@ class TossSystem:
         working with plain TAX semantics and their
         :class:`~repro.core.executor.ExecutionReport` carries
         ``degraded=True``.  Returns None when degraded.
+
+        ``workers`` / ``candidate_filter`` override the system defaults
+        for the similarity-graph phase (see
+        :class:`~repro.parallel.BuildOptions`); ``use_cache=False``
+        bypasses the persistent similarity-graph cache for this build
+        only.  The full outcome lands in :attr:`build_report`.
         """
         if on_failure not in ("raise", "degrade"):
             raise ValueError(
@@ -222,6 +245,21 @@ class TossSystem:
         if epsilon is not None:
             self.epsilon = epsilon
         guard = guard if guard is not None else self.guard
+        options = BuildOptions(workers=self.workers).with_overrides(
+            workers=workers,
+            candidate_filter=candidate_filter,
+            parallel_threshold=parallel_threshold,
+        )
+        cache = self.seo_cache if use_cache else None
+        report = BuildReport(
+            measure=self.measure.name or type(self.measure).__name__,
+            epsilon=self.epsilon,
+            mode=mode,
+            workers=options.workers,
+            candidate_filter=options.candidate_filter,
+            cache_used=cache is not None,
+        )
+        self.build_report = report
         started = time.perf_counter()
         seos: Dict[str, SimilarityEnhancedOntology] = {}
         try:
@@ -241,9 +279,20 @@ class TossSystem:
                     constraints,
                     mode=mode,
                     guard=guard,
+                    options=options,
+                    cache=cache,
                 )
+                if seos[relation].build_stats is not None:
+                    report.relations.append(
+                        RelationBuild.from_stats(
+                            relation, seos[relation].build_stats
+                        )
+                    )
         except ReproError as exc:
             self.build_seconds = time.perf_counter() - started
+            report.build_seconds = self.build_seconds
+            report.degraded = True
+            report.error = str(exc)
             if on_failure == "raise":
                 raise
             self.context = None
@@ -254,6 +303,7 @@ class TossSystem:
             )
             return None
         self.build_seconds = time.perf_counter() - started
+        report.build_seconds = self.build_seconds
         self.degraded = False
         self.build_error = None
         self.context = SeoConditionContext(

@@ -53,7 +53,7 @@ class Hierarchy:
         antisymmetric, so cycles are impossible).
     """
 
-    __slots__ = ("_parents", "_children", "_up_closure", "_down_closure", "_hash")
+    __slots__ = ("_parents", "_children", "_up", "_down", "_hash")
 
     def __init__(
         self,
@@ -76,6 +76,43 @@ class Hierarchy:
         self._parents: Dict[Term, FrozenSet[Term]] = {
             node: frozenset(targets) for node, targets in reduced.items()
         }
+        self._finish()
+
+    @classmethod
+    def from_hasse(
+        cls,
+        edges: "Iterable[Tuple[Term, Term]]" = (),
+        nodes: Iterable[Term] = (),
+    ) -> "Hierarchy":
+        """Construct from an edge set already in Hasse form.
+
+        Skips the transitive-reduction pass — the dominant cost of
+        ``__init__`` on large hierarchies — for callers restoring a
+        hierarchy that was *serialised from an existing* ``Hierarchy``,
+        whose edges are transitively reduced by construction.  The
+        reachability closures are derived lazily from whatever edges were
+        given (closure computation terminates on any acyclic input), so
+        feeding non-Hasse edges yields a non-canonical order rather than
+        a hang; callers must authenticate the payload (e.g. with a
+        checksum) before taking this fast path.
+        """
+        hierarchy = cls.__new__(cls)
+        graph: Dict[Term, Set[Term]] = {}
+        for u, v in edges:
+            if u == v:
+                continue
+            graph.setdefault(u, set()).add(v)
+            graph.setdefault(v, set())
+        for node in nodes:
+            graph.setdefault(node, set())
+        hierarchy._parents = {
+            node: frozenset(targets) for node, targets in graph.items()
+        }
+        hierarchy._finish()
+        return hierarchy
+
+    def _finish(self) -> None:
+        """Derive the children map from ``_parents``; closures stay lazy."""
         children: Dict[Term, Set[Term]] = {node: set() for node in self._parents}
         for node, targets in self._parents.items():
             for target in targets:
@@ -83,15 +120,37 @@ class Hierarchy:
         self._children: Dict[Term, FrozenSet[Term]] = {
             node: frozenset(kids) for node, kids in children.items()
         }
-        up = graphutils.transitive_closure(self._parents)
-        self._up_closure: Dict[Term, FrozenSet[Term]] = {
-            node: frozenset(targets) for node, targets in up.items()
-        }
-        down = graphutils.transitive_closure(self._children)
-        self._down_closure: Dict[Term, FrozenSet[Term]] = {
-            node: frozenset(targets) for node, targets in down.items()
-        }
+        self._up: Optional[Dict[Term, FrozenSet[Term]]] = None
+        self._down: Optional[Dict[Term, FrozenSet[Term]]] = None
         self._hash: Optional[int] = None
+
+    @property
+    def _up_closure(self) -> Dict[Term, FrozenSet[Term]]:
+        """Reachability closure over ``_parents``, computed on first use.
+
+        Laziness matters for restored hierarchies (cache hits, loads):
+        the closure is the dominant construction cost and a process that
+        only serialises or compares the hierarchy never needs it.
+        """
+        if self._up is None:
+            self._up = {
+                node: frozenset(targets)
+                for node, targets in graphutils.transitive_closure(
+                    self._parents
+                ).items()
+            }
+        return self._up
+
+    @property
+    def _down_closure(self) -> Dict[Term, FrozenSet[Term]]:
+        if self._down is None:
+            self._down = {
+                node: frozenset(targets)
+                for node, targets in graphutils.transitive_closure(
+                    self._children
+                ).items()
+            }
+        return self._down
 
     # -- basic container protocol -----------------------------------------
 

@@ -1,0 +1,292 @@
+"""Process-level parallelism for the SEO build.
+
+The epsilon-similarity graph decomposes into independent *blocks* of
+probe positions (see :func:`repro.similarity.candidates.block_edges`):
+each block reports exactly the similar pairs whose later element falls
+inside it, so the union over any partition of the probe range is the
+full edge set regardless of which process computed which block.  This
+module partitions the blocks of every order-context bucket across a
+``multiprocessing`` pool, merges the results deterministically, and
+falls back to serial execution when a pool cannot pay for itself.
+
+Guard semantics are *cooperative*: the parent's
+:class:`~repro.guard.ResourceGuard` cannot be shared across process
+boundaries, so each worker runs under its own guard carrying the
+parent's **remaining** wall-clock deadline and step budget.  A worker
+that exceeds either returns a typed failure marker; the parent re-raises
+the matching :class:`~repro.errors.QueryTimeoutError` /
+:class:`~repro.errors.ResourceExhaustedError` (first failing worker
+wins, deterministically).  After a successful merge the parent ticks its
+own guard with the total steps the workers consumed, so the build's
+overall accounting — and any budget exhaustion it implies — is preserved
+exactly as if the work had run serially.
+
+Workers re-instantiate the similarity measure from its registry name, so
+only registry measures parallelise; custom unnamed measures (and weak
+measures, whose node distance needs the full string sets) stay on the
+serial path in :mod:`repro.similarity.sea`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import QueryTimeoutError, ResourceExhaustedError
+from .guard import ResourceGuard
+from .similarity import candidates as _candidates
+from .similarity.candidates import BlockStats
+
+#: Minimum number of pairwise comparisons before a worker pool pays for
+#: its fork/spawn + pickling overhead.
+DEFAULT_PARALLEL_THRESHOLD = 50_000
+
+#: Target number of blocks per worker; more blocks smooth out the skew
+#: between cheap early probes and expensive late ones.
+_BLOCKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """Tuning knobs for the SEO construction pipeline.
+
+    Attributes
+    ----------
+    workers:
+        Process count for the similarity-graph phase; 1 disables the pool.
+    candidate_filter:
+        Enable the inverted q-gram candidate index (only ever applied to
+        measures where it is sound; see
+        :func:`repro.similarity.candidates.supports_filter`).
+    parallel_threshold:
+        Minimum total pairwise comparisons before the pool engages;
+        below it even ``workers > 1`` builds run serially.
+    """
+
+    workers: int = 1
+    candidate_filter: bool = True
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+
+    def with_overrides(
+        self,
+        workers: Optional[int] = None,
+        candidate_filter: Optional[bool] = None,
+        parallel_threshold: Optional[int] = None,
+    ) -> "BuildOptions":
+        """A copy with any non-None override applied."""
+        updated = self
+        if workers is not None:
+            updated = replace(updated, workers=workers)
+        if candidate_filter is not None:
+            updated = replace(updated, candidate_filter=candidate_filter)
+        if parallel_threshold is not None:
+            updated = replace(updated, parallel_threshold=parallel_threshold)
+        return updated
+
+
+#: The default, serial configuration.
+SERIAL_OPTIONS = BuildOptions()
+
+
+def should_parallelize(
+    options: BuildOptions, measure_name: str, total_pairs: int
+) -> bool:
+    """Whether the pool is worth engaging for this build."""
+    return (
+        options.workers > 1
+        and bool(measure_name)
+        and total_pairs >= options.parallel_threshold
+    )
+
+
+def partition_blocks(
+    group_sizes: Mapping[int, int], workers: int
+) -> List[List[Tuple[int, int, int, int]]]:
+    """Split every group's probe range into per-worker block lists.
+
+    Returns one list per worker of ``(block_id, group_id, lo, hi)``
+    tuples.  Probe position ``p`` verifies against up to ``p`` earlier
+    strings, so blocks are balanced on the triangular weight ``sum(p)``
+    rather than on width, and assigned round-robin in block order —
+    a deterministic schedule independent of runtime timings.
+    """
+    blocks: List[Tuple[int, int, int]] = []  # (group_id, lo, hi)
+    for group_id in sorted(group_sizes):
+        size = group_sizes[group_id]
+        if size < 2:
+            continue
+        total_weight = size * (size - 1) // 2
+        target = max(1, total_weight // (workers * _BLOCKS_PER_WORKER))
+        lo = 0
+        weight = 0
+        for p in range(size):
+            weight += p
+            if weight >= target or p == size - 1:
+                blocks.append((group_id, lo, p + 1))
+                lo = p + 1
+                weight = 0
+        if lo < size:
+            blocks.append((group_id, lo, size))
+    assignments: List[List[Tuple[int, int, int, int]]] = [[] for _ in range(workers)]
+    for block_id, (group_id, lo, hi) in enumerate(blocks):
+        assignments[block_id % workers].append((block_id, group_id, lo, hi))
+    return assignments
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the interpreter); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _compute_edge_blocks(payload: dict) -> dict:
+    """Worker entry point: compute the edges of the assigned blocks.
+
+    Runs in a separate process.  Returns either ``{"blocks": [...],
+    "steps": n}`` or a failure marker ``{"failure": (kind, detail)}`` when
+    the per-worker guard trips — exceptions never cross the process
+    boundary raw, so the parent controls their reconstruction.
+    """
+    from .similarity.measures import get_measure
+
+    measure = get_measure(payload["measure"])
+    epsilon = payload["epsilon"]
+    use_filter = payload["use_filter"]
+    deadline = payload["deadline"]
+    step_budget = payload["step_budget"]
+    guard: Optional[ResourceGuard] = None
+    if deadline is not None or step_budget is not None:
+        guard = ResourceGuard(deadline_seconds=deadline, max_steps=step_budget)
+    orders: Dict[int, List[int]] = {}
+    results: List[Tuple[int, int, List[Tuple[int, int]], BlockStats]] = []
+    try:
+        for block_id, group_id, lo, hi in payload["blocks"]:
+            reps = payload["groups"][group_id]
+            order = orders.get(group_id)
+            if order is None:
+                order = _candidates.length_sorted_order(reps)
+                orders[group_id] = order
+            edges, stats = _candidates.block_edges(
+                reps,
+                order,
+                measure,
+                epsilon,
+                lo,
+                hi,
+                guard=guard,
+                use_filter=use_filter,
+            )
+            results.append((block_id, group_id, edges, stats))
+    except QueryTimeoutError as exc:
+        return {"failure": ("timeout", exc.deadline, exc.elapsed)}
+    except ResourceExhaustedError as exc:
+        return {"failure": ("steps", str(exc))}
+    return {"blocks": results, "steps": guard.steps if guard is not None else 0}
+
+
+@dataclass
+class ParallelRunStats:
+    """Outcome counters of one parallel edge computation."""
+
+    workers: int = 1
+    blocks: int = 0
+    block_stats: BlockStats = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.block_stats is None:
+            self.block_stats = BlockStats()
+
+
+def parallel_group_edges(
+    groups: Mapping[int, Sequence[str]],
+    measure_name: str,
+    epsilon: float,
+    options: BuildOptions,
+    guard: Optional[ResourceGuard] = None,
+    use_filter: bool = True,
+    what: str = "SEA similarity graph",
+) -> Tuple[Dict[int, List[Tuple[int, int]]], ParallelRunStats]:
+    """Compute every group's similar pairs on a worker pool.
+
+    ``groups`` maps a group id to the representative strings of one
+    order-context bucket; the result maps each group id to its edge list
+    as ``(i, j)`` index pairs (``i < j``) into that group's sequence.
+    The merge is deterministic: blocks are reassembled in block-id order,
+    so the output is byte-for-byte the serial result.
+    """
+    if guard is not None:
+        guard.check_deadline(what)
+    workers = options.workers
+    group_lists = {gid: list(reps) for gid, reps in groups.items()}
+    assignments = partition_blocks(
+        {gid: len(reps) for gid, reps in group_lists.items()}, workers
+    )
+    deadline_remaining: Optional[float] = None
+    step_budget: Optional[int] = None
+    if guard is not None:
+        if guard.deadline_seconds is not None:
+            deadline_remaining = max(0.0, guard.deadline_seconds - guard.elapsed)
+        if guard.max_steps is not None:
+            step_budget = max(0, guard.max_steps - guard.steps)
+    payloads = []
+    for worker_blocks in assignments:
+        if not worker_blocks:
+            continue
+        needed = {block[1] for block in worker_blocks}
+        payloads.append(
+            {
+                "measure": measure_name,
+                "epsilon": epsilon,
+                "use_filter": use_filter,
+                "deadline": deadline_remaining,
+                "step_budget": step_budget,
+                "groups": {gid: group_lists[gid] for gid in needed},
+                "blocks": worker_blocks,
+            }
+        )
+
+    run_stats = ParallelRunStats(workers=len(payloads))
+    edges_by_group: Dict[int, List[Tuple[int, int]]] = {
+        gid: [] for gid in group_lists
+    }
+    if not payloads:
+        return edges_by_group, run_stats
+
+    context = _pool_context()
+    with context.Pool(processes=len(payloads)) as pool:
+        outcomes = pool.map(_compute_edge_blocks, payloads)
+
+    for outcome in outcomes:
+        failure = outcome.get("failure")
+        if failure is None:
+            continue
+        if failure[0] == "timeout":
+            raise QueryTimeoutError(what, failure[1], failure[2])
+        raise ResourceExhaustedError(failure[1])
+
+    merged: List[Tuple[int, int, List[Tuple[int, int]], BlockStats]] = []
+    total_steps = 0
+    for outcome in outcomes:
+        merged.extend(outcome["blocks"])
+        total_steps += outcome["steps"]
+    merged.sort(key=lambda item: item[0])
+    for _, group_id, edges, stats in merged:
+        edges_by_group[group_id].extend(edges)
+        run_stats.block_stats.merge(stats)
+    run_stats.blocks = len(merged)
+
+    # Preserve the serial accounting: the parent's guard absorbs the
+    # total steps the workers consumed, so a budget the pool collectively
+    # exceeded still raises (and downstream phases see the true count).
+    if guard is not None and total_steps:
+        guard.tick(total_steps, what=what)
+    return edges_by_group, run_stats

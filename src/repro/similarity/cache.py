@@ -1,0 +1,199 @@
+"""Persistent similarity-graph cache for SEO construction.
+
+Section 6 of the paper: the SEO is a *precomputation* — it only changes
+when the source hierarchies, the measure, epsilon, the interoperation
+constraints or the SEA mode change.  This module keys a built SEO by
+exactly those inputs (a sha256 over a canonical rendering of all five)
+and stores the serialised SEO next to the key, so rebuilding a system
+after a restart, or re-running an experiment with an unchanged corpus,
+skips both the fusion and the quadratic similarity-graph phase entirely.
+
+Entries are written with the crash-safe atomic writer from
+:mod:`repro.ioutils` and carry an embedded checksum over the SEO payload;
+:meth:`SimilarityGraphCache.load` verifies it before taking the *trusted*
+deserialisation fast path (:func:`~repro.similarity.persistence.seo_from_dict`
+with ``trusted=True``, which skips re-normalising the stored Hasse
+edges).  Any mismatch, damage or format drift is treated as a plain cache
+miss — a corrupt cache can cost a rebuild, never a wrong answer.
+
+Not every build is cacheable: the key must be derivable from the inputs
+alone, so unnamed (unregistered) measures and hierarchies over
+non-string terms fall through with ``key() -> None`` and the caller
+builds uncached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+from ..ioutils import atomic_write_text, sha256_text
+from ..ontology.constraints import InteroperationConstraint
+from ..ontology.hierarchy import Hierarchy
+from .measures import StringSimilarityMeasure
+from .persistence import seo_from_dict, seo_to_dict
+from .seo import SimilarityEnhancedOntology
+
+#: Bump when the key derivation or entry layout changes; old entries
+#: then simply miss and get rebuilt.
+CACHE_FORMAT = 1
+
+_KEY_PREFIX = "toss-seo-cache"
+
+
+def _canonical_payload_text(seo_payload: Dict[str, Any]) -> str:
+    """The checksummed rendering of a serialised SEO (key-order invariant)."""
+    return json.dumps(seo_payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(
+    hierarchies: Mapping[Hashable, Hierarchy],
+    measure: StringSimilarityMeasure,
+    epsilon: float,
+    constraints: Iterable[InteroperationConstraint] = (),
+    mode: str = "strict",
+) -> Optional[str]:
+    """Deterministic content key for one SEO build, or None if uncacheable.
+
+    The key hashes a canonical text listing every build input: the cache
+    format version, the measure's registry name, epsilon, the SEA mode,
+    each source hierarchy's sorted node and edge lists, and the sorted
+    constraint representations.  Uncacheable inputs — measures without a
+    registry name (they could not be restored anyway) and hierarchies
+    whose terms or source labels are not plain strings (no canonical
+    rendering exists for arbitrary objects) — return None.
+    """
+    if not measure.name:
+        return None
+    lines = [
+        f"{_KEY_PREFIX}/{CACHE_FORMAT}",
+        f"measure={measure.name}",
+        f"epsilon={float(epsilon)!r}",
+        f"mode={mode}",
+    ]
+    try:
+        sources = sorted(hierarchies, key=str)
+    except TypeError:
+        return None
+    for source in sources:
+        if not isinstance(source, str):
+            return None
+        hierarchy = hierarchies[source]
+        for term in hierarchy.terms:
+            if not isinstance(term, str):
+                return None
+        lines.append(f"hierarchy={source}")
+        lines.extend(f"node={term}" for term in sorted(hierarchy.terms))
+        lines.extend(
+            f"edge={lower}\x00{upper}"
+            for lower, upper in sorted(hierarchy.edges())
+        )
+    lines.extend(f"constraint={text}" for text in sorted(repr(c) for c in constraints))
+    return sha256_text("\n".join(lines))
+
+
+class SimilarityGraphCache:
+    """On-disk cache of built SEOs, one checksummed JSON file per key."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidated = 0
+
+    # -- key / path helpers -------------------------------------------------
+
+    key = staticmethod(cache_key)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- operations ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[SimilarityEnhancedOntology]:
+        """The cached SEO for ``key``, or None (counted as a miss).
+
+        Verification order matters: the checksum is checked against the
+        canonical rendering of the embedded SEO payload *before* the
+        trusted deserialisation fast path runs, so a tampered or torn
+        entry can only ever produce a miss.
+        """
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("format") != CACHE_FORMAT or entry.get("key") != key:
+                raise ValueError("cache entry format/key mismatch")
+            payload = entry["seo"]
+            if sha256_text(_canonical_payload_text(payload)) != entry["checksum"]:
+                raise ValueError("cache entry checksum mismatch")
+            seo = seo_from_dict(payload, trusted=True)
+        except Exception:
+            # Missing, torn, tampered or stale-format entries all mean the
+            # same thing to the caller: build it again.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return seo
+
+    def store(
+        self,
+        key: str,
+        seo: SimilarityEnhancedOntology,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Persist ``seo`` under ``key`` (atomic write); returns the path."""
+        payload = seo_to_dict(seo)
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "checksum": sha256_text(_canonical_payload_text(payload)),
+            "seo": payload,
+            "meta": dict(meta or {}),
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(key)
+        atomic_write_text(path, json.dumps(entry, sort_keys=True))
+        self.stores += 1
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            os.unlink(self.path_for(key))
+        except FileNotFoundError:
+            return False
+        self.invalidated += 1
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except FileNotFoundError:
+                    continue
+                removed += 1
+        self.invalidated += removed
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityGraphCache({self.directory!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,240 @@
+"""Candidate generation for the epsilon-similarity graph.
+
+The SEA precomputation (Figure 12) needs every pair of hierarchy nodes
+within edit distance epsilon.  Enumerating all ``C(n, 2)`` pairs and
+running the (even banded) dynamic programme on each is the dominant cost
+of a build over a real ontology; the similarity-join literature replaces
+the enumeration with *candidate generation*: an inverted index over
+string features emits a small superset of the truly similar pairs, and
+only that superset is verified.
+
+This module implements the classic edit-distance filter stack for the
+unit-cost Levenshtein measure:
+
+* **length filter** — ``|len(x) - len(y)| <= epsilon`` is necessary;
+* **count filter** (Ukkonen) — the L1 distance between q-gram profiles
+  satisfies ``L1 <= 2 q ed(x, y)``, so with q = 2 a pair within epsilon
+  shares at least ``ceil((p_x + p_y - 4 epsilon) / 2)`` bigram
+  *occurrences* (profiles are multisets; an occurrence ``(gram, k)`` is
+  the k-th copy of ``gram``, which turns multiset intersection into
+  plain set intersection);
+* **prefix filter** — order every profile by ascending global gram
+  frequency; two profiles meeting the count threshold must share an
+  occurrence within their first ``floor(2.5 epsilon) + 2`` entries
+  (the standard prefix-filter bound, using the length filter to cap the
+  profile-size gap at epsilon), so only those short prefixes are
+  indexed and probed.  Pairs whose count threshold is non-positive
+  (both profiles tiny relative to ``4 epsilon``) cannot be found through
+  shared grams at all and are generated from a separate small-profile
+  pool.
+
+Pairs that share no indexed occurrence are therefore *never generated*,
+which removes the quadratic enumeration for realistic inputs.  Probing
+walks strings in length-sorted order against the already-indexed ones,
+so the work decomposes into independent contiguous *blocks* of probe
+positions — exactly the unit the parallel build layer
+(:mod:`repro.parallel`) distributes across worker processes.  Serial and
+parallel builds run this same code over the same deterministic order, so
+their edge sets are bit-identical.
+
+For measures where the q-gram bound is unsound (anything other than
+plain :class:`~repro.similarity.measures.Levenshtein`), callers pass
+``use_filter=False`` and :func:`block_edges` degrades to verified
+all-pairs enumeration over the same probe order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..guard import ResourceGuard
+from .measures import Levenshtein, StringSimilarityMeasure
+
+#: Occurrence-tagged bigram: the k-th copy of a gram in one profile.
+Occurrence = Tuple[str, int]
+
+
+def supports_filter(measure: StringSimilarityMeasure) -> bool:
+    """True when the q-gram count filter is sound for ``measure``.
+
+    The Ukkonen bound is only claimed for plain unit-cost Levenshtein;
+    Damerau transpositions, normalisation and token measures all break
+    it, so they fall back to all-pairs verification.
+    """
+    return type(measure) is Levenshtein
+
+
+def bigram_occurrences(text: str) -> Tuple[Occurrence, ...]:
+    """The occurrence-tagged bigram profile of ``text``.
+
+    Strings shorter than 2 characters contribute their whole text as a
+    single pseudo-gram (mirroring ``_bigrams`` in the SEA module); such
+    profiles are always small enough for the small-profile pool, so the
+    unsoundness of the q-gram bound on them never matters.
+    """
+    if len(text) < 2:
+        return ((text, 1),)
+    counts: Dict[str, int] = {}
+    out: List[Occurrence] = []
+    for i in range(len(text) - 1):
+        gram = text[i : i + 2]
+        k = counts.get(gram, 0) + 1
+        counts[gram] = k
+        out.append((gram, k))
+    return tuple(out)
+
+
+def length_sorted_order(reps: Sequence[str]) -> List[int]:
+    """Deterministic probe order: ascending length, then text, then index.
+
+    Probing in length order means every probe only looks *backwards* at
+    strings no longer than itself, which keeps the per-pair count
+    threshold (and hence the prefix bound) tight.
+    """
+    return sorted(range(len(reps)), key=lambda i: (len(reps[i]), reps[i], i))
+
+
+@dataclass
+class BlockStats:
+    """Counters for one :func:`block_edges` call."""
+
+    #: Probe positions processed (block width).
+    probes: int = 0
+    #: Pairs that reached verification (the filters' output size).
+    candidates: int = 0
+    #: Verified epsilon-similar pairs.
+    edges: int = 0
+
+    def merge(self, other: "BlockStats") -> None:
+        self.probes += other.probes
+        self.candidates += other.candidates
+        self.edges += other.edges
+
+
+def block_edges(
+    reps: Sequence[str],
+    order: Sequence[int],
+    measure: StringSimilarityMeasure,
+    epsilon: float,
+    lo: int,
+    hi: int,
+    guard: Optional[ResourceGuard] = None,
+    use_filter: bool = True,
+    what: str = "SEA similarity graph",
+) -> Tuple[List[Tuple[int, int]], BlockStats]:
+    """Similar pairs whose *later* element sits at probe positions [lo, hi).
+
+    ``order`` must be :func:`length_sorted_order` of ``reps``; every pair
+    ``(a, b)`` of epsilon-similar representatives is reported exactly once,
+    in the block containing the larger of the two probe positions, as the
+    index pair ``(min(i, j), max(i, j))`` into ``reps``.  The union of the
+    edges over a partition of ``[0, n)`` into blocks is therefore exactly
+    the edge set of the epsilon-similarity graph — the invariant the
+    parallel layer relies on for its deterministic merge.
+
+    With ``use_filter`` (sound only when :func:`supports_filter` holds)
+    candidates come from the prefix-filtered inverted occurrence index;
+    otherwise every earlier probe position is verified (all-pairs mode).
+    ``guard`` is ticked once per probe and once per verified candidate.
+    """
+    stats = BlockStats()
+    edges: List[Tuple[int, int]] = []
+    n = len(reps)
+    if hi > n or lo < 0 or lo > hi:
+        raise ValueError(f"block [{lo}, {hi}) out of range for {n} strings")
+    if n < 2 or lo == hi:
+        return edges, stats
+
+    lengths = [len(reps[i]) for i in order]
+
+    def verify(pos_a: int, pos_b: int) -> None:
+        """Run the measure on an order-position pair; record an edge."""
+        i, j = order[pos_a], order[pos_b]
+        stats.candidates += 1
+        if guard is not None:
+            guard.tick(1, what=what)
+        rep_i, rep_j = reps[i], reps[j]
+        if rep_i == rep_j:
+            close = True
+        else:
+            close = measure.bounded_distance(rep_i, rep_j, epsilon) <= epsilon
+        if close:
+            stats.edges += 1
+            edges.append((i, j) if i <= j else (j, i))
+
+    if not use_filter:
+        # All-pairs fallback: verify each probe against every earlier one.
+        for p in range(lo, hi):
+            stats.probes += 1
+            if guard is not None:
+                guard.tick(1, what=what)
+            length_p = lengths[p]
+            for q in range(p):
+                if abs(length_p - lengths[q]) > epsilon:
+                    continue
+                verify(q, p)
+        return edges, stats
+
+    budget = 4.0 * epsilon  # Ukkonen: L1 of bigram profiles <= 2q * epsilon
+    occs = [bigram_occurrences(reps[i]) for i in order]
+    profile_sizes = [len(occ) for occ in occs]
+
+    # Global gram frequencies define the prefix order (rarest first, so
+    # prefixes are maximally selective); deterministic tie-break on the
+    # gram text keeps serial and parallel runs identical.
+    frequency: Dict[str, int] = {}
+    for occ in occs:
+        for gram, _ in occ:
+            frequency[gram] = frequency.get(gram, 0) + 1
+    sorted_occs: List[Tuple[Occurrence, ...]] = [
+        tuple(sorted(occ, key=lambda item: (frequency[item[0]], item[0], item[1])))
+        for occ in occs
+    ]
+    occ_sets: List[FrozenSet[Occurrence]] = [frozenset(occ) for occ in occs]
+    prefix_length = int(2.5 * epsilon) + 2
+
+    inverted: Dict[Occurrence, List[int]] = {}
+    #: Probe positions whose profile is small enough that some partner
+    #: pair could meet the count bound with zero shared occurrences
+    #: (threshold <= 0 needs p_x + p_y <= budget, hence p <= budget - 1).
+    small_pool: List[int] = []
+
+    for p in range(hi):
+        occ = sorted_occs[p]
+        prefix = occ[:prefix_length]
+        if p >= lo:
+            stats.probes += 1
+            if guard is not None:
+                guard.tick(1, what=what)
+            length_p = lengths[p]
+            size_p = profile_sizes[p]
+            occ_set_p = occ_sets[p]
+            seen: set = set()
+            for entry in prefix:
+                postings = inverted.get(entry)
+                if postings:
+                    seen.update(postings)
+            if size_p <= budget - 1.0:
+                for q in small_pool:
+                    if size_p + profile_sizes[q] <= budget:
+                        seen.add(q)
+            for q in sorted(seen):
+                if abs(length_p - lengths[q]) > epsilon:
+                    continue
+                # Exact count filter: multiset L1 distance as symmetric
+                # difference of occurrence sets.
+                if len(occ_set_p ^ occ_sets[q]) > budget:
+                    continue
+                verify(q, p)
+        for entry in prefix:
+            inverted.setdefault(entry, []).append(p)
+        if profile_sizes[p] <= budget - 1.0:
+            small_pool.append(p)
+
+    return edges, stats
+
+
+def pair_count(group_sizes: Sequence[int]) -> int:
+    """Total unordered pairs across groups (the all-pairs comparison cost)."""
+    return sum(size * (size - 1) // 2 for size in group_sizes)

@@ -66,10 +66,10 @@ def seo_to_dict(seo: SimilarityEnhancedOntology) -> Dict[str, Any]:
         "mode": seo.enhancement.mode,
         "fusion": {
             "nodes": [_fused_to_json(node) for node in fused_nodes],
-            "edges": [
+            "edges": sorted(
                 [fused_index[lower], fused_index[upper]]
                 for lower, upper in seo.fusion.hierarchy.edges()
-            ],
+            ),
             "witness": [
                 [_scoped_to_json(scoped), fused_index[node]]
                 for scoped, node in sorted(
@@ -82,24 +82,35 @@ def seo_to_dict(seo: SimilarityEnhancedOntology) -> Dict[str, Any]:
                 sorted(fused_index[member] for member in node.members)
                 for node in enhanced_nodes
             ],
-            "edges": [
+            "edges": sorted(
                 [enhanced_index[lower], enhanced_index[upper]]
                 for lower, upper in seo.hierarchy.edges()
-            ],
+            ),
         },
     }
 
 
-def seo_from_dict(payload: Dict[str, Any]) -> SimilarityEnhancedOntology:
-    """Rebuild an SEO from :func:`seo_to_dict` output."""
+def seo_from_dict(
+    payload: Dict[str, Any], trusted: bool = False
+) -> SimilarityEnhancedOntology:
+    """Rebuild an SEO from :func:`seo_to_dict` output.
+
+    ``trusted`` restores the hierarchies via
+    :meth:`~repro.ontology.hierarchy.Hierarchy.from_hasse`, skipping the
+    transitive-reduction normalisation — sound because serialised edges
+    come from a ``Hierarchy`` and are already Hasse.  Only pass it for
+    payloads whose integrity was verified (e.g. a checksummed cache
+    entry); untrusted files keep the full normalising constructor.
+    """
     version = payload.get("format")
     if version != FORMAT_VERSION:
         raise SimilarityError(f"unsupported SEO format version {version!r}")
     measure = get_measure(payload["measure"])
     epsilon = float(payload["epsilon"])
+    make_hierarchy = Hierarchy.from_hasse if trusted else Hierarchy
 
     fused_nodes = [_fused_from_json(node) for node in payload["fusion"]["nodes"]]
-    fused_hierarchy = Hierarchy(
+    fused_hierarchy = make_hierarchy(
         [
             (fused_nodes[lower], fused_nodes[upper])
             for lower, upper in payload["fusion"]["edges"]
@@ -116,7 +127,7 @@ def seo_from_dict(payload: Dict[str, Any]) -> SimilarityEnhancedOntology:
         EnhancedNode(frozenset(fused_nodes[i] for i in members))
         for members in payload["enhancement"]["nodes"]
     ]
-    enhanced_hierarchy = Hierarchy(
+    enhanced_hierarchy = make_hierarchy(
         [
             (enhanced_nodes[lower], enhanced_nodes[upper])
             for lower, upper in payload["enhancement"]["edges"]

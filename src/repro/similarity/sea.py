@@ -27,6 +27,7 @@ suite property-checks Definition 8's conditions on random inputs.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -44,10 +45,26 @@ from typing import (
 from .. import graphutils
 from ..errors import SimilarityInconsistencyError
 from ..guard import ResourceGuard
+from ..parallel import (
+    SERIAL_OPTIONS,
+    BuildOptions,
+    parallel_group_edges,
+    should_parallelize,
+)
 from ..ontology.hierarchy import Hierarchy
+from .candidates import (
+    BlockStats,
+    block_edges,
+    length_sorted_order,
+    pair_count,
+    supports_filter,
+)
 from .measures import StringSimilarityMeasure
 
 Node = Hashable
+
+#: Order context of a node: its strict ancestors and descendants.
+OrderContext = Tuple[FrozenSet[Node], FrozenSet[Node]]
 
 
 def node_strings(node: Node) -> FrozenSet[str]:
@@ -98,7 +115,9 @@ class NodeDistance:
         if self.measure.is_strong:
             # Lemma 1: within a node all strings are distance 0 apart, and
             # the triangle inequality forces every cross pair to agree.
-            value = self.measure.distance(next(iter(strings_a)), next(iter(strings_b)))
+            # The representative is the lexicographic minimum so the choice
+            # is deterministic across interpreter runs and worker processes.
+            value = self.measure.distance(min(strings_a), min(strings_b))
         else:
             value = min(
                 self.measure.distance(x, y)
@@ -125,9 +144,7 @@ class NodeDistance:
         strings_b = self.strings_of(b)
         if self.measure.is_strong:
             return (
-                self.measure.bounded_distance(
-                    next(iter(strings_a)), next(iter(strings_b)), epsilon
-                )
+                self.measure.bounded_distance(min(strings_a), min(strings_b), epsilon)
                 <= epsilon
             )
         return any(
@@ -199,6 +216,9 @@ class SimilarityEnhancement:
         self.epsilon = epsilon
         self.distance = distance
         self.mode = mode
+        #: :class:`SeaStats` of the build that produced this enhancement;
+        #: None for enhancements restored from disk.
+        self.stats: Optional[SeaStats] = None
 
     def mu_inverse(self, enhanced: EnhancedNode) -> FrozenSet[Node]:
         """``mu^{-1}``: the original nodes mapped into ``enhanced``."""
@@ -235,93 +255,177 @@ class SimilarityEnhancement:
         )
 
 
-def _bigrams(text: str) -> FrozenSet[str]:
-    if len(text) < 2:
-        return frozenset({text})
-    return frozenset(text[i : i + 2] for i in range(len(text) - 1))
+@dataclass
+class SeaStats:
+    """Counters and timings of one SEA similarity-graph construction.
+
+    Exposed as :attr:`SimilarityEnhancement.stats` and rolled up into the
+    system-level build report so operators can see what the candidate
+    filter pruned and whether the parallel path engaged.
+    """
+
+    mode: str = "strict"
+    #: Order-context buckets with at least two members.
+    groups: int = 0
+    #: All-pairs comparison count the naive algorithm would have run.
+    total_pairs: int = 0
+    #: Pairs that reached distance verification (the filters' output).
+    candidates: int = 0
+    #: Pairs the filters eliminated without running the measure.
+    pairs_pruned: int = 0
+    #: Verified epsilon-similar pairs (edges of the similarity graph).
+    graph_edges: int = 0
+    #: Maximal cliques (nodes of the enhanced hierarchy).
+    cliques: int = 0
+    filter_used: bool = False
+    parallel_used: bool = False
+    workers: int = 1
+    graph_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "groups": self.groups,
+            "total_pairs": self.total_pairs,
+            "candidates": self.candidates,
+            "pairs_pruned": self.pairs_pruned,
+            "graph_edges": self.graph_edges,
+            "cliques": self.cliques,
+            "filter_used": self.filter_used,
+            "parallel_used": self.parallel_used,
+            "workers": self.workers,
+            "graph_seconds": self.graph_seconds,
+        }
+
+
+def _order_context_index(
+    hierarchy: Hierarchy, nodes: List[Node]
+) -> Dict[Node, OrderContext]:
+    """Each node's order context, computed in one pass and reused
+    everywhere order-safe bucketing is needed (including `_verify`)."""
+    return {
+        node: (hierarchy.ancestors(node), hierarchy.descendants(node))
+        for node in nodes
+    }
 
 
 def _similarity_cliques(
     nodes: List[Node],
     distance: NodeDistance,
     epsilon: float,
-    hierarchy: Optional[Hierarchy] = None,
+    context_index: Optional[Dict[Node, OrderContext]] = None,
     guard: Optional[ResourceGuard] = None,
-) -> List[FrozenSet[Node]]:
+    options: Optional[BuildOptions] = None,
+) -> Tuple[List[FrozenSet[Node]], SeaStats]:
     """Maximal cliques of the epsilon-similarity graph over ``nodes``.
 
-    With ``hierarchy`` given (order-safe mode), an edge additionally
+    With ``context_index`` given (order-safe mode), an edge additionally
     requires the two nodes to have identical order context — the same
     strict ancestors and descendants — which provably guarantees a
     similarity enhancement exists (see :func:`sea`).  In that mode nodes
     are bucketed by order context, so only same-context pairs are ever
     compared.
 
-    For strong unit-cost edit measures a sound q-gram lower bound
-    (Ukkonen: L1 distance of q-gram profiles <= 2q * edit distance, so
-    the *set* symmetric difference, which bounds the L1 from below,
-    does too) prunes most pairs before the dynamic programme runs.
+    Strong measures compare one deterministic representative string per
+    node (Lemma 1) and route through the candidate-generation layer
+    (:mod:`repro.similarity.candidates`): a length + q-gram count filter
+    prunes almost every pair before the dynamic programme runs, and when
+    ``options`` asks for workers the blocks are fanned out across a
+    process pool (:mod:`repro.parallel`) with a deterministic merge.
+    Weak measures need the full string-set cross product per pair and
+    keep the serial loop.
     """
+    options = SERIAL_OPTIONS if options is None else options
     measure = distance.measure
     strings_of = distance.strings_of
     adjacency: Dict[Node, Set[Node]] = {node: set() for node in nodes}
+    stats = SeaStats(workers=options.workers)
 
     # Bucket by order context in order-safe mode; one bucket otherwise.
-    if hierarchy is not None:
-        buckets: Dict[object, List[Node]] = {}
+    if context_index is not None:
+        buckets: Dict[OrderContext, List[Node]] = {}
         for node in nodes:
-            key = (hierarchy.ancestors(node), hierarchy.descendants(node))
-            buckets.setdefault(key, []).append(node)
-        groups = list(buckets.values())
+            buckets.setdefault(context_index[node], []).append(node)
+        groups = [group for group in buckets.values() if len(group) >= 2]
     else:
-        groups = [nodes]
+        groups = [nodes] if len(nodes) >= 2 else []
+    stats.groups = len(groups)
+    stats.total_pairs = pair_count([len(group) for group in groups])
+    started = time.perf_counter()
 
-    # The q-gram bound is only claimed for plain unit-cost Levenshtein.
-    from .measures import Levenshtein
+    def connect(group: List[Node], index_pairs: Iterable[Tuple[int, int]]) -> None:
+        for i, j in index_pairs:
+            adjacency[group[i]].add(group[j])
+            adjacency[group[j]].add(group[i])
 
-    use_qgram_bound = type(measure) is Levenshtein
-    qgram_budget = 4.0 * epsilon  # 2q * epsilon with q = 2
-
-    for group in groups:
-        if len(group) < 2:
-            continue
-        if measure.is_strong:
-            reps = [next(iter(strings_of(node))) for node in group]
+    if measure.is_strong:
+        # Lemma 1: one representative per node decides similarity; the
+        # lexicographic minimum makes the choice identical in every
+        # process, which the parallel path's bit-identity relies on.
+        reps_by_group = [
+            [min(strings_of(node)) for node in group] for group in groups
+        ]
+        use_filter = options.candidate_filter and supports_filter(measure)
+        stats.filter_used = use_filter
+        if should_parallelize(options, measure.name, stats.total_pairs):
+            stats.parallel_used = True
+            edges_by_group, run_stats = parallel_group_edges(
+                dict(enumerate(reps_by_group)),
+                measure.name,
+                epsilon,
+                options,
+                guard=guard,
+                use_filter=use_filter,
+            )
+            block_stats = run_stats.block_stats
+            for gid, group in enumerate(groups):
+                connect(group, edges_by_group[gid])
         else:
-            reps = [None] * len(group)
-        grams = (
-            [_bigrams(rep) for rep in reps] if use_qgram_bound else None
-        )
-        for i in range(len(group) - 1):
-            node_a = group[i]
-            rep_a = reps[i]
-            if guard is not None:
-                # One tick per outer node; the pair loop below is the
-                # quadratic hot spot of the whole SEO precomputation.
-                guard.tick(len(group) - 1 - i, what="SEA similarity graph")
-            for j in range(i + 1, len(group)):
-                node_b = group[j]
-                if measure.is_strong:
-                    rep_b = reps[j]
-                    if rep_a == rep_b:
-                        close = True
-                    else:
-                        if grams is not None and len(grams[i] ^ grams[j]) > qgram_budget:
-                            continue
-                        close = (
-                            measure.bounded_distance(rep_a, rep_b, epsilon)
-                            <= epsilon
-                        )
-                else:
+            block_stats = BlockStats()
+            for group, reps in zip(groups, reps_by_group):
+                order = length_sorted_order(reps)
+                edges, group_stats = block_edges(
+                    reps,
+                    order,
+                    measure,
+                    epsilon,
+                    0,
+                    len(reps),
+                    guard=guard,
+                    use_filter=use_filter,
+                )
+                block_stats.merge(group_stats)
+                connect(group, edges)
+        stats.candidates = block_stats.candidates
+        stats.graph_edges = block_stats.edges
+    else:
+        # Weak measures: node distance is the min over the full string-set
+        # cross product, for which no sound prefilter exists here.
+        for group in groups:
+            for i in range(len(group) - 1):
+                node_a = group[i]
+                if guard is not None:
+                    # One tick per outer node; this pair loop is the
+                    # quadratic hot spot for weak measures.
+                    guard.tick(len(group) - 1 - i, what="SEA similarity graph")
+                for j in range(i + 1, len(group)):
+                    node_b = group[j]
+                    stats.candidates += 1
                     close = any(
                         measure.bounded_distance(x, y, epsilon) <= epsilon
                         for x in strings_of(node_a)
                         for y in strings_of(node_b)
                     )
-                if close:
-                    adjacency[node_a].add(node_b)
-                    adjacency[node_b].add(node_a)
-    return graphutils.maximal_cliques(adjacency)
+                    if close:
+                        stats.graph_edges += 1
+                        adjacency[node_a].add(node_b)
+                        adjacency[node_b].add(node_a)
+
+    stats.pairs_pruned = max(0, stats.total_pairs - stats.candidates)
+    cliques = graphutils.maximal_cliques(adjacency)
+    stats.cliques = len(cliques)
+    stats.graph_seconds = time.perf_counter() - started
+    return cliques, stats
 
 
 #: SEA modes: "strict" is Figure 12 verbatim and may find the input
@@ -341,6 +445,7 @@ def sea(
     verify: bool = False,
     mode: str = STRICT,
     guard: Optional[ResourceGuard] = None,
+    options: Optional[BuildOptions] = None,
 ) -> SimilarityEnhancement:
     """Run the SEA algorithm of Figure 12.
 
@@ -367,6 +472,13 @@ def sea(
         over a pathological hierarchy is interrupted by
         :class:`~repro.errors.QueryTimeoutError` /
         :class:`~repro.errors.ResourceExhaustedError` instead of hanging.
+        Under a worker pool each worker runs with the guard's *remaining*
+        budget and the parent re-raises the first worker failure, so the
+        error contract is unchanged.
+    options:
+        :class:`~repro.parallel.BuildOptions` tuning the similarity-graph
+        phase (candidate filter, worker count); None means serial with
+        the filter enabled.
 
     Raises
     ------
@@ -382,10 +494,16 @@ def sea(
     if guard is not None:
         guard.check_deadline("SEA build")
     nodes = list(hierarchy.terms)
-    # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
-    cliques = _similarity_cliques(
-        nodes, distance, epsilon, hierarchy if mode == ORDER_SAFE else None, guard
+    # Order contexts are computed once, here, and reused for bucketing and
+    # (when verify=True) for the order-safe restriction of condition 3.
+    context_index = (
+        _order_context_index(hierarchy, nodes) if mode == ORDER_SAFE else None
     )
+    # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
+    cliques, stats = _similarity_cliques(
+        nodes, distance, epsilon, context_index, guard, options
+    )
+    stats.mode = mode
     enhanced_nodes = [EnhancedNode(clique) for clique in cliques]
 
     # Lines 9-10: mu maps each original node to the cliques containing it.
@@ -453,13 +571,23 @@ def sea(
         distance,
         mode,
     )
+    enhancement.stats = stats
     if verify:
-        _verify(hierarchy, enhancement)
+        _verify(hierarchy, enhancement, context_index)
     return enhancement
 
 
-def _verify(hierarchy: Hierarchy, enhancement: SimilarityEnhancement) -> None:
-    """Assert Definition 8's four conditions hold for the output."""
+def _verify(
+    hierarchy: Hierarchy,
+    enhancement: SimilarityEnhancement,
+    context_index: Optional[Dict[Node, OrderContext]] = None,
+) -> None:
+    """Assert Definition 8's four conditions hold for the output.
+
+    ``context_index`` is the order-context map the build already computed
+    (order-safe mode only); it is reused here rather than re-traversing
+    the hierarchy.
+    """
     distance = enhancement.distance
     epsilon = enhancement.epsilon
     enhanced = enhancement.hierarchy
@@ -472,13 +600,21 @@ def _verify(hierarchy: Hierarchy, enhancement: SimilarityEnhancement) -> None:
 
     # Condition 3: every epsilon-close pair shares an enhanced node.  In
     # order-safe mode the similarity relation is deliberately restricted to
-    # order-equivalent pairs, so the unfiltered form of condition 3 does
-    # not apply.
+    # order-equivalent pairs, so condition 3 is checked within order
+    # contexts only, reusing the context index the build computed.
     originals = list(hierarchy.terms)
     if enhancement.mode != ORDER_SAFE:
         for a, b in itertools.combinations(originals, 2):
             if distance(a, b) <= epsilon:
                 assert mu[a] & mu[b], f"condition 3 violated by {a}, {b}"
+    else:
+        if context_index is None:
+            context_index = _order_context_index(hierarchy, originals)
+        for a, b in itertools.combinations(originals, 2):
+            if context_index[a] == context_index[b] and distance(a, b) <= epsilon:
+                assert mu[a] & mu[b], (
+                    f"condition 3 (order-restricted) violated by {a}, {b}"
+                )
 
     # Condition 4: no enhanced node's member set subsumes another's.
     for first, second in itertools.permutations(enhanced.terms, 2):

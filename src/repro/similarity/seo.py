@@ -17,7 +17,11 @@ and the query executor need:
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -33,8 +37,37 @@ from ..guard import ResourceGuard
 from ..ontology.constraints import InteroperationConstraint
 from ..ontology.fusion import FusionResult, canonical_fusion
 from ..ontology.hierarchy import Hierarchy
+from ..parallel import BuildOptions
 from .measures import StringSimilarityMeasure
-from .sea import EnhancedNode, NodeDistance, SimilarityEnhancement, sea
+from .sea import EnhancedNode, NodeDistance, SeaStats, SimilarityEnhancement, sea
+
+if TYPE_CHECKING:  # import cycle: cache.py deserialises through this module
+    from .cache import SimilarityGraphCache
+
+
+@dataclass
+class SeoBuildStats:
+    """Timings and cache outcome of one :meth:`SimilarityEnhancedOntology.build`."""
+
+    cache_hit: bool = False
+    #: Content key of this build's inputs; None when uncacheable or no
+    #: cache was supplied.
+    cache_key: Optional[str] = None
+    fusion_seconds: float = 0.0
+    sea_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: Similarity-graph counters (None on a cache hit — nothing was built).
+    sea: Optional[SeaStats] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cache_hit": self.cache_hit,
+            "cache_key": self.cache_key,
+            "fusion_seconds": self.fusion_seconds,
+            "sea_seconds": self.sea_seconds,
+            "total_seconds": self.total_seconds,
+            "sea": self.sea.to_dict() if self.sea is not None else None,
+        }
 
 
 class SimilarityEnhancedOntology:
@@ -47,6 +80,8 @@ class SimilarityEnhancedOntology:
     ) -> None:
         self.fusion = fusion
         self.enhancement = enhancement
+        #: :class:`SeoBuildStats` when constructed via :meth:`build`.
+        self.build_stats: Optional[SeoBuildStats] = None
         #: string -> enhanced nodes whose string set contains it
         self._nodes_by_string: Dict[str, Set[EnhancedNode]] = {}
         for node in enhancement.hierarchy.terms:
@@ -68,15 +103,57 @@ class SimilarityEnhancedOntology:
         constraints: Iterable[InteroperationConstraint] = (),
         mode: str = "strict",
         guard: Optional[ResourceGuard] = None,
+        options: Optional[BuildOptions] = None,
+        cache: "Optional[SimilarityGraphCache]" = None,
     ) -> "SimilarityEnhancedOntology":
         """Fuse ``hierarchies`` under ``constraints``, then enhance with SEA.
 
         ``guard`` bounds both phases (fusion and SEA) with a deadline /
-        step budget — see :class:`~repro.guard.ResourceGuard`.
+        step budget — see :class:`~repro.guard.ResourceGuard`.  ``options``
+        tunes the similarity-graph phase (candidate filter, workers); with
+        a :class:`~repro.similarity.cache.SimilarityGraphCache` in
+        ``cache``, a build whose inputs hash to a stored entry skips both
+        phases and restores the SEO from disk, and a cold build stores its
+        result for next time.  Either way :attr:`build_stats` records what
+        happened.
         """
+        stats = SeoBuildStats()
+        started = time.perf_counter()
+        if cache is not None:
+            stats.cache_key = cache.key(
+                hierarchies, measure, epsilon, constraints, mode
+            )
+            if stats.cache_key is not None:
+                cached = cache.load(stats.cache_key)
+                if cached is not None:
+                    stats.cache_hit = True
+                    stats.total_seconds = time.perf_counter() - started
+                    cached.build_stats = stats
+                    return cached
+
         fusion = canonical_fusion(hierarchies, constraints, guard=guard)
-        enhancement = sea(fusion.hierarchy, measure, epsilon, mode=mode, guard=guard)
-        return cls(fusion, enhancement)
+        stats.fusion_seconds = time.perf_counter() - started
+        enhancement = sea(
+            fusion.hierarchy, measure, epsilon, mode=mode, guard=guard,
+            options=options,
+        )
+        stats.sea = enhancement.stats
+        stats.sea_seconds = (
+            time.perf_counter() - started - stats.fusion_seconds
+        )
+        seo = cls(fusion, enhancement)
+        if cache is not None and stats.cache_key is not None:
+            cache.store(
+                stats.cache_key,
+                seo,
+                meta={
+                    "fusion_seconds": stats.fusion_seconds,
+                    "sea_seconds": stats.sea_seconds,
+                },
+            )
+        stats.total_seconds = time.perf_counter() - started
+        seo.build_stats = stats
+        return seo
 
     @classmethod
     def for_hierarchy(

@@ -73,14 +73,16 @@ def test_damerau_never_exceeds_levenshtein(x, y):
 
 @given(x=short_text, y=short_text)
 @settings(max_examples=60, deadline=None)
-def test_qgram_set_bound_is_sound_for_levenshtein(x, y):
-    """The SEA prefilter's invariant: set-symdiff of bigrams <= 4 * lev."""
-    from repro.similarity.sea import _bigrams
+def test_qgram_count_bound_is_sound_for_levenshtein(x, y):
+    """The candidate filter's invariant (Ukkonen): the L1 distance between
+    bigram profiles — the symmetric difference of occurrence-tagged bigram
+    sets — is at most 2q * lev = 4 * lev."""
+    from repro.similarity.candidates import bigram_occurrences
 
     lev = Levenshtein().distance(x, y)
-    symdiff = len(_bigrams(x) ^ _bigrams(y))
+    symdiff = len(set(bigram_occurrences(x)) ^ set(bigram_occurrences(y)))
     assert symdiff <= 4.0 * lev + 4.0  # +4 slack for the <2-char fallback
 
-    # The exact form used by the prefilter (only applied when len >= 2).
+    # The exact form used by the count filter (only applied when len >= 2).
     if len(x) >= 2 and len(y) >= 2:
         assert symdiff <= 4.0 * lev

@@ -1,0 +1,80 @@
+"""Property: the parallel SEO build is bit-identical to the serial one.
+
+The pool decomposes each order-context bucket into probe blocks whose
+union is provably the full epsilon-similarity edge set; these tests let
+hypothesis hunt for hierarchies and epsilon values where the
+decomposition, the candidate filter, or the deterministic merge would
+disagree with the plain serial loop.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.hierarchy import Hierarchy
+from repro.parallel import BuildOptions
+from repro.similarity.measures import get_measure
+from repro.similarity.persistence import dump_seo
+from repro.similarity.sea import ORDER_SAFE, sea
+from repro.similarity.seo import SimilarityEnhancedOntology
+
+words = st.text(alphabet="abcd", min_size=1, max_size=5)
+
+#: Pool-forcing options: 2 workers, no minimum-work threshold.
+PARALLEL = BuildOptions(workers=2, parallel_threshold=0)
+
+
+@st.composite
+def random_hierarchies(draw):
+    terms = draw(st.lists(words, min_size=2, max_size=8, unique=True))
+    edges = []
+    for i in range(len(terms)):
+        for j in range(i + 1, len(terms)):
+            if draw(st.booleans()) and draw(st.booleans()):
+                edges.append((terms[i], terms[j]))
+    return Hierarchy(edges, nodes=terms)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([0.0, 1.0, 2.0]))
+def test_parallel_sea_equals_serial(hierarchy, epsilon):
+    measure = get_measure("levenshtein")
+    serial = sea(hierarchy, measure, epsilon, mode=ORDER_SAFE, verify=True)
+    parallel = sea(
+        hierarchy, measure, epsilon, mode=ORDER_SAFE, verify=True,
+        options=PARALLEL,
+    )
+    assert parallel.hierarchy == serial.hierarchy
+    assert parallel.mu == serial.mu
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    first=random_hierarchies(),
+    second=random_hierarchies(),
+    epsilon=st.sampled_from([1.0, 2.0]),
+)
+def test_parallel_seo_dump_is_bit_identical(first, second, epsilon):
+    measure = get_measure("levenshtein")
+    hierarchies = {"x": first, "y": second}
+    serial = SimilarityEnhancedOntology.build(
+        hierarchies, measure, epsilon, mode=ORDER_SAFE
+    )
+    parallel = SimilarityEnhancedOntology.build(
+        hierarchies, measure, epsilon, mode=ORDER_SAFE, options=PARALLEL
+    )
+    assert dump_seo(parallel) == dump_seo(serial)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(hierarchy=random_hierarchies(), epsilon=st.sampled_from([0.0, 1.0, 2.0]))
+def test_filtered_sea_equals_unfiltered(hierarchy, epsilon):
+    """The q-gram candidate filter never changes the enhancement."""
+    measure = get_measure("levenshtein")
+    filtered = sea(hierarchy, measure, epsilon, mode=ORDER_SAFE, verify=True)
+    unfiltered = sea(
+        hierarchy, measure, epsilon, mode=ORDER_SAFE, verify=True,
+        options=BuildOptions(candidate_filter=False),
+    )
+    assert filtered.hierarchy == unfiltered.hierarchy
+    assert filtered.mu == unfiltered.mu

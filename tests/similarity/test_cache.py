@@ -1,0 +1,179 @@
+"""The persistent similarity-graph cache: keys, round trips, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.ontology.constraints import EqualityConstraint, ScopedTerm
+from repro.ontology.hierarchy import Hierarchy
+from repro.similarity.cache import SimilarityGraphCache, cache_key
+from repro.similarity.measures import Levenshtein, get_measure
+from repro.similarity.persistence import dump_seo
+from repro.similarity.seo import SimilarityEnhancedOntology
+
+ORDER_SAFE = "order-safe"
+
+
+def levenshtein():
+    """A *named* (registry) measure — cacheable, unlike ``Levenshtein()``."""
+    return get_measure("levenshtein")
+
+
+@pytest.fixture
+def hierarchies():
+    return {
+        "a": Hierarchy(
+            [("databases", "computer science"), ("data mining", "computer science")]
+        ),
+        "b": Hierarchy([("database", "science"), ("algorithms", "science")]),
+    }
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SimilarityGraphCache(str(tmp_path / "seo-cache"))
+
+
+def build(hierarchies, cache=None, epsilon=2.0, mode=ORDER_SAFE, **kwargs):
+    return SimilarityEnhancedOntology.build(
+        hierarchies, levenshtein(), epsilon, mode=mode, cache=cache, **kwargs
+    )
+
+
+class TestCacheKey:
+    def test_deterministic(self, hierarchies):
+        first = cache_key(hierarchies, levenshtein(), 2.0, mode=ORDER_SAFE)
+        second = cache_key(hierarchies, levenshtein(), 2.0, mode=ORDER_SAFE)
+        assert first == second
+
+    def test_source_order_is_irrelevant(self, hierarchies):
+        reordered = dict(reversed(list(hierarchies.items())))
+        assert cache_key(hierarchies, levenshtein(), 2.0) == cache_key(
+            reordered, levenshtein(), 2.0
+        )
+
+    def test_every_input_changes_the_key(self, hierarchies):
+        base = cache_key(hierarchies, levenshtein(), 2.0, mode=ORDER_SAFE)
+        assert base != cache_key(hierarchies, levenshtein(), 3.0, mode=ORDER_SAFE)
+        assert base != cache_key(hierarchies, get_measure("jaccard"), 2.0, mode=ORDER_SAFE)
+        assert base != cache_key(hierarchies, levenshtein(), 2.0, mode="strict")
+        grown = dict(hierarchies)
+        grown["a"] = grown["a"].with_terms(["information retrieval"])
+        assert base != cache_key(grown, levenshtein(), 2.0, mode=ORDER_SAFE)
+        constrained = cache_key(
+            hierarchies,
+            levenshtein(),
+            2.0,
+            constraints=[
+                EqualityConstraint(
+                    ScopedTerm("databases", "a"), ScopedTerm("database", "b")
+                )
+            ],
+            mode=ORDER_SAFE,
+        )
+        assert constrained is not None
+        assert base != constrained
+
+    def test_int_and_float_epsilon_share_a_key(self, hierarchies):
+        assert cache_key(hierarchies, levenshtein(), 2) == cache_key(
+            hierarchies, levenshtein(), 2.0
+        )
+
+    def test_unnamed_measure_is_uncacheable(self, hierarchies):
+        assert cache_key(hierarchies, Levenshtein(), 2.0) is None
+
+    def test_non_string_terms_are_uncacheable(self):
+        assert cache_key({"a": Hierarchy([(1, 2)])}, levenshtein(), 2.0) is None
+        assert (
+            cache_key({1: Hierarchy([("x", "y")])}, levenshtein(), 2.0) is None
+        )
+
+
+class TestRoundTrip:
+    def test_warm_build_is_bit_identical(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        assert cold.build_stats.cache_hit is False
+        assert cold.build_stats.cache_key is not None
+        warm = build(hierarchies, cache)
+        assert warm.build_stats.cache_hit is True
+        assert dump_seo(warm) == dump_seo(cold)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["stores"] == 1
+
+    def test_restored_seo_answers_queries(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        warm = build(hierarchies, cache)
+        for term in sorted(cold.strings()):
+            assert warm.expand_similar(term) == cold.expand_similar(term)
+            assert warm.expand_below(term) == cold.expand_below(term)
+            assert warm.expand_above(term) == cold.expand_above(term)
+        pairs = [
+            ("databases", "database"),
+            ("databases", "data mining"),
+            ("database", "algorithms"),
+        ]
+        for x, y in pairs:
+            assert warm.similar(x, y) == cold.similar(x, y)
+        assert warm.leq("databases", "computer science")
+
+    def test_different_epsilon_misses(self, hierarchies, cache):
+        build(hierarchies, cache, epsilon=2.0)
+        other = build(hierarchies, cache, epsilon=1.0)
+        assert other.build_stats.cache_hit is False
+
+    def test_uncacheable_build_still_works(self, cache):
+        seo = SimilarityEnhancedOntology.build(
+            {"a": Hierarchy([(1, 2)])}, levenshtein(), 2.0, cache=cache
+        )
+        assert seo.build_stats.cache_key is None
+        assert cache.stats()["stores"] == 0
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_miss(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        path = cache.path_for(cold.build_stats.cache_key)
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.truncate(len(handle.read()) // 2)
+        rebuilt = build(hierarchies, cache)
+        assert rebuilt.build_stats.cache_hit is False
+        assert dump_seo(rebuilt) == dump_seo(cold)
+
+    def test_tampered_payload_is_a_miss(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        path = cache.path_for(cold.build_stats.cache_key)
+        entry = json.loads(open(path, encoding="utf-8").read())
+        entry["seo"]["epsilon"] = 99.0  # checksum no longer matches
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        rebuilt = build(hierarchies, cache)
+        assert rebuilt.build_stats.cache_hit is False
+
+    def test_foreign_format_is_a_miss(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        path = cache.path_for(cold.build_stats.cache_key)
+        entry = json.loads(open(path, encoding="utf-8").read())
+        entry["format"] = 999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.load(cold.build_stats.cache_key) is None
+
+
+class TestInvalidation:
+    def test_invalidate_one_entry(self, hierarchies, cache):
+        cold = build(hierarchies, cache)
+        key = cold.build_stats.cache_key
+        assert cache.invalidate(key) is True
+        assert not os.path.exists(cache.path_for(key))
+        assert cache.invalidate(key) is False
+        assert build(hierarchies, cache).build_stats.cache_hit is False
+
+    def test_clear_drops_everything(self, hierarchies, cache):
+        build(hierarchies, cache, epsilon=1.0)
+        build(hierarchies, cache, epsilon=2.0)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert SimilarityGraphCache(str(tmp_path / "never-created")).clear() == 0

@@ -207,6 +207,91 @@ class TestDbCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestDbBuildCommand:
+    def test_build_persists_and_reports(self, dblp_file, tmp_path, capsys):
+        root = str(tmp_path / "system")
+        status = main(
+            ["db", "build", "--source", f"dblp={dblp_file}",
+             "--epsilon", "1", root]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "build: measure=levenshtein epsilon=1.0" in out
+        assert "isa:" in out
+        assert f"saved 1 instances to {root}" in out
+        # The persisted store answers queries.
+        assert main(
+            ["query", "--load", root, 'inproceedings(author ~ "J. Smith")']
+        ) == 0
+        assert "# 2 results" in capsys.readouterr().out
+
+    def test_build_with_workers_and_filter(self, dblp_file, tmp_path, capsys):
+        root = str(tmp_path / "system")
+        status = main(
+            ["db", "build", "--source", f"dblp={dblp_file}",
+             "--epsilon", "1", "--workers", "2", root]
+        )
+        assert status == 0
+        assert "workers=2" in capsys.readouterr().out
+
+    def test_build_cache_cold_then_warm(self, dblp_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "seo-cache")
+        for attempt, expect in [("cold", "0 hits"), ("warm", "hits")]:
+            root = str(tmp_path / f"system-{attempt}")
+            assert main(
+                ["db", "build", "--source", f"dblp={dblp_file}",
+                 "--epsilon", "1", "--cache-dir", cache_dir, root]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out  # the warm build's relations hit
+
+    def test_build_no_cache_bypasses(self, dblp_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "seo-cache")
+        root = str(tmp_path / "system")
+        assert main(
+            ["db", "build", "--source", f"dblp={dblp_file}", "--epsilon", "1",
+             "--cache-dir", cache_dir, "--no-cache", root]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache=off" in out
+        import pathlib
+
+        assert not list(pathlib.Path(cache_dir).glob("*.json"))
+
+
+class TestDbStatsCommand:
+    def test_stats_after_build(self, dblp_file, tmp_path, capsys):
+        root = str(tmp_path / "system")
+        assert main(
+            ["db", "build", "--source", f"dblp={dblp_file}",
+             "--epsilon", "1", root]
+        ) == 0
+        capsys.readouterr()
+        assert main(["db", "stats", root]) == 0
+        out = capsys.readouterr().out
+        assert "collections: 1" in out
+        assert "xpath query cache:" in out
+        assert "build: measure=levenshtein" in out
+        assert "seo cache outcome:" in out
+        assert "pairs pruned" in out
+
+    def test_stats_without_build_report(self, dblp_file, tmp_path, capsys):
+        # `save` predates the build report; stats must degrade gracefully.
+        root = str(tmp_path / "system")
+        assert main(
+            ["save", "--source", f"dblp={dblp_file}", "--epsilon", "1",
+             "--out", root]
+        ) == 0
+        import os
+
+        report_path = os.path.join(root, "build_report.json")
+        if os.path.exists(report_path):
+            os.unlink(report_path)
+        capsys.readouterr()
+        assert main(["db", "stats", root]) == 0
+        assert "build report: none persisted" in capsys.readouterr().out
+
+
 class TestUsage:
     def test_no_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,157 @@
+"""The parallel edge-computation layer: options, partitioning, guards."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError, ResourceExhaustedError
+from repro.guard import ResourceGuard
+from repro.parallel import (
+    BuildOptions,
+    SERIAL_OPTIONS,
+    parallel_group_edges,
+    partition_blocks,
+    should_parallelize,
+)
+from repro.similarity.candidates import block_edges, length_sorted_order
+from repro.similarity.measures import get_measure
+
+
+class TestBuildOptions:
+    def test_defaults_are_serial(self):
+        assert SERIAL_OPTIONS.workers == 1
+        assert SERIAL_OPTIONS.candidate_filter is True
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_invalid_workers_raise(self, workers):
+        with pytest.raises(ValueError):
+            BuildOptions(workers=workers)
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            BuildOptions(parallel_threshold=-1)
+
+    def test_with_overrides(self):
+        base = BuildOptions(workers=2, candidate_filter=True)
+        assert base.with_overrides() == base
+        overridden = base.with_overrides(
+            workers=4, candidate_filter=False, parallel_threshold=10
+        )
+        assert overridden.workers == 4
+        assert overridden.candidate_filter is False
+        assert overridden.parallel_threshold == 10
+        # The original is frozen and untouched.
+        assert base.workers == 2
+
+
+class TestShouldParallelize:
+    def test_requires_multiple_workers(self):
+        assert not should_parallelize(SERIAL_OPTIONS, "levenshtein", 10**9)
+
+    def test_requires_named_measure(self):
+        options = BuildOptions(workers=4, parallel_threshold=0)
+        assert not should_parallelize(options, "", 10**9)
+
+    def test_requires_enough_pairs(self):
+        options = BuildOptions(workers=4, parallel_threshold=100)
+        assert not should_parallelize(options, "levenshtein", 99)
+        assert should_parallelize(options, "levenshtein", 100)
+
+
+class TestPartitionBlocks:
+    def assert_partition(self, group_sizes, workers):
+        assignments = partition_blocks(group_sizes, workers)
+        assert len(assignments) == workers
+        seen = {}
+        for worker_blocks in assignments:
+            for block_id, group_id, lo, hi in worker_blocks:
+                assert 0 <= lo < hi <= group_sizes[group_id]
+                seen.setdefault(group_id, []).append((lo, hi))
+        for group_id, size in group_sizes.items():
+            if size < 2:
+                assert group_id not in seen
+                continue
+            spans = sorted(seen[group_id])
+            # Blocks tile [0, size) exactly: disjoint and complete.
+            assert spans[0][0] == 0
+            assert spans[-1][1] == size
+            for (_, prev_hi), (next_lo, _) in zip(spans, spans[1:]):
+                assert prev_hi == next_lo
+
+    def test_partitions_tile_every_group(self):
+        self.assert_partition({0: 10, 1: 3, 2: 57}, workers=4)
+        self.assert_partition({0: 2}, workers=8)
+        self.assert_partition({5: 100}, workers=1)
+
+    def test_trivial_groups_are_skipped(self):
+        assert partition_blocks({0: 0, 1: 1}, workers=2) == [[], []]
+
+    def test_deterministic(self):
+        sizes = {0: 31, 1: 8}
+        assert partition_blocks(sizes, 3) == partition_blocks(sizes, 3)
+
+
+class TestParallelGroupEdges:
+    def serial_edges(self, groups, epsilon):
+        measure = get_measure("levenshtein")
+        result = {}
+        for gid, reps in groups.items():
+            order = length_sorted_order(reps)
+            edges, _ = block_edges(
+                reps, order, measure, epsilon, 0, len(reps)
+            )
+            result[gid] = edges
+        return result
+
+    def test_matches_serial(self):
+        groups = {
+            0: ["paper", "papers", "pattern", "query", "queries"],
+            1: ["toss", "tax", "tossed"],
+            2: ["x"],
+        }
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        edges, stats = parallel_group_edges(
+            groups, "levenshtein", 2.0, options
+        )
+        assert edges == self.serial_edges(groups, 2.0)
+        assert stats.blocks >= 1
+
+    def test_empty_groups(self):
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        edges, stats = parallel_group_edges({}, "levenshtein", 1.0, options)
+        assert edges == {}
+        assert stats.blocks == 0
+
+    def test_exhausted_deadline_raises_through_pool(self):
+        guard = ResourceGuard(deadline_seconds=0.0)
+        guard.start()
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        with pytest.raises(QueryTimeoutError):
+            parallel_group_edges(
+                {0: ["alpha", "beta", "gamma", "delta"]},
+                "levenshtein",
+                2.0,
+                options,
+                guard=guard,
+            )
+
+    def test_step_budget_raises_through_pool(self):
+        guard = ResourceGuard(max_steps=1)
+        guard.start()
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        groups = {0: [f"word{i:03d}" for i in range(40)]}
+        with pytest.raises(ResourceExhaustedError):
+            parallel_group_edges(
+                groups, "levenshtein", 3.0, options, guard=guard
+            )
+
+    def test_parent_guard_absorbs_worker_steps(self):
+        guard = ResourceGuard(max_steps=10**9)
+        guard.start()
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        parallel_group_edges(
+            {0: ["paper", "papers", "pattern"]},
+            "levenshtein",
+            2.0,
+            options,
+            guard=guard,
+        )
+        assert guard.steps > 0
