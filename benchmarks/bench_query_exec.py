@@ -1,0 +1,353 @@
+"""Query execution benchmark: index-pruned vs full-scan TOSS queries.
+
+PR 3's tentpole claim is that the persistent term/path indexes make the
+executor's XPath phase sublinear in collection size without changing a
+single answer.  This bench measures exactly that, on the paper's own
+workloads:
+
+* **Figure 16(a) selection** (2 isa + 4 tag conditions) over a DBLP
+  collection sharded one paper per document — the multi-document layout
+  the paper's 5 MB-per-document Xindice cap forces at scale.  Two
+  instances of the workload run on the same store: the *selective* one
+  (narrow isa targets a single venue term, ~6 % of the corpus answers)
+  where index pruning pays for the whole scan, and the *broad* one
+  (narrow isa = "database conference", ~36 % answers) where the answer
+  set itself bounds any possible speedup — verification of the answers
+  costs the same on both paths, so this is the honest Amdahl floor;
+* **Figure 16(b) join** (5 tag + 1 similarTo) over DBLP x SIGMOD with
+  the paper's product-then-select strategy (``similarity_hash_join``
+  off), where the cross-side pre-join prunes both collections.
+
+Every timed pair is identity-checked: the indexed run must return the
+same result sequence as the scan run or the bench exits non-zero.  The
+one-time index build is reported separately (like the paper's SEO
+precompute, it is not part of query latency).
+
+Results are emitted as machine-readable JSON into
+``benchmarks/results/query_exec.json`` plus a trajectory copy at the
+repo root (``BENCH_query_exec.json``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_query_exec.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_query_exec.py --smoke   # CI crash check
+
+or through pytest (``pytest benchmarks/ --benchmark-only``), which runs
+the smoke scale and checks the invariants (identical results, pruning
+actually engaged) without asserting on timings.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.data import generate_corpus, render_dblp
+from repro.data.sigmod import render_sigmod_pages
+from repro.experiments.workload import (
+    build_join_pattern,
+    build_scalability_pattern,
+    build_system,
+)
+from repro.xmldb.serializer import document_bytes
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+FULL_SELECTION_SIZES = (500, 1000, 2000, 3000)
+SMOKE_SELECTION_SIZES = (60,)
+FULL_JOIN_SIZES = (100, 200, 400)
+SMOKE_JOIN_SIZES = (40,)
+EPSILON = 3.0
+SEED = 7
+SELECTION_REPEATS = 3
+JOIN_REPEATS = 2
+
+#: Timing noise allowance for the "no regression at any size" check.
+REGRESSION_SLACK = 1.10
+
+
+def _sharded_dblp(corpus, keys):
+    """One document per paper — the layout the index layer exists for."""
+    return [render_dblp(corpus, seed=SEED, paper_keys=[key]) for key in keys]
+
+
+def _timed_runs(run, repeats):
+    """(mean seconds, last report) over ``repeats`` timed executions."""
+    seconds = []
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run()
+        seconds.append(time.perf_counter() - started)
+    return sum(seconds) / len(seconds), report
+
+
+def _keys(report):
+    return [tree.canonical_key() for tree in report.results]
+
+
+def _measure_modes(system, run, repeats, collections):
+    """Time ``run`` with the index on and off; returns the two records.
+
+    The one-time search-index build is forced (and timed) up front so
+    the indexed figures measure steady-state query latency; a warmup
+    execution per mode absorbs plan-cache compilation for both.
+    """
+    executor = system.executor
+    started = time.perf_counter()
+    for name in collections:
+        system.database.get_collection(name).search_index(build=True)
+    index_build = time.perf_counter() - started
+
+    executor.use_index = True
+    run()  # warmup: compile + cache the plan
+    indexed_seconds, indexed_report = _timed_runs(run, repeats)
+
+    executor.use_index = False
+    run()
+    scan_seconds, scan_report = _timed_runs(run, repeats)
+    executor.use_index = True
+
+    identical = _keys(indexed_report) == _keys(scan_report)
+    return {
+        "index_build_seconds": round(index_build, 4),
+        "indexed_seconds": round(indexed_seconds, 4),
+        "scan_seconds": round(scan_seconds, 4),
+        "speedup": round(scan_seconds / indexed_seconds, 2)
+        if indexed_seconds > 0
+        else None,
+        "identical": identical,
+        "results": len(indexed_report.results),
+        "index_used": indexed_report.index_used,
+        "docs_total": indexed_report.docs_total,
+        "docs_scanned": indexed_report.docs_scanned,
+        "plan_cache_hit": indexed_report.plan_cache_hit,
+    }
+
+
+#: The selective fig-16a instance: same 2 isa + 4 tag shape, but the
+#: narrow isa targets one venue term (a long, unambiguous surface form,
+#: so ε-merging cannot balloon its μ-class) — ~6 % of papers answer.
+SELECTIVE_NARROW = "SIGMOD Conference"
+
+SELECTION_VARIANTS = (
+    (
+        "selection",
+        build_scalability_pattern(
+            narrow_category=SELECTIVE_NARROW,
+            broad_category="database conference",
+        ),
+    ),
+    ("selection-broad", build_scalability_pattern()),
+)
+
+
+def _selection_sweep(sizes, verbose):
+    corpus = generate_corpus(max(sizes), seed=SEED)
+    all_keys = corpus.paper_keys()
+    runs = []
+    for papers in sizes:
+        documents = _sharded_dblp(corpus, all_keys[:papers])
+        system = build_system(corpus, documents, EPSILON, use_cache=False)
+        for operation, pattern in SELECTION_VARIANTS:
+            record = _measure_modes(
+                system,
+                lambda: system.select("dblp", pattern, sl_labels=[1]),
+                SELECTION_REPEATS,
+                ["dblp"],
+            )
+            record.update(
+                operation=operation,
+                papers=papers,
+                data_bytes=sum(document_bytes(d) for d in documents),
+            )
+            runs.append(record)
+            if verbose:
+                print(
+                    f"  {operation:<15} {papers:>5} papers  "
+                    f"scan {record['scan_seconds']:8.3f}s  "
+                    f"indexed {record['indexed_seconds']:8.3f}s  "
+                    f"({record['speedup']:.1f}x, scanned "
+                    f"{record['docs_scanned']}/{record['docs_total']} docs)",
+                    flush=True,
+                )
+    return runs
+
+
+def _join_sweep(sizes, verbose):
+    corpus = generate_corpus(max(sizes), seed=SEED)
+    all_keys = corpus.paper_keys()
+    pattern = build_join_pattern()
+    runs = []
+    for papers in sizes:
+        keys = all_keys[:papers]
+        documents = _sharded_dblp(corpus, keys)
+        pages = render_sigmod_pages(corpus, seed=SEED, paper_keys=keys)
+        system = build_system(
+            corpus, documents, EPSILON, sigmod_documents=pages, use_cache=False
+        )
+        # The paper's Figure 16(b) strategy: product + selection.
+        system.executor.similarity_hash_join = False
+        record = _measure_modes(
+            system,
+            lambda: system.join("dblp", "sigmod", pattern, sl_labels=[2, 5]),
+            JOIN_REPEATS,
+            ["dblp", "sigmod"],
+        )
+        record.update(
+            operation="join",
+            papers=papers,
+            data_bytes=sum(document_bytes(d) for d in documents)
+            + sum(document_bytes(p) for p in pages),
+        )
+        runs.append(record)
+        if verbose:
+            print(
+                f"  {'join':<15} {papers:>5} papers  "
+                f"scan {record['scan_seconds']:8.3f}s  "
+                f"indexed {record['indexed_seconds']:8.3f}s  "
+                f"({record['speedup']:.1f}x, scanned "
+                f"{record['docs_scanned']}/{record['docs_total']} docs)",
+                flush=True,
+            )
+    return runs
+
+
+def run_benchmark(
+    selection_sizes=FULL_SELECTION_SIZES,
+    join_sizes=FULL_JOIN_SIZES,
+    smoke=False,
+    out_path=None,
+    trajectory_path=None,
+    verbose=True,
+):
+    runs = _selection_sweep(selection_sizes, verbose)
+    runs += _join_sweep(join_sizes, verbose)
+
+    selections = [r for r in runs if r["operation"] == "selection"]
+    broad = [r for r in runs if r["operation"] == "selection-broad"]
+    joins = [r for r in runs if r["operation"] == "join"]
+    largest_selection = max(selections, key=lambda r: r["papers"])
+    largest_broad = max(broad, key=lambda r: r["papers"])
+    largest_join = max(joins, key=lambda r: r["papers"])
+    results = {
+        "benchmark": "query_exec",
+        "epsilon": EPSILON,
+        "seed": SEED,
+        "smoke": smoke,
+        "selection_sizes": list(selection_sizes),
+        "join_sizes": list(join_sizes),
+        "runs": runs,
+        "summary": {
+            "identical_results": all(r["identical"] for r in runs),
+            "index_used": all(r["index_used"] for r in runs),
+            "selection_speedup_at_largest": largest_selection["speedup"],
+            "selection_broad_speedup_at_largest": largest_broad["speedup"],
+            "join_speedup_at_largest": largest_join["speedup"],
+            "join_regression": any(
+                r["indexed_seconds"] > r["scan_seconds"] * REGRESSION_SLACK
+                for r in joins
+            ),
+        },
+    }
+    if out_path is not None:
+        pathlib.Path(out_path).parent.mkdir(parents=True, exist_ok=True)
+        pathlib.Path(out_path).write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+    if trajectory_path is not None:
+        pathlib.Path(trajectory_path).write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+    return results
+
+
+# -- pytest entry points (smoke scale; invariants, not timings) -------------
+
+
+def test_query_exec_smoke(results_dir):
+    results = run_benchmark(
+        selection_sizes=SMOKE_SELECTION_SIZES,
+        join_sizes=SMOKE_JOIN_SIZES,
+        smoke=True,
+        out_path=results_dir / "query_exec_smoke.json",
+        verbose=False,
+    )
+    assert results["summary"]["identical_results"], (
+        "indexed execution disagrees with the full scan"
+    )
+    assert results["summary"]["index_used"]
+    # Pruning must actually engage — and keep a non-empty answer so the
+    # identity check is not vacuous — even at smoke scale.
+    for run in results["runs"]:
+        assert run["docs_scanned"] < run["docs_total"], run
+        assert run["results"] > 0, run
+
+
+def test_query_exec_cost(benchmark):
+    corpus = generate_corpus(100, seed=SEED)
+    documents = _sharded_dblp(corpus, corpus.paper_keys())
+    system = build_system(corpus, documents, EPSILON, use_cache=False)
+    pattern = build_scalability_pattern()
+    system.database.get_collection("dblp").search_index(build=True)
+    system.select("dblp", pattern, sl_labels=[1])  # warmup
+    benchmark(lambda: system.select("dblp", pattern, sl_labels=[1]))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale (CI crash + identity check)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"selection paper counts to sweep (default: {FULL_SELECTION_SIZES})",
+    )
+    parser.add_argument(
+        "--join-sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"join paper counts to sweep (default: {FULL_JOIN_SIZES})",
+    )
+    args = parser.parse_args(argv)
+    selection_sizes = (
+        tuple(args.sizes)
+        if args.sizes
+        else (SMOKE_SELECTION_SIZES if args.smoke else FULL_SELECTION_SIZES)
+    )
+    join_sizes = (
+        tuple(args.join_sizes)
+        if args.join_sizes
+        else (SMOKE_JOIN_SIZES if args.smoke else FULL_JOIN_SIZES)
+    )
+    out = RESULTS_DIR / (
+        "query_exec_smoke.json" if args.smoke else "query_exec.json"
+    )
+    trajectory = None if args.smoke else REPO_ROOT / "BENCH_query_exec.json"
+    print(
+        f"Query execution benchmark: selection={selection_sizes} "
+        f"join={join_sizes} smoke={args.smoke}"
+    )
+    results = run_benchmark(
+        selection_sizes=selection_sizes,
+        join_sizes=join_sizes,
+        smoke=args.smoke,
+        out_path=out,
+        trajectory_path=trajectory,
+    )
+    print(json.dumps(results["summary"], indent=2))
+    if not results["summary"]["identical_results"]:
+        return 1
+    if results["summary"]["join_regression"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

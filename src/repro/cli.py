@@ -27,6 +27,7 @@ Subcommands:
         python -m repro.cli db stats ./store
         python -m repro.cli db verify ./store
         python -m repro.cli db recover ./store
+        python -m repro.cli db index build ./store
 
 Exit status is 0 on success, 1 when ``db verify`` finds damage, 2 on
 usage errors (argparse convention).
@@ -202,6 +203,7 @@ def _cmd_db_stats(args: argparse.Namespace) -> int:
         f"xpath query cache: size {database.query_cache_size}, "
         f"hits {stats.cache_hits}, misses {stats.cache_misses}"
     )
+    _print_index_status(_db_root(args.root))
     report = load_build_report(args.root)
     if report is None:
         print("build report: none persisted")
@@ -212,6 +214,63 @@ def _cmd_db_stats(args: argparse.Namespace) -> int:
             f"{report.cache_misses} misses; "
             f"pairs pruned {report.pairs_pruned} of {report.total_pairs}"
         )
+    return 0
+
+
+def _print_index_status(root: str) -> bool:
+    """Print per-collection search-index health; True when all are ok."""
+    from .xmldb.index import index_status
+
+    try:
+        statuses = index_status(root)
+    except (OSError, ValueError) as exc:
+        print(f"search indexes: unreadable store manifest ({exc})")
+        return False
+    if not statuses:
+        print("search indexes: no collections")
+        return True
+    all_ok = True
+    for name in sorted(statuses):
+        entry = statuses[name]
+        status = entry["status"]
+        line = f"search index [{name}]: {status}"
+        stats = entry.get("stats")
+        if stats:
+            line += (
+                f" ({stats['documents']} documents, {stats['terms']} terms, "
+                f"{stats['postings']} postings, {stats['paths']} tag paths)"
+            )
+        print(line)
+        if status != "ok":
+            all_ok = False
+    return all_ok
+
+
+def _cmd_db_index(args: argparse.Namespace) -> int:
+    from .errors import XmlDbError
+    from .xmldb.storage import build_indexes
+
+    root = _db_root(args.root)
+    action = args.index_command
+    if action == "build":
+        try:
+            stats = build_indexes(root)
+        except XmlDbError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for name in sorted(stats):
+            entry = stats[name]
+            print(
+                f"built index [{name}]: {entry['documents']} documents, "
+                f"{entry['terms']} terms, {entry['postings']} postings, "
+                f"{entry['paths']} tag paths"
+            )
+        return 0
+    # verify and stats both report health; verify also sets the exit code
+    # so a stale or corrupt index fails CI the same way db verify does.
+    all_ok = _print_index_status(root)
+    if action == "verify":
+        return 0 if all_ok else 1
     return 0
 
 
@@ -359,6 +418,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     db_recover.add_argument("root", help="database directory to recover")
     db_recover.set_defaults(handler=_cmd_db_recover)
+    db_index = db_sub.add_parser(
+        "index", help="build, verify or inspect the persistent search indexes"
+    )
+    index_sub = db_index.add_subparsers(dest="index_command", required=True)
+    for action, help_text in (
+        ("build", "(re)build and persist an index for every collection"),
+        ("verify", "check each index against the store checksums (exit 1 on damage)"),
+        ("stats", "show per-collection index health and sizes"),
+    ):
+        index_action = index_sub.add_parser(action, help=help_text)
+        index_action.add_argument("root", help="saved database or system directory")
+        index_action.set_defaults(handler=_cmd_db_index)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"

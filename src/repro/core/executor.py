@@ -20,6 +20,7 @@ comparisons, negation) are still answered exactly.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -43,6 +44,23 @@ from ..tax.pattern import AD, PC, PatternTree
 from ..xmldb.database import Database
 from ..xmldb.model import XmlNode
 from .conditions import SeoConditionContext, rewrite_condition
+from .planner import (
+    PlanSpec,
+    build_plan_spec,
+    find_cross_probe,
+    has_semantic_atom,
+    prune_candidates,
+    prune_join_docs,
+)
+
+#: Largest ``or``-alternative chain pushed into an XPath predicate.  SEO
+#: expansions can produce hundreds of alternatives; past this cap the
+#: disjunction stays out of the XPath prefilter (candidates grow, results
+#: do not change — the verification phase evaluates the full condition).
+MAX_OR_ALTERNATIVES = 32
+
+#: Default size of the executor's compiled-plan LRU cache.
+DEFAULT_PLAN_CACHE_SIZE = 128
 
 
 @dataclass
@@ -53,6 +71,9 @@ class QueryPlan:
     rewritten: str
     xpath_queries: List[str]
     rewrite_seconds: float
+    #: Human-readable index-pruning plan (one probe per line; empty when
+    #: the executor runs without an index).
+    index_plan: List[str] = field(default_factory=list)
 
     def __str__(self) -> str:
         lines = [
@@ -61,6 +82,8 @@ class QueryPlan:
         ]
         for index, xpath in enumerate(self.xpath_queries):
             lines.append(f"xpath[{index}] : {xpath}")
+        for line in self.index_plan:
+            lines.append(f"index    : {line}")
         return "\n".join(lines)
 
 
@@ -80,16 +103,36 @@ class ExecutionReport:
     #: True when the query ran in degraded mode (SEO build failed or timed
     #: out; semantic operators fell back to exact TAX matching).
     degraded: bool = False
+    #: Time spent deriving and intersecting index probes (0 on scans).
+    planner_seconds: float = 0.0
+    #: Documents in the queried collection(s) / actually run through XPath.
+    docs_total: int = 0
+    docs_scanned: int = 0
+    #: True when index pruning restricted the XPath scan.
+    index_used: bool = False
+    #: True when the compiled plan came from the executor's plan cache.
+    plan_cache_hit: bool = False
+
+    @property
+    def docs_pruned(self) -> int:
+        return max(0, self.docs_total - self.docs_scanned)
 
     @property
     def total_seconds(self) -> float:
-        return self.rewrite_seconds + self.xpath_seconds + self.convert_seconds
+        return (
+            self.rewrite_seconds
+            + self.planner_seconds
+            + self.xpath_seconds
+            + self.convert_seconds
+        )
 
     def __repr__(self) -> str:
         return (
             f"ExecutionReport({len(self.results)} results in "
             f"{self.total_seconds:.4f}s; rewrite={self.rewrite_seconds:.4f} "
-            f"xpath={self.xpath_seconds:.4f} convert={self.convert_seconds:.4f})"
+            f"planner={self.planner_seconds:.4f} "
+            f"xpath={self.xpath_seconds:.4f} convert={self.convert_seconds:.4f}; "
+            f"scanned {self.docs_scanned}/{self.docs_total} docs)"
         )
 
 
@@ -159,6 +202,13 @@ def _content_predicates(condition: Condition) -> Dict[int, List[str]]:
             # drop true matches); it is evaluated in the verify phase.
             return
         if isinstance(node, Or):
+            # Cap the pushed disjunction: SEO expansions can run to
+            # hundreds of alternatives, and a giant or-chain costs more
+            # to evaluate per node than the scan it saves.  Past the cap
+            # the disjunct set stays out of the prefilter and the
+            # verification phase decides (results unchanged).
+            if len(node.operands) > MAX_OR_ALTERNATIVES:
+                return
             fragments: List[Tuple[int, str]] = []
             for operand in node.operands:
                 if not isinstance(operand, Comparison) or operand.op != "=":
@@ -202,6 +252,8 @@ def compile_pattern_to_xpath(
         restriction = tags.get(label)
         if restriction is None or len(restriction) <= 1:
             return None
+        if len(restriction) > MAX_OR_ALTERNATIVES:
+            return None  # capped: verification filters the tags exactly
         alternatives = " or ".join(
             f"name() = {_xpath_literal(tag)}" for tag in sorted(restriction)
         )
@@ -277,6 +329,8 @@ class QueryExecutor:
         similarity_hash_join: bool = True,
         guard: Optional[ResourceGuard] = None,
         exact_fallback: bool = False,
+        use_index: bool = True,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
         self.database = database
         self.context = context
@@ -290,14 +344,122 @@ class QueryExecutor:
         #: matches instead of raising (degraded mode; see
         #: :class:`~repro.core.conditions.ExactFallbackContext`).
         self.exact_fallback = exact_fallback
+        #: Prune the XPath scan through the collection search index
+        #: (ablatable, like ``similarity_hash_join``); results are
+        #: identical either way.
+        self.use_index = use_index
+        #: Bounded LRU over compiled plans (rewritten condition + XPath +
+        #: probe spec), keyed by pattern structure and condition; 0
+        #: disables caching.
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[Tuple, Dict[str, object]]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
-    def _rewrite(self, pattern: PatternTree) -> Tuple[Condition, float]:
-        started = time.perf_counter()
+    # -- plan cache ---------------------------------------------------------
+
+    @staticmethod
+    def _pattern_key(kind: str, pattern: PatternTree) -> Tuple:
+        structure = tuple(
+            (label, pattern.node(label).parent, pattern.node(label).edge)
+            for label in pattern.labels()
+        )
+        return (kind, structure, repr(pattern.condition))
+
+    def _plan_lookup(self, key: Tuple) -> Optional[Dict[str, object]]:
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return entry
+        self.plan_cache_misses += 1
+        return None
+
+    def _plan_store(self, key: Tuple, entry: Dict[str, object]) -> None:
+        if self.plan_cache_size <= 0:
+            return
+        self._plan_cache[key] = entry
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+
+    def _selection_plan(self, pattern: PatternTree) -> Tuple[Dict[str, object], bool]:
+        """The compiled plan for a selection/projection pattern."""
+        key = self._pattern_key("pattern", pattern)
+        entry = self._plan_lookup(key)
+        if entry is not None:
+            return entry, True
         if self.context is not None:
             condition = rewrite_condition(pattern.condition, self.context)
         else:
             condition = pattern.condition
-        return condition, time.perf_counter() - started
+        entry = {
+            "condition": condition,
+            "xpath": compile_pattern_to_xpath(pattern, condition),
+            "spec": build_plan_spec(
+                pattern, pattern.condition, self.context, self.exact_fallback
+            ),
+        }
+        self._plan_store(key, entry)
+        return entry, False
+
+    def _join_plan(
+        self, pattern: PatternTree, root_children
+    ) -> Tuple[Dict[str, object], bool]:
+        """The compiled per-side plan for a join pattern."""
+        key = self._pattern_key("join", pattern)
+        entry = self._plan_lookup(key)
+        if entry is not None:
+            return entry, True
+        if self.context is not None:
+            condition = rewrite_condition(pattern.condition, self.context)
+        else:
+            condition = pattern.condition
+        sides = []
+        side_label_sets = []
+        for child in root_children:
+            side_pattern = _subtree_pattern(pattern, child.label)
+            side_labels = set(side_pattern.labels())
+            side_label_sets.append(side_labels)
+            side_pattern.condition = _side_condition(condition, side_labels)
+            # The probe spec comes from the *original* side conjuncts —
+            # verification evaluates those, not the rewritten ones.
+            spec = build_plan_spec(
+                side_pattern,
+                _side_condition(pattern.condition, side_labels),
+                self.context,
+                self.exact_fallback,
+            )
+            sides.append(
+                {
+                    "pattern": side_pattern,
+                    "xpath": compile_pattern_to_xpath(side_pattern),
+                    "spec": spec,
+                    "labels": side_labels,
+                }
+            )
+        prunable = not (
+            self.context is None
+            and not self.exact_fallback
+            and has_semantic_atom(pattern.condition)
+        )
+        entry = {
+            "condition": condition,
+            "sides": sides,
+            "prunable": prunable,
+            "cross": (
+                find_cross_probe(
+                    pattern.condition,
+                    side_label_sets[0],
+                    side_label_sets[1],
+                    self.context,
+                    self.exact_fallback,
+                )
+                if prunable
+                else None
+            ),
+        }
+        self._plan_store(key, entry)
+        return entry, False
 
     def _evaluation_context(self):
         from ..tax.conditions import DEFAULT_CONTEXT
@@ -348,7 +510,7 @@ class QueryExecutor:
         Useful for debugging recall problems: the plan shows exactly which
         exact-match disjuncts the SEO expanded each semantic atom into.
         """
-        condition, rewrite_seconds = self._rewrite(pattern)
+        started = time.perf_counter()
         root_children = (
             pattern.children(pattern.root) if len(pattern) > 1 else []
         )
@@ -357,19 +519,42 @@ class QueryExecutor:
             and pattern.condition.labels()
             and pattern.root not in pattern.condition.labels()
         )
+        index_plan: List[str] = []
         if is_join:
-            xpaths = []
-            for child in root_children:
-                side = _subtree_pattern(pattern, child.label)
-                side.condition = _side_condition(condition, set(side.labels()))
-                xpaths.append(compile_pattern_to_xpath(side))
+            plan, _ = self._join_plan(pattern, root_children)
+            condition = plan["condition"]
+            xpaths = [side["xpath"] for side in plan["sides"]]
+            if not self.use_index:
+                index_plan.append("full scan (use_index=False)")
+            elif not plan["prunable"]:
+                index_plan.append(
+                    "full scan (semantic atoms require an SEO context)"
+                )
+            else:
+                for name, side in zip(("left", "right"), plan["sides"]):
+                    for line in side["spec"].describe():
+                        index_plan.append(f"{name}: {line}")
+                cross = plan["cross"]
+                if cross is not None:
+                    index_plan.append(
+                        f"cross: {cross.kind}(node[{cross.left_label}] "
+                        f"<-> node[{cross.right_label}])"
+                    )
         else:
-            xpaths = [compile_pattern_to_xpath(pattern, condition)]
+            plan, _ = self._selection_plan(pattern)
+            condition = plan["condition"]
+            xpaths = [plan["xpath"]]
+            if not self.use_index:
+                index_plan.append("full scan (use_index=False)")
+            else:
+                index_plan.extend(plan["spec"].describe())
+        rewrite_seconds = time.perf_counter() - started
         return QueryPlan(
             original=repr(pattern.condition),
             rewritten=repr(condition),
             xpath_queries=xpaths,
             rewrite_seconds=rewrite_seconds,
+            index_plan=index_plan,
         )
 
     def selection(
@@ -379,17 +564,27 @@ class QueryExecutor:
         sl_labels: Iterable[int] = (),
         guard: Optional[ResourceGuard] = None,
     ) -> ExecutionReport:
-        """Execute a selection query: rewrite -> XPath -> verify/convert."""
+        """Execute a selection query: rewrite -> plan -> XPath -> verify."""
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
-        condition, rewrite_seconds = self._rewrite(pattern)
 
         started = time.perf_counter()
-        xpath = compile_pattern_to_xpath(pattern, condition)
-        rewrite_seconds += time.perf_counter() - started
+        plan, cache_hit = self._selection_plan(pattern)
+        condition: Condition = plan["condition"]  # type: ignore[assignment]
+        xpath: str = plan["xpath"]  # type: ignore[assignment]
+        spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
+        rewrite_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        raw = self.database.xpath(collection_name, xpath, guard=guard)
+        doc_keys, docs_total, docs_scanned, index_used = self._prune(
+            collection_name, spec, guard
+        )
+        planner_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        raw = self.database.xpath(
+            collection_name, xpath, guard=guard, document_keys=doc_keys
+        )
         candidates = [node for node in raw if isinstance(node, XmlNode)]
         xpath_seconds = time.perf_counter() - started
 
@@ -418,7 +613,33 @@ class QueryExecutor:
             [xpath],
             len(candidates),
             self._accesses() - accesses_before,
+            planner_seconds=planner_seconds,
+            docs_total=docs_total,
+            docs_scanned=docs_scanned,
+            index_used=index_used,
+            plan_cache_hit=cache_hit,
         )
+
+    def _prune(
+        self,
+        collection_name: str,
+        spec: PlanSpec,
+        guard: Optional[ResourceGuard],
+    ) -> Tuple[Optional[Set[str]], int, int, bool]:
+        """(document keys or None, docs total, docs scanned, index used)."""
+        collection = self.database.get_collection(collection_name)
+        docs_total = len(collection)
+        if not self.use_index or not spec.prunable:
+            return None, docs_total, docs_total, False
+        index = collection.search_index()
+        assert index is not None
+        doc_keys = prune_candidates(
+            spec,
+            index,
+            guard,
+            self.context.seo if self.context is not None else None,
+        )
+        return doc_keys, docs_total, len(doc_keys), True
 
     def projection(
         self,
@@ -430,13 +651,24 @@ class QueryExecutor:
         """Execute a projection query through the same pipeline."""
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
-        condition, rewrite_seconds = self._rewrite(pattern)
-        started = time.perf_counter()
-        xpath = compile_pattern_to_xpath(pattern, condition)
-        rewrite_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        raw = self.database.xpath(collection_name, xpath, guard=guard)
+        plan, cache_hit = self._selection_plan(pattern)
+        condition: Condition = plan["condition"]  # type: ignore[assignment]
+        xpath: str = plan["xpath"]  # type: ignore[assignment]
+        spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
+        rewrite_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        doc_keys, docs_total, docs_scanned, index_used = self._prune(
+            collection_name, spec, guard
+        )
+        planner_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        raw = self.database.xpath(
+            collection_name, xpath, guard=guard, document_keys=doc_keys
+        )
         candidates = [node for node in raw if isinstance(node, XmlNode)]
         xpath_seconds = time.perf_counter() - started
 
@@ -464,6 +696,11 @@ class QueryExecutor:
             [xpath],
             len(candidates),
             self._accesses() - accesses_before,
+            planner_seconds=planner_seconds,
+            docs_total=docs_total,
+            docs_scanned=docs_scanned,
+            index_used=index_used,
+            plan_cache_hit=cache_hit,
         )
 
     def join(
@@ -489,26 +726,35 @@ class QueryExecutor:
             )
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
-        condition, rewrite_seconds = self._rewrite(pattern)
 
         started = time.perf_counter()
-        sides = []
-        for child in root_children:
-            side_pattern = _subtree_pattern(pattern, child.label)
-            side_labels = set(side_pattern.labels())
-            side_pattern.condition = _side_condition(condition, side_labels)
-            sides.append((side_pattern, compile_pattern_to_xpath(side_pattern)))
-        rewrite_seconds += time.perf_counter() - started
+        plan, cache_hit = self._join_plan(pattern, root_children)
+        condition: Condition = plan["condition"]  # type: ignore[assignment]
+        sides = plan["sides"]  # type: ignore[assignment]
+        rewrite_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        left_keys, right_keys, docs_total, docs_scanned, index_used = (
+            self._prune_join(left_collection, right_collection, plan, guard)
+        )
+        planner_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         left_candidates = [
             node
-            for node in self.database.xpath(left_collection, sides[0][1], guard=guard)
+            for node in self.database.xpath(
+                left_collection, sides[0]["xpath"], guard=guard, document_keys=left_keys
+            )
             if isinstance(node, XmlNode)
         ]
         right_candidates = [
             node
-            for node in self.database.xpath(right_collection, sides[1][1], guard=guard)
+            for node in self.database.xpath(
+                right_collection,
+                sides[1]["xpath"],
+                guard=guard,
+                document_keys=right_keys,
+            )
             if isinstance(node, XmlNode)
         ]
         xpath_seconds = time.perf_counter() - started
@@ -525,9 +771,9 @@ class QueryExecutor:
         sl = list(sl_labels)
         pair_filter = None
         if self.context is not None and self.similarity_hash_join:
-            left_labels = set(_subtree_pattern(pattern, root_children[0].label).labels())
-            right_labels = set(_subtree_pattern(pattern, root_children[1].label).labels())
-            atom = _cross_similarity_atom(pattern.condition, left_labels, right_labels)
+            atom = _cross_similarity_atom(
+                pattern.condition, sides[0]["labels"], sides[1]["labels"]
+            )
             if atom is not None:
                 pair_filter = self._similarity_join_pairs(
                     left_candidates, right_candidates, atom, pattern.condition, guard
@@ -580,10 +826,59 @@ class QueryExecutor:
             rewrite_seconds,
             xpath_seconds,
             convert_seconds,
-            [sides[0][1], sides[1][1]],
+            [sides[0]["xpath"], sides[1]["xpath"]],
             len(left_candidates) + len(right_candidates),
             self._accesses() - accesses_before,
+            planner_seconds=planner_seconds,
+            docs_total=docs_total,
+            docs_scanned=docs_scanned,
+            index_used=index_used,
+            plan_cache_hit=cache_hit,
         )
+
+    def _prune_join(
+        self,
+        left_collection: str,
+        right_collection: str,
+        plan: Dict[str, object],
+        guard: Optional[ResourceGuard],
+    ) -> Tuple[Optional[Set[str]], Optional[Set[str]], int, int, bool]:
+        """Per-side + cross-side pruning for a join plan."""
+        left = self.database.get_collection(left_collection)
+        right = self.database.get_collection(right_collection)
+        docs_total = len(left) + len(right)
+        if not self.use_index or not plan["prunable"]:
+            return None, None, docs_total, docs_total, False
+        sides = plan["sides"]  # type: ignore[assignment]
+        seo = self.context.seo if self.context is not None else None
+        left_index = left.search_index()
+        right_index = right.search_index()
+        assert left_index is not None and right_index is not None
+
+        left_keys: Optional[Set[str]] = None
+        right_keys: Optional[Set[str]] = None
+        if sides[0]["spec"].prunable:
+            left_keys = prune_candidates(sides[0]["spec"], left_index, guard, seo)
+        if sides[1]["spec"].prunable:
+            right_keys = prune_candidates(sides[1]["spec"], right_index, guard, seo)
+
+        cross = plan["cross"]
+        if cross is not None:
+            cross_left, cross_right = prune_join_docs(
+                left_index, right_index, cross, seo, guard
+            )
+            left_keys = (
+                cross_left if left_keys is None else left_keys & cross_left
+            )
+            right_keys = (
+                cross_right if right_keys is None else right_keys & cross_right
+            )
+
+        docs_scanned = (len(left_keys) if left_keys is not None else len(left)) + (
+            len(right_keys) if right_keys is not None else len(right)
+        )
+        index_used = left_keys is not None or right_keys is not None
+        return left_keys, right_keys, docs_total, docs_scanned, index_used
 
     def _similarity_join_pairs(
         self,

@@ -68,6 +68,7 @@ class TossSystem:
         guard: Optional[ResourceGuard] = None,
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        use_index: bool = True,
     ) -> None:
         self.measure = get_measure(measure) if isinstance(measure, str) else measure
         self.epsilon = epsilon
@@ -98,6 +99,9 @@ class TossSystem:
         )
         #: :class:`~repro.core.build_report.BuildReport` of the last build.
         self.build_report: Optional[BuildReport] = None
+        #: Prune query scans through the collection search indexes
+        #: (ablatable; threaded into every executor this system creates).
+        self.use_index = use_index
 
     # -- administration ---------------------------------------------------------
 
@@ -299,7 +303,11 @@ class TossSystem:
             self.degraded = True
             self.build_error = exc
             self.executor = QueryExecutor(
-                self.database, None, guard=self.guard, exact_fallback=True
+                self.database,
+                None,
+                guard=self.guard,
+                exact_fallback=True,
+                use_index=self.use_index,
             )
             return None
         self.build_seconds = time.perf_counter() - started
@@ -312,7 +320,9 @@ class TossSystem:
             type_system=self.type_system,
             typing=self.typing,
         )
-        self.executor = QueryExecutor(self.database, self.context, guard=self.guard)
+        self.executor = QueryExecutor(
+            self.database, self.context, guard=self.guard, use_index=self.use_index
+        )
         return self.context
 
     @property

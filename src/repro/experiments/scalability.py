@@ -57,7 +57,12 @@ def _run_reports(
     reports: Sequence[ExecutionReport],
 ) -> Tuple[float, float, float, float, int]:
     total = sum(r.total_seconds for r in reports) / len(reports)
-    rewrite = sum(r.rewrite_seconds for r in reports) / len(reports)
+    # Index planning belongs to the paper's "rewrite" phase: both happen
+    # before the store is touched, so the three reported components still
+    # sum to the total.
+    rewrite = (
+        sum(r.rewrite_seconds + r.planner_seconds for r in reports) / len(reports)
+    )
     xpath = sum(r.xpath_seconds for r in reports) / len(reports)
     convert = sum(r.convert_seconds for r in reports) / len(reports)
     accesses = reports[0].ontology_accesses

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import CollectionError, DocumentTooLargeError
 from ..guard import ResourceGuard
+from .index import CollectionSearchIndex
 from .indexes import CollectionIndex, DocumentIndex
 from .model import XmlNode
 from .parser import parse_document
@@ -37,6 +38,10 @@ class Collection:
         self.max_document_bytes = max_document_bytes
         self._documents: Dict[str, XmlNode] = {}
         self._index = CollectionIndex()
+        #: Collection-wide term/path search index (see repro.xmldb.index),
+        #: built lazily on first use or attached from a persisted file;
+        #: maintained incrementally once present.
+        self._search_index: Optional[CollectionSearchIndex] = None
 
     # -- document management ---------------------------------------------------
 
@@ -59,12 +64,17 @@ class Collection:
         if size > self.max_document_bytes:
             raise DocumentTooLargeError(size, self.max_document_bytes)
         self._documents[key] = root
+        if self._search_index is not None:
+            self._search_index.add_document(key, root)
         return root
 
     def replace_document(self, key: str, document: "XmlNode | str") -> XmlNode:
         """Overwrite (or create) the document under ``key``."""
         if key in self._documents:
-            self._index.invalidate(self._documents[key])
+            root = self._documents[key]
+            self._index.invalidate(root)
+            if self._search_index is not None:
+                self._search_index.remove_document(key, root)
             del self._documents[key]
         return self.add_document(key, document)
 
@@ -76,6 +86,8 @@ class Collection:
                 f"collection {self.name!r} has no document {key!r}"
             ) from None
         self._index.invalidate(root)
+        if self._search_index is not None:
+            self._search_index.remove_document(key, root)
 
     def get_document(self, key: str) -> XmlNode:
         try:
@@ -115,20 +127,51 @@ class Collection:
         """Per-document tag/value index (built lazily, cached)."""
         return self._index.index_for(root)
 
+    def search_index(self, build: bool = True) -> Optional[CollectionSearchIndex]:
+        """The collection-wide search index, built on first request.
+
+        With ``build=False``, returns whatever is already in memory
+        (possibly None) without paying for construction.
+        """
+        if self._search_index is None and build:
+            index = CollectionSearchIndex()
+            for key, root in self._documents.items():
+                index.add_document(key, root)
+            self._search_index = index
+        return self._search_index
+
+    def attach_search_index(self, index: CollectionSearchIndex) -> None:
+        """Adopt a prebuilt (e.g. loaded-from-disk) search index.
+
+        The caller is responsible for having verified that the index
+        matches the current documents — storage only attaches indexes
+        whose content key matches the manifest checksums.
+        """
+        self._search_index = index
+
     def xpath(
         self,
         query: "str | XPathQuery",
         guard: Optional[ResourceGuard] = None,
+        document_keys: Optional["Iterable[str]"] = None,
     ) -> List[ResultNode]:
         """Run an XPath query over every document, concatenating results.
+
+        ``document_keys`` restricts evaluation to a subset of documents
+        (unknown keys are ignored); iteration stays in collection
+        insertion order so a restricted run returns results in the same
+        order as a full scan filtered to those documents.
 
         A :class:`~repro.guard.ResourceGuard` bounds the evaluation: its
         deadline and step budget apply inside the XPath engine, and its
         result cap is checked as results accumulate across documents.
         """
         compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
+        wanted = None if document_keys is None else set(document_keys)
         results: List[ResultNode] = []
-        for root in self._documents.values():
+        for key, root in self._documents.items():
+            if wanted is not None and key not in wanted:
+                continue
             results.extend(compiled.select(root, guard=guard))
             if guard is not None:
                 guard.check_results(len(results), f"query over {self.name!r}")

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import CollectionError
 from ..guard import ResourceGuard
@@ -129,8 +129,13 @@ class Database:
         query: str,
         document_key: Optional[str] = None,
         guard: Optional[ResourceGuard] = None,
+        document_keys: Optional[Iterable[str]] = None,
     ) -> List[ResultNode]:
         """Run an XPath query against a collection (or one document of it).
+
+        ``document_keys`` restricts a collection-wide query to a subset
+        of documents, preserving collection order — the executor's
+        index-driven pruning path uses this.
 
         Timing and result counts are accumulated in :attr:`statistics`.
         With a :class:`~repro.guard.ResourceGuard`, evaluation honours its
@@ -140,7 +145,9 @@ class Database:
         compiled = self.compile(query)
         started = time.perf_counter()
         if document_key is None:
-            results = collection.xpath(compiled, guard=guard)
+            results = collection.xpath(
+                compiled, guard=guard, document_keys=document_keys
+            )
         else:
             results = collection.xpath_document(document_key, compiled, guard=guard)
         self.statistics.record(time.perf_counter() - started, len(results))

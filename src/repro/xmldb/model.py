@@ -137,6 +137,19 @@ class XmlNode:
             yield node
             stack.extend(reversed(node.children))
 
+    def iter_with_paths(self) -> Iterator[Tuple["XmlNode", Tuple[str, ...]]]:
+        """Preorder traversal yielding each node with its root-to-node tag path.
+
+        The path starts at this node's own tag, so iterating a document
+        root yields the paths the structural tag-path index is keyed by.
+        """
+        stack: List[Tuple[XmlNode, Tuple[str, ...]]] = [(self, (self.tag,))]
+        while stack:
+            node, path = stack.pop()
+            yield node, path
+            for child in reversed(node.children):
+                stack.append((child, path + (child.tag,)))
+
     def descendants(self) -> Iterator["XmlNode"]:
         """Preorder traversal of strict descendants."""
         nodes = self.iter()

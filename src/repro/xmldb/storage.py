@@ -40,6 +40,11 @@ from ..errors import StorageCorruptionError, XmlDbError
 from ..ioutils import atomic_write_text, fsync_directory, sha256_text
 from .collection import Collection
 from .database import Database
+from .index import (
+    index_content_key,
+    load_collection_index,
+    save_collection_index,
+)
 from .serializer import serialize
 
 MANIFEST_NAME = "manifest.json"
@@ -106,14 +111,25 @@ def _resolve_inside(root_dir: str, *parts: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def save_database(database: Database, root_dir: str) -> None:
+def save_database(
+    database: Database,
+    root_dir: str,
+    write_indexes: Optional[bool] = None,
+) -> None:
     """Write every collection and document under ``root_dir``, atomically.
 
     The directory is created if missing; existing contents for the same
     collections are overwritten, foreign files are left alone.  Document
-    files are written first (each atomically), the manifest last — so the
-    store always has a manifest describing fully-written files, no matter
-    where a crash lands.
+    files are written first (each atomically), then any search-index
+    files, the manifest last — so the store always has a manifest
+    describing fully-written files, no matter where a crash lands.
+
+    ``write_indexes`` controls search-index persistence: ``None``
+    (default) persists whatever indexes are already built in memory,
+    ``True`` builds and persists an index for every collection, ``False``
+    writes none.  Each index file is content-keyed to the exact document
+    checksums in the manifest, so a load against changed documents
+    discards it.
     """
     os.makedirs(root_dir, exist_ok=True)
     manifest: Dict[str, object] = {
@@ -142,10 +158,57 @@ def save_database(database: Database, root_dir: str) -> None:
             "documents": documents,
             "max_document_bytes": collection.max_document_bytes,
         }
+        if write_indexes is False:
+            continue
+        index = collection.search_index(build=bool(write_indexes))
+        if index is not None:
+            checksums = {
+                key: str(entry["sha256"]) for key, entry in documents.items()
+            }
+            save_collection_index(
+                root_dir,
+                dirname,
+                collection.name,
+                index,
+                index_content_key(collection.name, checksums),
+            )
     atomic_write_text(
         os.path.join(root_dir, MANIFEST_NAME),
         json.dumps(manifest, indent=2, sort_keys=True),
     )
+
+
+def build_indexes(root_dir: str) -> Dict[str, Dict[str, int]]:
+    """Build (or rebuild) persisted search indexes for a saved database.
+
+    Loads the store, builds a fresh index per collection and writes each
+    one keyed to the manifest's document checksums.  Returns per-
+    collection index statistics.  Raises on a damaged store — indexes
+    for unverifiable documents would be untrustworthy.
+    """
+    database = load_database(root_dir)
+    with open(os.path.join(root_dir, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    stats: Dict[str, Dict[str, int]] = {}
+    collections = manifest.get("collections", {})
+    for collection in database.collections():
+        info = collections.get(collection.name, {})
+        dirname = str(info.get("directory", _SAFE_COMPONENT.sub("_", collection.name)))
+        checksums = {
+            key: str(entry.get("sha256", ""))
+            for key, entry in info.get("documents", {}).items()
+        }
+        index = collection.search_index(build=True)
+        assert index is not None
+        save_collection_index(
+            root_dir,
+            dirname,
+            collection.name,
+            index,
+            index_content_key(collection.name, checksums),
+        )
+        stats[collection.name] = index.stats()
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -415,6 +478,8 @@ def _load(root_dir: str, policy: str) -> RecoveryReport:
         except StorageCorruptionError as exc:
             fail(name, collection_dir, "", None, str(exc))
             continue
+        quarantined_before = len(report.quarantined)
+        loaded_shas: Dict[str, str] = {}
         for key, filename, expected_sha in entries:
             path = _resolve_inside(root_dir, collection_dir, filename)
             try:
@@ -441,7 +506,27 @@ def _load(root_dir: str, policy: str) -> RecoveryReport:
             except XmlDbError as exc:
                 fail(name, collection_dir, key, filename, f"invalid document: {exc}", path)
                 continue
+            if expected_sha is not None:
+                loaded_shas[key] = expected_sha
             report.loaded_documents += 1
+        # Adopt a persisted search index only when every document of the
+        # collection loaded clean with a checksum: the content key then
+        # proves the index describes exactly these documents.  Anything
+        # else (quarantined files, format-1 entries, stale or damaged
+        # index) falls back to a lazy in-memory rebuild.
+        if (
+            policy != _VERIFY
+            and len(report.quarantined) == quarantined_before
+            and len(loaded_shas) == len(entries)
+        ):
+            index = load_collection_index(
+                root_dir,
+                collection_dir,
+                name,
+                index_content_key(name, loaded_shas),
+            )
+            if index is not None:
+                collection.attach_search_index(index)
 
     if policy != _VERIFY:
         report.database = database

@@ -1,0 +1,89 @@
+"""Unit tests for the ``db index`` command group."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DBLP = """
+<dblp>
+  <inproceedings key="p1">
+    <author>J. Smith</author>
+    <title>Paper One</title>
+  </inproceedings>
+  <inproceedings key="p2">
+    <author>J. Smyth</author>
+    <title>Paper Two</title>
+  </inproceedings>
+</dblp>
+"""
+
+
+@pytest.fixture
+def store(tmp_path, capsys):
+    path = tmp_path / "dblp.xml"
+    path.write_text(DBLP)
+    root = str(tmp_path / "system")
+    assert main(
+        ["save", "--source", f"dblp={path}", "--epsilon", "1", "--out", root]
+    ) == 0
+    capsys.readouterr()
+    return root
+
+
+def _index_file(tmp_path):
+    files = list(
+        (tmp_path / "system" / "database" / ".indexes").glob("*.json")
+    )
+    assert files, "expected a persisted index file"
+    return files[0]
+
+
+class TestDbIndexCommand:
+    def test_build_then_verify(self, store, tmp_path, capsys):
+        assert main(["db", "index", "build", store]) == 0
+        out = capsys.readouterr().out
+        assert "built index [dblp]: 1 documents" in out
+        assert _index_file(tmp_path).exists()
+        assert main(["db", "index", "verify", store]) == 0
+        assert "search index [dblp]: ok" in capsys.readouterr().out
+
+    def test_verify_fails_on_missing_index(self, store, tmp_path, capsys):
+        index_dir = tmp_path / "system" / "database" / ".indexes"
+        if index_dir.exists():
+            for f in index_dir.glob("*.json"):
+                f.unlink()
+        assert main(["db", "index", "verify", store]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption_build_repairs(
+        self, store, tmp_path, capsys
+    ):
+        assert main(["db", "index", "build", store]) == 0
+        _index_file(tmp_path).write_text("{broken")
+        assert main(["db", "index", "verify", store]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        # A rebuild repairs it; verify passes again.
+        assert main(["db", "index", "build", store]) == 0
+        capsys.readouterr()
+        assert main(["db", "index", "verify", store]) == 0
+
+    def test_stats_reports_but_never_fails(self, store, tmp_path, capsys):
+        assert main(["db", "index", "build", store]) == 0
+        _index_file(tmp_path).write_text("{broken")
+        # stats is informational: exit 0 even with a damaged index.
+        assert main(["db", "index", "stats", store]) == 0
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_build_missing_store_errors(self, tmp_path, capsys):
+        assert main(["db", "index", "build", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_db_stats_includes_index_health(self, store, capsys):
+        assert main(["db", "index", "build", store]) == 0
+        capsys.readouterr()
+        assert main(["db", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "search index [dblp]: ok" in out
+        assert "postings" in out

@@ -1,0 +1,234 @@
+"""Unit tests for the collection search index: postings + persistence.
+
+Covers the tentpole's correctness contract: indexes maintained
+incrementally equal a from-scratch rebuild, survive a serialisation
+round trip, and on any integrity failure (corruption, staleness) are
+ignored and rebuilt — never trusted.
+"""
+
+import json
+
+import pytest
+
+from repro.xmldb.database import Database
+from repro.xmldb.index import (
+    CollectionSearchIndex,
+    index_content_key,
+    index_status,
+    load_collection_index,
+    save_collection_index,
+)
+from repro.xmldb.index.store import index_path
+from repro.xmldb.storage import build_indexes, load_database, save_database
+
+DOC_A = """
+<dblp>
+  <inproceedings key="p1">
+    <author>J. Smith</author>
+    <title>Paper One</title>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+</dblp>
+"""
+
+DOC_B = """
+<dblp>
+  <inproceedings key="p2">
+    <author>J. Smyth</author>
+    <title>Paper Two</title>
+    <booktitle>VLDB</booktitle>
+  </inproceedings>
+</dblp>
+"""
+
+DOC_C = """
+<proceedings>
+  <article key="p3">
+    <title>Paper One</title>
+    <note></note>
+  </article>
+</proceedings>
+"""
+
+
+@pytest.fixture
+def collection():
+    db = Database()
+    col = db.create_collection("dblp")
+    col.add_document("a", DOC_A)
+    col.add_document("b", DOC_B)
+    col.add_document("c", DOC_C)
+    return col
+
+
+class TestPostings:
+    def test_term_lookup_is_exact_and_tag_filterable(self, collection):
+        index = collection.search_index()
+        assert index.docs_with_term("Paper One") == {"a", "c"}
+        assert index.docs_with_term(
+            "Paper One", tags=frozenset({"title"})
+        ) == {"a", "c"}
+        # Tag filter excludes documents carrying the value elsewhere.
+        assert index.docs_with_term(
+            "J. Smith", tags=frozenset({"title"})
+        ) == set()
+        assert index.docs_with_term("J. Smith", tags=frozenset({"author"})) == {"a"}
+        # No normalisation: a closely related value is a different term.
+        assert index.docs_with_term("paper one") == set()
+
+    def test_attribute_values_are_indexed(self, collection):
+        index = collection.search_index()
+        assert set(index.attribute_postings("p2")) == {"b"}
+        paths = index.attribute_postings("p2")["b"]
+        assert all(path.endswith("/@key") for path in paths)
+
+    def test_empty_text_is_a_term(self, collection):
+        # <note></note> in DOC_C: the planner must be able to probe for
+        # the empty string, since verification compares raw node.text.
+        index = collection.search_index()
+        assert "c" in index.docs_with_term("", tags=frozenset({"note"}))
+
+    def test_structural_probes(self, collection):
+        index = collection.search_index()
+        assert index.docs_with_any_tag(["article"]) == {"c"}
+        assert index.docs_with_pc_pair([("inproceedings", "title")]) == {"a", "b"}
+        assert index.docs_with_pc_pair([("dblp", "title")]) == set()
+        assert index.docs_with_ad_pair([("dblp", "title")]) == {"a", "b"}
+
+    def test_terms_with_tags(self, collection):
+        index = collection.search_index()
+        by_title = index.terms_with_tags(frozenset({"title"}))
+        assert by_title["Paper One"] == {"a", "c"}
+        assert "J. Smith" not in by_title
+
+
+class TestIncrementalMaintenance:
+    def _rebuilt(self, collection):
+        fresh = CollectionSearchIndex()
+        for key, root in collection.documents():
+            fresh.add_document(key, root)
+        return fresh
+
+    def test_remove_equals_rebuild(self, collection):
+        index = collection.search_index()
+        collection.remove_document("b")
+        assert index.to_dict() == self._rebuilt(collection).to_dict()
+        assert index.docs_with_term("J. Smyth") == set()
+
+    def test_replace_equals_rebuild(self, collection):
+        index = collection.search_index()
+        collection.replace_document("a", DOC_B)
+        assert index.to_dict() == self._rebuilt(collection).to_dict()
+        assert index.docs_with_term("J. Smyth") == {"a", "b"}
+
+    def test_add_equals_rebuild(self, collection):
+        index = collection.search_index()
+        collection.add_document("d", DOC_A)
+        assert index.to_dict() == self._rebuilt(collection).to_dict()
+        assert index.docs_with_term("J. Smith") == {"a", "d"}
+
+    def test_readd_same_key_sweeps_old_contributions(self, collection):
+        index = collection.search_index()
+        index.add_document("a", collection.get_document("c"))
+        assert "a" not in index.docs_with_term("J. Smith")
+        assert index.docs_with_term("Paper One") == {"a", "c"}
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, collection):
+        index = collection.search_index()
+        payload = json.loads(json.dumps(index.to_dict()))
+        restored = CollectionSearchIndex.from_dict(payload)
+        assert restored.to_dict() == index.to_dict()
+        # Derived structural maps are rebuilt, not serialised.
+        assert restored.docs_with_pc_pair([("inproceedings", "title")]) == {
+            "a",
+            "b",
+        }
+        assert restored.docs_with_any_tag(["article"]) == {"c"}
+        assert restored.stats() == index.stats()
+
+    def test_from_dict_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            CollectionSearchIndex.from_dict({"format": 999})
+
+
+class TestStorePersistence:
+    def test_save_load_round_trip(self, collection, tmp_path):
+        index = collection.search_index()
+        key = index_content_key("dblp", {"a": "x", "b": "y", "c": "z"})
+        save_collection_index(str(tmp_path), "dblp", "dblp", index, key)
+        restored = load_collection_index(str(tmp_path), "dblp", "dblp", key)
+        assert restored is not None
+        assert restored.to_dict() == index.to_dict()
+
+    def test_stale_content_key_is_rejected(self, collection, tmp_path):
+        index = collection.search_index()
+        key = index_content_key("dblp", {"a": "x"})
+        save_collection_index(str(tmp_path), "dblp", "dblp", index, key)
+        other = index_content_key("dblp", {"a": "CHANGED"})
+        assert load_collection_index(str(tmp_path), "dblp", "dblp", other) is None
+
+    def test_corrupt_file_is_rejected(self, collection, tmp_path):
+        index = collection.search_index()
+        key = index_content_key("dblp", {"a": "x"})
+        path = save_collection_index(str(tmp_path), "dblp", "dblp", index, key)
+        text = open(path).read()
+        open(path, "w").write(text[: len(text) // 2])
+        assert load_collection_index(str(tmp_path), "dblp", "dblp", key) is None
+
+    def test_wrong_collection_is_rejected(self, collection, tmp_path):
+        index = collection.search_index()
+        key = index_content_key("dblp", {"a": "x"})
+        save_collection_index(str(tmp_path), "dblp", "dblp", index, key)
+        assert load_collection_index(str(tmp_path), "dblp", "other", key) is None
+
+
+def _store(tmp_path):
+    db = Database()
+    col = db.create_collection("dblp")
+    col.add_document("a", DOC_A)
+    col.add_document("b", DOC_B)
+    root = str(tmp_path / "store")
+    save_database(db, root, write_indexes=True)
+    return root
+
+
+class TestStorageIntegration:
+    def test_persisted_index_attaches_on_load(self, tmp_path):
+        root = _store(tmp_path)
+        assert index_status(root)["dblp"]["status"] == "ok"
+        loaded = load_database(root)
+        col = loaded.get_collection("dblp")
+        attached = col.search_index(build=False)
+        assert attached is not None
+        assert attached.docs_with_term("J. Smith") == {"a"}
+
+    def test_corrupt_index_is_ignored_and_lazily_rebuilt(self, tmp_path):
+        root = _store(tmp_path)
+        path = index_path(root, "dblp")
+        open(path, "w").write("{not json")
+        assert index_status(root)["dblp"]["status"].startswith("corrupt")
+        loaded = load_database(root)
+        col = loaded.get_collection("dblp")
+        assert col.search_index(build=False) is None  # never trusted
+        rebuilt = col.search_index(build=True)  # lazy rebuild from documents
+        assert rebuilt.docs_with_term("J. Smyth") == {"b"}
+
+    def test_stale_index_is_detected_and_not_attached(self, tmp_path):
+        root = _store(tmp_path)
+        db = load_database(root)
+        db.get_collection("dblp").replace_document("a", DOC_C)
+        # Re-save the store without refreshing the index files: the old
+        # index no longer matches the manifest checksums.
+        save_database(db, root, write_indexes=False)
+        assert index_status(root)["dblp"]["status"] == "stale"
+        col = load_database(root).get_collection("dblp")
+        assert col.search_index(build=False) is None
+
+    def test_build_indexes_repairs_stale_and_corrupt(self, tmp_path):
+        root = _store(tmp_path)
+        open(index_path(root, "dblp"), "w").write("junk")
+        stats = build_indexes(root)
+        assert stats["dblp"]["documents"] == 2
+        assert index_status(root)["dblp"]["status"] == "ok"
