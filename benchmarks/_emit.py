@@ -1,0 +1,73 @@
+"""Shared result emission for the standalone benchmark scripts.
+
+``bench_query_exec`` and ``bench_seo_build`` both write the same payload
+twice: the canonical machine-readable copy under ``benchmarks/results/``
+and a trajectory copy at the repo root (``BENCH_<name>.json``).  The two
+writers used to be duplicated in each script and could drift; this module
+is now the single place that knows the layout.
+
+It also owns :func:`stage_breakdown`, which flattens an observability
+span tree (:meth:`repro.obs.trace.Span.to_dict` shape) into the
+per-stage seconds map the benchmark records embed, so ``BENCH_*.json``
+shows where inside the pipeline the measured time went.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def default_output_paths(name, smoke=False):
+    """(canonical, trajectory) paths for a benchmark called ``name``.
+
+    Smoke runs keep only the canonical copy — CI artefacts come from
+    ``benchmarks/results/``, and the repo-root trajectory files are
+    reserved for full sweeps.
+    """
+    out = RESULTS_DIR / (f"{name}_smoke.json" if smoke else f"{name}.json")
+    trajectory = None if smoke else REPO_ROOT / f"BENCH_{name}.json"
+    return out, trajectory
+
+
+def emit_results(results, out_path=None, trajectory_path=None):
+    """Write ``results`` as pretty JSON to every non-None path given.
+
+    Both copies are rendered from the same string, so they are
+    byte-identical by construction.  Returns the list of paths written.
+    """
+    text = json.dumps(results, indent=2) + "\n"
+    written = []
+    for path in (out_path, trajectory_path):
+        if path is None:
+            continue
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def stage_breakdown(trace, precision=6):
+    """Per-stage seconds from one span tree's first level.
+
+    ``trace`` is a :meth:`repro.obs.trace.Span.to_dict` payload (or None,
+    when the run was not traced).  Returns ``{"total_seconds": ...,
+    "stages": {child span name: seconds}}``; repeated child names (e.g.
+    one span per relation) accumulate.
+    """
+    if not trace:
+        return None
+    stages = {}
+    for child in trace.get("children", ()):
+        name = child.get("name", "?")
+        stages[name] = round(
+            stages.get(name, 0.0) + float(child.get("seconds", 0.0)), precision
+        )
+    return {
+        "total_seconds": round(float(trace.get("seconds", 0.0)), precision),
+        "stages": stages,
+    }

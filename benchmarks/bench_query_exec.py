@@ -37,10 +37,10 @@ actually engaged) without asserting on timings.
 
 import argparse
 import json
-import pathlib
 import sys
 import time
 
+from _emit import default_output_paths, emit_results, stage_breakdown
 from repro.data import generate_corpus, render_dblp
 from repro.data.sigmod import render_sigmod_pages
 from repro.experiments.workload import (
@@ -48,10 +48,8 @@ from repro.experiments.workload import (
     build_scalability_pattern,
     build_system,
 )
+from repro.obs import Observability
 from repro.xmldb.serializer import document_bytes
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 FULL_SELECTION_SIZES = (500, 1000, 2000, 3000)
 SMOKE_SELECTION_SIZES = (60,)
@@ -94,6 +92,9 @@ def _measure_modes(system, run, repeats, collections):
     execution per mode absorbs plan-cache compilation for both.
     """
     executor = system.executor
+    # Trace the runs (no sinks) so the record can carry the per-stage
+    # rewrite/plan/xpath/verify split alongside the wall-clock figures.
+    executor.observability = Observability(enabled=True)
     started = time.perf_counter()
     for name in collections:
         system.database.get_collection(name).search_index(build=True)
@@ -122,6 +123,8 @@ def _measure_modes(system, run, repeats, collections):
         "docs_total": indexed_report.docs_total,
         "docs_scanned": indexed_report.docs_scanned,
         "plan_cache_hit": indexed_report.plan_cache_hit,
+        "indexed_stages": stage_breakdown(indexed_report.trace),
+        "scan_stages": stage_breakdown(scan_report.trace),
     }
 
 
@@ -250,15 +253,7 @@ def run_benchmark(
             ),
         },
     }
-    if out_path is not None:
-        pathlib.Path(out_path).parent.mkdir(parents=True, exist_ok=True)
-        pathlib.Path(out_path).write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-    if trajectory_path is not None:
-        pathlib.Path(trajectory_path).write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
+    emit_results(results, out_path=out_path, trajectory_path=trajectory_path)
     return results
 
 
@@ -326,10 +321,7 @@ def main(argv=None):
         if args.join_sizes
         else (SMOKE_JOIN_SIZES if args.smoke else FULL_JOIN_SIZES)
     )
-    out = RESULTS_DIR / (
-        "query_exec_smoke.json" if args.smoke else "query_exec.json"
-    )
-    trajectory = None if args.smoke else REPO_ROOT / "BENCH_query_exec.json"
+    out, trajectory = default_output_paths("query_exec", smoke=args.smoke)
     print(
         f"Query execution benchmark: selection={selection_sizes} "
         f"join={join_sizes} smoke={args.smoke}"

@@ -27,17 +27,15 @@ configurations, warm cache hit) without asserting on timings.
 
 import argparse
 import json
-import pathlib
 import sys
 import tempfile
 import time
 
+from _emit import default_output_paths, emit_results, stage_breakdown
 from repro.data import generate_corpus, render_dblp
 from repro.experiments.workload import build_system
+from repro.obs import Observability
 from repro.similarity.persistence import dump_seo
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 FULL_SIZES = (500, 1000, 2000, 3000)
 SMOKE_SIZES = (60,)
@@ -63,7 +61,13 @@ def _timed_build(corpus, documents, **kwargs):
     end-to-end figure is still recorded per run).
     """
     started = time.perf_counter()
-    system = build_system(corpus, documents, EPSILON, **kwargs)
+    system = build_system(
+        corpus,
+        documents,
+        EPSILON,
+        observability=Observability(enabled=True),
+        **kwargs,
+    )
     end_to_end = time.perf_counter() - started
     return system, system.build_seconds, end_to_end
 
@@ -90,6 +94,7 @@ def _run_record(papers, name, config, system, seconds, end_to_end, cache=None):
                 for r in report.relations
             )
         ),
+        "stages": stage_breakdown(report.trace) if report else None,
     }
     return record
 
@@ -194,15 +199,7 @@ def run_benchmark(
             "identical_outputs": identical_outputs,
         },
     }
-    if out_path is not None:
-        pathlib.Path(out_path).parent.mkdir(parents=True, exist_ok=True)
-        pathlib.Path(out_path).write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-    if trajectory_path is not None:
-        pathlib.Path(trajectory_path).write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
+    emit_results(results, out_path=out_path, trajectory_path=trajectory_path)
     return results
 
 
@@ -251,8 +248,7 @@ def main(argv=None):
     sizes = tuple(args.sizes) if args.sizes else (
         SMOKE_SIZES if args.smoke else FULL_SIZES
     )
-    out = RESULTS_DIR / ("seo_build_smoke.json" if args.smoke else "seo_build.json")
-    trajectory = None if args.smoke else REPO_ROOT / "BENCH_seo_build.json"
+    out, trajectory = default_output_paths("seo_build", smoke=args.smoke)
     print(f"SEO build benchmark: sizes={sizes} smoke={args.smoke}")
     results = run_benchmark(
         sizes=sizes, smoke=args.smoke, out_path=out, trajectory_path=trajectory

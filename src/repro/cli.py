@@ -19,6 +19,12 @@ Subcommands:
 
         python -m repro.cli seo --source dblp=dblp.xml --out seo.json
 
+``repro-toss explain``
+    Show the query plan — rewrite, compiled XPath, index probes —
+    without executing it::
+
+        python -m repro.cli explain --load ./store 'paper(author ~ "X")'
+
 ``repro-toss db``
     Build, inspect, integrity-check or repair a saved store::
 
@@ -29,6 +35,12 @@ Subcommands:
         python -m repro.cli db recover ./store
         python -m repro.cli db index build ./store
 
+    plus the observability surface (see ``docs/OBSERVABILITY.md``)::
+
+        python -m repro.cli db trace ./store 'paper(author ~ "X")'
+        python -m repro.cli db obs metrics ./store
+        python -m repro.cli db obs slow ./store --limit 10
+
 Exit status is 0 on success, 1 when ``db verify`` finds damage, 2 on
 usage errors (argparse convention).
 """
@@ -36,6 +48,8 @@ usage errors (argparse convention).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -69,28 +83,73 @@ def _build_system(args: argparse.Namespace) -> TossSystem:
     return system
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _load_query_system(args: argparse.Namespace) -> tuple:
+    """(system, collection names) for query-shaped commands.
+
+    A ``--load`` system gets the store's observability attached (sinks
+    under ``<root>/obs``) unless ``--no-obs``, so events, slow queries
+    and metrics accumulate next to the data they describe.
+    """
     if args.load:
         from .core.persistence import load_system
+        from .obs import for_root
 
         system = load_system(args.load)
+        if not getattr(args, "no_obs", False):
+            system.set_observability(for_root(args.load))
         names = system.database.collection_names()
     else:
         if not args.source:
-            raise SystemExit("query needs --source name=path or --load DIR")
+            raise SystemExit(
+                f"{args.command} needs --source name=path or --load DIR"
+            )
         system = _build_system(args)
         names = [name for name, _ in _parse_sources(args.source)]
+    return system, names
+
+
+def _report_summary_line(report) -> str:
+    line = (
+        f"# {len(report.results)} results in {report.total_seconds:.4f}s "
+        f"(rewrite {report.rewrite_seconds:.4f}s, "
+        f"plan {report.planner_seconds:.4f}s, "
+        f"xpath {report.xpath_seconds:.4f}s, "
+        f"convert {report.convert_seconds:.4f}s; "
+        f"scanned {report.docs_scanned}/{report.docs_total} docs, "
+        f"index {'on' if report.index_used else 'off'}"
+    )
+    if report.plan_cache_hit:
+        line += ", plan cache hit"
+    if report.degraded:
+        line += "; DEGRADED to exact matching"
+    return line + ")"
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    system, names = _load_query_system(args)
     collection = args.collection or names[0]
     right = names[1] if len(names) > 1 else None
     report = system.query(collection, args.query, right_collection=right)
-    print(
-        f"# {len(report.results)} results "
-        f"(rewrite {report.rewrite_seconds:.4f}s, "
-        f"xpath {report.xpath_seconds:.4f}s, "
-        f"convert {report.convert_seconds:.4f}s)"
-    )
+    system.observability.flush_metrics()
+    if args.json:
+        print(json.dumps(report.to_dict(include_results=True), indent=2))
+        return 0
+    print(_report_summary_line(report))
     for tree in report.results:
         print(serialize(tree, indent=2).rstrip())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.parser import parse_query
+
+    system, _ = _load_query_system(args)
+    executor, _degraded = system._query_executor()
+    plan = executor.explain(parse_query(args.query).pattern)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan)
     return 0
 
 
@@ -274,6 +333,93 @@ def _cmd_db_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_db_trace(args: argparse.Namespace) -> int:
+    from .core.persistence import load_system
+    from .obs import DEFAULT_SLOW_QUERY_SECONDS, for_root, render_span_dict
+
+    threshold = (
+        args.slow_threshold
+        if args.slow_threshold is not None
+        else DEFAULT_SLOW_QUERY_SECONDS
+    )
+    system = load_system(args.root)
+    system.set_observability(for_root(args.root, slow_query_seconds=threshold))
+    names = system.database.collection_names()
+    collection = args.collection or names[0]
+    right = names[1] if len(names) > 1 else None
+    report = system.query(collection, args.query, right_collection=right)
+    system.observability.flush_metrics()
+    if args.json:
+        payload = report.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(_report_summary_line(report))
+    if report.trace is None:
+        print("# no trace captured", file=sys.stderr)
+        return 1
+    for line in render_span_dict(report.trace):
+        print(line)
+    stage_seconds = sum(
+        float(child.get("seconds", 0.0))
+        for child in report.trace.get("children", ())
+    )
+    wall = float(report.trace.get("seconds", 0.0))
+    print(
+        f"# stages account for {stage_seconds:.4f}s of {wall:.4f}s wall "
+        f"({stage_seconds / wall * 100.0 if wall > 0 else 100.0:.1f}%)"
+    )
+    return 0
+
+
+def _cmd_db_obs(args: argparse.Namespace) -> int:
+    from .obs import (
+        METRICS_FILENAME,
+        SLOW_QUERIES_FILENAME,
+        JsonLinesSink,
+        obs_directory,
+        read_metrics_snapshot,
+        render_snapshot_text,
+        render_span_dict,
+    )
+
+    # Sinks anchor at the system root (where query --load / db trace put
+    # them); fall back to the nested database directory for bare stores.
+    directory = obs_directory(args.root)
+    if not directory.is_dir():
+        directory = obs_directory(_db_root(args.root))
+    if args.obs_command == "metrics":
+        snapshot = read_metrics_snapshot(directory / METRICS_FILENAME)
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(render_snapshot_text(snapshot))
+        return 0
+    # slow: the recorded slow-query entries, oldest first
+    entries = JsonLinesSink(directory / SLOW_QUERIES_FILENAME).read(
+        limit=args.limit
+    )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    if not entries:
+        print("(no slow queries recorded)")
+        return 0
+    for entry in entries:
+        line = (
+            f"{entry.get('event', '?')}  "
+            f"{float(entry.get('total_seconds', 0.0)):.4f}s"
+        )
+        if entry.get("query"):
+            line += f"  {entry['query']}"
+        print(line)
+        for plan_line in entry.get("plan", ()):
+            print(f"  plan: {plan_line}")
+        if args.trace and entry.get("trace"):
+            for span_line in render_span_dict(entry["trace"], indent=1):
+                print(span_line)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import (
         epsilon_sweep,
@@ -376,8 +522,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
     add_system_options(query, source_required=False)
     query.add_argument("--load", help="load a saved system directory instead of --source")
     query.add_argument("--collection", help="collection to query (default: first source)")
+    query.add_argument("--json", action="store_true",
+                       help="print the full execution report as JSON")
+    query.add_argument("--no-obs", action="store_true",
+                       help="with --load: do not write to the store's obs/ sinks")
     query.add_argument("query", help="query text, e.g. 'paper(author ~ \"X\")'")
     query.set_defaults(handler=_cmd_query)
+
+    explain = subparsers.add_parser(
+        "explain", help="show a query's plan (rewrite, XPath, index probes)"
+    )
+    add_system_options(explain, source_required=False)
+    explain.add_argument("--load", help="load a saved system directory instead of --source")
+    explain.add_argument("--json", action="store_true",
+                         help="print the plan as JSON")
+    explain.add_argument("--no-obs", action="store_true",
+                         help="with --load: do not write to the store's obs/ sinks")
+    explain.add_argument("query", help="query text to plan without executing")
+    explain.set_defaults(handler=_cmd_explain)
 
     seo = subparsers.add_parser("seo", help="build and persist the SEO")
     add_system_options(seo)
@@ -430,6 +592,43 @@ def build_argument_parser() -> argparse.ArgumentParser:
         index_action = index_sub.add_parser(action, help=help_text)
         index_action.add_argument("root", help="saved database or system directory")
         index_action.set_defaults(handler=_cmd_db_index)
+    db_trace = db_sub.add_parser(
+        "trace",
+        help="run one query with tracing on and print its span tree",
+    )
+    db_trace.add_argument("root", help="saved system directory")
+    db_trace.add_argument("query", help="query text, e.g. 'paper(author ~ \"X\")'")
+    db_trace.add_argument("--collection",
+                          help="collection to query (default: first collection)")
+    db_trace.add_argument("--json", action="store_true",
+                          help="print the execution report (with trace) as JSON")
+    db_trace.add_argument(
+        "--slow-threshold", type=float, default=None, metavar="SECONDS",
+        help="slow-query log threshold for this run (default: 0.5)",
+    )
+    db_trace.set_defaults(handler=_cmd_db_trace)
+    db_obs = db_sub.add_parser(
+        "obs", help="inspect the store's metrics and slow-query log"
+    )
+    obs_sub = db_obs.add_subparsers(dest="obs_command", required=True)
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="show the accumulated metrics snapshot"
+    )
+    obs_metrics.add_argument("root", help="saved database or system directory")
+    obs_metrics.add_argument("--json", action="store_true",
+                             help="print the raw snapshot as JSON")
+    obs_metrics.set_defaults(handler=_cmd_db_obs)
+    obs_slow = obs_sub.add_parser(
+        "slow", help="show recorded slow queries (oldest first)"
+    )
+    obs_slow.add_argument("root", help="saved database or system directory")
+    obs_slow.add_argument("--limit", type=int, default=20, metavar="N",
+                          help="show at most the newest N entries (default: 20)")
+    obs_slow.add_argument("--json", action="store_true",
+                          help="print the entries as JSON")
+    obs_slow.add_argument("--trace", action="store_true",
+                          help="also render each entry's span tree")
+    obs_slow.set_defaults(handler=_cmd_db_obs)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -455,7 +654,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_argument_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Reading commands piped into `head` etc.: exit quietly instead
+        # of dumping a traceback when the reader closes early.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

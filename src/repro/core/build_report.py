@@ -83,6 +83,9 @@ class BuildReport:
     degraded: bool = False
     error: Optional[str] = None
     relations: List[RelationBuild] = field(default_factory=list)
+    #: The build's span tree (:meth:`repro.obs.trace.Span.to_dict` shape);
+    #: None when the build ran without tracing.
+    trace: Optional[Dict[str, Any]] = None
 
     # -- aggregates ---------------------------------------------------------
 
@@ -114,7 +117,7 @@ class BuildReport:
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "format": FORMAT_VERSION,
             "measure": self.measure,
             "epsilon": self.epsilon,
@@ -127,6 +130,9 @@ class BuildReport:
             "error": self.error,
             "relations": [r.to_dict() for r in self.relations],
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "BuildReport":
@@ -143,6 +149,7 @@ class BuildReport:
             relations=[
                 RelationBuild.from_dict(r) for r in payload.get("relations", ())
             ],
+            trace=payload.get("trace"),
         )
 
     def summary(self) -> str:

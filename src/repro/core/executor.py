@@ -22,10 +22,12 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryExecutionError
 from ..guard import ResourceGuard
+from ..obs import NULL_OBSERVABILITY, Observability
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, REGISTRY as METRICS
 from ..tax import algebra as tax_algebra
 from ..tax.tree import dedupe
 from ..tax.conditions import (
@@ -86,6 +88,16 @@ class QueryPlan:
             lines.append(f"index    : {line}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (``explain --json`` and the slow-query log)."""
+        return {
+            "original": self.original,
+            "rewritten": self.rewritten,
+            "xpath_queries": list(self.xpath_queries),
+            "rewrite_seconds": self.rewrite_seconds,
+            "index_plan": list(self.index_plan),
+        }
+
 
 @dataclass
 class ExecutionReport:
@@ -112,6 +124,9 @@ class ExecutionReport:
     index_used: bool = False
     #: True when the compiled plan came from the executor's plan cache.
     plan_cache_hit: bool = False
+    #: The query's span tree (:meth:`repro.obs.trace.Span.to_dict` shape);
+    #: None when the executor ran without tracing.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def docs_pruned(self) -> int:
@@ -125,6 +140,75 @@ class ExecutionReport:
             + self.xpath_seconds
             + self.convert_seconds
         )
+
+    #: Scalar fields serialized verbatim by :meth:`to_dict` (everything a
+    #: report carries except the result trees and the trace tree).  One
+    #: list, used by both directions, so a field added to the dataclass
+    #: without an entry here fails the round-trip tests immediately —
+    #: that is the serialization-drift guard.
+    _SCALAR_FIELDS = (
+        "rewrite_seconds",
+        "xpath_seconds",
+        "convert_seconds",
+        "xpath_queries",
+        "candidates",
+        "ontology_accesses",
+        "degraded",
+        "planner_seconds",
+        "docs_total",
+        "docs_scanned",
+        "index_used",
+        "plan_cache_hit",
+    )
+
+    def to_dict(self, include_results: bool = False) -> Dict[str, Any]:
+        """Canonical JSON-ready form (the CLI, the experiment runner and
+        the event sinks all go through this one method).
+
+        ``include_results=True`` adds the result trees serialized as XML
+        strings; by default only ``result_count`` is recorded.
+        """
+        payload: Dict[str, Any] = {
+            field_name: getattr(self, field_name)
+            for field_name in self._SCALAR_FIELDS
+        }
+        payload["xpath_queries"] = list(self.xpath_queries)
+        payload["result_count"] = len(self.results)
+        payload["total_seconds"] = self.total_seconds
+        payload["docs_pruned"] = self.docs_pruned
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        if include_results:
+            from ..xmldb.serializer import serialize
+
+            payload["results"] = [serialize(node) for node in self.results]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExecutionReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Result trees are re-parsed when present; otherwise ``results`` is
+        empty (``result_count`` still reflects the original run via the
+        payload, not the rebuilt object).
+        """
+        results: List[XmlNode] = []
+        if payload.get("results"):
+            from ..xmldb.parser import parse_fragment
+
+            results = [parse_fragment(text) for text in payload["results"]]
+        report = cls(
+            results=results,
+            rewrite_seconds=float(payload.get("rewrite_seconds", 0.0)),
+            xpath_seconds=float(payload.get("xpath_seconds", 0.0)),
+            convert_seconds=float(payload.get("convert_seconds", 0.0)),
+        )
+        for field_name in cls._SCALAR_FIELDS:
+            if field_name in payload:
+                setattr(report, field_name, payload[field_name])
+        report.xpath_queries = list(report.xpath_queries)
+        report.trace = payload.get("trace")
+        return report
 
     def __repr__(self) -> str:
         return (
@@ -331,6 +415,7 @@ class QueryExecutor:
         exact_fallback: bool = False,
         use_index: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.database = database
         self.context = context
@@ -355,6 +440,12 @@ class QueryExecutor:
         self._plan_cache: "OrderedDict[Tuple, Dict[str, object]]" = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: Tracing + sink configuration; the shared no-op instance by
+        #: default, so an uninstrumented executor allocates no spans and
+        #: writes no files.
+        self.observability = (
+            observability if observability is not None else NULL_OBSERVABILITY
+        )
 
     # -- plan cache ---------------------------------------------------------
 
@@ -504,6 +595,71 @@ class QueryExecutor:
     def _accesses(self) -> int:
         return self.context.ontology_accesses if self.context is not None else 0
 
+    @staticmethod
+    def _guard_steps(guard: Optional[ResourceGuard]) -> int:
+        return guard.steps if guard is not None else 0
+
+    def _finish_query(
+        self,
+        kind: str,
+        query: str,
+        tracer,
+        guard: Optional[ResourceGuard],
+        report: ExecutionReport,
+        plan_lines: Optional[List[str]] = None,
+    ) -> ExecutionReport:
+        """Attach the trace to the report and publish metrics + events.
+
+        Called after the root span has closed; root attributes are set
+        directly so the finished tree carries the query-level summary
+        (guard accounting, result counts, cache/index flags).
+        """
+        if tracer.root is not None:
+            attributes = tracer.root.attributes
+            if guard is not None:
+                attributes["guard_steps"] = guard.steps
+                attributes["guard_stages"] = guard.stage_steps
+            attributes["results"] = len(report.results)
+            attributes["candidates"] = report.candidates
+            attributes["plan_cache_hit"] = report.plan_cache_hit
+            attributes["index_used"] = report.index_used
+        report.trace = tracer.finish()
+        METRICS.counter("executor.queries").inc()
+        METRICS.counter(f"executor.queries.{kind}").inc()
+        if report.degraded:
+            METRICS.counter("executor.queries.degraded").inc()
+        METRICS.histogram("executor.seconds").observe(report.total_seconds)
+        METRICS.histogram("executor.rewrite_seconds").observe(report.rewrite_seconds)
+        METRICS.histogram("executor.planner_seconds").observe(report.planner_seconds)
+        METRICS.histogram("executor.xpath_seconds").observe(report.xpath_seconds)
+        METRICS.histogram("executor.convert_seconds").observe(report.convert_seconds)
+        METRICS.histogram(
+            "executor.candidates", bounds=DEFAULT_COUNT_BUCKETS
+        ).observe(report.candidates)
+        METRICS.counter("executor.docs_scanned").inc(report.docs_scanned)
+        METRICS.counter("executor.docs_pruned").inc(report.docs_pruned)
+        METRICS.counter("executor.ontology_accesses").inc(report.ontology_accesses)
+        if report.plan_cache_hit:
+            METRICS.counter("executor.plan_cache.hits").inc()
+        else:
+            METRICS.counter("executor.plan_cache.misses").inc()
+        if self.observability.record_query(
+            kind,
+            query=query,
+            total_seconds=report.total_seconds,
+            trace=report.trace,
+            plan_lines=plan_lines,
+            extra={
+                "results": len(report.results),
+                "candidates": report.candidates,
+                "docs_scanned": report.docs_scanned,
+                "docs_total": report.docs_total,
+                "degraded": report.degraded,
+            },
+        ):
+            METRICS.counter("executor.slow_queries").inc()
+        return report
+
     def explain(self, pattern: PatternTree) -> "QueryPlan":
         """The query plan without executing it: rewrite + compiled XPath.
 
@@ -567,45 +723,69 @@ class QueryExecutor:
         """Execute a selection query: rewrite -> plan -> XPath -> verify."""
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
+        tracer = self.observability.tracer()
 
-        started = time.perf_counter()
-        plan, cache_hit = self._selection_plan(pattern)
-        condition: Condition = plan["condition"]  # type: ignore[assignment]
-        xpath: str = plan["xpath"]  # type: ignore[assignment]
-        spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
-        rewrite_seconds = time.perf_counter() - started
+        with tracer.trace("query.selection", collection=collection_name):
+            started = time.perf_counter()
+            with tracer.span("rewrite"):
+                plan, cache_hit = self._selection_plan(pattern)
+                tracer.annotate(plan_cache_hit=cache_hit)
+            condition: Condition = plan["condition"]  # type: ignore[assignment]
+            xpath: str = plan["xpath"]  # type: ignore[assignment]
+            spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
+            rewrite_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        doc_keys, docs_total, docs_scanned, index_used = self._prune(
-            collection_name, spec, guard
-        )
-        planner_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("plan"):
+                doc_keys, docs_total, docs_scanned, index_used = self._prune(
+                    collection_name, spec, guard
+                )
+                tracer.annotate(
+                    docs_total=docs_total,
+                    docs_scanned=docs_scanned,
+                    index_used=index_used,
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            planner_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        raw = self.database.xpath(
-            collection_name, xpath, guard=guard, document_keys=doc_keys
-        )
-        candidates = [node for node in raw if isinstance(node, XmlNode)]
-        xpath_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("xpath", query=xpath):
+                raw = self.database.xpath(
+                    collection_name, xpath, guard=guard, document_keys=doc_keys
+                )
+                candidates = [node for node in raw if isinstance(node, XmlNode)]
+                tracer.annotate(
+                    candidates=len(candidates),
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            xpath_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        # Verify with the original condition when an SEO context is
-        # available: semantic atoms evaluate through the SEO index,
-        # which is cheaper than the expanded exact-match disjunction.
-        verified_pattern = PatternTree(
-            pattern.condition if self.context is not None else condition
-        )
-        _copy_structure(pattern, verified_pattern)
-        sl = list(sl_labels)
-        results = self._guarded_per_tree(
-            candidates,
-            guard,
-            lambda trees: tax_algebra.selection(
-                trees, verified_pattern, sl, self._evaluation_context()
-            ),
-        )
-        convert_seconds = time.perf_counter() - started
-        return ExecutionReport(
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("verify"):
+                # Verify with the original condition when an SEO context is
+                # available: semantic atoms evaluate through the SEO index,
+                # which is cheaper than the expanded exact-match disjunction.
+                verified_pattern = PatternTree(
+                    pattern.condition if self.context is not None else condition
+                )
+                _copy_structure(pattern, verified_pattern)
+                sl = list(sl_labels)
+                results = self._guarded_per_tree(
+                    candidates,
+                    guard,
+                    lambda trees: tax_algebra.selection(
+                        trees, verified_pattern, sl, self._evaluation_context()
+                    ),
+                )
+                tracer.annotate(
+                    results=len(results),
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            convert_seconds = time.perf_counter() - started
+        report = ExecutionReport(
             results,
             rewrite_seconds,
             xpath_seconds,
@@ -618,6 +798,18 @@ class QueryExecutor:
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+        )
+        return self._finish_query(
+            "selection",
+            xpath,
+            tracer,
+            guard,
+            report,
+            plan_lines=(
+                list(spec.describe())
+                if self.observability.enabled and index_used
+                else None
+            ),
         )
 
     def _prune(
@@ -651,44 +843,68 @@ class QueryExecutor:
         """Execute a projection query through the same pipeline."""
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
+        tracer = self.observability.tracer()
 
-        started = time.perf_counter()
-        plan, cache_hit = self._selection_plan(pattern)
-        condition: Condition = plan["condition"]  # type: ignore[assignment]
-        xpath: str = plan["xpath"]  # type: ignore[assignment]
-        spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
-        rewrite_seconds = time.perf_counter() - started
+        with tracer.trace("query.projection", collection=collection_name):
+            started = time.perf_counter()
+            with tracer.span("rewrite"):
+                plan, cache_hit = self._selection_plan(pattern)
+                tracer.annotate(plan_cache_hit=cache_hit)
+            condition: Condition = plan["condition"]  # type: ignore[assignment]
+            xpath: str = plan["xpath"]  # type: ignore[assignment]
+            spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
+            rewrite_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        doc_keys, docs_total, docs_scanned, index_used = self._prune(
-            collection_name, spec, guard
-        )
-        planner_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("plan"):
+                doc_keys, docs_total, docs_scanned, index_used = self._prune(
+                    collection_name, spec, guard
+                )
+                tracer.annotate(
+                    docs_total=docs_total,
+                    docs_scanned=docs_scanned,
+                    index_used=index_used,
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            planner_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        raw = self.database.xpath(
-            collection_name, xpath, guard=guard, document_keys=doc_keys
-        )
-        candidates = [node for node in raw if isinstance(node, XmlNode)]
-        xpath_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("xpath", query=xpath):
+                raw = self.database.xpath(
+                    collection_name, xpath, guard=guard, document_keys=doc_keys
+                )
+                candidates = [node for node in raw if isinstance(node, XmlNode)]
+                tracer.annotate(
+                    candidates=len(candidates),
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            xpath_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        # Verify with the original condition when an SEO context is
-        # available: semantic atoms evaluate through the SEO index,
-        # which is cheaper than the expanded exact-match disjunction.
-        verified_pattern = PatternTree(
-            pattern.condition if self.context is not None else condition
-        )
-        _copy_structure(pattern, verified_pattern)
-        results = self._guarded_per_tree(
-            candidates,
-            guard,
-            lambda trees: tax_algebra.projection(
-                trees, verified_pattern, pl, self._evaluation_context()
-            ),
-        )
-        convert_seconds = time.perf_counter() - started
-        return ExecutionReport(
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("verify"):
+                # Verify with the original condition when an SEO context is
+                # available: semantic atoms evaluate through the SEO index,
+                # which is cheaper than the expanded exact-match disjunction.
+                verified_pattern = PatternTree(
+                    pattern.condition if self.context is not None else condition
+                )
+                _copy_structure(pattern, verified_pattern)
+                results = self._guarded_per_tree(
+                    candidates,
+                    guard,
+                    lambda trees: tax_algebra.projection(
+                        trees, verified_pattern, pl, self._evaluation_context()
+                    ),
+                )
+                tracer.annotate(
+                    results=len(results),
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            convert_seconds = time.perf_counter() - started
+        report = ExecutionReport(
             results,
             rewrite_seconds,
             xpath_seconds,
@@ -701,6 +917,18 @@ class QueryExecutor:
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+        )
+        return self._finish_query(
+            "projection",
+            xpath,
+            tracer,
+            guard,
+            report,
+            plan_lines=(
+                list(spec.describe())
+                if self.observability.enabled and index_used
+                else None
+            ),
         )
 
     def join(
@@ -726,102 +954,143 @@ class QueryExecutor:
             )
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
+        tracer = self.observability.tracer()
 
-        started = time.perf_counter()
-        plan, cache_hit = self._join_plan(pattern, root_children)
-        condition: Condition = plan["condition"]  # type: ignore[assignment]
-        sides = plan["sides"]  # type: ignore[assignment]
-        rewrite_seconds = time.perf_counter() - started
+        with tracer.trace(
+            "query.join", left=left_collection, right=right_collection
+        ):
+            started = time.perf_counter()
+            with tracer.span("rewrite"):
+                plan, cache_hit = self._join_plan(pattern, root_children)
+                tracer.annotate(plan_cache_hit=cache_hit)
+            condition: Condition = plan["condition"]  # type: ignore[assignment]
+            sides = plan["sides"]  # type: ignore[assignment]
+            rewrite_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        left_keys, right_keys, docs_total, docs_scanned, index_used = (
-            self._prune_join(left_collection, right_collection, plan, guard)
-        )
-        planner_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        left_candidates = [
-            node
-            for node in self.database.xpath(
-                left_collection, sides[0]["xpath"], guard=guard, document_keys=left_keys
-            )
-            if isinstance(node, XmlNode)
-        ]
-        right_candidates = [
-            node
-            for node in self.database.xpath(
-                right_collection,
-                sides[1]["xpath"],
-                guard=guard,
-                document_keys=right_keys,
-            )
-            if isinstance(node, XmlNode)
-        ]
-        xpath_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        # Verify with the original condition when an SEO context is
-        # available: semantic atoms evaluate through the SEO index,
-        # which is cheaper than the expanded exact-match disjunction.
-        verified_pattern = PatternTree(
-            pattern.condition if self.context is not None else condition
-        )
-        _copy_structure(pattern, verified_pattern)
-
-        sl = list(sl_labels)
-        pair_filter = None
-        if self.context is not None and self.similarity_hash_join:
-            atom = _cross_similarity_atom(
-                pattern.condition, sides[0]["labels"], sides[1]["labels"]
-            )
-            if atom is not None:
-                pair_filter = self._similarity_join_pairs(
-                    left_candidates, right_candidates, atom, pattern.condition, guard
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("plan"):
+                left_keys, right_keys, docs_total, docs_scanned, index_used = (
+                    self._prune_join(left_collection, right_collection, plan, guard)
                 )
+                tracer.annotate(
+                    docs_total=docs_total,
+                    docs_scanned=docs_scanned,
+                    index_used=index_used,
+                    guard_steps=self._guard_steps(guard) - steps_before,
+                )
+            planner_seconds = time.perf_counter() - started
 
-        if pair_filter is None:
-            if guard is None:
-                results = tax_algebra.join(
-                    left_candidates,
-                    right_candidates,
-                    verified_pattern,
-                    sl,
-                    self._evaluation_context(),
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("xpath"):
+                with tracer.span("xpath.left", query=sides[0]["xpath"]):
+                    left_candidates = [
+                        node
+                        for node in self.database.xpath(
+                            left_collection,
+                            sides[0]["xpath"],
+                            guard=guard,
+                            document_keys=left_keys,
+                        )
+                        if isinstance(node, XmlNode)
+                    ]
+                    tracer.annotate(candidates=len(left_candidates))
+                with tracer.span("xpath.right", query=sides[1]["xpath"]):
+                    right_candidates = [
+                        node
+                        for node in self.database.xpath(
+                            right_collection,
+                            sides[1]["xpath"],
+                            guard=guard,
+                            document_keys=right_keys,
+                        )
+                        if isinstance(node, XmlNode)
+                    ]
+                    tracer.annotate(candidates=len(right_candidates))
+                tracer.annotate(
+                    guard_steps=self._guard_steps(guard) - steps_before
                 )
-            else:
-                # Account for the product size up front (the step budget
-                # rejects a blow-up before it is materialised), then
-                # verify product trees one at a time under the deadline.
-                guard.tick(
-                    len(left_candidates) * len(right_candidates),
-                    what="join product",
+            xpath_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            steps_before = self._guard_steps(guard)
+            with tracer.span("verify"):
+                # Verify with the original condition when an SEO context is
+                # available: semantic atoms evaluate through the SEO index,
+                # which is cheaper than the expanded exact-match disjunction.
+                verified_pattern = PatternTree(
+                    pattern.condition if self.context is not None else condition
                 )
-                products = tax_algebra.product(left_candidates, right_candidates)
-                results = self._guarded_per_tree(
-                    products,
-                    guard,
-                    lambda trees: tax_algebra.selection(
-                        trees, verified_pattern, sl, self._evaluation_context()
-                    ),
+                _copy_structure(pattern, verified_pattern)
+
+                sl = list(sl_labels)
+                pair_filter = None
+                if self.context is not None and self.similarity_hash_join:
+                    atom = _cross_similarity_atom(
+                        pattern.condition, sides[0]["labels"], sides[1]["labels"]
+                    )
+                    if atom is not None:
+                        with tracer.span("verify.hash_join"):
+                            pair_filter = self._similarity_join_pairs(
+                                left_candidates,
+                                right_candidates,
+                                atom,
+                                pattern.condition,
+                                guard,
+                            )
+                            tracer.annotate(pairs=len(pair_filter))
+
+                if pair_filter is None:
+                    if guard is None:
+                        results = tax_algebra.join(
+                            left_candidates,
+                            right_candidates,
+                            verified_pattern,
+                            sl,
+                            self._evaluation_context(),
+                        )
+                    else:
+                        # Account for the product size up front (the step
+                        # budget rejects a blow-up before it is
+                        # materialised), then verify product trees one at
+                        # a time under the deadline.
+                        guard.tick(
+                            len(left_candidates) * len(right_candidates),
+                            what="join product",
+                        )
+                        products = tax_algebra.product(
+                            left_candidates, right_candidates
+                        )
+                        results = self._guarded_per_tree(
+                            products,
+                            guard,
+                            lambda trees: tax_algebra.selection(
+                                trees, verified_pattern, sl, self._evaluation_context()
+                            ),
+                        )
+                else:
+                    products: List[XmlNode] = []
+                    for left_index, right_index in sorted(pair_filter):
+                        if guard is not None:
+                            guard.tick(what="join product")
+                        root = XmlNode(tax_algebra.PRODUCT_ROOT_TAG)
+                        root.append(left_candidates[left_index].copy())
+                        root.append(right_candidates[right_index].copy())
+                        products.append(root.renumber())
+                    results = self._guarded_per_tree(
+                        products,
+                        guard,
+                        lambda trees: tax_algebra.selection(
+                            trees, verified_pattern, sl, self._evaluation_context()
+                        ),
+                    )
+                tracer.annotate(
+                    results=len(results),
+                    guard_steps=self._guard_steps(guard) - steps_before,
                 )
-        else:
-            products: List[XmlNode] = []
-            for left_index, right_index in sorted(pair_filter):
-                if guard is not None:
-                    guard.tick(what="join product")
-                root = XmlNode(tax_algebra.PRODUCT_ROOT_TAG)
-                root.append(left_candidates[left_index].copy())
-                root.append(right_candidates[right_index].copy())
-                products.append(root.renumber())
-            results = self._guarded_per_tree(
-                products,
-                guard,
-                lambda trees: tax_algebra.selection(
-                    trees, verified_pattern, sl, self._evaluation_context()
-                ),
-            )
-        convert_seconds = time.perf_counter() - started
-        return ExecutionReport(
+            convert_seconds = time.perf_counter() - started
+        report = ExecutionReport(
             results,
             rewrite_seconds,
             xpath_seconds,
@@ -834,6 +1103,20 @@ class QueryExecutor:
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+        )
+        plan_lines: Optional[List[str]] = None
+        if self.observability.enabled and index_used:
+            plan_lines = []
+            for name, side in zip(("left", "right"), sides):
+                for line in side["spec"].describe():
+                    plan_lines.append(f"{name}: {line}")
+        return self._finish_query(
+            "join",
+            f"{sides[0]['xpath']} | {sides[1]['xpath']}",
+            tracer,
+            guard,
+            report,
+            plan_lines=plan_lines,
         )
 
     def _prune_join(

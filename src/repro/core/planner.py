@@ -40,6 +40,8 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..errors import ConditionError
 from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.trace import current_tracer
 from ..similarity.seo import SimilarityEnhancedOntology
 from ..tax.conditions import (
     And,
@@ -316,51 +318,64 @@ def prune_candidates(
     it, ``similar_to`` probes use only their expansion values.
     """
     docs: Set[str] = set(index.documents)
+    tracer = current_tracer()
+    probes_run = 0
 
     def tick(steps: int) -> None:
         if guard is not None:
             guard.tick(steps, what="index probe")
 
-    for tag_set in spec.tag_probes:
-        if not docs:
-            return docs
-        matched = index.docs_with_any_tag(tag_set)
-        tick(1 + len(tag_set))
-        docs &= matched
-    for pairs in spec.pc_probes:
-        if not docs:
-            return docs
-        tick(1 + len(pairs))
-        docs &= index.docs_with_pc_pair(pairs)
-    for pairs in spec.ad_probes:
-        if not docs:
-            return docs
-        tick(1 + len(pairs))
-        docs &= index.docs_with_ad_pair(pairs)
+    with tracer.span("planner.prune", docs_in=len(docs)):
+        for tag_set in spec.tag_probes:
+            if not docs:
+                break
+            matched = index.docs_with_any_tag(tag_set)
+            tick(1 + len(tag_set))
+            probes_run += 1
+            METRICS.counter("planner.probes.tag").inc()
+            docs &= matched
+        for pairs in spec.pc_probes:
+            if not docs:
+                break
+            tick(1 + len(pairs))
+            probes_run += 1
+            METRICS.counter("planner.probes.pc").inc()
+            docs &= index.docs_with_pc_pair(pairs)
+        for pairs in spec.ad_probes:
+            if not docs:
+                break
+            tick(1 + len(pairs))
+            probes_run += 1
+            METRICS.counter("planner.probes.ad").inc()
+            docs &= index.docs_with_ad_pair(pairs)
 
-    for probe in spec.value_probes:
-        if not docs:
-            return docs
-        matched: Set[str] = set()
-        for value in probe.values:
-            hits = index.docs_with_term(value, probe.tags)
-            tick(1 + len(hits))
-            matched |= hits
-        if probe.similar_to is not None and seo is not None:
-            # The SEO's similarity falls back to bounded edit distance
-            # when either operand is outside the ontology, so terms the
-            # expansion cannot enumerate may still verify: scan every
-            # indexed term not already covered and not in the ontology.
-            constant = probe.similar_to
-            epsilon = seo.epsilon
-            measure = seo.measure
-            for term, term_docs in index.terms_with_tags(probe.tags).items():
-                if term in probe.values or term in seo:
-                    continue
-                tick(1)
-                if measure.bounded_distance(term, constant, epsilon) <= epsilon:
-                    matched |= term_docs
-        docs &= matched
+        for probe in spec.value_probes:
+            if not docs:
+                break
+            matched: Set[str] = set()
+            probes_run += 1
+            METRICS.counter("planner.probes.value").inc()
+            for value in probe.values:
+                hits = index.docs_with_term(value, probe.tags)
+                tick(1 + len(hits))
+                matched |= hits
+            if probe.similar_to is not None and seo is not None:
+                # The SEO's similarity falls back to bounded edit distance
+                # when either operand is outside the ontology, so terms the
+                # expansion cannot enumerate may still verify: scan every
+                # indexed term not already covered and not in the ontology.
+                METRICS.counter("planner.probes.distance_scan").inc()
+                constant = probe.similar_to
+                epsilon = seo.epsilon
+                measure = seo.measure
+                for term, term_docs in index.terms_with_tags(probe.tags).items():
+                    if term in probe.values or term in seo:
+                        continue
+                    tick(1)
+                    if measure.bounded_distance(term, constant, epsilon) <= epsilon:
+                        matched |= term_docs
+            docs &= matched
+        tracer.annotate(docs_out=len(docs), probes=probes_run)
 
     return docs
 
@@ -431,6 +446,8 @@ def prune_join_docs(
     """
     left_terms = left_index.terms_with_tags(probe.left_tags)
     right_terms = right_index.terms_with_tags(probe.right_tags)
+    tracer = current_tracer()
+    METRICS.counter("planner.probes.cross").inc()
 
     def tick(steps: int = 1) -> None:
         if guard is not None:
@@ -442,12 +459,18 @@ def prune_join_docs(
     right_docs: Set[str] = set()
 
     if probe.kind == "equal":
-        for term, docs in left_terms.items():
-            partner = right_terms.get(term)
-            tick()
-            if partner is not None:
-                left_docs |= docs
-                right_docs |= partner
+        with tracer.span(
+            "planner.cross_probe",
+            kind=probe.kind,
+            left_terms=len(left_terms),
+            right_terms=len(right_terms),
+        ):
+            for term, docs in left_terms.items():
+                partner = right_terms.get(term)
+                tick()
+                if partner is not None:
+                    left_docs |= docs
+                    right_docs |= partner
         return left_docs, right_docs
 
     assert seo is not None
@@ -463,26 +486,32 @@ def prune_join_docs(
         else:
             by_length.setdefault(len(term), []).append(term)
 
-    for term, docs in left_terms.items():
-        if term in seo:
-            # Fused SEO terms can be similar at arbitrary distance, so
-            # known terms consult the ontology against every partner.
-            for other in right_terms:
+    with tracer.span(
+        "planner.cross_probe",
+        kind=probe.kind,
+        left_terms=len(left_terms),
+        right_terms=len(right_terms),
+    ):
+        for term, docs in left_terms.items():
+            if term in seo:
+                # Fused SEO terms can be similar at arbitrary distance, so
+                # known terms consult the ontology against every partner.
+                for other in right_terms:
+                    tick()
+                    if seo.similar(term, other):
+                        left_docs |= docs
+                        right_docs |= right_terms[other]
+                continue
+            for length in range(len(term) - radius, len(term) + radius + 1):
+                for other in by_length.get(length, ()):
+                    tick()
+                    if measure.bounded_distance(term, other, epsilon) <= epsilon:
+                        left_docs |= docs
+                        right_docs |= right_terms[other]
+            for other in known_right:
                 tick()
                 if seo.similar(term, other):
                     left_docs |= docs
                     right_docs |= right_terms[other]
-            continue
-        for length in range(len(term) - radius, len(term) + radius + 1):
-            for other in by_length.get(length, ()):
-                tick()
-                if measure.bounded_distance(term, other, epsilon) <= epsilon:
-                    left_docs |= docs
-                    right_docs |= right_terms[other]
-        for other in known_right:
-            tick()
-            if seo.similar(term, other):
-                left_docs |= docs
-                right_docs |= right_terms[other]
 
     return left_docs, right_docs

@@ -27,6 +27,8 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..errors import ReproError, TossError
 from ..guard import ResourceGuard
+from ..obs import NULL_OBSERVABILITY, Observability
+from ..obs.metrics import REGISTRY as METRICS
 from ..ontology.constraints import (
     EqualityConstraint,
     InteroperationConstraint,
@@ -69,6 +71,7 @@ class TossSystem:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         use_index: bool = True,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.measure = get_measure(measure) if isinstance(measure, str) else measure
         self.epsilon = epsilon
@@ -102,8 +105,25 @@ class TossSystem:
         #: Prune query scans through the collection search indexes
         #: (ablatable; threaded into every executor this system creates).
         self.use_index = use_index
+        #: Tracing + sink configuration, threaded into every executor this
+        #: system creates and into :meth:`build`'s trace.  The shared
+        #: no-op instance by default.
+        self.observability = (
+            observability if observability is not None else NULL_OBSERVABILITY
+        )
 
     # -- administration ---------------------------------------------------------
+
+    def set_observability(self, observability: Observability) -> None:
+        """Swap the tracing/sink configuration, including on a loaded system.
+
+        :func:`~repro.core.persistence.load_system` constructs the
+        executor before the caller can pass ``observability=``, so the
+        CLI (``db trace``, ``query --load``) attaches it afterwards.
+        """
+        self.observability = observability
+        if self.executor is not None:
+            self.executor.observability = observability
 
     def add_instance(
         self,
@@ -264,39 +284,43 @@ class TossSystem:
             cache_used=cache is not None,
         )
         self.build_report = report
+        tracer = self.observability.tracer()
         started = time.perf_counter()
         seos: Dict[str, SimilarityEnhancedOntology] = {}
         try:
-            if guard is not None:
-                guard.start()
-            for relation in relations:
-                hierarchies = {
-                    name: instance.ontology[relation]
-                    for name, instance in self.instances.items()
-                }
-                constraints = self._auto_constraints(relation, hierarchies)
-                constraints.extend(self._constraints.get(relation, ()))
-                seos[relation] = SimilarityEnhancedOntology.build(
-                    hierarchies,
-                    self.measure,
-                    self.epsilon,
-                    constraints,
-                    mode=mode,
-                    guard=guard,
-                    options=options,
-                    cache=cache,
-                )
-                if seos[relation].build_stats is not None:
-                    report.relations.append(
-                        RelationBuild.from_stats(
-                            relation, seos[relation].build_stats
+            with tracer.trace("build", mode=mode, workers=options.workers):
+                if guard is not None:
+                    guard.start()
+                for relation in relations:
+                    with tracer.span(f"relation.{relation}"):
+                        hierarchies = {
+                            name: instance.ontology[relation]
+                            for name, instance in self.instances.items()
+                        }
+                        constraints = self._auto_constraints(relation, hierarchies)
+                        constraints.extend(self._constraints.get(relation, ()))
+                        seos[relation] = SimilarityEnhancedOntology.build(
+                            hierarchies,
+                            self.measure,
+                            self.epsilon,
+                            constraints,
+                            mode=mode,
+                            guard=guard,
+                            options=options,
+                            cache=cache,
                         )
-                    )
+                        stats = seos[relation].build_stats
+                        if stats is not None:
+                            report.relations.append(
+                                RelationBuild.from_stats(relation, stats)
+                            )
+                            tracer.annotate(cache_hit=stats.cache_hit)
         except ReproError as exc:
             self.build_seconds = time.perf_counter() - started
             report.build_seconds = self.build_seconds
             report.degraded = True
             report.error = str(exc)
+            self._finish_build(report, tracer, guard)
             if on_failure == "raise":
                 raise
             self.context = None
@@ -308,10 +332,12 @@ class TossSystem:
                 guard=self.guard,
                 exact_fallback=True,
                 use_index=self.use_index,
+                observability=self.observability,
             )
             return None
         self.build_seconds = time.perf_counter() - started
         report.build_seconds = self.build_seconds
+        self._finish_build(report, tracer, guard)
         self.degraded = False
         self.build_error = None
         self.context = SeoConditionContext(
@@ -321,9 +347,43 @@ class TossSystem:
             typing=self.typing,
         )
         self.executor = QueryExecutor(
-            self.database, self.context, guard=self.guard, use_index=self.use_index
+            self.database,
+            self.context,
+            guard=self.guard,
+            use_index=self.use_index,
+            observability=self.observability,
         )
         return self.context
+
+    def _finish_build(
+        self,
+        report: BuildReport,
+        tracer,
+        guard: Optional[ResourceGuard],
+    ) -> None:
+        """Attach the build trace to the report; publish metrics + events."""
+        if tracer.root is not None:
+            if guard is not None:
+                tracer.root.attributes["guard_steps"] = guard.steps
+                tracer.root.attributes["guard_stages"] = guard.stage_steps
+            tracer.root.attributes["degraded"] = report.degraded
+        report.trace = tracer.finish()
+        METRICS.counter("build.runs").inc()
+        if report.degraded:
+            METRICS.counter("build.degraded").inc()
+        METRICS.histogram("build.seconds").observe(report.build_seconds)
+        self.observability.record_query(
+            "build",
+            total_seconds=report.build_seconds,
+            trace=report.trace,
+            extra={
+                "measure": report.measure,
+                "epsilon": report.epsilon,
+                "mode": report.mode,
+                "degraded": report.degraded,
+                "cache_hits": report.cache_hits,
+            },
+        )
 
     @property
     def seo(self) -> SimilarityEnhancedOntology:

@@ -56,16 +56,20 @@ class EpsilonPoint:
 def _run_reports(
     reports: Sequence[ExecutionReport],
 ) -> Tuple[float, float, float, float, int]:
-    total = sum(r.total_seconds for r in reports) / len(reports)
+    # Aggregate over the canonical serialized form so a timing field added
+    # to ExecutionReport without a to_dict entry fails here, not silently.
+    payloads = [r.to_dict() for r in reports]
+    total = sum(p["total_seconds"] for p in payloads) / len(payloads)
     # Index planning belongs to the paper's "rewrite" phase: both happen
     # before the store is touched, so the three reported components still
     # sum to the total.
     rewrite = (
-        sum(r.rewrite_seconds + r.planner_seconds for r in reports) / len(reports)
+        sum(p["rewrite_seconds"] + p["planner_seconds"] for p in payloads)
+        / len(payloads)
     )
-    xpath = sum(r.xpath_seconds for r in reports) / len(reports)
-    convert = sum(r.convert_seconds for r in reports) / len(reports)
-    accesses = reports[0].ontology_accesses
+    xpath = sum(p["xpath_seconds"] for p in payloads) / len(payloads)
+    convert = sum(p["convert_seconds"] for p in payloads) / len(payloads)
+    accesses = payloads[0]["ontology_accesses"]
     return total, rewrite, xpath, convert, accesses
 
 

@@ -26,6 +26,7 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.conditions import Below, SimilarTo
 from ..core.system import TossSystem
+from ..obs import Observability
 from ..data.ground_truth import Corpus
 from ..data.lexicon_rules import corpus_lexicon
 from ..ontology.maker import DEFAULT_CONTENT_TAGS, OntologyMaker
@@ -63,6 +64,7 @@ def build_system(
     parallel_threshold: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    observability: Optional[Observability] = None,
 ) -> TossSystem:
     """A TossSystem over rendered corpus documents, built and ready.
 
@@ -79,7 +81,11 @@ def build_system(
         max_content_terms=max_content_terms,
     )
     system = TossSystem(
-        measure=measure, epsilon=epsilon, maker=maker, cache_dir=cache_dir
+        measure=measure,
+        epsilon=epsilon,
+        maker=maker,
+        cache_dir=cache_dir,
+        observability=observability,
     )
     system.add_instance("dblp", list(documents))
     if sigmod_documents is not None:

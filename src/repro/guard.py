@@ -22,7 +22,7 @@ configured budget even when individual steps are microseconds.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from .errors import QueryTimeoutError, ResourceExhaustedError
 
@@ -57,6 +57,7 @@ class ResourceGuard:
         "_started",
         "_steps",
         "_since_check",
+        "_stage_steps",
     )
 
     def __init__(
@@ -81,6 +82,7 @@ class ResourceGuard:
         self._started = time.perf_counter()
         self._steps = 0
         self._since_check = 0
+        self._stage_steps: Dict[str, int] = {}
         return self
 
     @property
@@ -92,6 +94,16 @@ class ResourceGuard:
     def steps(self) -> int:
         """Steps ticked since construction or the last :meth:`start`."""
         return self._steps
+
+    @property
+    def stage_steps(self) -> Dict[str, int]:
+        """Steps ticked per ``what`` label; values sum to :attr:`steps`.
+
+        This is the per-stage attribution surfaced by trace spans and the
+        ``explain``/``db trace`` diagnostics ("index probe" vs "xpath
+        evaluation" vs "SEA similarity graph"...).
+        """
+        return dict(self._stage_steps)
 
     def check_deadline(self, what: str = "operation") -> None:
         """Raise :class:`QueryTimeoutError` if the deadline has passed."""
@@ -109,6 +121,8 @@ class ResourceGuard:
         accumulated steps.
         """
         self._steps += steps
+        stage_steps = self._stage_steps
+        stage_steps[what] = stage_steps.get(what, 0) + steps
         if self.max_steps is not None and self._steps > self.max_steps:
             raise ResourceExhaustedError(
                 f"{what} exceeded its evaluation budget of {self.max_steps} steps"

@@ -1,0 +1,202 @@
+"""`repro.obs` — dependency-free observability for the TOSS pipeline.
+
+Three layers, usable independently:
+
+* :mod:`repro.obs.trace` — hierarchical, bounded trace spans with a
+  context-manager + decorator API and ambient access via
+  :func:`~repro.obs.trace.current_tracer`;
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and fixed-bucket histograms (:data:`~repro.obs.metrics.REGISTRY`);
+* :mod:`repro.obs.sinks` — JSON-lines event log, slow-query log and a
+  cumulative metrics snapshot file.
+
+:class:`Observability` ties them together for the CLI and the system
+facade: it creates per-query tracers, routes finished traces into the
+event/slow-query logs, and flushes the metrics registry to disk.  The
+shared :data:`NULL_OBSERVABILITY` instance is the zero-cost default —
+its tracers are disabled (no span allocation) and its sink hooks return
+immediately.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .metrics import REGISTRY, MetricsRegistry, render_snapshot_text
+from .sinks import (
+    JsonLinesSink,
+    SlowQueryLog,
+    read_metrics_snapshot,
+    write_metrics_snapshot,
+)
+from .trace import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_SPANS,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    render_span_dict,
+    traced,
+)
+
+#: Subdirectory of a database root that holds all observability state.
+OBS_DIRNAME = "obs"
+
+#: File names inside the ``obs/`` directory.
+EVENTS_FILENAME = "events.jsonl"
+SLOW_QUERIES_FILENAME = "slow_queries.jsonl"
+METRICS_FILENAME = "metrics.json"
+
+#: Default slow-query threshold, seconds.
+DEFAULT_SLOW_QUERY_SECONDS = 0.5
+
+
+class Observability:
+    """Configuration + sink wiring for one observed component.
+
+    ``directory`` (usually ``<database root>/obs``) anchors the default
+    sink files; pass ``directory=None`` for an in-memory-only setup
+    (tracing and metrics without any file output).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        directory: Optional[Union[str, Path]] = None,
+        trace_enabled: bool = True,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        slow_query_seconds: float = DEFAULT_SLOW_QUERY_SECONDS,
+        registry: Optional[MetricsRegistry] = None,
+        event_log_max_bytes: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.directory = Path(directory) if directory is not None else None
+        self.trace_enabled = trace_enabled
+        self.max_depth = max_depth
+        self.max_spans = max_spans
+        self.slow_query_seconds = slow_query_seconds
+        self.registry = registry if registry is not None else REGISTRY
+        self.event_log: Optional[JsonLinesSink] = None
+        self.slow_log: Optional[SlowQueryLog] = None
+        self.metrics_path: Optional[Path] = None
+        if self.enabled and self.directory is not None:
+            sink_kwargs = (
+                {"max_bytes": event_log_max_bytes}
+                if event_log_max_bytes is not None
+                else {}
+            )
+            self.event_log = JsonLinesSink(
+                self.directory / EVENTS_FILENAME, **sink_kwargs
+            )
+            self.slow_log = SlowQueryLog(
+                self.directory / SLOW_QUERIES_FILENAME,
+                threshold_seconds=slow_query_seconds,
+                **sink_kwargs,
+            )
+            self.metrics_path = self.directory / METRICS_FILENAME
+
+    # -- tracing ------------------------------------------------------------
+
+    def tracer(self) -> Tracer:
+        """A fresh single-use tracer (the shared :data:`NULL_TRACER` when
+        tracing is off, so disabled mode allocates nothing per query)."""
+        if not (self.enabled and self.trace_enabled):
+            return NULL_TRACER
+        return Tracer(max_depth=self.max_depth, max_spans=self.max_spans)
+
+    # -- event routing ------------------------------------------------------
+
+    def record_query(
+        self,
+        kind: str,
+        query: Optional[str] = None,
+        total_seconds: float = 0.0,
+        trace: Optional[Dict[str, Any]] = None,
+        plan_lines: Optional[List[str]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Log one finished operation to the event log (and, when slow
+        enough, to the slow-query log with its full span tree and probe
+        plan).  Returns True when the slow-query log captured it."""
+        if not self.enabled:
+            return False
+        event: Dict[str, Any] = {
+            "event": kind,
+            "total_seconds": round(float(total_seconds), 6),
+        }
+        if query is not None:
+            event["query"] = query
+        if extra:
+            event.update(extra)
+        if self.event_log is not None:
+            self.event_log.emit(event)
+        if self.slow_log is None:
+            return False
+        slow_entry = dict(event)
+        if trace is not None:
+            slow_entry["trace"] = trace
+        if plan_lines:
+            slow_entry["plan"] = list(plan_lines)
+        return self.slow_log.record(slow_entry)
+
+    # -- metrics ------------------------------------------------------------
+
+    def flush_metrics(self) -> Optional[Dict[str, Dict[str, Any]]]:
+        """Merge the registry into the on-disk snapshot (None when this
+        setup has no metrics file)."""
+        if not self.enabled or self.metrics_path is None:
+            return None
+        return write_metrics_snapshot(self.metrics_path, self.registry)
+
+
+#: Shared disabled configuration — the default everywhere.
+NULL_OBSERVABILITY = Observability(enabled=False)
+
+
+def obs_directory(root: Union[str, Path]) -> Path:
+    """The observability directory for a database root."""
+    return Path(root) / OBS_DIRNAME
+
+
+def for_root(
+    root: Union[str, Path],
+    slow_query_seconds: float = DEFAULT_SLOW_QUERY_SECONDS,
+    trace_enabled: bool = True,
+) -> Observability:
+    """An :class:`Observability` anchored at ``<root>/obs``."""
+    return Observability(
+        directory=obs_directory(root),
+        slow_query_seconds=slow_query_seconds,
+        trace_enabled=trace_enabled,
+    )
+
+
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_SLOW_QUERY_SECONDS",
+    "EVENTS_FILENAME",
+    "JsonLinesSink",
+    "METRICS_FILENAME",
+    "MetricsRegistry",
+    "NULL_OBSERVABILITY",
+    "NULL_TRACER",
+    "OBS_DIRNAME",
+    "Observability",
+    "REGISTRY",
+    "SLOW_QUERIES_FILENAME",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "for_root",
+    "obs_directory",
+    "read_metrics_snapshot",
+    "render_snapshot_text",
+    "render_span_dict",
+    "traced",
+    "write_metrics_snapshot",
+]

@@ -30,11 +30,14 @@ serial path in :mod:`repro.similarity.sea`.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .errors import QueryTimeoutError, ResourceExhaustedError
 from .guard import ResourceGuard
+from .obs.metrics import REGISTRY as METRICS
+from .obs.trace import current_tracer
 from .similarity import candidates as _candidates
 from .similarity.candidates import BlockStats
 
@@ -152,9 +155,13 @@ def _compute_edge_blocks(payload: dict) -> dict:
     """Worker entry point: compute the edges of the assigned blocks.
 
     Runs in a separate process.  Returns either ``{"blocks": [...],
-    "steps": n}`` or a failure marker ``{"failure": (kind, detail)}`` when
-    the per-worker guard trips — exceptions never cross the process
-    boundary raw, so the parent controls their reconstruction.
+    "steps": n, "stage_steps": {...}, "seconds": t}`` or a failure marker
+    ``{"failure": (kind, detail)}`` when the per-worker guard trips —
+    exceptions never cross the process boundary raw, so the parent
+    controls their reconstruction.  ``seconds`` and ``stage_steps`` are
+    plain data precisely because live spans cannot cross processes: the
+    parent re-attaches them to its own trace
+    (:meth:`repro.obs.trace.Tracer.record_span`).
     """
     from .similarity.measures import get_measure
 
@@ -168,6 +175,7 @@ def _compute_edge_blocks(payload: dict) -> dict:
         guard = ResourceGuard(deadline_seconds=deadline, max_steps=step_budget)
     orders: Dict[int, List[int]] = {}
     results: List[Tuple[int, int, List[Tuple[int, int]], BlockStats]] = []
+    started = time.perf_counter()
     try:
         for block_id, group_id, lo, hi in payload["blocks"]:
             reps = payload["groups"][group_id]
@@ -190,7 +198,12 @@ def _compute_edge_blocks(payload: dict) -> dict:
         return {"failure": ("timeout", exc.deadline, exc.elapsed)}
     except ResourceExhaustedError as exc:
         return {"failure": ("steps", str(exc))}
-    return {"blocks": results, "steps": guard.steps if guard is not None else 0}
+    return {
+        "blocks": results,
+        "steps": guard.steps if guard is not None else 0,
+        "stage_steps": guard.stage_steps if guard is not None else {},
+        "seconds": time.perf_counter() - started,
+    }
 
 
 @dataclass
@@ -261,32 +274,64 @@ def parallel_group_edges(
     if not payloads:
         return edges_by_group, run_stats
 
-    context = _pool_context()
-    with context.Pool(processes=len(payloads)) as pool:
-        outcomes = pool.map(_compute_edge_blocks, payloads)
+    tracer = current_tracer()
+    METRICS.counter("parallel.runs").inc()
+    METRICS.gauge("parallel.workers").set(len(payloads))
+    with tracer.span("parallel.map", workers=len(payloads)):
+        context = _pool_context()
+        with context.Pool(processes=len(payloads)) as pool:
+            outcomes = pool.map(_compute_edge_blocks, payloads)
 
-    for outcome in outcomes:
-        failure = outcome.get("failure")
-        if failure is None:
-            continue
-        if failure[0] == "timeout":
-            raise QueryTimeoutError(what, failure[1], failure[2])
-        raise ResourceExhaustedError(failure[1])
+        for outcome in outcomes:
+            failure = outcome.get("failure")
+            if failure is None:
+                continue
+            if failure[0] == "timeout":
+                raise QueryTimeoutError(what, failure[1], failure[2])
+            raise ResourceExhaustedError(failure[1])
+
+        # Worker spans are re-attached in payload order (block ids are
+        # assigned round-robin in block order), so the merged trace is
+        # deterministic regardless of pool scheduling.
+        for worker_id, outcome in enumerate(outcomes):
+            tracer.record_span(
+                f"parallel.worker[{worker_id}]",
+                float(outcome.get("seconds", 0.0)),
+                attributes={
+                    "blocks": len(outcome["blocks"]),
+                    "guard_steps": outcome["steps"],
+                },
+            )
 
     merged: List[Tuple[int, int, List[Tuple[int, int]], BlockStats]] = []
     total_steps = 0
+    stage_totals: Dict[str, int] = {}
     for outcome in outcomes:
         merged.extend(outcome["blocks"])
         total_steps += outcome["steps"]
+        for stage, steps in outcome.get("stage_steps", {}).items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + steps
     merged.sort(key=lambda item: item[0])
     for _, group_id, edges, stats in merged:
         edges_by_group[group_id].extend(edges)
         run_stats.block_stats.merge(stats)
     run_stats.blocks = len(merged)
+    METRICS.counter("parallel.blocks").inc(run_stats.blocks)
 
     # Preserve the serial accounting: the parent's guard absorbs the
     # total steps the workers consumed, so a budget the pool collectively
     # exceeded still raises (and downstream phases see the true count).
+    # The workers' per-stage attribution survives the merge: each stage
+    # label is ticked with its own total (the labels sum to total_steps
+    # by the guard's invariant), falling back to the pool's ``what`` for
+    # any steps a stage dict did not account for.
     if guard is not None and total_steps:
-        guard.tick(total_steps, what=what)
+        accounted = 0
+        for stage in sorted(stage_totals):
+            steps = stage_totals[stage]
+            if steps:
+                guard.tick(steps, what=stage)
+                accounted += steps
+        if accounted < total_steps:
+            guard.tick(total_steps - accounted, what=what)
     return edges_by_group, run_stats

@@ -45,6 +45,8 @@ from typing import (
 from .. import graphutils
 from ..errors import SimilarityInconsistencyError
 from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.trace import current_tracer
 from ..parallel import (
     SERIAL_OPTIONS,
     BuildOptions,
@@ -500,8 +502,22 @@ def sea(
         _order_context_index(hierarchy, nodes) if mode == ORDER_SAFE else None
     )
     # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
-    cliques, stats = _similarity_cliques(
-        nodes, distance, epsilon, context_index, guard, options
+    tracer = current_tracer()
+    with tracer.span("sea.similarity_graph", nodes=len(nodes)):
+        cliques, stats = _similarity_cliques(
+            nodes, distance, epsilon, context_index, guard, options
+        )
+        tracer.annotate(
+            total_pairs=stats.total_pairs,
+            candidates=stats.candidates,
+            edges=stats.graph_edges,
+            cliques=stats.cliques,
+            parallel=stats.parallel_used,
+        )
+    METRICS.counter("sea.candidates").inc(stats.candidates)
+    METRICS.counter("sea.graph_edges").inc(stats.graph_edges)
+    METRICS.counter("sea.pairs_pruned").inc(
+        max(0, stats.total_pairs - stats.candidates)
     )
     stats.mode = mode
     enhanced_nodes = [EnhancedNode(clique) for clique in cliques]
@@ -526,15 +542,17 @@ def sea(
         above_all[enhanced] = frozenset(common)
 
     edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
-    for lower in enhanced_nodes:
-        allowed_upper = above_all[lower]
-        if guard is not None:
-            guard.tick(len(enhanced_nodes), what="SEA edge derivation")
-        for upper in enhanced_nodes:
-            if upper is lower:
-                continue
-            if upper.members <= allowed_upper:
-                edges.append((lower, upper))
+    with tracer.span("sea.edge_derivation", enhanced_nodes=len(enhanced_nodes)):
+        for lower in enhanced_nodes:
+            allowed_upper = above_all[lower]
+            if guard is not None:
+                guard.tick(len(enhanced_nodes), what="SEA edge derivation")
+            for upper in enhanced_nodes:
+                if upper is lower:
+                    continue
+                if upper.members <= allowed_upper:
+                    edges.append((lower, upper))
+        tracer.annotate(edges=len(edges))
 
     # Condition-1 forward check: every strict pair a < b in H must be
     # covered, for every pair of cliques containing a resp. b.

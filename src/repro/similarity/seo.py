@@ -34,6 +34,8 @@ from typing import (
 
 from ..errors import UnknownTermError
 from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.trace import current_tracer
 from ..ontology.constraints import InteroperationConstraint
 from ..ontology.fusion import FusionResult, canonical_fusion
 from ..ontology.hierarchy import Hierarchy
@@ -118,40 +120,54 @@ class SimilarityEnhancedOntology:
         happened.
         """
         stats = SeoBuildStats()
+        tracer = current_tracer()
         started = time.perf_counter()
         if cache is not None:
-            stats.cache_key = cache.key(
-                hierarchies, measure, epsilon, constraints, mode
-            )
-            if stats.cache_key is not None:
-                cached = cache.load(stats.cache_key)
-                if cached is not None:
-                    stats.cache_hit = True
-                    stats.total_seconds = time.perf_counter() - started
-                    cached.build_stats = stats
-                    return cached
+            with tracer.span("seo.cache_lookup"):
+                stats.cache_key = cache.key(
+                    hierarchies, measure, epsilon, constraints, mode
+                )
+                cached = (
+                    cache.load(stats.cache_key)
+                    if stats.cache_key is not None
+                    else None
+                )
+                tracer.annotate(hit=cached is not None)
+            if cached is not None:
+                METRICS.counter("seo.cache.hits").inc()
+                stats.cache_hit = True
+                stats.total_seconds = time.perf_counter() - started
+                cached.build_stats = stats
+                return cached
+            METRICS.counter("seo.cache.misses").inc()
 
-        fusion = canonical_fusion(hierarchies, constraints, guard=guard)
+        with tracer.span("seo.fusion", hierarchies=len(hierarchies)):
+            fusion = canonical_fusion(hierarchies, constraints, guard=guard)
         stats.fusion_seconds = time.perf_counter() - started
-        enhancement = sea(
-            fusion.hierarchy, measure, epsilon, mode=mode, guard=guard,
-            options=options,
-        )
+        with tracer.span("seo.sea", mode=mode):
+            enhancement = sea(
+                fusion.hierarchy, measure, epsilon, mode=mode, guard=guard,
+                options=options,
+            )
         stats.sea = enhancement.stats
         stats.sea_seconds = (
             time.perf_counter() - started - stats.fusion_seconds
         )
         seo = cls(fusion, enhancement)
         if cache is not None and stats.cache_key is not None:
-            cache.store(
-                stats.cache_key,
-                seo,
-                meta={
-                    "fusion_seconds": stats.fusion_seconds,
-                    "sea_seconds": stats.sea_seconds,
-                },
-            )
+            with tracer.span("seo.cache_store"):
+                cache.store(
+                    stats.cache_key,
+                    seo,
+                    meta={
+                        "fusion_seconds": stats.fusion_seconds,
+                        "sea_seconds": stats.sea_seconds,
+                    },
+                )
         stats.total_seconds = time.perf_counter() - started
+        METRICS.histogram("seo.fusion_seconds").observe(stats.fusion_seconds)
+        METRICS.histogram("seo.sea_seconds").observe(stats.sea_seconds)
+        METRICS.histogram("seo.build_seconds").observe(stats.total_seconds)
         seo.build_stats = stats
         return seo
 

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import CollectionError
 from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
 from .collection import XINDICE_DOCUMENT_LIMIT, Collection
 from .xpath import XPathQuery
 from .xpath.engine import ResultNode
@@ -114,8 +115,10 @@ class Database:
         if compiled is not None:
             cache.move_to_end(query)
             self.statistics.cache_hits += 1
+            METRICS.counter("xpath.query_cache.hits").inc()
             return compiled
         self.statistics.cache_misses += 1
+        METRICS.counter("xpath.query_cache.misses").inc()
         compiled = XPathQuery(query)
         if self.query_cache_size > 0:
             cache[query] = compiled
@@ -150,7 +153,11 @@ class Database:
             )
         else:
             results = collection.xpath_document(document_key, compiled, guard=guard)
-        self.statistics.record(time.perf_counter() - started, len(results))
+        seconds = time.perf_counter() - started
+        self.statistics.record(seconds, len(results))
+        METRICS.counter("xpath.queries").inc()
+        METRICS.counter("xpath.results").inc(len(results))
+        METRICS.histogram("xpath.seconds").observe(seconds)
         if guard is not None:
             guard.check_results(len(results), f"xpath query {query!r}")
         return results

@@ -33,11 +33,14 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import StorageCorruptionError, XmlDbError
 from ..ioutils import atomic_write_text, fsync_directory, sha256_text
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.trace import current_tracer
 from .collection import Collection
 from .database import Database
 from .index import (
@@ -131,6 +134,8 @@ def save_database(
     checksums in the manifest, so a load against changed documents
     discards it.
     """
+    started = time.perf_counter()
+    documents_written = 0
     os.makedirs(root_dir, exist_ok=True)
     manifest: Dict[str, object] = {
         "format": FORMAT_VERSION,
@@ -153,6 +158,7 @@ def save_database(
                 "sha256": sha256_text(text),
                 "bytes": len(text.encode("utf-8")),
             }
+            documents_written += 1
         manifest["collections"][collection.name] = {  # type: ignore[index]
             "directory": dirname,
             "documents": documents,
@@ -175,6 +181,13 @@ def save_database(
     atomic_write_text(
         os.path.join(root_dir, MANIFEST_NAME),
         json.dumps(manifest, indent=2, sort_keys=True),
+    )
+    seconds = time.perf_counter() - started
+    METRICS.counter("storage.saves").inc()
+    METRICS.counter("storage.documents_written").inc(documents_written)
+    METRICS.histogram("storage.save_seconds").observe(seconds)
+    current_tracer().record_span(
+        "storage.save", seconds, attributes={"documents": documents_written}
     )
 
 
@@ -293,9 +306,22 @@ def load_database(root_dir: str, on_corruption: str = _RAISE) -> Database:
         raise ValueError(
             f"on_corruption must be 'raise' or 'quarantine', got {on_corruption!r}"
         )
+    started = time.perf_counter()
     report = _load(root_dir, on_corruption)
     assert report.database is not None
     report.database.recovery_report = report
+    seconds = time.perf_counter() - started
+    METRICS.counter("storage.loads").inc()
+    METRICS.histogram("storage.load_seconds").observe(seconds)
+    if report.quarantined:
+        METRICS.counter("storage.documents_quarantined").inc(
+            len(report.quarantined)
+        )
+    current_tracer().record_span(
+        "storage.load",
+        seconds,
+        attributes={"quarantined": len(report.quarantined)},
+    )
     return report.database
 
 

@@ -1,0 +1,115 @@
+"""Unit tests for the observability sinks (repro.obs.sinks)."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    JsonLinesSink,
+    SlowQueryLog,
+    read_metrics_snapshot,
+    write_metrics_snapshot,
+)
+
+
+class TestJsonLinesSink:
+    def test_emit_and_read_roundtrip(self, tmp_path):
+        sink = JsonLinesSink(tmp_path / "events.jsonl")
+        sink.emit({"event": "a", "n": 1})
+        sink.emit({"event": "b", "n": 2})
+        entries = sink.read()
+        assert [e["event"] for e in entries] == ["a", "b"]
+
+    def test_read_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonLinesSink(path)
+        sink.emit({"event": "good"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn wri\n")
+        sink.emit({"event": "after"})
+        assert [e["event"] for e in sink.read()] == ["good", "after"]
+
+    def test_read_limit_returns_newest(self, tmp_path):
+        sink = JsonLinesSink(tmp_path / "events.jsonl")
+        for n in range(5):
+            sink.emit({"n": n})
+        assert [e["n"] for e in sink.read(limit=2)] == [3, 4]
+
+    def test_rotation_keeps_backup_generation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonLinesSink(path, max_bytes=64)
+        for n in range(20):
+            sink.emit({"n": n, "pad": "x" * 16})
+        backup = tmp_path / "events.jsonl.1"
+        assert backup.exists()
+        assert path.stat().st_size <= 64
+        # read() stitches backup + live, oldest first, newest entry last
+        entries = sink.read()
+        assert entries[-1]["n"] == 19
+        assert [e["n"] for e in entries] == sorted(e["n"] for e in entries)
+
+    def test_rotation_with_backups_zero_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonLinesSink(path, max_bytes=64, backups=0)
+        for n in range(20):
+            sink.emit({"n": n, "pad": "x" * 16})
+        assert not (tmp_path / "events.jsonl.1").exists()
+        assert path.stat().st_size <= 64
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_recording(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_seconds=0.5)
+        assert log.record({"query": "fast", "total_seconds": 0.49}) is False
+        assert log.record({"query": "edge", "total_seconds": 0.5}) is True
+        assert log.record({"query": "slow", "total_seconds": 2.0}) is True
+        assert [e["query"] for e in log.read()] == ["edge", "slow"]
+
+    def test_missing_total_seconds_not_recorded(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_seconds=0.0)
+        assert log.record({"query": "no timing"}) is False
+
+    def test_zero_threshold_records_everything(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_seconds=0.0)
+        assert log.record({"total_seconds": 0.0}) is True
+
+    def test_rotation_applies_to_slow_log(self, tmp_path):
+        log = SlowQueryLog(
+            tmp_path / "slow.jsonl", threshold_seconds=0.0, max_bytes=64
+        )
+        for n in range(20):
+            log.record({"n": n, "total_seconds": 1.0, "pad": "x" * 8})
+        assert (tmp_path / "slow.jsonl.1").exists()
+
+
+class TestMetricsSnapshotFile:
+    def test_missing_or_corrupt_file_reads_empty(self, tmp_path):
+        assert read_metrics_snapshot(tmp_path / "none.json") == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_metrics_snapshot(bad) == {}
+
+    def test_flushes_accumulate_across_invocations(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(3)
+        write_metrics_snapshot(path, registry)
+        write_metrics_snapshot(path, registry)  # same registry, merged again
+        snapshot = read_metrics_snapshot(path)
+        assert snapshot["queries"]["value"] == 6
+
+    def test_no_merge_overwrites(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(3)
+        write_metrics_snapshot(path, registry)
+        write_metrics_snapshot(path, registry, merge=False)
+        assert read_metrics_snapshot(path)["queries"]["value"] == 3
+
+    def test_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        write_metrics_snapshot(path, registry)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["metrics"]["g"] == {"type": "gauge", "value": 1}

@@ -1,0 +1,184 @@
+"""Unit tests for the hierarchical trace spans (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN_CONTEXT,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    _ACTIVE,
+    current_tracer,
+    render_span_dict,
+    traced,
+)
+
+
+class TestSpanNesting:
+    def test_children_nest_in_call_order(self):
+        tracer = Tracer()
+        with tracer.trace("root", query="q"):
+            with tracer.span("first"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("second"):
+                pass
+        root = tracer.root
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["first", "second"]
+        assert [c.name for c in root.children[0].children] == ["inner"]
+        assert root.attributes == {"query": "q"}
+
+    def test_timings_are_positive_and_contain_children(self):
+        tracer = Tracer()
+        with tracer.trace("root"):
+            with tracer.span("child"):
+                pass
+        root = tracer.root
+        child = root.children[0]
+        assert root.seconds > 0.0
+        assert 0.0 < child.seconds <= root.seconds
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.trace("root"):
+            with tracer.span("child"):
+                tracer.annotate(candidates=7)
+            tracer.annotate(results=2)
+        assert tracer.root.children[0].attributes == {"candidates": 7}
+        assert tracer.root.attributes == {"results": 2}
+
+    def test_finish_returns_dict_tree(self):
+        tracer = Tracer()
+        with tracer.trace("root"):
+            with tracer.span("child", k="v"):
+                pass
+        payload = tracer.finish()
+        assert payload["name"] == "root"
+        assert payload["children"][0]["name"] == "child"
+        assert payload["children"][0]["attributes"] == {"k": "v"}
+
+    def test_exception_still_closes_spans(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        assert tracer.root.children[0].seconds > 0.0
+        assert current_tracer() is NULL_TRACER  # deregistered on unwind
+
+
+class TestAmbientAccess:
+    def test_current_tracer_inside_and_outside(self):
+        assert current_tracer() is NULL_TRACER
+        tracer = Tracer()
+        with tracer.trace("root"):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+        assert not _ACTIVE
+
+    def test_traced_decorator_attaches_to_ambient_tracer(self):
+        @traced("helper.work")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2  # no active trace: still runs, records nothing
+        tracer = Tracer()
+        with tracer.trace("root"):
+            assert work(2) == 3
+        assert [c.name for c in tracer.root.children] == ["helper.work"]
+
+    def test_nested_tracers_restore_outer(self):
+        outer, inner = Tracer(), Tracer()
+        with outer.trace("outer"):
+            with inner.trace("inner"):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+
+class TestDisabledZeroOverhead:
+    def test_disabled_span_returns_shared_null_context(self):
+        disabled = Tracer(enabled=False)
+        assert disabled.trace("root") is NULL_SPAN_CONTEXT
+        assert disabled.span("child") is NULL_SPAN_CONTEXT
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+
+    def test_disabled_tracer_allocates_no_spans(self):
+        disabled = Tracer(enabled=False)
+        with disabled.trace("root"):
+            with disabled.span("child"):
+                disabled.annotate(ignored=True)
+        assert disabled.root is None
+        assert disabled.finish() is None
+
+    def test_null_tracer_record_span_is_noop(self):
+        NULL_TRACER.record_span("x", 1.0)
+        assert NULL_TRACER.root is None
+
+
+class TestBounds:
+    def test_max_depth_drops_deeper_spans(self):
+        tracer = Tracer(max_depth=2)
+        with tracer.trace("root"):
+            with tracer.span("child"):
+                assert tracer.span("too-deep") is NULL_SPAN_CONTEXT
+        assert tracer.dropped_spans == 1
+        assert tracer.root.attributes["dropped_spans"] == 1
+        assert not tracer.root.children[0].children
+
+    def test_max_spans_caps_total(self):
+        tracer = Tracer(max_spans=3)
+        with tracer.trace("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+            assert tracer.span("c") is NULL_SPAN_CONTEXT
+        assert len(tracer.root.children) == 2
+        assert tracer.root.attributes["dropped_spans"] == 1
+
+
+class TestWorkerSpanMerge:
+    def test_record_span_with_children_payloads(self):
+        tracer = Tracer()
+        with tracer.trace("root"):
+            tracer.record_span(
+                "parallel.worker[0]",
+                0.25,
+                attributes={"blocks": 3},
+                children=[
+                    {"name": "block", "seconds": 0.1,
+                     "children": [{"name": "pairs", "seconds": 0.05}]}
+                ],
+            )
+        worker = tracer.root.children[0]
+        assert worker.name == "parallel.worker[0]"
+        assert worker.seconds == 0.25
+        assert worker.attributes == {"blocks": 3}
+        assert worker.children[0].name == "block"
+        assert worker.children[0].children[0].name == "pairs"
+
+    def test_record_spans_respect_max_spans(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.trace("root"):
+            tracer.record_span("w0", 0.1)
+            tracer.record_span("w1", 0.1)
+        assert [c.name for c in tracer.root.children] == ["w0"]
+        assert tracer.root.attributes["dropped_spans"] == 1
+
+
+class TestRendering:
+    def test_render_span_dict_lines(self):
+        span = Span("root", {"z": 1, "a": "x"})
+        span.seconds = 1.5
+        child = Span("child")
+        child.seconds = 0.5
+        span.children.append(child)
+        lines = render_span_dict(span.to_dict())
+        assert lines[0] == "root  1.500000s  [a=x z=1]"
+        assert lines[1] == "  child  0.500000s"
+
+    def test_to_dict_rounds_seconds(self):
+        span = Span("s")
+        span.seconds = 0.12345678
+        assert span.to_dict()["seconds"] == 0.123457

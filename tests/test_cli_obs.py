@@ -1,0 +1,141 @@
+"""CLI tests for the observability commands: explain, db trace, db obs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DBLP = """
+<dblp>
+  <inproceedings key="p1">
+    <author>J. Smith</author>
+    <title>Paper One</title>
+  </inproceedings>
+  <inproceedings key="p2">
+    <author>J. Smyth</author>
+    <title>Paper Two</title>
+  </inproceedings>
+</dblp>
+"""
+
+QUERY = 'inproceedings(author ~ "J. Smith")'
+
+
+@pytest.fixture
+def dblp_file(tmp_path):
+    path = tmp_path / "dblp.xml"
+    path.write_text(DBLP)
+    return str(path)
+
+
+@pytest.fixture
+def store(dblp_file, tmp_path, capsys):
+    root = str(tmp_path / "store")
+    assert main(
+        ["db", "build", "--source", f"dblp={dblp_file}", "--epsilon", "1", root]
+    ) == 0
+    capsys.readouterr()  # discard build output
+    return root
+
+
+class TestExplainCommand:
+    def test_explain_from_source(self, dblp_file, capsys):
+        status = main(
+            ["explain", "--source", f"dblp={dblp_file}", "--epsilon", "1",
+             QUERY]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "original :" in out
+        assert "rewritten:" in out
+        assert "xpath[0]" in out
+
+    def test_explain_json(self, store, capsys):
+        assert main(["explain", "--load", store, "--json", QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["xpath_queries"]
+        assert "index_plan" in payload
+
+
+class TestDbTraceCommand:
+    def test_trace_prints_span_tree_and_stage_line(self, store, capsys):
+        status = main(["db", "trace", store, QUERY])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# 2 results" in out
+        assert "query.selection" in out
+        for stage in ("rewrite", "plan", "xpath", "verify"):
+            assert stage in out
+        assert "# stages account for" in out
+        assert "wall" in out
+
+    def test_trace_stage_seconds_sum_to_wall_time(self, store, capsys):
+        assert main(["db", "trace", store, "--json", QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        trace = payload["trace"]
+        assert trace["name"] == "query.selection"
+        stage_sum = sum(child["seconds"] for child in trace["children"])
+        assert stage_sum <= trace["seconds"] + 1e-6
+        assert stage_sum >= trace["seconds"] * 0.5
+
+    def test_trace_populates_slow_log_when_threshold_zero(
+        self, store, capsys
+    ):
+        assert main(
+            ["db", "trace", store, "--slow-threshold", "0", QUERY]
+        ) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "slow", store]) == 0
+        out = capsys.readouterr().out
+        assert "selection" in out
+        # The logged query is the compiled XPath form of the pattern.
+        assert "inproceedings" in out
+
+
+class TestDbObsCommands:
+    def test_metrics_after_traced_query(self, store, capsys):
+        assert main(["db", "trace", store, QUERY]) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "metrics", store]) == 0
+        out = capsys.readouterr().out
+        assert "executor.queries" in out
+        assert "executor.seconds" in out
+
+    def test_metrics_json(self, store, capsys):
+        assert main(["db", "trace", store, QUERY]) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "metrics", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor.queries"]["type"] == "counter"
+        assert payload["executor.queries"]["value"] >= 1
+
+    def test_slow_with_trace_renders_span_tree(self, store, capsys):
+        assert main(
+            ["db", "trace", store, "--slow-threshold", "0", QUERY]
+        ) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "slow", store, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "query.selection" in out
+        assert "plan:" in out
+
+    def test_slow_empty(self, store, capsys):
+        assert main(["db", "obs", "slow", store]) == 0
+        assert "(no slow queries recorded)" in capsys.readouterr().out
+
+
+class TestQueryJsonAndNoObs:
+    def test_query_json_report(self, store, capsys):
+        assert main(["query", "--load", store, "--json", QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result_count"] == 2
+        assert len(payload["results"]) == 2
+        assert "total_seconds" in payload
+
+    def test_no_obs_skips_sink_attachment(self, store, tmp_path, capsys):
+        assert main(["query", "--load", store, "--no-obs", QUERY]) == 0
+        capsys.readouterr()
+        # Nothing recorded: the obs metrics file was never flushed to.
+        assert main(["db", "obs", "metrics", store]) == 0
+        assert "(no metrics recorded)" in capsys.readouterr().out

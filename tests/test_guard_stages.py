@@ -1,0 +1,69 @@
+"""Per-stage step accounting on the ResourceGuard.
+
+The guard's ``stage_steps`` breakdown feeds the trace tree and the
+slow-query log, so the invariant that the per-stage values sum exactly
+to ``steps`` must hold — including when steps are absorbed from a
+multiprocessing worker pool.
+"""
+
+from repro.guard import ResourceGuard
+from repro.parallel import BuildOptions, parallel_group_edges
+
+
+class TestStageAccounting:
+    def test_stage_steps_partition_total(self):
+        guard = ResourceGuard(max_steps=10**6).start()
+        guard.tick(10, what="xpath")
+        guard.tick(5, what="verify")
+        guard.tick(3, what="xpath")
+        assert guard.stage_steps == {"xpath": 13, "verify": 5}
+        assert sum(guard.stage_steps.values()) == guard.steps == 18
+
+    def test_default_stage_label(self):
+        guard = ResourceGuard(max_steps=10**6).start()
+        guard.tick(2)
+        assert guard.stage_steps == {"operation": 2}
+
+    def test_start_resets_stage_breakdown(self):
+        guard = ResourceGuard(max_steps=10**6).start()
+        guard.tick(7, what="xpath")
+        guard.start()
+        assert guard.steps == 0
+        assert guard.stage_steps == {}
+
+    def test_stage_steps_returns_a_copy(self):
+        guard = ResourceGuard(max_steps=10**6).start()
+        guard.tick(1, what="xpath")
+        snapshot = guard.stage_steps
+        snapshot["xpath"] = 999
+        assert guard.stage_steps == {"xpath": 1}
+
+
+class TestWorkerPoolAccounting:
+    def test_pool_absorbed_steps_keep_stage_partition(self):
+        guard = ResourceGuard(max_steps=10**9).start()
+        options = BuildOptions(workers=2, parallel_threshold=0)
+        parallel_group_edges(
+            {0: ["paper", "papers", "pattern"]},
+            "levenshtein",
+            2.0,
+            options,
+            guard=guard,
+        )
+        assert guard.steps > 0
+        assert sum(guard.stage_steps.values()) == guard.steps
+
+    def test_serial_and_parallel_agree_on_totals(self):
+        groups = {0: ["paper", "papers", "pattern", "papyrus"]}
+        serial_guard = ResourceGuard(max_steps=10**9).start()
+        parallel_group_edges(
+            groups, "levenshtein", 2.0,
+            BuildOptions(workers=1), guard=serial_guard,
+        )
+        pool_guard = ResourceGuard(max_steps=10**9).start()
+        parallel_group_edges(
+            groups, "levenshtein", 2.0,
+            BuildOptions(workers=2, parallel_threshold=0), guard=pool_guard,
+        )
+        assert pool_guard.steps == serial_guard.steps
+        assert sum(pool_guard.stage_steps.values()) == pool_guard.steps
