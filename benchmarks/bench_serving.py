@@ -1,0 +1,332 @@
+"""Serving benchmark: batch throughput and tail latency over worker pools.
+
+PR 5's tentpole claim is that a persistent worker pool turns the
+one-query-at-a-time executor into a serving tier — batches of queries
+execute concurrently over a snapshot of the built system, and one large
+query can partition its candidate scan — without changing a single
+answer.  This bench measures both, on the paper's Figure 16(a)
+selection workload (2 isa + 4 tag conditions) over a DBLP collection
+sharded one paper per document:
+
+* **batch throughput**: a mixed batch of textual fig-16a queries (one
+  per author, so every query compiles and verifies real work) runs
+  serially in-process, then through :class:`repro.serving.QueryServer`
+  pools of 1, 2 and 4 workers.  Every outcome is identity-checked
+  against its serial answer; per-query worker latencies give the p50 /
+  p95 / max tail figures;
+* **intra-query partitioning**: the broad fig-16a selection runs whole,
+  then with its candidate document set split 2 and 4 ways
+  (:func:`repro.serving.execute_partitioned`), identity-checked against
+  the serial result sequence.
+
+Throughput scaling is bounded by the hardware: the payload records
+``cpu_count`` so a 1-core CI box showing ~1x at 4 workers reads as the
+honest Amdahl floor it is, not a regression.  The pool start-up cost is
+reported separately (like the SEO precompute, it is paid once per
+served system, not per query).
+
+Results land in ``benchmarks/results/serving.json`` plus the trajectory
+copy ``BENCH_serving.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI crash check
+
+or through pytest (``pytest benchmarks/ --benchmark-only``), which runs
+the smoke scale and checks the invariants (identical results, workers
+actually serving) without asserting on timings.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from _emit import default_output_paths, emit_results
+from repro.data import generate_corpus, render_dblp
+from repro.experiments.workload import build_system
+from repro.serving import QueryServer, execute_partitioned
+from repro.xmldb.serializer import serialize
+
+FULL_PAPERS = 3000
+SMOKE_PAPERS = 60
+FULL_BATCH = 32
+SMOKE_BATCH = 8
+WORKER_COUNTS = (1, 2, 4)
+PARTITION_JOBS = (2, 4)
+EPSILON = 3.0
+SEED = 7
+
+BROAD_QUERY = (
+    'inproceedings(author ~ "{author}", '
+    'booktitle below "database conference")'
+)
+
+#: The heavy half of the serving mix: no selective author condition, so
+#: ~a third of the corpus answers and per-query verify work dwarfs the
+#: per-query dispatch cost.  Cheap index-pruned author queries measure
+#: dispatch overhead and tail latency; these measure work scaling.
+HEAVY_QUERY = 'inproceedings(booktitle below "database conference", title)'
+
+
+def _sharded_dblp(corpus, keys):
+    """One document per paper — the layout partitioning exists for."""
+    return [render_dblp(corpus, seed=SEED, paper_keys=[key]) for key in keys]
+
+
+def _build(papers):
+    corpus = generate_corpus(papers, seed=SEED)
+    documents = _sharded_dblp(corpus, corpus.paper_keys())
+    system = build_system(corpus, documents, EPSILON, use_cache=False)
+    system.database.get_collection("dblp").search_index(build=True)
+    return corpus, system
+
+
+def _batch_queries(corpus, count):
+    """A 50/50 serving mix: index-pruned author selections (distinct
+    texts, so each compiles) alternating with the heavy broad-category
+    selection (verify-bound)."""
+    authors = sorted(corpus.authors.values(), key=lambda a: a.entity_id)
+    return [
+        HEAVY_QUERY
+        if index % 2
+        else BROAD_QUERY.format(author=authors[index % len(authors)].canonical)
+        for index in range(count)
+    ]
+
+
+def _result_texts(report):
+    return [serialize(tree) for tree in report.results]
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _serial_baseline(system, queries):
+    """(total seconds, per-query result texts) executing in-process."""
+    answers = []
+    started = time.perf_counter()
+    for query in queries:
+        answers.append(_result_texts(system.query("dblp", query)))
+    return time.perf_counter() - started, answers
+
+
+def _served_run(system, queries, workers, serial_answers):
+    """One pool's record: start-up, batch wall-clock, tails, identity."""
+    started = time.perf_counter()
+    server = QueryServer(system, workers=workers, default_collection="dblp")
+    startup = time.perf_counter() - started
+    try:
+        server.execute_many([queries[0]])  # warmup dispatch path
+        started = time.perf_counter()
+        outcomes = server.execute_many(queries)
+        batch_seconds = time.perf_counter() - started
+    finally:
+        server.close()
+    errors = [outcome.error for outcome in outcomes if not outcome.ok]
+    if errors:
+        raise SystemExit(f"served batch failed: {errors[0]}")
+    identical = all(
+        _result_texts(outcome.report) == expected
+        for outcome, expected in zip(outcomes, serial_answers)
+    )
+    latencies = [outcome.seconds for outcome in outcomes]
+    return {
+        "workers": workers,
+        "startup_seconds": round(startup, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "throughput_qps": round(len(queries) / batch_seconds, 2)
+        if batch_seconds > 0
+        else None,
+        "latency_p50": round(_percentile(latencies, 0.50), 4),
+        "latency_p95": round(_percentile(latencies, 0.95), 4),
+        "latency_max": round(max(latencies), 4),
+        "identical": identical,
+    }
+
+
+def _partition_sweep(corpus, system, verbose):
+    authors = sorted(corpus.authors.values(), key=lambda a: a.entity_id)
+    query = BROAD_QUERY.format(author=authors[0].canonical)
+    serial_started = time.perf_counter()
+    serial_report = system.query("dblp", query)
+    serial_seconds = time.perf_counter() - serial_started
+    expected = _result_texts(serial_report)
+    runs = []
+    with QueryServer(
+        system, workers=max(PARTITION_JOBS), default_collection="dblp"
+    ) as server:
+        for jobs in PARTITION_JOBS:
+            started = time.perf_counter()
+            merged = execute_partitioned(
+                system, server.pool, "dblp", query, jobs=jobs
+            )
+            seconds = time.perf_counter() - started
+            runs.append(
+                {
+                    "jobs": jobs,
+                    "seconds": round(seconds, 4),
+                    "speedup": round(serial_seconds / seconds, 2)
+                    if seconds > 0
+                    else None,
+                    "identical": _result_texts(merged) == expected,
+                    "results": len(merged.results),
+                }
+            )
+            if verbose:
+                print(
+                    f"  partitioned jobs={jobs}  {seconds:8.3f}s "
+                    f"({runs[-1]['speedup']}x vs serial "
+                    f"{serial_seconds:.3f}s)",
+                    flush=True,
+                )
+    return {
+        "query": query,
+        "serial_seconds": round(serial_seconds, 4),
+        "results": len(expected),
+        "runs": runs,
+    }
+
+
+def run_benchmark(
+    papers=FULL_PAPERS,
+    batch=FULL_BATCH,
+    smoke=False,
+    out_path=None,
+    trajectory_path=None,
+    verbose=True,
+):
+    corpus, system = _build(papers)
+    queries = _batch_queries(corpus, batch)
+
+    # Warm the compile/plan caches before snapshotting, so the forked
+    # workers inherit the same warmed state the serial baseline enjoys.
+    serial_seconds, serial_answers = _serial_baseline(system, queries)
+    serial_seconds, serial_answers = _serial_baseline(system, queries)
+    if verbose:
+        print(
+            f"  serial          {batch} queries  {serial_seconds:8.3f}s "
+            f"({batch / serial_seconds:.2f} q/s)",
+            flush=True,
+        )
+
+    served = []
+    for workers in WORKER_COUNTS:
+        record = _served_run(system, queries, workers, serial_answers)
+        served.append(record)
+        if verbose:
+            print(
+                f"  workers={workers}       {batch} queries  "
+                f"{record['batch_seconds']:8.3f}s "
+                f"({record['throughput_qps']} q/s, "
+                f"p95 {record['latency_p95']}s)",
+                flush=True,
+            )
+
+    partitioned = _partition_sweep(corpus, system, verbose)
+
+    by_workers = {record["workers"]: record for record in served}
+    results = {
+        "benchmark": "serving",
+        "epsilon": EPSILON,
+        "seed": SEED,
+        "smoke": smoke,
+        "papers": papers,
+        "batch": batch,
+        "cpu_count": os.cpu_count(),
+        "serial_batch_seconds": round(serial_seconds, 4),
+        "serial_throughput_qps": round(batch / serial_seconds, 2),
+        "served": served,
+        "partitioned": partitioned,
+        "summary": {
+            "identical_results": all(record["identical"] for record in served)
+            and all(run["identical"] for run in partitioned["runs"]),
+            "throughput_speedup_at_4": round(
+                serial_seconds / by_workers[4]["batch_seconds"], 2
+            )
+            if by_workers.get(4)
+            else None,
+            "single_worker_overhead": round(
+                by_workers[1]["batch_seconds"] / serial_seconds, 2
+            )
+            if by_workers.get(1)
+            else None,
+        },
+    }
+    emit_results(results, out_path=out_path, trajectory_path=trajectory_path)
+    return results
+
+
+# -- pytest entry points (smoke scale; invariants, not timings) -------------
+
+
+def test_serving_smoke(results_dir):
+    results = run_benchmark(
+        papers=SMOKE_PAPERS,
+        batch=SMOKE_BATCH,
+        smoke=True,
+        out_path=results_dir / "serving_smoke.json",
+        verbose=False,
+    )
+    assert results["summary"]["identical_results"], (
+        "served execution disagrees with serial execution"
+    )
+    assert {record["workers"] for record in results["served"]} == set(
+        WORKER_COUNTS
+    )
+    for record in results["served"]:
+        assert record["batch_seconds"] > 0
+        assert record["latency_p95"] >= record["latency_p50"]
+    assert results["partitioned"]["results"] > 0, (
+        "the partitioned query answered nothing; the identity check is vacuous"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale (CI crash + identity check)",
+    )
+    parser.add_argument(
+        "--papers",
+        type=int,
+        default=None,
+        help=f"corpus size (default: {FULL_PAPERS}, smoke {SMOKE_PAPERS})",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help=f"queries per batch (default: {FULL_BATCH}, smoke {SMOKE_BATCH})",
+    )
+    args = parser.parse_args(argv)
+    papers = args.papers or (SMOKE_PAPERS if args.smoke else FULL_PAPERS)
+    batch = args.batch or (SMOKE_BATCH if args.smoke else FULL_BATCH)
+    out, trajectory = default_output_paths("serving", smoke=args.smoke)
+    print(
+        f"Serving benchmark: papers={papers} batch={batch} "
+        f"workers={WORKER_COUNTS} cpu_count={os.cpu_count()} "
+        f"smoke={args.smoke}"
+    )
+    results = run_benchmark(
+        papers=papers,
+        batch=batch,
+        smoke=args.smoke,
+        out_path=out,
+        trajectory_path=trajectory,
+    )
+    summary = results["summary"]
+    print(
+        f"identical={summary['identical_results']} "
+        f"speedup@4={summary['throughput_speedup_at_4']}x "
+        f"1-worker-overhead={summary['single_worker_overhead']}x"
+    )
+    return 0 if summary["identical_results"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,7 +129,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     system, names = _load_query_system(args)
     collection = args.collection or names[0]
     right = names[1] if len(names) > 1 else None
-    report = system.query(collection, args.query, right_collection=right)
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs > 1:
+        from .serving import QueryRequest, QueryServer
+
+        with QueryServer(
+            system, workers=jobs, default_collection=collection
+        ) as server:
+            report = server.execute(
+                QueryRequest(
+                    query=args.query,
+                    collection=collection,
+                    right_collection=right,
+                    jobs=jobs,
+                )
+            )
+    else:
+        report = system.query(collection, args.query, right_collection=right)
     system.observability.flush_metrics()
     if args.json:
         print(json.dumps(report.to_dict(include_results=True), indent=2))
@@ -138,6 +154,98 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for tree in report.results:
         print(serialize(tree, indent=2).rstrip())
     return 0
+
+
+def _read_query_lines(source: Optional[str]) -> List[str]:
+    """Query texts from a file (or stdin for ``-``/None), one per line;
+    blank lines and ``#`` comments are skipped."""
+    if source and source != "-":
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    return [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import GuardSpec, QueryRequest, QueryServer
+
+    system, names = _load_query_system(args)
+    collection = args.collection or names[0]
+    right = names[1] if len(names) > 1 else None
+    texts = _read_query_lines(args.queries)
+    if not texts:
+        print("# no queries to serve", file=sys.stderr)
+        return 0
+    spec = GuardSpec(
+        deadline_seconds=args.deadline,
+        max_steps=args.max_steps,
+        max_results=args.max_results,
+    )
+    outcomes = []
+    with QueryServer(
+        system,
+        workers=args.pool_workers,
+        max_pending=args.max_pending,
+        default_guard=None if spec.unlimited else spec,
+        default_collection=collection,
+    ) as server:
+        requests = [
+            QueryRequest(
+                query=text, collection=collection, right_collection=right
+            )
+            for text in texts
+        ]
+        # Slice the stream into admission-sized batches: the bounded
+        # queue is back-pressure for concurrent clients, not a cap on
+        # how much one well-behaved stream may submit overall.
+        for start in range(0, len(requests), args.max_pending):
+            outcomes.extend(
+                server.execute_many(requests[start : start + args.max_pending])
+            )
+    system.observability.flush_metrics()
+    errors = sum(1 for outcome in outcomes if not outcome.ok)
+    if args.json:
+        payload = []
+        for outcome in outcomes:
+            entry = {
+                "query": outcome.request.query,
+                "ok": outcome.ok,
+                "seconds": outcome.seconds,
+            }
+            if outcome.ok:
+                entry["report"] = outcome.report.to_dict(
+                    include_results=args.results
+                )
+            else:
+                entry["error"] = {
+                    "type": type(outcome.error).__name__,
+                    "message": str(outcome.error),
+                }
+            payload.append(entry)
+        print(json.dumps(payload, indent=2))
+    else:
+        for index, outcome in enumerate(outcomes):
+            if outcome.ok:
+                print(f"[{index}] {outcome.request.query}")
+                print(_report_summary_line(outcome.report))
+                if args.results:
+                    for tree in outcome.report.results:
+                        print(serialize(tree, indent=2).rstrip())
+            else:
+                print(
+                    f"[{index}] {outcome.request.query}\n"
+                    f"# ERROR {type(outcome.error).__name__}: {outcome.error}"
+                )
+        print(
+            f"# served {len(outcomes)} queries with {args.pool_workers} "
+            f"workers, {errors} errors"
+        )
+    return 1 if errors else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -526,8 +634,54 @@ def build_argument_parser() -> argparse.ArgumentParser:
                        help="print the full execution report as JSON")
     query.add_argument("--no-obs", action="store_true",
                        help="with --load: do not write to the store's obs/ sinks")
+    query.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="partition the candidate scan across N worker processes "
+             "(default: 1, no intra-query parallelism)",
+    )
     query.add_argument("query", help="query text, e.g. 'paper(author ~ \"X\")'")
     query.set_defaults(handler=_cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="execute a batch of queries over a persistent worker pool",
+    )
+    add_system_options(serve, source_required=False)
+    serve.add_argument("--load", help="load a saved system directory instead of --source")
+    serve.add_argument("--collection", help="collection to query (default: first source)")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="with --load: do not write to the store's obs/ sinks")
+    serve.add_argument(
+        "--queries", metavar="FILE", default=None,
+        help="file of query texts, one per line ('-' or omitted: stdin); "
+             "blank lines and # comments are skipped",
+    )
+    serve.add_argument(
+        "--pool", dest="pool_workers", type=int, default=2, metavar="N",
+        help="worker processes in the serving pool (default: 2; distinct "
+             "from --workers, which parallelises the SEO build)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=128, metavar="N",
+        help="admission bound: largest batch dispatched at once (default: 128)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query wall-clock budget (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="per-query evaluation-step budget (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-results", type=int, default=None, metavar="N",
+        help="per-query result cap (default: unlimited)",
+    )
+    serve.add_argument("--json", action="store_true",
+                       help="print every outcome as one JSON array")
+    serve.add_argument("--results", action="store_true",
+                       help="also print each query's result trees")
+    serve.set_defaults(handler=_cmd_serve)
 
     explain = subparsers.add_parser(
         "explain", help="show a query's plan (rewrite, XPath, index probes)"

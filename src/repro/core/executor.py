@@ -20,12 +20,12 @@ comparisons, negation) are still answered exactly.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryExecutionError
 from ..guard import ResourceGuard
+from ..lru import LruCache
 from ..obs import NULL_OBSERVABILITY, Observability
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, REGISTRY as METRICS
 from ..tax import algebra as tax_algebra
@@ -160,6 +160,81 @@ class ExecutionReport:
         "index_used",
         "plan_cache_hit",
     )
+
+    #: How :meth:`merge` combines each scalar field across the partial
+    #: reports of one partitioned query.  Timings take ``max`` (the
+    #: partitions ran concurrently, and each re-derived the plan — a sum
+    #: would double-count ``planner_seconds`` et al.); per-partition work
+    #: counts (``candidates``, ``docs_scanned``, ``ontology_accesses``)
+    #: add up; ``docs_total`` is a property of the collection, not the
+    #: partition, so it takes ``max``.  Keys must cover every entry of
+    #: :attr:`_SCALAR_FIELDS` — :meth:`merge` refuses to run otherwise,
+    #: which is the same drift guard the serialization round-trip uses.
+    _MERGE_RULES = {
+        "rewrite_seconds": "max",
+        "xpath_seconds": "max",
+        "convert_seconds": "max",
+        "planner_seconds": "max",
+        "xpath_queries": "first",
+        "candidates": "sum",
+        "ontology_accesses": "sum",
+        "degraded": "any",
+        "docs_total": "max",
+        "docs_scanned": "sum",
+        "index_used": "any",
+        "plan_cache_hit": "all",
+    }
+
+    @classmethod
+    def merge(cls, reports: Sequence["ExecutionReport"]) -> "ExecutionReport":
+        """Combine the partial reports of one query split across workers.
+
+        ``reports`` must be in partition order (the serving layer
+        partitions the candidate document set into contiguous chunks in
+        collection order); results are concatenated in that order and
+        re-deduplicated, which reproduces the serial result sequence
+        exactly — per-chunk execution can only dedupe within a chunk.
+
+        The merged report carries no trace: each partial ran in its own
+        process, and the caller re-attaches their span payloads to its
+        own tracer (see :func:`repro.serving.partition.execute_partitioned`).
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("merge() needs at least one report")
+        missing = set(cls._SCALAR_FIELDS) - set(cls._MERGE_RULES)
+        if missing:
+            raise TypeError(
+                "ExecutionReport.merge has no rule for scalar field(s) "
+                f"{sorted(missing)}; update _MERGE_RULES alongside "
+                "_SCALAR_FIELDS"
+            )
+        results: List[XmlNode] = []
+        for report in reports:
+            results.extend(report.results)
+        merged = cls(
+            results=dedupe(results),
+            rewrite_seconds=0.0,
+            xpath_seconds=0.0,
+            convert_seconds=0.0,
+        )
+        for field_name in cls._SCALAR_FIELDS:
+            rule = cls._MERGE_RULES[field_name]
+            values = [getattr(report, field_name) for report in reports]
+            if rule == "max":
+                value = max(values)
+            elif rule == "sum":
+                value = sum(values)
+            elif rule == "any":
+                value = any(values)
+            elif rule == "all":
+                value = all(values)
+            else:  # "first": identical across partitions by construction
+                value = values[0]
+            setattr(merged, field_name, value)
+        merged.xpath_queries = list(merged.xpath_queries)
+        merged.trace = None
+        return merged
 
     def to_dict(self, include_results: bool = False) -> Dict[str, Any]:
         """Canonical JSON-ready form (the CLI, the experiment runner and
@@ -433,13 +508,15 @@ class QueryExecutor:
         #: (ablatable, like ``similarity_hash_join``); results are
         #: identical either way.
         self.use_index = use_index
-        #: Bounded LRU over compiled plans (rewritten condition + XPath +
-        #: probe spec), keyed by pattern structure and condition; 0
-        #: disables caching.
+        #: Bounded, thread-safe LRU over compiled plans (rewritten
+        #: condition + XPath + probe spec), keyed by pattern structure
+        #: and condition; 0 disables caching.  Hit/miss/eviction
+        #: counters are emitted as ``executor.plan_cache.*`` metrics by
+        #: the cache itself.
         self.plan_cache_size = plan_cache_size
-        self._plan_cache: "OrderedDict[Tuple, Dict[str, object]]" = OrderedDict()
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        self._plan_cache = LruCache(
+            plan_cache_size, metric_prefix="executor.plan_cache"
+        )
         #: Tracing + sink configuration; the shared no-op instance by
         #: default, so an uninstrumented executor allocates no spans and
         #: writes no files.
@@ -448,6 +525,14 @@ class QueryExecutor:
         )
 
     # -- plan cache ---------------------------------------------------------
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self._plan_cache.hits
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self._plan_cache.misses
 
     @staticmethod
     def _pattern_key(kind: str, pattern: PatternTree) -> Tuple:
@@ -458,20 +543,10 @@ class QueryExecutor:
         return (kind, structure, repr(pattern.condition))
 
     def _plan_lookup(self, key: Tuple) -> Optional[Dict[str, object]]:
-        entry = self._plan_cache.get(key)
-        if entry is not None:
-            self._plan_cache.move_to_end(key)
-            self.plan_cache_hits += 1
-            return entry
-        self.plan_cache_misses += 1
-        return None
+        return self._plan_cache.get(key)
 
     def _plan_store(self, key: Tuple, entry: Dict[str, object]) -> None:
-        if self.plan_cache_size <= 0:
-            return
-        self._plan_cache[key] = entry
-        while len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
+        self._plan_cache.put(key, entry)
 
     def _selection_plan(self, pattern: PatternTree) -> Tuple[Dict[str, object], bool]:
         """The compiled plan for a selection/projection pattern."""
@@ -639,10 +714,6 @@ class QueryExecutor:
         METRICS.counter("executor.docs_scanned").inc(report.docs_scanned)
         METRICS.counter("executor.docs_pruned").inc(report.docs_pruned)
         METRICS.counter("executor.ontology_accesses").inc(report.ontology_accesses)
-        if report.plan_cache_hit:
-            METRICS.counter("executor.plan_cache.hits").inc()
-        else:
-            METRICS.counter("executor.plan_cache.misses").inc()
         if self.observability.record_query(
             kind,
             query=query,
@@ -719,8 +790,16 @@ class QueryExecutor:
         pattern: PatternTree,
         sl_labels: Iterable[int] = (),
         guard: Optional[ResourceGuard] = None,
+        document_keys: Optional[Iterable[str]] = None,
     ) -> ExecutionReport:
-        """Execute a selection query: rewrite -> plan -> XPath -> verify."""
+        """Execute a selection query: rewrite -> plan -> XPath -> verify.
+
+        ``document_keys`` restricts execution to a subset of the
+        collection's documents (intersected with index pruning) — the
+        serving layer's intra-query partitioning runs one selection per
+        contiguous chunk and merges the reports.
+        """
+        restrict = None if document_keys is None else set(document_keys)
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
         tracer = self.observability.tracer()
@@ -739,7 +818,7 @@ class QueryExecutor:
             steps_before = self._guard_steps(guard)
             with tracer.span("plan"):
                 doc_keys, docs_total, docs_scanned, index_used = self._prune(
-                    collection_name, spec, guard
+                    collection_name, spec, guard, restrict=restrict
                 )
                 tracer.annotate(
                     docs_total=docs_total,
@@ -817,11 +896,22 @@ class QueryExecutor:
         collection_name: str,
         spec: PlanSpec,
         guard: Optional[ResourceGuard],
+        restrict: Optional[Set[str]] = None,
     ) -> Tuple[Optional[Set[str]], int, int, bool]:
-        """(document keys or None, docs total, docs scanned, index used)."""
+        """(document keys or None, docs total, docs scanned, index used).
+
+        ``restrict`` further limits the scan to an externally chosen
+        document subset (the serving layer's intra-query partitions);
+        it intersects with whatever the index probes prune to, so a
+        partitioned query scans exactly its slice of the serial
+        candidate set.
+        """
         collection = self.database.get_collection(collection_name)
         docs_total = len(collection)
         if not self.use_index or not spec.prunable:
+            if restrict is not None:
+                keys = {key for key in restrict if key in collection}
+                return keys, docs_total, len(keys), False
             return None, docs_total, docs_total, False
         index = collection.search_index()
         assert index is not None
@@ -831,7 +921,62 @@ class QueryExecutor:
             guard,
             self.context.seo if self.context is not None else None,
         )
+        if restrict is not None:
+            doc_keys &= restrict
         return doc_keys, docs_total, len(doc_keys), True
+
+    def candidate_documents(
+        self,
+        collection_name: str,
+        pattern: PatternTree,
+        guard: Optional[ResourceGuard] = None,
+    ) -> List[str]:
+        """The document keys a selection over ``pattern`` would scan.
+
+        Runs only the rewrite + planner phases (no XPath, no
+        verification) and returns the candidate keys in collection
+        insertion order — the order the scan visits them.  The serving
+        layer partitions this list into contiguous chunks; executing the
+        query per chunk and concatenating preserves the serial result
+        order.
+        """
+        plan, _ = self._selection_plan(pattern)
+        spec: PlanSpec = plan["spec"]  # type: ignore[assignment]
+        doc_keys, _total, _scanned, _used = self._prune(
+            collection_name, spec, guard
+        )
+        collection = self.database.get_collection(collection_name)
+        if doc_keys is None:
+            return list(collection.keys())
+        return [key for key in collection.keys() if key in doc_keys]
+
+    def join_candidate_documents(
+        self,
+        left_collection: str,
+        right_collection: str,
+        pattern: PatternTree,
+        guard: Optional[ResourceGuard] = None,
+    ) -> List[str]:
+        """The *left-side* document keys a join over ``pattern`` would scan.
+
+        The left side is the partitionable one (the product iterates it
+        in collection order, so contiguous left chunks concatenate to
+        the serial product order); keys are returned in collection
+        insertion order.
+        """
+        root_children = pattern.children(pattern.root)
+        if len(root_children) != 2:
+            raise QueryExecutionError(
+                "a join pattern needs exactly two subtrees under the product root"
+            )
+        plan, _ = self._join_plan(pattern, root_children)
+        left_keys, _right, _total, _scanned, _used = self._prune_join(
+            left_collection, right_collection, plan, guard
+        )
+        collection = self.database.get_collection(left_collection)
+        if left_keys is None:
+            return list(collection.keys())
+        return [key for key in collection.keys() if key in left_keys]
 
     def projection(
         self,
@@ -839,8 +984,10 @@ class QueryExecutor:
         pattern: PatternTree,
         pl: Sequence[tax_algebra.ProjectionEntry],
         guard: Optional[ResourceGuard] = None,
+        document_keys: Optional[Iterable[str]] = None,
     ) -> ExecutionReport:
         """Execute a projection query through the same pipeline."""
+        restrict = None if document_keys is None else set(document_keys)
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
         tracer = self.observability.tracer()
@@ -859,7 +1006,7 @@ class QueryExecutor:
             steps_before = self._guard_steps(guard)
             with tracer.span("plan"):
                 doc_keys, docs_total, docs_scanned, index_used = self._prune(
-                    collection_name, spec, guard
+                    collection_name, spec, guard, restrict=restrict
                 )
                 tracer.annotate(
                     docs_total=docs_total,
@@ -938,6 +1085,7 @@ class QueryExecutor:
         pattern: PatternTree,
         sl_labels: Iterable[int] = (),
         guard: Optional[ResourceGuard] = None,
+        document_keys: Optional[Iterable[str]] = None,
     ) -> ExecutionReport:
         """Execute a join: per-side XPath prefilter, then product+selection.
 
@@ -946,12 +1094,18 @@ class QueryExecutor:
         matching the left collection (Example 13's Figure 14 shape).
         Cross-side conditions (e.g. ``title:1 ~ title:2``) are evaluated in
         the verification phase.
+
+        ``document_keys`` restricts the *left* collection's documents
+        (the side the serving layer partitions); the right side is
+        evaluated in full by every partition, since the product pairs
+        each left document with all right documents.
         """
         root_children = pattern.children(pattern.root)
         if len(root_children) != 2:
             raise QueryExecutionError(
                 "a join pattern needs exactly two subtrees under the product root"
             )
+        restrict = None if document_keys is None else set(document_keys)
         guard = self._start_guard(guard)
         accesses_before = self._accesses()
         tracer = self.observability.tracer()
@@ -971,7 +1125,13 @@ class QueryExecutor:
             steps_before = self._guard_steps(guard)
             with tracer.span("plan"):
                 left_keys, right_keys, docs_total, docs_scanned, index_used = (
-                    self._prune_join(left_collection, right_collection, plan, guard)
+                    self._prune_join(
+                        left_collection,
+                        right_collection,
+                        plan,
+                        guard,
+                        left_restrict=restrict,
+                    )
                 )
                 tracer.annotate(
                     docs_total=docs_total,
@@ -1125,12 +1285,21 @@ class QueryExecutor:
         right_collection: str,
         plan: Dict[str, object],
         guard: Optional[ResourceGuard],
+        left_restrict: Optional[Set[str]] = None,
     ) -> Tuple[Optional[Set[str]], Optional[Set[str]], int, int, bool]:
-        """Per-side + cross-side pruning for a join plan."""
+        """Per-side + cross-side pruning for a join plan.
+
+        ``left_restrict`` limits the left (partitioned) side to an
+        externally chosen document subset; the right side is always
+        evaluated in full, since every left document joins against it.
+        """
         left = self.database.get_collection(left_collection)
         right = self.database.get_collection(right_collection)
         docs_total = len(left) + len(right)
         if not self.use_index or not plan["prunable"]:
+            if left_restrict is not None:
+                keys = {key for key in left_restrict if key in left}
+                return keys, None, docs_total, len(keys) + len(right), False
             return None, None, docs_total, docs_total, False
         sides = plan["sides"]  # type: ignore[assignment]
         seo = self.context.seo if self.context is not None else None
@@ -1157,10 +1326,15 @@ class QueryExecutor:
                 cross_right if right_keys is None else right_keys & cross_right
             )
 
+        index_used = left_keys is not None or right_keys is not None
+        if left_restrict is not None:
+            if left_keys is None:
+                left_keys = {key for key in left_restrict if key in left}
+            else:
+                left_keys &= left_restrict
         docs_scanned = (len(left_keys) if left_keys is not None else len(left)) + (
             len(right_keys) if right_keys is not None else len(right)
         )
-        index_used = left_keys is not None or right_keys is not None
         return left_keys, right_keys, docs_total, docs_scanned, index_used
 
     def _similarity_join_pairs(

@@ -191,3 +191,40 @@ class IllTypedConditionError(TossError):
 
 class QueryExecutionError(TossError):
     """The query executor failed to translate or run a query."""
+
+
+# ---------------------------------------------------------------------------
+# Query serving (repro.serving)
+# ---------------------------------------------------------------------------
+
+
+class ServingError(TossError):
+    """Base class for errors raised by the query-serving layer."""
+
+
+class ServerOverloadedError(ServingError):
+    """The server's bounded admission queue rejected a submission.
+
+    Attributes
+    ----------
+    pending, limit:
+        Work already admitted and the configured ``max_pending`` cap.
+    """
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"server admission queue is full ({pending} pending, "
+            f"limit {limit}); retry later or raise max_pending"
+        )
+        self.pending = pending
+        self.limit = limit
+
+
+class SnapshotStaleError(ServingError):
+    """The served snapshot no longer matches the live system.
+
+    Raised when a collection changed (documents added, replaced or
+    removed — detected through the collection generation counters) after
+    the worker pool snapshotted the system.  Call
+    :meth:`~repro.serving.server.QueryServer.refresh` to re-snapshot.
+    """

@@ -206,6 +206,45 @@ class MetricsRegistry:
         """Human-readable one-line-per-metric rendering (for the CLI)."""
         return render_snapshot_text(self.snapshot())
 
+    def absorb(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Accumulate a :meth:`snapshot`-shaped payload into the live
+        instruments (counters and histograms add, gauges take the
+        snapshot's value).
+
+        This is how per-query worker metrics reach the parent process:
+        each serving worker snapshots and resets its own registry after
+        a query, and the parent absorbs the delta — the merged registry
+        then reads as if the work had run in-process.  Entries whose
+        type or histogram bounds conflict with an existing instrument
+        are skipped (never raised — worker payloads must not be able to
+        wedge the parent).
+        """
+        if not self.enabled:
+            return
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            try:
+                if kind == "counter":
+                    self.counter(name).inc(entry.get("value", 0))
+                elif kind == "gauge":
+                    self.gauge(name).set(entry.get("value", 0))
+                elif kind == "histogram":
+                    bounds = tuple(entry.get("bounds", ()))
+                    histogram = self.histogram(name, bounds or DEFAULT_TIME_BUCKETS)
+                    if histogram.bounds != tuple(
+                        sorted(float(b) for b in bounds)
+                    ):
+                        continue
+                    counts = entry.get("counts", ())
+                    if len(counts) != len(histogram.counts):
+                        continue
+                    for index, count in enumerate(counts):
+                        histogram.counts[index] += count
+                    histogram.sum += entry.get("sum", 0.0)
+                    histogram.count += entry.get("count", 0)
+            except (TypeError, ValueError):
+                continue
+
 
 def render_snapshot_text(snapshot: Dict[str, Dict[str, Any]]) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` payload as aligned text."""

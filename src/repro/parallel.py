@@ -151,6 +151,53 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def remaining_budget(
+    guard: Optional[ResourceGuard],
+) -> Tuple[Optional[float], Optional[int]]:
+    """(remaining deadline seconds, remaining step budget) of a guard.
+
+    The cooperative cross-process guard protocol: a parent guard cannot
+    be shared with workers, so each worker gets a fresh guard carrying
+    the parent's *remaining* wall-clock and step budget at dispatch
+    time.  Returns ``(None, None)`` components for disabled limits.
+    """
+    deadline: Optional[float] = None
+    steps: Optional[int] = None
+    if guard is not None:
+        if guard.deadline_seconds is not None:
+            deadline = max(0.0, guard.deadline_seconds - guard.elapsed)
+        if guard.max_steps is not None:
+            steps = max(0, guard.max_steps - guard.steps)
+    return deadline, steps
+
+
+def absorb_worker_steps(
+    guard: Optional[ResourceGuard],
+    stage_totals: Mapping[str, int],
+    total_steps: int,
+    what: str,
+) -> None:
+    """Tick a parent guard with the steps its workers consumed.
+
+    Preserves the serial accounting: a budget the pool collectively
+    exceeded still raises, and downstream phases see the true count.
+    The workers' per-stage attribution survives the merge — each stage
+    label is ticked with its own total (the labels sum to
+    ``total_steps`` by the guard's invariant), falling back to ``what``
+    for any steps a stage dict did not account for.
+    """
+    if guard is None or not total_steps:
+        return
+    accounted = 0
+    for stage in sorted(stage_totals):
+        steps = stage_totals[stage]
+        if steps:
+            guard.tick(steps, what=stage)
+            accounted += steps
+    if accounted < total_steps:
+        guard.tick(total_steps - accounted, what=what)
+
+
 def _compute_edge_blocks(payload: dict) -> dict:
     """Worker entry point: compute the edges of the assigned blocks.
 
@@ -243,13 +290,7 @@ def parallel_group_edges(
     assignments = partition_blocks(
         {gid: len(reps) for gid, reps in group_lists.items()}, workers
     )
-    deadline_remaining: Optional[float] = None
-    step_budget: Optional[int] = None
-    if guard is not None:
-        if guard.deadline_seconds is not None:
-            deadline_remaining = max(0.0, guard.deadline_seconds - guard.elapsed)
-        if guard.max_steps is not None:
-            step_budget = max(0, guard.max_steps - guard.steps)
+    deadline_remaining, step_budget = remaining_budget(guard)
     payloads = []
     for worker_blocks in assignments:
         if not worker_blocks:
@@ -318,20 +359,5 @@ def parallel_group_edges(
     run_stats.blocks = len(merged)
     METRICS.counter("parallel.blocks").inc(run_stats.blocks)
 
-    # Preserve the serial accounting: the parent's guard absorbs the
-    # total steps the workers consumed, so a budget the pool collectively
-    # exceeded still raises (and downstream phases see the true count).
-    # The workers' per-stage attribution survives the merge: each stage
-    # label is ticked with its own total (the labels sum to total_steps
-    # by the guard's invariant), falling back to the pool's ``what`` for
-    # any steps a stage dict did not account for.
-    if guard is not None and total_steps:
-        accounted = 0
-        for stage in sorted(stage_totals):
-            steps = stage_totals[stage]
-            if steps:
-                guard.tick(steps, what=stage)
-                accounted += steps
-        if accounted < total_steps:
-            guard.tick(total_steps - accounted, what=what)
+    absorb_worker_steps(guard, stage_totals, total_steps, what)
     return edges_by_group, run_stats

@@ -1,0 +1,58 @@
+"""Concurrent query serving: worker pools, batch execution, partitioning.
+
+The ROADMAP's north star is a system that "serves heavy traffic" — yet
+the executor (like the paper's prototype) runs one query at a time in
+one process.  This package adds the serving tier on top of the
+unchanged execution pipeline:
+
+:class:`~repro.serving.snapshot.SystemSnapshot`
+    An immutable capture of a built :class:`~repro.core.system.TossSystem`
+    for worker processes — shared copy-on-write under ``fork``, shipped
+    as a plain-data payload (documents + SEOs) on spawn-only platforms.
+    Snapshots know when they are stale (collection generation counters).
+
+:class:`~repro.serving.pool.WorkerPool`
+    A pool of long-lived worker processes, each holding the snapshot
+    and answering textual queries; failures cross the process boundary
+    as typed markers, never raw exceptions.
+
+:class:`~repro.serving.server.QueryServer` / :func:`execute_many`
+    Batch execution with a bounded admission queue, per-query deadlines
+    derived from :class:`~repro.guard.ResourceGuard` budgets, worker
+    span/metrics merge into the parent's observability, and snapshot
+    staleness checks on every submission.
+
+:func:`~repro.serving.partition.execute_partitioned`
+    Intra-query parallelism: one large selection or join is split over
+    the post-planner candidate document set into contiguous chunks, one
+    per worker, and the partial :class:`~repro.core.executor.ExecutionReport`
+    objects merge deterministically back into the serial result.
+
+Everything here is result-preserving: batch and partitioned execution
+return bit-identical results, in identical order, to serial execution —
+the property suite in ``tests/property/test_serving_equivalence.py``
+holds the layer to that.
+"""
+
+from .partition import execute_partitioned, partition_document_keys
+from .pool import WorkerPool
+from .server import (
+    GuardSpec,
+    QueryOutcome,
+    QueryRequest,
+    QueryServer,
+    execute_many,
+)
+from .snapshot import SystemSnapshot
+
+__all__ = [
+    "GuardSpec",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryServer",
+    "SystemSnapshot",
+    "WorkerPool",
+    "execute_many",
+    "execute_partitioned",
+    "partition_document_keys",
+]

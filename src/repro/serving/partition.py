@@ -1,0 +1,217 @@
+"""Intra-query parallelism: partition one query's candidate scan.
+
+The verify stage dominates large selections and joins (every candidate
+document is run through XPath and witness-tree conversion), and it is
+embarrassingly parallel across documents.  This module splits the
+**post-planner candidate document set** — the keys that survive index
+pruning, in collection insertion order — into contiguous chunks, ships
+one chunk per worker as the executor's ``document_keys`` restriction,
+and merges the partial :class:`~repro.core.executor.ExecutionReport`
+objects back with :meth:`ExecutionReport.merge`.
+
+Identity with serial execution is structural, not statistical:
+
+* the chunks are contiguous slices of the serial scan order, so
+  concatenating per-chunk results in chunk order reproduces the serial
+  result sequence (joins partition the *left* collection only — the
+  product is left-major, so left-contiguous chunks stay order-safe);
+* :meth:`ExecutionReport.merge` re-applies the order-preserving dedupe,
+  catching duplicates that serial execution would have collapsed across
+  a chunk boundary;
+* the parent guard is started before planning, each worker receives the
+  remaining budget at dispatch, and the workers' consumed steps are
+  ticked back into the parent guard — a budget the partitions
+  collectively exceed raises exactly like serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.executor import ExecutionReport
+from ..errors import ServingError, SnapshotStaleError, TossError
+from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
+from ..parallel import absorb_worker_steps, remaining_budget
+from .pool import WorkerPool, reconstruct_failure
+
+
+def partition_document_keys(
+    keys: Sequence[str], jobs: int
+) -> List[List[str]]:
+    """Split ``keys`` into at most ``jobs`` contiguous, balanced chunks.
+
+    Deterministic: the first ``len(keys) % jobs`` chunks get one extra
+    key.  Never returns an empty chunk — fewer keys than jobs yields
+    fewer chunks.  Concatenating the chunks reproduces ``keys`` exactly.
+    """
+    if jobs < 1:
+        raise ServingError(f"jobs must be >= 1, got {jobs}")
+    keys = list(keys)
+    jobs = min(jobs, len(keys))
+    if jobs <= 1:
+        return [keys] if keys else []
+    base, extra = divmod(len(keys), jobs)
+    chunks: List[List[str]] = []
+    start = 0
+    for index in range(jobs):
+        size = base + (1 if index < extra else 0)
+        chunks.append(keys[start : start + size])
+        start += size
+    return chunks
+
+
+def _candidate_keys(
+    system,
+    collection: str,
+    query: str,
+    right_collection: Optional[str],
+    guard: Optional[ResourceGuard],
+) -> List[str]:
+    """The query's post-planner candidate document keys, in scan order."""
+    from ..core.parser import parse_query
+
+    executor, _degraded = system._query_executor()
+    parsed = parse_query(query)
+    if len(parsed.roots) == 1:
+        return executor.candidate_documents(collection, parsed.pattern, guard=guard)
+    if len(parsed.roots) == 2:
+        if right_collection is None:
+            raise TossError("a two-element query is a join; pass right_collection=")
+        return executor.join_candidate_documents(
+            collection, right_collection, parsed.pattern, guard=guard
+        )
+    raise TossError("queries must have one or two top-level elements")
+
+
+def execute_partitioned(
+    system,
+    pool: WorkerPool,
+    collection: str,
+    query: str,
+    sl_variables: Iterable[str] = (),
+    right_collection: Optional[str] = None,
+    jobs: Optional[int] = None,
+    guard: Optional[ResourceGuard] = None,
+) -> ExecutionReport:
+    """Run one textual query with its candidate scan split across ``pool``.
+
+    The parent plans (rewrite + index probes) once to obtain the
+    candidate set, partitions it into at most ``jobs`` (default: the
+    pool width) contiguous chunks, and executes the chunks concurrently.
+    Returns a merged report whose results are bit-identical to — and in
+    the same order as — serial execution of the same query.
+
+    With fewer than two non-empty chunks the query simply runs serially
+    in-process: partitioning never changes results, only wall-clock.
+    """
+    if pool.snapshot.stale(system):
+        raise SnapshotStaleError(
+            "the worker pool's snapshot no longer matches the live system; "
+            "re-snapshot before partitioned execution"
+        )
+    jobs = jobs if jobs is not None else pool.workers
+    if jobs < 1:
+        raise ServingError(f"jobs must be >= 1, got {jobs}")
+    guard = guard if guard is not None else system.guard
+    if guard is not None:
+        guard.start()
+    started = time.perf_counter()
+    keys = _candidate_keys(system, collection, query, right_collection, guard)
+    chunks = partition_document_keys(keys, jobs)
+    if len(chunks) < 2:
+        report = system.query(
+            collection,
+            query,
+            sl_variables=sl_variables,
+            right_collection=right_collection,
+            document_keys=chunks[0] if chunks else [],
+        )
+        return report
+
+    deadline, steps = remaining_budget(guard)
+    max_results = guard.max_results if guard is not None else None
+    collect_metrics = METRICS.enabled
+    trace_workers = bool(
+        system.observability.enabled and system.observability.trace_enabled
+    )
+    tasks: List[Dict[str, Any]] = [
+        {
+            "query": query,
+            "collection": collection,
+            "sl_variables": tuple(sl_variables),
+            "right_collection": right_collection,
+            "document_keys": chunk,
+            "guard": (deadline, steps, max_results),
+            "collect_metrics": collect_metrics,
+            "trace": trace_workers,
+        }
+        for chunk in chunks
+    ]
+    outcomes = pool.run_batch(tasks)
+
+    # Guard accounting first: the parent ticks the workers' consumed
+    # steps (and hits the collective budget) even when a chunk failed.
+    stage_totals: Dict[str, int] = {}
+    total_steps = 0
+    for outcome in outcomes:
+        total_steps += outcome.get("steps", 0)
+        for stage, count in outcome.get("stage_steps", {}).items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + count
+    for outcome in outcomes:
+        failure = outcome.get("failure")
+        if failure is not None:
+            raise reconstruct_failure(failure)
+    absorb_worker_steps(guard, stage_totals, total_steps, "partitioned query")
+
+    for outcome in outcomes:
+        metrics = outcome.get("metrics")
+        if metrics:
+            METRICS.absorb(metrics)
+
+    partials = [
+        ExecutionReport.from_dict(outcome["report"]) for outcome in outcomes
+    ]
+    merged = ExecutionReport.merge(partials)
+    if guard is not None:
+        guard.check_results(len(merged.results))
+
+    tracer = system.observability.tracer()
+    with tracer.trace(
+        "query.partitioned",
+        collection=collection,
+        partitions=len(chunks),
+        candidates=len(keys),
+        workers=pool.workers,
+    ):
+        for index, (chunk, outcome) in enumerate(zip(chunks, outcomes)):
+            tracer.record_span(
+                f"partition[{index}]",
+                outcome.get("seconds", 0.0),
+                attributes={"documents": len(chunk)},
+                children=(
+                    [outcome["report"]["trace"]]
+                    if outcome["report"].get("trace")
+                    else None
+                ),
+            )
+    merged.trace = tracer.finish()
+
+    elapsed = time.perf_counter() - started
+    METRICS.counter("serving.partitioned_queries").inc()
+    METRICS.counter("serving.partitions").inc(len(chunks))
+    METRICS.histogram("serving.partitioned_seconds").observe(elapsed)
+    system.observability.record_query(
+        "query.partitioned",
+        query=query,
+        total_seconds=elapsed,
+        trace=merged.trace,
+        extra={
+            "collection": collection,
+            "partitions": len(chunks),
+            "candidates": len(keys),
+            "results": len(merged.results),
+        },
+    )
+    return merged

@@ -1,0 +1,219 @@
+"""Long-lived worker processes answering queries from a snapshot.
+
+Workers are plain ``multiprocessing.Pool`` processes initialized once
+with the system snapshot (inherited copy-on-write under fork, rebuilt
+from the payload under spawn) and reused for every query after that —
+the per-query cost is one small task dict and one report dict, never a
+re-load of the system.
+
+The cross-process discipline mirrors :mod:`repro.parallel`:
+
+* exceptions never cross the boundary raw — a worker returns a typed
+  failure marker and the parent reconstructs the matching
+  :class:`~repro.errors.ReproError` subclass deterministically;
+* guards are cooperative — each task carries the remaining
+  deadline/step/result budget and the parent re-ticks its own guard
+  with the steps the workers consumed;
+* observability is plain data — a worker returns its span tree and a
+  metrics-registry snapshot (then resets its registry, so consecutive
+  snapshots are deltas), and the parent re-attaches/absorbs them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional
+
+from .. import errors as _errors
+from ..errors import (
+    QueryTimeoutError,
+    ReproError,
+    ResourceExhaustedError,
+    ServingError,
+)
+from ..guard import ResourceGuard
+from ..obs import NULL_OBSERVABILITY, Observability
+from ..obs.metrics import REGISTRY as METRICS
+from .snapshot import FORK, SystemSnapshot, restore_payload
+
+#: Worker-process state: the restored/inherited system, set by the
+#: pool initializer (one system per worker process).
+_WORKER: Dict[str, Any] = {"system": None}
+
+#: Parent-side handoff for fork pools: the initializer in a forked child
+#: reads the live system from here (inherited through copy-on-write).
+_FORK_SYSTEM: Any = None
+
+
+def _initialize_worker(mode: str, payload: Optional[Dict[str, Any]]) -> None:
+    """Pool initializer: install the snapshot system in this process."""
+    if mode == FORK:
+        system = _FORK_SYSTEM
+    else:
+        system = restore_payload(payload)
+    # Workers never write sink files and start from a clean registry:
+    # their metrics travel back to the parent as snapshot deltas.
+    system.set_observability(NULL_OBSERVABILITY)
+    METRICS.reset()
+    _WORKER["system"] = system
+
+
+def _guard_from_task(task: Dict[str, Any]) -> Optional[ResourceGuard]:
+    spec = task.get("guard")
+    if not spec:
+        return None
+    deadline, max_steps, max_results = spec
+    if deadline is None and max_steps is None and max_results is None:
+        return None
+    return ResourceGuard(
+        deadline_seconds=deadline, max_results=max_results, max_steps=max_steps
+    )
+
+
+def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: execute one textual query from the snapshot.
+
+    Returns ``{"report": ..., "seconds": ..., "steps": ...,
+    "stage_steps": ..., "metrics": ...}`` on success or a failure marker
+    ``{"failure": (kind, ...), "seconds": ...}`` when the guard trips or
+    the query errors.
+    """
+    system = _WORKER["system"]
+    if system is None:  # pragma: no cover - initializer always runs first
+        return {"failure": ("error", "ServingError", "worker not initialized")}
+    guard = _guard_from_task(task)
+    if task.get("trace"):
+        system.set_observability(Observability(enabled=True))
+    else:
+        system.set_observability(NULL_OBSERVABILITY)
+    executor, _degraded = system._query_executor()
+    previous_guard = executor.guard
+    executor.guard = guard
+    started = time.perf_counter()
+    try:
+        report = system.query(
+            task["collection"],
+            task["query"],
+            sl_variables=tuple(task.get("sl_variables", ())),
+            right_collection=task.get("right_collection"),
+            document_keys=task.get("document_keys"),
+        )
+    except QueryTimeoutError as exc:
+        return {
+            "failure": ("timeout", task["query"], exc.deadline, exc.elapsed),
+            "seconds": time.perf_counter() - started,
+            "steps": guard.steps if guard is not None else 0,
+            "stage_steps": guard.stage_steps if guard is not None else {},
+        }
+    except ResourceExhaustedError as exc:
+        return {
+            "failure": ("exhausted", str(exc)),
+            "seconds": time.perf_counter() - started,
+            "steps": guard.steps if guard is not None else 0,
+            "stage_steps": guard.stage_steps if guard is not None else {},
+        }
+    except ReproError as exc:
+        return {
+            "failure": ("error", type(exc).__name__, str(exc)),
+            "seconds": time.perf_counter() - started,
+            "steps": guard.steps if guard is not None else 0,
+            "stage_steps": guard.stage_steps if guard is not None else {},
+        }
+    finally:
+        executor.guard = previous_guard
+    outcome = {
+        "report": report.to_dict(include_results=True),
+        "seconds": time.perf_counter() - started,
+        "steps": guard.steps if guard is not None else 0,
+        "stage_steps": guard.stage_steps if guard is not None else {},
+    }
+    if task.get("collect_metrics"):
+        outcome["metrics"] = METRICS.snapshot()
+        METRICS.reset()
+    return outcome
+
+
+def reconstruct_failure(failure) -> ReproError:
+    """The parent-side exception for a worker failure marker."""
+    kind = failure[0]
+    if kind == "timeout":
+        return QueryTimeoutError(
+            f"query {failure[1]!r}", float(failure[2]), float(failure[3])
+        )
+    if kind == "exhausted":
+        return ResourceExhaustedError(failure[1])
+    # Generic: restore the original class by name when it is a known
+    # single-message ReproError, else wrap in ServingError.
+    name, message = failure[1], failure[2]
+    exc_class = getattr(_errors, name, None)
+    if isinstance(exc_class, type) and issubclass(exc_class, ReproError):
+        try:
+            return exc_class(message)
+        except TypeError:
+            pass
+    return ServingError(f"worker query failed ({name}): {message}")
+
+
+class WorkerPool:
+    """A persistent pool of query workers over one system snapshot."""
+
+    def __init__(self, snapshot: SystemSnapshot, workers: int) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self.snapshot = snapshot
+        self.workers = workers
+        # The snapshot mode picks the *transport* (inheritance vs payload);
+        # the start method is always fork where the platform has it — a
+        # pickle snapshot under fork still exercises the payload path,
+        # which is how the fallback is tested on fork platforms.
+        start_method = (
+            FORK if FORK in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        context = multiprocessing.get_context(start_method)
+        if snapshot.mode == FORK:
+            # Workers fork at Pool() construction, inheriting the live
+            # system via this module global (copy-on-write).
+            global _FORK_SYSTEM
+            _FORK_SYSTEM = snapshot.system
+            try:
+                self._pool = context.Pool(
+                    processes=workers,
+                    initializer=_initialize_worker,
+                    initargs=(snapshot.mode, None),
+                )
+            finally:
+                _FORK_SYSTEM = None
+        else:
+            self._pool = context.Pool(
+                processes=workers,
+                initializer=_initialize_worker,
+                initargs=(snapshot.mode, snapshot.payload),
+            )
+        self._closed = False
+
+    def run_batch(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Execute ``tasks`` across the pool, outcomes in task order."""
+        if self._closed:
+            raise ServingError("the worker pool is closed")
+        return self._pool.map(run_query_task, tasks)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.terminate()
+            self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"WorkerPool({self.workers} workers, {self.snapshot.mode} "
+            f"snapshot, {state})"
+        )

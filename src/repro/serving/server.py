@@ -1,0 +1,360 @@
+"""The query server: batch execution over a persistent worker pool.
+
+:class:`QueryServer` owns one :class:`~repro.serving.snapshot.SystemSnapshot`
+and one :class:`~repro.serving.pool.WorkerPool` for its whole lifetime —
+the system is loaded/built once and every batch after that pays only the
+per-query dispatch cost.  Submissions pass three gates before any worker
+sees them:
+
+1. **staleness** — the live database's generation signature must still
+   match the snapshot's (:class:`~repro.errors.SnapshotStaleError`
+   otherwise; :meth:`QueryServer.refresh` re-snapshots);
+2. **admission** — a batch larger than ``max_pending`` is rejected with
+   :class:`~repro.errors.ServerOverloadedError` before consuming worker
+   time, the standard bounded-queue back-pressure discipline;
+3. **budget** — every query carries a :class:`GuardSpec` (its own, or
+   the server default derived from the system's guard), enforced by a
+   fresh :class:`~repro.guard.ResourceGuard` inside the worker.
+
+Batch execution never raises for a query's own failure: each query
+yields a :class:`QueryOutcome` carrying either the report or the
+reconstructed error, so one poisoned query cannot take down the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.executor import ExecutionReport
+from ..errors import ReproError, ServerOverloadedError, ServingError, SnapshotStaleError
+from ..guard import ResourceGuard
+from ..obs.metrics import REGISTRY as METRICS
+from .partition import execute_partitioned
+from .pool import WorkerPool, reconstruct_failure
+from .snapshot import SystemSnapshot
+
+#: Default admission bound for one batch.
+DEFAULT_MAX_PENDING = 128
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """A picklable description of a per-query resource budget."""
+
+    deadline_seconds: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_results: Optional[int] = None
+
+    @classmethod
+    def from_guard(cls, guard: Optional[ResourceGuard]) -> Optional["GuardSpec"]:
+        """The spec matching ``guard``'s configured limits (None -> None)."""
+        if guard is None:
+            return None
+        return cls(
+            deadline_seconds=guard.deadline_seconds,
+            max_steps=guard.max_steps,
+            max_results=guard.max_results,
+        )
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.deadline_seconds is None
+            and self.max_steps is None
+            and self.max_results is None
+        )
+
+    def build(self) -> Optional[ResourceGuard]:
+        """A fresh guard enforcing this spec (None when unlimited)."""
+        if self.unlimited:
+            return None
+        return ResourceGuard(
+            deadline_seconds=self.deadline_seconds,
+            max_results=self.max_results,
+            max_steps=self.max_steps,
+        )
+
+    def as_tuple(self) -> Tuple[Optional[float], Optional[int], Optional[int]]:
+        """The ``(deadline, max_steps, max_results)`` task-dict form."""
+        return (self.deadline_seconds, self.max_steps, self.max_results)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query submission: the text plus its routing and budget."""
+
+    query: str
+    collection: Optional[str] = None
+    sl_variables: Tuple[str, ...] = ()
+    right_collection: Optional[str] = None
+    #: Per-query budget; None inherits the server default.
+    guard: Optional[GuardSpec] = None
+    #: Workers to partition this query's candidate scan across
+    #: (1 = no intra-query parallelism; only :meth:`QueryServer.execute`
+    #: honours values above 1).
+    jobs: int = 1
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one query of a batch: a report or an error."""
+
+    request: QueryRequest
+    report: Optional[ExecutionReport] = None
+    error: Optional[ReproError] = None
+    #: Worker-measured execution seconds (0.0 when never dispatched).
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_for_error(self) -> "QueryOutcome":
+        """Raise the captured error, if any; returns self otherwise."""
+        if self.error is not None:
+            raise self.error
+        return self
+
+
+class QueryServer:
+    """A persistent serving front-end over one built system.
+
+    Parameters
+    ----------
+    system:
+        A built (or explicitly degraded) :class:`~repro.core.system.TossSystem`.
+    workers:
+        Worker-process count for the pool.
+    max_pending:
+        Admission bound: the largest batch :meth:`execute_many` accepts.
+    default_guard:
+        Budget applied to requests that carry none; defaults to the
+        system's own guard configuration.
+    snapshot_mode:
+        ``"fork"`` / ``"pickle"`` override (default: platform best).
+    default_collection:
+        Collection for requests that name none (e.g. plain-string
+        queries).
+    """
+
+    def __init__(
+        self,
+        system,
+        workers: int = 1,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        default_guard: Optional[GuardSpec] = None,
+        snapshot_mode: Optional[str] = None,
+        default_collection: Optional[str] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ServingError(f"max_pending must be >= 1, got {max_pending}")
+        self.system = system
+        self.workers = workers
+        self.max_pending = max_pending
+        self.default_collection = default_collection
+        self.default_guard = (
+            default_guard
+            if default_guard is not None
+            else GuardSpec.from_guard(system.guard)
+        )
+        self._snapshot_mode = snapshot_mode
+        self.snapshot = SystemSnapshot.capture(system, mode=snapshot_mode)
+        self.pool = WorkerPool(self.snapshot, workers)
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-snapshot the (possibly mutated) system into a fresh pool."""
+        self._ensure_open()
+        old_pool = self.pool
+        self.snapshot = SystemSnapshot.capture(self.system, mode=self._snapshot_mode)
+        self.pool = WorkerPool(self.snapshot, self.workers)
+        old_pool.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.pool.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServingError("the query server is closed")
+
+    def _check_fresh(self) -> None:
+        if self.snapshot.stale(self.system):
+            raise SnapshotStaleError(
+                "the live system changed since the server snapshotted it; "
+                "call refresh() to serve the new state"
+            )
+
+    # -- execution ----------------------------------------------------------
+
+    def _normalize(
+        self, query: Union[str, QueryRequest]
+    ) -> QueryRequest:
+        if isinstance(query, str):
+            query = QueryRequest(query=query)
+        if query.collection is None:
+            if self.default_collection is None:
+                raise ServingError(
+                    f"request {query.query!r} names no collection and the "
+                    "server has no default_collection"
+                )
+            query = QueryRequest(
+                query=query.query,
+                collection=self.default_collection,
+                sl_variables=query.sl_variables,
+                right_collection=query.right_collection,
+                guard=query.guard,
+                jobs=query.jobs,
+            )
+        return query
+
+    def _task(self, request: QueryRequest, collect_metrics: bool) -> Dict[str, Any]:
+        spec = request.guard if request.guard is not None else self.default_guard
+        return {
+            "query": request.query,
+            "collection": request.collection,
+            "sl_variables": tuple(request.sl_variables),
+            "right_collection": request.right_collection,
+            "document_keys": None,
+            "guard": spec.as_tuple() if spec is not None else None,
+            "collect_metrics": collect_metrics,
+            "trace": bool(
+                self.system.observability.enabled
+                and self.system.observability.trace_enabled
+            ),
+        }
+
+    def execute_many(
+        self, queries: Iterable[Union[str, QueryRequest]]
+    ) -> List[QueryOutcome]:
+        """Execute a batch across the pool; one outcome per query, in
+        submission order.  Per-query failures are captured in their
+        outcome, never raised."""
+        self._ensure_open()
+        self._check_fresh()
+        requests = [self._normalize(query) for query in queries]
+        if len(requests) > self.max_pending:
+            raise ServerOverloadedError(len(requests), self.max_pending)
+        if not requests:
+            return []
+        collect_metrics = METRICS.enabled
+        started = time.perf_counter()
+        METRICS.gauge("serving.queue_depth").set(len(requests))
+        try:
+            raw = self.pool.run_batch(
+                [self._task(request, collect_metrics) for request in requests]
+            )
+        finally:
+            METRICS.gauge("serving.queue_depth").set(0)
+        batch_seconds = time.perf_counter() - started
+
+        outcomes: List[QueryOutcome] = []
+        tracer = self.system.observability.tracer()
+        with tracer.trace("serving.batch", queries=len(requests), workers=self.workers):
+            for index, (request, entry) in enumerate(zip(requests, raw)):
+                seconds = float(entry.get("seconds", 0.0))
+                failure = entry.get("failure")
+                if failure is not None:
+                    outcome = QueryOutcome(
+                        request=request,
+                        error=reconstruct_failure(failure),
+                        seconds=seconds,
+                    )
+                else:
+                    report = ExecutionReport.from_dict(entry["report"])
+                    outcome = QueryOutcome(
+                        request=request, report=report, seconds=seconds
+                    )
+                outcomes.append(outcome)
+                metrics = entry.get("metrics")
+                if metrics:
+                    METRICS.absorb(metrics)
+                trace_payload = (
+                    entry["report"].get("trace") if failure is None else None
+                )
+                tracer.record_span(
+                    f"query[{index}]",
+                    seconds,
+                    attributes={
+                        "query": request.query,
+                        "ok": failure is None,
+                    },
+                    children=[trace_payload] if trace_payload else None,
+                )
+                METRICS.counter("serving.queries").inc()
+                if failure is not None:
+                    METRICS.counter("serving.query_errors").inc()
+                METRICS.histogram("serving.query_seconds").observe(seconds)
+        batch_trace = tracer.finish()
+
+        METRICS.counter("serving.batches").inc()
+        METRICS.histogram("serving.batch_seconds").observe(batch_seconds)
+        self.system.observability.record_query(
+            "serving.batch",
+            total_seconds=batch_seconds,
+            trace=batch_trace,
+            extra={
+                "queries": len(requests),
+                "errors": sum(1 for outcome in outcomes if not outcome.ok),
+                "workers": self.workers,
+            },
+        )
+        return outcomes
+
+    def execute(self, query: Union[str, QueryRequest]) -> ExecutionReport:
+        """Execute one query and return its report (raising its error).
+
+        Requests with ``jobs > 1`` run with their candidate scan
+        partitioned across the pool
+        (:func:`~repro.serving.partition.execute_partitioned`);
+        otherwise the query runs whole on one worker.
+        """
+        self._ensure_open()
+        request = self._normalize(query)
+        if request.jobs > 1:
+            self._check_fresh()
+            spec = request.guard if request.guard is not None else self.default_guard
+            return execute_partitioned(
+                self.system,
+                self.pool,
+                request.collection,
+                request.query,
+                sl_variables=request.sl_variables,
+                right_collection=request.right_collection,
+                jobs=request.jobs,
+                guard=spec.build() if spec is not None else None,
+            )
+        outcome = self.execute_many([request])[0]
+        outcome.raise_for_error()
+        return outcome.report
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryServer({self.workers} workers, max_pending="
+            f"{self.max_pending}, {self.snapshot.mode} snapshot, {state})"
+        )
+
+
+def execute_many(
+    system,
+    queries: Sequence[Union[str, QueryRequest]],
+    workers: int = 1,
+    **server_kwargs: Any,
+) -> List[QueryOutcome]:
+    """One-shot batch execution: spin up a :class:`QueryServer`, run the
+    batch, tear the pool down.  Prefer a long-lived server when issuing
+    more than one batch — pool start-up costs more than most queries."""
+    with QueryServer(system, workers=workers, **server_kwargs) as server:
+        return server.execute_many(queries)

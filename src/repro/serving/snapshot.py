@@ -1,0 +1,174 @@
+"""Snapshots of a built TossSystem for worker processes.
+
+Two transports, chosen by platform capability:
+
+``fork`` (the default wherever available)
+    The worker pool forks, so every worker shares the parent's built
+    system — database, search indexes, SEOs, compiled caches — through
+    copy-on-write pages.  Nothing is serialized; snapshot capture is
+    O(1).
+
+``pickle`` (spawn-only platforms, or forced for tests)
+    A :class:`TossSystem` is not picklable (its type system carries
+    closures), so the snapshot serializes what a *query* needs — the
+    documents as XML text and the SEOs in their persisted-dict form
+    (:func:`repro.similarity.persistence.seo_to_dict`) — and each
+    worker rebuilds a bare queryable system from that payload, exactly
+    the way :func:`repro.core.persistence.load_system` restores one
+    from disk (ontology re-extraction skipped: the SEOs carry the
+    queried state).
+
+Either way the snapshot records the database's **generation signature**
+(per-collection mutation counters) at capture time; the serving layer
+compares signatures before dispatch and raises
+:class:`~repro.errors.SnapshotStaleError` when the live system has
+moved on, so a pool can never silently answer from outdated data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServingError
+from ..ontology.hierarchy import Ontology
+
+#: Transport modes a snapshot can use.
+FORK = "fork"
+PICKLE = "pickle"
+
+
+def default_mode() -> str:
+    """``fork`` where the platform supports it, else ``pickle``."""
+    return FORK if FORK in multiprocessing.get_all_start_methods() else PICKLE
+
+
+@dataclass
+class SystemSnapshot:
+    """An immutable capture of a built system for worker processes."""
+
+    mode: str
+    #: The live system (parent-side planning and, under fork, the object
+    #: the workers inherit copy-on-write).
+    system: Any
+    #: Database generation signature at capture time.
+    signature: Tuple[Tuple[str, int], ...]
+    #: Plain-data payload for spawn workers (None under fork).
+    payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @classmethod
+    def capture(cls, system, mode: Optional[str] = None) -> "SystemSnapshot":
+        """Snapshot ``system`` for serving.
+
+        The system must be queryable — built, or explicitly degraded to
+        exact matching — since workers answer queries, not builds.
+        """
+        if system.executor is None:
+            raise ServingError("build() the system before serving it")
+        mode = mode if mode is not None else default_mode()
+        if mode not in (FORK, PICKLE):
+            raise ServingError(f"unknown snapshot mode {mode!r}")
+        if mode == FORK and FORK not in multiprocessing.get_all_start_methods():
+            raise ServingError("fork snapshots are unavailable on this platform")
+        payload = cls._build_payload(system) if mode == PICKLE else None
+        return cls(
+            mode=mode,
+            system=system,
+            signature=system.database.generation_signature(),
+            payload=payload,
+        )
+
+    @staticmethod
+    def _build_payload(system) -> Dict[str, Any]:
+        from ..similarity.persistence import seo_to_dict
+        from ..xmldb.serializer import serialize
+
+        if not system.measure.name:
+            raise ServingError(
+                "only registry measures can be pickle-snapshotted; register "
+                "the custom measure with repro.similarity.register_measure "
+                "or serve with fork snapshots"
+            )
+        collections: Dict[str, list] = {}
+        for collection in system.database.collections():
+            collections[collection.name] = [
+                (key, serialize(root)) for key, root in collection.documents()
+            ]
+        seos = None
+        if system.context is not None:
+            seos = {
+                relation: seo_to_dict(seo)
+                for relation, seo in system.context.seos.items()
+            }
+        return {
+            "measure": system.measure.name,
+            "epsilon": system.epsilon,
+            "use_index": system.use_index,
+            "degraded": system.degraded,
+            "collections": collections,
+            "seos": seos,
+        }
+
+    def stale(self, system=None) -> bool:
+        """Whether the (given or captured) system changed since capture."""
+        system = system if system is not None else self.system
+        return system.database.generation_signature() != self.signature
+
+    def restore(self):
+        """Rebuild a bare queryable system from a pickle payload.
+
+        Runs inside spawn workers.  The restored system answers queries
+        identically to the original: same documents in the same
+        collection order, same SEOs, same executor configuration —
+        ontology re-extraction is skipped because queries never consult
+        the raw per-instance ontologies, only the SEOs.
+        """
+        if self.payload is None:
+            raise ServingError("fork snapshots restore by inheritance, not payload")
+        return restore_payload(self.payload)
+
+
+def restore_payload(payload: Dict[str, Any]):
+    """Rebuild a queryable :class:`~repro.core.system.TossSystem` from a
+    :meth:`SystemSnapshot.capture` pickle payload (worker-side)."""
+    from ..core.conditions import SeoConditionContext
+    from ..core.executor import QueryExecutor
+    from ..core.system import TossSystem
+    from ..similarity.persistence import seo_from_dict
+
+    system = TossSystem(
+        measure=payload["measure"],
+        epsilon=float(payload["epsilon"]),
+        use_index=payload["use_index"],
+    )
+    for name, documents in payload["collections"].items():
+        collection = system.database.create_collection(name)
+        for key, text in documents:
+            collection.add_document(key, text)
+    if payload["seos"] is not None:
+        seos = {
+            relation: seo_from_dict(entry)
+            for relation, entry in payload["seos"].items()
+        }
+        isa_seo = seos.get(Ontology.ISA)
+        if isa_seo is None:
+            raise ServingError("snapshot payload lacks an isa SEO")
+        system.context = SeoConditionContext(
+            isa_seo,
+            seos=seos,
+            type_system=system.type_system,
+            typing=system.typing,
+        )
+        system.executor = QueryExecutor(
+            system.database, system.context, use_index=system.use_index
+        )
+    else:
+        system.degraded = bool(payload.get("degraded", True))
+        system.executor = QueryExecutor(
+            system.database,
+            None,
+            exact_fallback=True,
+            use_index=system.use_index,
+        )
+    return system

@@ -42,6 +42,10 @@ class Collection:
         #: built lazily on first use or attached from a persisted file;
         #: maintained incrementally once present.
         self._search_index: Optional[CollectionSearchIndex] = None
+        #: Monotonic change counter, bumped on every document mutation.
+        #: Snapshot consumers (the serving layer's worker pools) compare
+        #: generations to detect that a snapshot went stale.
+        self.generation = 0
 
     # -- document management ---------------------------------------------------
 
@@ -64,6 +68,7 @@ class Collection:
         if size > self.max_document_bytes:
             raise DocumentTooLargeError(size, self.max_document_bytes)
         self._documents[key] = root
+        self.generation += 1
         if self._search_index is not None:
             self._search_index.add_document(key, root)
         return root
@@ -85,6 +90,7 @@ class Collection:
             raise CollectionError(
                 f"collection {self.name!r} has no document {key!r}"
             ) from None
+        self.generation += 1
         self._index.invalidate(root)
         if self._search_index is not None:
             self._search_index.remove_document(key, root)

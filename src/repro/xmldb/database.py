@@ -11,12 +11,12 @@ re-parse time — the middle term is measured here).
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import CollectionError
 from ..guard import ResourceGuard
+from ..lru import LruCache
 from ..obs.metrics import REGISTRY as METRICS
 from .collection import XINDICE_DOCUMENT_LIMIT, Collection
 from .xpath import XPathQuery
@@ -62,7 +62,9 @@ class Database:
         self.query_cache_size = query_cache_size
         self._collections: Dict[str, Collection] = {}
         self.statistics = QueryStatistics()
-        self._query_cache: "OrderedDict[str, XPathQuery]" = OrderedDict()
+        self._query_cache = LruCache(
+            query_cache_size, metric_prefix="xpath.query_cache"
+        )
         #: Set by :func:`repro.xmldb.storage.load_database` when the
         #: database was salvaged from a damaged directory.
         self.recovery_report = None
@@ -106,25 +108,34 @@ class Database:
     def compile(self, query: str) -> XPathQuery:
         """Parse an XPath query, caching compiled forms in a bounded LRU.
 
-        The cache holds at most :attr:`query_cache_size` entries (the
-        least recently used is evicted first); hit/miss counts are kept
-        on :attr:`statistics`.  A size of 0 disables caching.
+        The cache is a thread-safe :class:`~repro.lru.LruCache` holding
+        at most :attr:`query_cache_size` entries (the least recently
+        used is evicted first); it emits ``xpath.query_cache.hits`` /
+        ``.misses`` / ``.evictions`` through :mod:`repro.obs.metrics`
+        and mirrors hit/miss counts onto :attr:`statistics`.  A size of
+        0 disables caching.
         """
-        cache = self._query_cache
-        compiled = cache.get(query)
+        compiled = self._query_cache.get(query)
         if compiled is not None:
-            cache.move_to_end(query)
             self.statistics.cache_hits += 1
-            METRICS.counter("xpath.query_cache.hits").inc()
             return compiled
         self.statistics.cache_misses += 1
-        METRICS.counter("xpath.query_cache.misses").inc()
         compiled = XPathQuery(query)
-        if self.query_cache_size > 0:
-            cache[query] = compiled
-            while len(cache) > self.query_cache_size:
-                cache.popitem(last=False)
+        self._query_cache.put(query, compiled)
         return compiled
+
+    def generation_signature(self) -> Tuple[Tuple[str, int], ...]:
+        """A comparable fingerprint of the database's document state.
+
+        ``((collection name, generation), ...)`` sorted by name: equal
+        signatures mean no collection was created, dropped or mutated in
+        between.  The serving layer uses this to invalidate worker-pool
+        snapshots (see :class:`~repro.serving.snapshot.SystemSnapshot`).
+        """
+        return tuple(
+            (name, self._collections[name].generation)
+            for name in sorted(self._collections)
+        )
 
     def xpath(
         self,

@@ -160,3 +160,63 @@ class TestSnapshots:
         text = registry.render_text()
         assert "queries" in text and "value=2" in text
         assert "seconds" in text and "count=1" in text
+
+
+class TestAbsorb:
+    """Worker-snapshot absorption (the serving layer's metrics merge)."""
+
+    def test_counters_add_gauges_overwrite(self, registry):
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1)
+        registry.absorb({
+            "c": {"type": "counter", "value": 4},
+            "g": {"type": "gauge", "value": 9},
+        })
+        assert registry.counter("c").value == 7
+        assert registry.gauge("g").value == 9
+
+    def test_histograms_add(self, registry):
+        registry.histogram("h", [1.0, 2.0]).observe(0.5)
+        registry.absorb({
+            "h": {
+                "type": "histogram", "bounds": [1.0, 2.0],
+                "counts": [1, 2, 3], "sum": 10.0, "count": 6,
+            }
+        })
+        histogram = registry.get("h")
+        assert histogram.counts == [2, 2, 3]
+        assert histogram.sum == 10.5
+        assert histogram.count == 7
+
+    def test_new_instruments_are_created(self, registry):
+        registry.absorb({"fresh": {"type": "counter", "value": 2}})
+        assert registry.counter("fresh").value == 2
+
+    def test_disabled_registry_absorbs_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.absorb({"c": {"type": "counter", "value": 2}})
+        registry.enabled = True
+        assert registry.get("c") is None
+
+    def test_malformed_entries_cannot_wedge_the_registry(self, registry):
+        registry.counter("ok").inc()
+        registry.absorb({
+            "bad-kind": {"type": "mystery", "value": 1},
+            "bad-value": {"type": "counter", "value": "NaN-ish"},
+            "bad-bounds": {
+                "type": "histogram", "bounds": [2.0, 1.0, 2.0],
+                "counts": [1, 1, 1], "sum": 1.0, "count": 3,
+            },
+            "mismatched-counts": {
+                "type": "histogram", "bounds": [1.0],
+                "counts": [1], "sum": 1.0, "count": 1,
+            },
+            "still-ok": {"type": "counter", "value": 5},
+        })
+        assert registry.counter("ok").value == 1
+        assert registry.counter("still-ok").value == 5
+
+    def test_type_conflicts_are_skipped(self, registry):
+        registry.counter("c").inc()
+        registry.absorb({"c": {"type": "gauge", "value": 9}})
+        assert registry.counter("c").value == 1

@@ -1,0 +1,42 @@
+"""Shared fixtures: one built system and one fork-mode server per module.
+
+Pools fork real processes, so the fixtures are module-scoped — every
+test in a module shares the same snapshot and workers, mirroring how a
+server actually runs (load once, serve many).
+"""
+
+import pytest
+
+from repro.core.system import TossSystem
+from repro.serving import QueryServer
+
+PAPER_COUNT = 12
+
+
+def make_documents(count=PAPER_COUNT):
+    return [
+        f"<paper key='p{index}'>"
+        f"<title>Paper {index}</title>"
+        f"<author>Author {index % 3}</author>"
+        f"<year>{1990 + index}</year>"
+        f"</paper>"
+        for index in range(count)
+    ]
+
+
+def make_system(count=PAPER_COUNT, **kwargs):
+    system = TossSystem(epsilon=kwargs.pop("epsilon", 2.0), **kwargs)
+    system.add_instance("papers", make_documents(count))
+    system.build()
+    return system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_system()
+
+
+@pytest.fixture(scope="module")
+def server(system):
+    with QueryServer(system, workers=2, default_collection="papers") as srv:
+        yield srv

@@ -1,0 +1,183 @@
+"""Partitioned execution: chunking, report merging, guard propagation."""
+
+import pytest
+
+from repro.core.executor import ExecutionReport
+from repro.core.parser import parse_query
+from repro.errors import (
+    ResourceExhaustedError,
+    ServingError,
+    SnapshotStaleError,
+)
+from repro.guard import ResourceGuard
+from repro.serving import execute_partitioned, partition_document_keys
+from repro.xmldb.serializer import serialize
+
+from .conftest import make_system
+
+QUERY = 'paper(author ~ "Author 1")'
+
+
+def result_texts(report):
+    return [serialize(tree) for tree in report.results]
+
+
+class TestPartitionDocumentKeys:
+    def test_concatenation_reproduces_input(self):
+        keys = [f"d{i}" for i in range(11)]
+        for jobs in range(1, 6):
+            chunks = partition_document_keys(keys, jobs)
+            assert [key for chunk in chunks for key in chunk] == keys
+
+    def test_balanced_and_contiguous(self):
+        chunks = partition_document_keys([f"d{i}" for i in range(7)], 3)
+        assert [len(chunk) for chunk in chunks] == [3, 2, 2]
+
+    def test_never_returns_empty_chunks(self):
+        chunks = partition_document_keys(["a", "b"], 5)
+        assert chunks == [["a"], ["b"]]
+
+    def test_empty_keys(self):
+        assert partition_document_keys([], 4) == []
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ServingError):
+            partition_document_keys(["a"], 0)
+
+    def test_deterministic(self):
+        keys = [f"d{i}" for i in range(10)]
+        assert partition_document_keys(keys, 4) == partition_document_keys(
+            keys, 4
+        )
+
+
+class TestMergeRules:
+    def test_rules_cover_every_scalar_field(self):
+        # The drift guard: a new ExecutionReport field must pick a merge
+        # rule the moment it is serialized.
+        assert set(ExecutionReport._MERGE_RULES) == set(
+            ExecutionReport._SCALAR_FIELDS
+        )
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            ExecutionReport.merge([])
+
+    def test_timings_take_max_counts_sum(self):
+        left = ExecutionReport(
+            results=[],
+            rewrite_seconds=0.2,
+            xpath_seconds=0.5,
+            convert_seconds=0.1,
+            candidates=3,
+            docs_total=10,
+            docs_scanned=4,
+            planner_seconds=0.3,
+            ontology_accesses=7,
+        )
+        right = ExecutionReport(
+            results=[],
+            rewrite_seconds=0.1,
+            xpath_seconds=0.9,
+            convert_seconds=0.4,
+            candidates=5,
+            docs_total=10,
+            docs_scanned=6,
+            planner_seconds=0.2,
+            ontology_accesses=2,
+            index_used=True,
+        )
+        merged = ExecutionReport.merge([left, right])
+        assert merged.rewrite_seconds == 0.2
+        assert merged.xpath_seconds == 0.9
+        assert merged.convert_seconds == 0.4
+        assert merged.planner_seconds == 0.3  # max, never a double-count
+        assert merged.candidates == 8
+        assert merged.docs_scanned == 10
+        assert merged.docs_total == 10  # collection property: max, not sum
+        assert merged.ontology_accesses == 9
+        assert merged.index_used is True
+        assert merged.plan_cache_hit is False
+        assert merged.trace is None
+
+
+class TestCandidateDocuments:
+    def test_candidates_in_insertion_order(self):
+        system = make_system(count=8)
+        executor, _ = system._query_executor()
+        pattern = parse_query(QUERY).pattern
+        keys = executor.candidate_documents("papers", pattern)
+        order = list(system.database.get_collection("papers").keys())
+        assert keys == [key for key in order if key in set(keys)]
+
+    def test_restricted_selection_equals_full_on_candidates(self):
+        system = make_system(count=8)
+        executor, _ = system._query_executor()
+        parsed = parse_query(QUERY)
+        keys = executor.candidate_documents("papers", parsed.pattern)
+        full = system.select("papers", parsed.pattern, parsed.roots)
+        restricted = system.select(
+            "papers", parsed.pattern, parsed.roots, document_keys=keys
+        )
+        assert result_texts(restricted) == result_texts(full)
+
+
+class TestExecutePartitioned:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_identical_to_serial(self, system, server, jobs):
+        serial = system.query("papers", QUERY)
+        merged = execute_partitioned(
+            system, server.pool, "papers", QUERY, jobs=jobs
+        )
+        assert result_texts(merged) == result_texts(serial)
+        assert merged.docs_total == serial.docs_total
+
+    def test_single_chunk_falls_back_to_serial(self, system, server):
+        serial = system.query("papers", QUERY)
+        merged = execute_partitioned(
+            system, server.pool, "papers", QUERY, jobs=1
+        )
+        assert result_texts(merged) == result_texts(serial)
+
+    def test_collective_step_budget_still_raises(self, system, server):
+        guard = ResourceGuard(max_steps=1)
+        with pytest.raises(ResourceExhaustedError):
+            execute_partitioned(
+                system, server.pool, "papers", QUERY, jobs=2, guard=guard
+            )
+
+    def test_result_cap_applies_to_merged_results(self, system, server):
+        guard = ResourceGuard(max_results=1)
+        with pytest.raises(ResourceExhaustedError):
+            execute_partitioned(
+                system, server.pool, "papers", QUERY, jobs=2, guard=guard
+            )
+
+    def test_generous_budget_passes(self, system, server):
+        guard = ResourceGuard(max_steps=10_000_000, deadline_seconds=60.0)
+        serial = system.query("papers", QUERY)
+        merged = execute_partitioned(
+            system, server.pool, "papers", QUERY, jobs=2, guard=guard
+        )
+        assert result_texts(merged) == result_texts(serial)
+        # The parent guard absorbed the workers' consumed steps.
+        assert guard.steps > 0
+
+    def test_stale_pool_is_rejected(self):
+        from repro.serving import QueryServer
+
+        system = make_system(count=4)
+        with QueryServer(system, workers=2) as server:
+            system.database.get_collection("papers").add_document(
+                "extra", "<paper><title>New</title></paper>"
+            )
+            with pytest.raises(SnapshotStaleError):
+                execute_partitioned(
+                    system, server.pool, "papers", QUERY, jobs=2
+                )
+
+    def test_invalid_jobs(self, system, server):
+        with pytest.raises(ServingError):
+            execute_partitioned(
+                system, server.pool, "papers", QUERY, jobs=0
+            )
