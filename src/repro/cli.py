@@ -120,7 +120,11 @@ def _report_summary_line(report) -> str:
     )
     if report.plan_cache_hit:
         line += ", plan cache hit"
-    if report.degraded:
+    if report.failed_partitions:
+        line += (
+            f"; DEGRADED: {len(report.failed_partitions)} partition(s) failed"
+        )
+    elif report.degraded:
         line += "; DEGRADED to exact matching"
     return line + ")"
 
@@ -172,7 +176,7 @@ def _read_query_lines(source: Optional[str]) -> List[str]:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serving import GuardSpec, QueryRequest, QueryServer
+    from .serving import GuardSpec, QueryRequest, QueryServer, RetryPolicy
 
     system, names = _load_query_system(args)
     collection = args.collection or names[0]
@@ -186,27 +190,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         max_results=args.max_results,
     )
+    policy_kwargs = {"max_retries": args.retries}
+    if args.max_crash_rate is not None:
+        policy_kwargs["max_crash_rate"] = args.max_crash_rate
     outcomes = []
-    with QueryServer(
-        system,
-        workers=args.pool_workers,
-        max_pending=args.max_pending,
-        default_guard=None if spec.unlimited else spec,
-        default_collection=collection,
-    ) as server:
-        requests = [
-            QueryRequest(
-                query=text, collection=collection, right_collection=right
-            )
-            for text in texts
-        ]
-        # Slice the stream into admission-sized batches: the bounded
-        # queue is back-pressure for concurrent clients, not a cap on
-        # how much one well-behaved stream may submit overall.
-        for start in range(0, len(requests), args.max_pending):
-            outcomes.extend(
-                server.execute_many(requests[start : start + args.max_pending])
-            )
+    try:
+        with QueryServer(
+            system,
+            workers=args.pool_workers,
+            max_pending=args.max_pending,
+            default_guard=None if spec.unlimited else spec,
+            default_collection=collection,
+            policy=RetryPolicy(**policy_kwargs),
+            degrade_partial=args.degrade_partial,
+        ) as server:
+            requests = [
+                QueryRequest(
+                    query=text, collection=collection, right_collection=right
+                )
+                for text in texts
+            ]
+            # Slice the stream into admission-sized batches: the bounded
+            # queue is back-pressure for concurrent clients, not a cap on
+            # how much one well-behaved stream may submit overall.
+            for start in range(0, len(requests), args.max_pending):
+                outcomes.extend(
+                    server.execute_many(
+                        requests[start : start + args.max_pending]
+                    )
+                )
+    except KeyboardInterrupt:
+        # The `with` block already shut the pool down (bounded join, then
+        # terminate); report the interruption without a traceback.
+        print(
+            f"# interrupted after {len(outcomes)} of {len(texts)} queries; "
+            "worker pool shut down",
+            file=sys.stderr,
+        )
+        return 130
     system.observability.flush_metrics()
     errors = sum(1 for outcome in outcomes if not outcome.ok)
     if args.json:
@@ -677,6 +698,23 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--max-results", type=int, default=None, metavar="N",
         help="per-query result cap (default: unlimited)",
     )
+    serve.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-dispatches per query after a worker crash or hang "
+             "(default: 2; 0 fails a query on its first crash)",
+    )
+    serve.add_argument(
+        "--max-crash-rate", type=float, default=None, metavar="FRACTION",
+        help="circuit-breaker threshold: shed load when the recent worker "
+             "crash rate exceeds this fraction (default: 0.8; 1.0 in "
+             "effect disables the breaker)",
+    )
+    serve.add_argument(
+        "--degrade-partial", action="store_true",
+        help="partitioned queries: return surviving chunks (report marked "
+             "degraded, failed chunks listed) instead of failing the query "
+             "when a chunk fails permanently",
+    )
     serve.add_argument("--json", action="store_true",
                        help="print every outcome as one JSON array")
     serve.add_argument("--results", action="store_true",
@@ -810,6 +848,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Ctrl-C anywhere a handler does not deal with it itself: exit
+        # with the conventional 128+SIGINT status, no traceback.
+        print("# interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Reading commands piped into `head` etc.: exit quietly instead
         # of dumping a traceback when the reader closes early.

@@ -124,6 +124,12 @@ class ExecutionReport:
     index_used: bool = False
     #: True when the compiled plan came from the executor's plan cache.
     plan_cache_hit: bool = False
+    #: Per-chunk failure detail when a partitioned query ran in degraded
+    #: mode (``on_chunk_failure="degrade"``): one dict per permanently
+    #: failed chunk — partition index, document count, error class,
+    #: message, attempts.  Empty for exact results; a non-empty list
+    #: always comes with ``degraded=True``.
+    failed_partitions: List[Dict[str, Any]] = field(default_factory=list)
     #: The query's span tree (:meth:`repro.obs.trace.Span.to_dict` shape);
     #: None when the executor ran without tracing.
     trace: Optional[Dict[str, Any]] = None
@@ -159,6 +165,7 @@ class ExecutionReport:
         "docs_scanned",
         "index_used",
         "plan_cache_hit",
+        "failed_partitions",
     )
 
     #: How :meth:`merge` combines each scalar field across the partial
@@ -183,6 +190,7 @@ class ExecutionReport:
         "docs_scanned": "sum",
         "index_used": "any",
         "plan_cache_hit": "all",
+        "failed_partitions": "concat",
     }
 
     @classmethod
@@ -229,6 +237,8 @@ class ExecutionReport:
                 value = any(values)
             elif rule == "all":
                 value = all(values)
+            elif rule == "concat":
+                value = [item for sublist in values for item in sublist]
             else:  # "first": identical across partitions by construction
                 value = values[0]
             setattr(merged, field_name, value)
@@ -248,6 +258,9 @@ class ExecutionReport:
             for field_name in self._SCALAR_FIELDS
         }
         payload["xpath_queries"] = list(self.xpath_queries)
+        payload["failed_partitions"] = [
+            dict(entry) for entry in self.failed_partitions
+        ]
         payload["result_count"] = len(self.results)
         payload["total_seconds"] = self.total_seconds
         payload["docs_pruned"] = self.docs_pruned
@@ -282,6 +295,9 @@ class ExecutionReport:
             if field_name in payload:
                 setattr(report, field_name, payload[field_name])
         report.xpath_queries = list(report.xpath_queries)
+        report.failed_partitions = [
+            dict(entry) for entry in report.failed_partitions
+        ]
         report.trace = payload.get("trace")
         return report
 

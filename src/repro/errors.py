@@ -228,3 +228,85 @@ class SnapshotStaleError(ServingError):
     the worker pool snapshotted the system.  Call
     :meth:`~repro.serving.server.QueryServer.refresh` to re-snapshot.
     """
+
+
+class SnapshotTransportError(ServingError):
+    """The snapshot payload failed to reach or restore in a worker.
+
+    A *transient* failure by definition — queries are read-only and the
+    payload itself is immutable — so the supervised pool respawns the
+    worker with backoff instead of failing the batch.
+    """
+
+
+class WorkerCrashError(ServingError):
+    """A worker died (or was killed for hanging) and retries ran out.
+
+    Attributes
+    ----------
+    query, attempts, reason:
+        The query text the final attempt carried, how many attempts were
+        made in total, and what happened on the last one (e.g.
+        ``worker_died: pid 123 exit -9``, ``hung: exceeded the 2.0s
+        parent-side hard timeout``).
+    """
+
+    def __init__(self, query: str, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"worker crashed executing {query!r} ({reason}); "
+            f"gave up after {attempts} attempt(s)"
+        )
+        self.query = query
+        self.attempts = attempts
+        self.reason = reason
+
+
+class PoisonTaskError(ServingError):
+    """A task was quarantined after crashing several workers in a row.
+
+    Retrying a query that reliably kills its worker just grinds the pool
+    through respawn cycles; after ``quarantine_after`` crashes on the
+    same task the supervisor fails it permanently instead.
+
+    Attributes
+    ----------
+    query, crashes:
+        The query text and how many workers it took down.
+    """
+
+    def __init__(self, query: str, crashes: int) -> None:
+        super().__init__(
+            f"query {query!r} quarantined after crashing {crashes} worker(s); "
+            "refusing to retry a poison task"
+        )
+        self.query = query
+        self.crashes = crashes
+
+
+class CircuitOpenError(ServerOverloadedError):
+    """The serving circuit breaker is shedding load.
+
+    Raised at batch admission while the breaker is open: the recent
+    worker crash rate exceeded the configured threshold, so the server
+    refuses new work until the cooldown elapses (then lets one batch
+    through half-open).
+
+    Attributes
+    ----------
+    crash_rate, threshold, retry_after:
+        The observed crash rate that tripped the breaker, the configured
+        limit, and the seconds left before the breaker half-opens.
+    """
+
+    def __init__(
+        self, crash_rate: float, threshold: float, retry_after: float
+    ) -> None:
+        ServingError.__init__(
+            self,
+            f"serving circuit breaker is open: worker crash rate "
+            f"{crash_rate:.0%} exceeded the {threshold:.0%} threshold; "
+            f"shedding load for another {retry_after:.1f}s",
+        )
+        self.crash_rate = crash_rate
+        self.threshold = threshold
+        self.retry_after = retry_after

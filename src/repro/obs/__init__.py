@@ -142,6 +142,20 @@ class Observability:
             slow_entry["plan"] = list(plan_lines)
         return self.slow_log.record(slow_entry)
 
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Log one discrete lifecycle event to the event log.
+
+        For point-in-time facts that are not finished operations —
+        worker crashes, respawns, circuit-breaker trips — where
+        :meth:`record_query`'s duration/slow-query semantics make no
+        sense.  No-op when disabled or file-less.
+        """
+        if not self.enabled or self.event_log is None:
+            return
+        event: Dict[str, Any] = {"event": kind}
+        event.update(fields)
+        self.event_log.emit(event)
+
     # -- metrics ------------------------------------------------------------
 
     def flush_metrics(self) -> Optional[Dict[str, Dict[str, Any]]]:

@@ -16,6 +16,14 @@ unchanged execution pipeline:
     and answering textual queries; failures cross the process boundary
     as typed markers, never raw exceptions.
 
+:class:`~repro.serving.supervisor.SupervisedWorkerPool`
+    The fault-tolerant pool (and the server default): per-worker
+    processes under parent-side supervision — crash detection and
+    respawn with capped backoff, hard timeouts for hung workers,
+    bounded retries, poison-task quarantine and a crash-rate circuit
+    breaker (:class:`~repro.serving.supervisor.RetryPolicy` holds the
+    knobs).  Deterministic fault injection lives in :mod:`repro.faults`.
+
 :class:`~repro.serving.server.QueryServer` / :func:`execute_many`
     Batch execution with a bounded admission queue, per-query deadlines
     derived from :class:`~repro.guard.ResourceGuard` budgets, worker
@@ -31,7 +39,11 @@ unchanged execution pipeline:
 Everything here is result-preserving: batch and partitioned execution
 return bit-identical results, in identical order, to serial execution —
 the property suite in ``tests/property/test_serving_equivalence.py``
-holds the layer to that.
+holds the layer to that (and the chaos suite in ``tests/chaos/`` holds
+it under injected worker crashes).  The one opt-in exception is
+partial-result degradation for partitioned queries
+(``degrade_partial=True``), which trades exactness for availability and
+says so in the report (``degraded`` + ``failed_partitions``).
 """
 
 from .partition import execute_partitioned, partition_document_keys
@@ -44,12 +56,16 @@ from .server import (
     execute_many,
 )
 from .snapshot import SystemSnapshot
+from .supervisor import CircuitBreaker, RetryPolicy, SupervisedWorkerPool
 
 __all__ = [
+    "CircuitBreaker",
     "GuardSpec",
     "QueryOutcome",
     "QueryRequest",
     "QueryServer",
+    "RetryPolicy",
+    "SupervisedWorkerPool",
     "SystemSnapshot",
     "WorkerPool",
     "execute_many",

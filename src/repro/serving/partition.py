@@ -94,6 +94,7 @@ def execute_partitioned(
     right_collection: Optional[str] = None,
     jobs: Optional[int] = None,
     guard: Optional[ResourceGuard] = None,
+    on_chunk_failure: str = "raise",
 ) -> ExecutionReport:
     """Run one textual query with its candidate scan split across ``pool``.
 
@@ -105,7 +106,26 @@ def execute_partitioned(
 
     With fewer than two non-empty chunks the query simply runs serially
     in-process: partitioning never changes results, only wall-clock.
+
+    ``on_chunk_failure`` picks the failure semantics when a chunk fails
+    permanently (all retries exhausted under a supervised pool, or any
+    failure under a plain one):
+
+    * ``"raise"`` (default) — exact-or-error: the first chunk failure is
+      reconstructed and raised, no partial results escape;
+    * ``"degrade"`` — partial-result degradation: surviving chunks are
+      merged in chunk order into a report with ``degraded=True`` and one
+      ``failed_partitions`` entry per lost chunk (partition index,
+      document count, error class, message, attempts).  Guard-limit
+      failures (timeout/exhausted) still raise — the budget was
+      collectively exceeded, degrading would mask it — as does the case
+      where *every* chunk failed.
     """
+    if on_chunk_failure not in ("raise", "degrade"):
+        raise ServingError(
+            f"on_chunk_failure must be 'raise' or 'degrade', "
+            f"got {on_chunk_failure!r}"
+        )
     if pool.snapshot.stale(system):
         raise SnapshotStaleError(
             "the worker pool's snapshot no longer matches the live system; "
@@ -159,10 +179,34 @@ def execute_partitioned(
         total_steps += outcome.get("steps", 0)
         for stage, count in outcome.get("stage_steps", {}).items():
             stage_totals[stage] = stage_totals.get(stage, 0) + count
-    for outcome in outcomes:
+    failed: List[Dict[str, Any]] = []
+    for index, outcome in enumerate(outcomes):
         failure = outcome.get("failure")
-        if failure is not None:
-            raise reconstruct_failure(failure)
+        if failure is None:
+            continue
+        exc = reconstruct_failure(
+            failure, worker_pid=outcome.get("worker_pid"), query=query
+        )
+        # Guard trips are never degradable: the budget was collectively
+        # exceeded, and returning partial results would mask that.
+        if on_chunk_failure != "degrade" or failure[0] in ("timeout", "exhausted"):
+            raise exc
+        failed.append(
+            {
+                "partition": index,
+                "documents": len(chunks[index]),
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "attempts": outcome.get("attempts", 1),
+            }
+        )
+    if failed and len(failed) == len(outcomes):
+        # Nothing survived — a fully empty "partial" result is a lie.
+        raise reconstruct_failure(
+            outcomes[0]["failure"],
+            worker_pid=outcomes[0].get("worker_pid"),
+            query=query,
+        )
     absorb_worker_steps(guard, stage_totals, total_steps, "partitioned query")
 
     for outcome in outcomes:
@@ -171,9 +215,15 @@ def execute_partitioned(
             METRICS.absorb(metrics)
 
     partials = [
-        ExecutionReport.from_dict(outcome["report"]) for outcome in outcomes
+        ExecutionReport.from_dict(outcome["report"])
+        for outcome in outcomes
+        if outcome.get("report") is not None
     ]
     merged = ExecutionReport.merge(partials)
+    if failed:
+        merged.degraded = True
+        merged.failed_partitions = failed
+        METRICS.counter("serving.degraded_partitions").inc(len(failed))
     if guard is not None:
         guard.check_results(len(merged.results))
 
@@ -186,13 +236,17 @@ def execute_partitioned(
         workers=pool.workers,
     ):
         for index, (chunk, outcome) in enumerate(zip(chunks, outcomes)):
+            report_payload = outcome.get("report")
             tracer.record_span(
                 f"partition[{index}]",
                 outcome.get("seconds", 0.0),
-                attributes={"documents": len(chunk)},
+                attributes={
+                    "documents": len(chunk),
+                    **({"failed": True} if report_payload is None else {}),
+                },
                 children=(
-                    [outcome["report"]["trace"]]
-                    if outcome["report"].get("trace")
+                    [report_payload["trace"]]
+                    if report_payload and report_payload.get("trace")
                     else None
                 ),
             )
@@ -212,6 +266,7 @@ def execute_partitioned(
             "partitions": len(chunks),
             "candidates": len(keys),
             "results": len(merged.results),
+            "degraded_partitions": len(failed),
         },
     )
     return merged

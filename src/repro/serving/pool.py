@@ -22,15 +22,18 @@ The cross-process discipline mirrors :mod:`repro.parallel`:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from typing import Any, Dict, List, Optional
 
 from .. import errors as _errors
 from ..errors import (
+    PoisonTaskError,
     QueryTimeoutError,
     ReproError,
     ResourceExhaustedError,
     ServingError,
+    WorkerCrashError,
 )
 from ..guard import ResourceGuard
 from ..obs import NULL_OBSERVABILITY, Observability
@@ -80,8 +83,12 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
     the query errors.
     """
     system = _WORKER["system"]
+    pid = os.getpid()
     if system is None:  # pragma: no cover - initializer always runs first
-        return {"failure": ("error", "ServingError", "worker not initialized")}
+        return {
+            "failure": ("error", "ServingError", "worker not initialized"),
+            "worker_pid": pid,
+        }
     guard = _guard_from_task(task)
     if task.get("trace"):
         system.set_observability(Observability(enabled=True))
@@ -105,6 +112,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "seconds": time.perf_counter() - started,
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
+            "worker_pid": pid,
         }
     except ResourceExhaustedError as exc:
         return {
@@ -112,6 +120,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "seconds": time.perf_counter() - started,
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
+            "worker_pid": pid,
         }
     except ReproError as exc:
         return {
@@ -119,6 +128,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "seconds": time.perf_counter() - started,
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
+            "worker_pid": pid,
         }
     finally:
         executor.guard = previous_guard
@@ -127,6 +137,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
         "seconds": time.perf_counter() - started,
         "steps": guard.steps if guard is not None else 0,
         "stage_steps": guard.stage_steps if guard is not None else {},
+        "worker_pid": pid,
     }
     if task.get("collect_metrics"):
         outcome["metrics"] = METRICS.snapshot()
@@ -134,25 +145,77 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
     return outcome
 
 
-def reconstruct_failure(failure) -> ReproError:
-    """The parent-side exception for a worker failure marker."""
+def _attach_context(
+    exc: ReproError, worker_pid: Optional[int], query: Optional[str]
+) -> ReproError:
+    """Pin the originating worker pid and query text onto ``exc``."""
+    exc.worker_pid = worker_pid
+    exc.worker_query = query
+    return exc
+
+
+def reconstruct_failure(
+    failure,
+    worker_pid: Optional[int] = None,
+    query: Optional[str] = None,
+) -> ReproError:
+    """The parent-side exception for a worker failure marker.
+
+    Every reconstructed (or wrapped) exception carries the worker pid
+    and the query text as ``worker_pid`` / ``worker_query`` attributes,
+    and the worker's original message survives verbatim — including for
+    :class:`ReproError` subclasses whose ``__init__`` takes several
+    arguments or rewrites its message (those are rebuilt without
+    invoking the custom initializer).
+    """
     kind = failure[0]
     if kind == "timeout":
-        return QueryTimeoutError(
-            f"query {failure[1]!r}", float(failure[2]), float(failure[3])
+        return _attach_context(
+            QueryTimeoutError(
+                f"query {failure[1]!r}", float(failure[2]), float(failure[3])
+            ),
+            worker_pid,
+            query if query is not None else failure[1],
         )
     if kind == "exhausted":
-        return ResourceExhaustedError(failure[1])
+        return _attach_context(
+            ResourceExhaustedError(failure[1]), worker_pid, query
+        )
+    if kind == "crash":
+        return _attach_context(
+            WorkerCrashError(failure[1], int(failure[2]), failure[3]),
+            worker_pid,
+            failure[1],
+        )
+    if kind == "poison":
+        return _attach_context(
+            PoisonTaskError(failure[1], int(failure[2])), worker_pid, failure[1]
+        )
     # Generic: restore the original class by name when it is a known
-    # single-message ReproError, else wrap in ServingError.
+    # ReproError, preserving the worker's message verbatim; wrap in
+    # ServingError only for unknown classes.
     name, message = failure[1], failure[2]
     exc_class = getattr(_errors, name, None)
+    exc: Optional[ReproError] = None
     if isinstance(exc_class, type) and issubclass(exc_class, ReproError):
         try:
-            return exc_class(message)
+            candidate = exc_class(message)
+            if str(candidate) == message:
+                exc = candidate
         except TypeError:
             pass
-    return ServingError(f"worker query failed ({name}): {message}")
+        if exc is None:
+            # Multi-arg or message-rewriting __init__ (e.g.
+            # DocumentTooLargeError, HierarchyCycleError): rebuild the
+            # instance without running it, so the original message is
+            # preserved instead of mangled or replaced by a generic
+            # wrapper.  Class-specific attributes are absent — callers
+            # needing them must run in-process.
+            exc = exc_class.__new__(exc_class)
+            Exception.__init__(exc, message)
+    if exc is None:
+        exc = ServingError(f"worker query failed ({name}): {message}")
+    return _attach_context(exc, worker_pid, query)
 
 
 class WorkerPool:
@@ -198,12 +261,23 @@ class WorkerPool:
             raise ServingError("the worker pool is closed")
         return self._pool.map(run_query_task, tasks)
 
-    def close(self) -> None:
-        """Shut the workers down (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            self._pool.terminate()
-            self._pool.join()
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the workers down (idempotent).
+
+        Graceful first: stop accepting work, give the workers
+        ``timeout`` seconds to drain and exit, then terminate whatever
+        is left — so an interrupted ``serve`` run neither hangs on a
+        stuck worker nor hard-kills ones mid-write.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        deadline = time.perf_counter() + max(0.0, timeout)
+        for process in getattr(self._pool, "_pool", []):
+            process.join(max(0.0, deadline - time.perf_counter()))
+        self._pool.terminate()
+        self._pool.join()
 
     def __enter__(self) -> "WorkerPool":
         return self

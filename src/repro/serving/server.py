@@ -29,11 +29,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.executor import ExecutionReport
 from ..errors import ReproError, ServerOverloadedError, ServingError, SnapshotStaleError
+from ..faults import FaultPlan
 from ..guard import ResourceGuard
 from ..obs.metrics import REGISTRY as METRICS
 from .partition import execute_partitioned
 from .pool import WorkerPool, reconstruct_failure
 from .snapshot import SystemSnapshot
+from .supervisor import RetryPolicy, SupervisedWorkerPool
 
 #: Default admission bound for one batch.
 DEFAULT_MAX_PENDING = 128
@@ -137,6 +139,23 @@ class QueryServer:
     default_collection:
         Collection for requests that name none (e.g. plain-string
         queries).
+    supervised:
+        Run workers under the crash-tolerant
+        :class:`~repro.serving.supervisor.SupervisedWorkerPool` (the
+        default); ``False`` keeps the plain ``multiprocessing.Pool``
+        transport, where any worker death fails the whole batch.
+    policy:
+        :class:`~repro.serving.supervisor.RetryPolicy` for the
+        supervised pool (retries, backoff, hard timeouts, quarantine,
+        circuit breaker).  Ignored when ``supervised=False``.
+    degrade_partial:
+        Opt-in partial-result degradation for partitioned queries
+        (``jobs > 1``): a chunk that fails permanently is recorded in
+        the merged report's ``failed_partitions`` instead of failing the
+        query.  Exact-by-default (``False``: chunk failure raises).
+    fault_plan:
+        :class:`~repro.faults.FaultPlan` handed to the supervised pool —
+        test/benchmark harness only.
     """
 
     def __init__(
@@ -147,6 +166,10 @@ class QueryServer:
         default_guard: Optional[GuardSpec] = None,
         snapshot_mode: Optional[str] = None,
         default_collection: Optional[str] = None,
+        supervised: bool = True,
+        policy: Optional[RetryPolicy] = None,
+        degrade_partial: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_pending < 1:
             raise ServingError(f"max_pending must be >= 1, got {max_pending}")
@@ -159,10 +182,24 @@ class QueryServer:
             if default_guard is not None
             else GuardSpec.from_guard(system.guard)
         )
+        self.supervised = supervised
+        self.policy = policy
+        self.degrade_partial = degrade_partial
+        self.fault_plan = fault_plan
         self._snapshot_mode = snapshot_mode
         self.snapshot = SystemSnapshot.capture(system, mode=snapshot_mode)
-        self.pool = WorkerPool(self.snapshot, workers)
+        self.pool = self._make_pool()
         self._closed = False
+
+    def _make_pool(self):
+        if self.supervised:
+            return SupervisedWorkerPool(
+                self.snapshot,
+                self.workers,
+                policy=self.policy,
+                fault_plan=self.fault_plan,
+            )
+        return WorkerPool(self.snapshot, self.workers)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -171,7 +208,7 @@ class QueryServer:
         self._ensure_open()
         old_pool = self.pool
         self.snapshot = SystemSnapshot.capture(self.system, mode=self._snapshot_mode)
-        self.pool = WorkerPool(self.snapshot, self.workers)
+        self.pool = self._make_pool()
         old_pool.close()
 
     def close(self) -> None:
@@ -268,7 +305,11 @@ class QueryServer:
                 if failure is not None:
                     outcome = QueryOutcome(
                         request=request,
-                        error=reconstruct_failure(failure),
+                        error=reconstruct_failure(
+                            failure,
+                            worker_pid=entry.get("worker_pid"),
+                            query=request.query,
+                        ),
                         seconds=seconds,
                     )
                 else:
@@ -334,6 +375,7 @@ class QueryServer:
                 right_collection=request.right_collection,
                 jobs=request.jobs,
                 guard=spec.build() if spec is not None else None,
+                on_chunk_failure="degrade" if self.degrade_partial else "raise",
             )
         outcome = self.execute_many([request])[0]
         outcome.raise_for_error()

@@ -181,3 +181,123 @@ class TestExecutePartitioned:
             execute_partitioned(
                 system, server.pool, "papers", QUERY, jobs=0
             )
+
+    def test_invalid_on_chunk_failure(self, system, server):
+        with pytest.raises(ServingError):
+            execute_partitioned(
+                system, server.pool, "papers", QUERY, jobs=2,
+                on_chunk_failure="shrug",
+            )
+
+
+class TestPartialDegradation:
+    """A permanently failed chunk: raise by default, degrade on opt-in."""
+
+    def _pool(self, system, fail_chunks, quarantine=False):
+        from repro import faults
+        from repro.serving import RetryPolicy, SupervisedWorkerPool
+        from repro.serving.snapshot import SystemSnapshot
+
+        plan = faults.FaultPlan(
+            rules=(
+                faults.FaultRule(
+                    kind=faults.KILL, tasks=tuple(fail_chunks), attempts=None
+                ),
+            )
+        )
+        policy = RetryPolicy(
+            max_retries=1,
+            quarantine_after=2 if quarantine else 100,
+            retry_backoff_base=0.01,
+            respawn_backoff_base=0.01,
+        )
+        return SupervisedWorkerPool(
+            SystemSnapshot.capture(system), 2, policy=policy, fault_plan=plan
+        )
+
+    def test_raise_mode_raises_worker_crash(self, system):
+        from repro.errors import WorkerCrashError
+
+        with self._pool(system, [0]) as pool:
+            with pytest.raises(WorkerCrashError):
+                execute_partitioned(system, pool, "papers", QUERY, jobs=2)
+
+    def test_degrade_merges_survivors_and_lists_failures(self, system):
+        serial = system.query("papers", QUERY)
+        with self._pool(system, [0]) as pool:
+            merged = execute_partitioned(
+                system, pool, "papers", QUERY, jobs=2,
+                on_chunk_failure="degrade",
+            )
+        assert merged.degraded is True
+        assert len(merged.failed_partitions) == 1
+        entry = merged.failed_partitions[0]
+        assert entry["partition"] == 0
+        assert entry["error"] == "WorkerCrashError"
+        assert entry["documents"] > 0
+        assert entry["attempts"] == 2
+        # The surviving chunk's results are intact (a strict subset of
+        # serial: the failed chunk's documents are missing, nothing else).
+        survivors = set(result_texts(merged))
+        assert survivors and survivors < set(result_texts(serial))
+
+    def test_degraded_report_round_trips(self, system):
+        with self._pool(system, [0]) as pool:
+            merged = execute_partitioned(
+                system, pool, "papers", QUERY, jobs=2,
+                on_chunk_failure="degrade",
+            )
+        rebuilt = ExecutionReport.from_dict(merged.to_dict())
+        assert rebuilt.degraded is True
+        assert rebuilt.failed_partitions == merged.failed_partitions
+
+    def test_all_chunks_failed_still_raises(self, system):
+        from repro.errors import WorkerCrashError
+
+        with self._pool(system, [0, 1]) as pool:
+            with pytest.raises(WorkerCrashError):
+                execute_partitioned(
+                    system, pool, "papers", QUERY, jobs=2,
+                    on_chunk_failure="degrade",
+                )
+
+    def test_quarantined_chunk_degrades_as_poison(self, system):
+        with self._pool(system, [1], quarantine=True) as pool:
+            merged = execute_partitioned(
+                system, pool, "papers", QUERY, jobs=2,
+                on_chunk_failure="degrade",
+            )
+        assert merged.failed_partitions[0]["error"] == "PoisonTaskError"
+
+    def test_server_degrade_partial_knob(self, system):
+        from repro import faults
+        from repro.errors import WorkerCrashError
+        from repro.serving import (
+            QueryRequest,
+            QueryServer,
+            RetryPolicy,
+        )
+
+        plan = faults.FaultPlan(
+            rules=(
+                faults.FaultRule(kind=faults.KILL, tasks=(0,), attempts=None),
+            )
+        )
+        policy = RetryPolicy(
+            max_retries=1,
+            quarantine_after=100,
+            retry_backoff_base=0.01,
+            respawn_backoff_base=0.01,
+        )
+        request = QueryRequest(query=QUERY, collection="papers", jobs=2)
+        with QueryServer(
+            system, workers=2, policy=policy, fault_plan=plan,
+            degrade_partial=True,
+        ) as server:
+            report = server.execute(request)
+            assert report.degraded and report.failed_partitions
+        with QueryServer(
+            system, workers=2, policy=policy, fault_plan=plan
+        ) as server:
+            with pytest.raises(WorkerCrashError):
+                server.execute(request)

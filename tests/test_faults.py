@@ -1,0 +1,145 @@
+"""The fault-injection harness: determinism, transport, activation."""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.errors import ServingError, SnapshotTransportError
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServingError):
+            FaultRule(kind="meteor")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ServingError):
+            FaultRule(kind=faults.KILL, rate=1.5)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ServingError):
+            FaultRule(kind=faults.HANG, seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_rejects_duplicate_kinds(self):
+        with pytest.raises(ServingError):
+            FaultPlan(
+                rules=(
+                    FaultRule(kind=faults.KILL, rate=0.5),
+                    FaultRule(kind=faults.KILL, rate=0.1),
+                )
+            )
+
+    def test_explicit_tasks_fire_on_listed_attempts_only(self):
+        plan = FaultPlan(rules=(FaultRule(kind=faults.KILL, tasks=(3,)),))
+        assert plan.should_fire(faults.KILL, 3, 0)
+        assert not plan.should_fire(faults.KILL, 3, 1)  # retry recovers
+        assert not plan.should_fire(faults.KILL, 2, 0)
+
+    def test_attempts_none_is_permanent(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=faults.KILL, tasks=(1,), attempts=None),)
+        )
+        for attempt in range(5):
+            assert plan.should_fire(faults.KILL, 1, attempt)
+
+    def test_rate_decisions_are_deterministic(self):
+        plan = FaultPlan(
+            seed=42, rules=(FaultRule(kind=faults.KILL, rate=0.5),)
+        )
+        decisions = [plan.should_fire(faults.KILL, seq, 0) for seq in range(64)]
+        again = [plan.should_fire(faults.KILL, seq, 0) for seq in range(64)]
+        assert decisions == again
+        # A 50% rate over 64 coordinates fires somewhere, not everywhere.
+        assert any(decisions) and not all(decisions)
+
+    def test_rate_decisions_depend_on_seed(self):
+        rule = FaultRule(kind=faults.KILL, rate=0.5)
+        a = FaultPlan(seed=1, rules=(rule,))
+        b = FaultPlan(seed=2, rules=(rule,))
+        assert [a.should_fire(faults.KILL, s, 0) for s in range(64)] != [
+            b.should_fire(faults.KILL, s, 0) for s in range(64)
+        ]
+
+    def test_retry_rerolls_at_new_coordinates(self):
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule(kind=faults.KILL, rate=0.5, attempts=None),)
+        )
+        first = [plan.should_fire(faults.KILL, s, 0) for s in range(64)]
+        second = [plan.should_fire(faults.KILL, s, 1) for s in range(64)]
+        assert first != second
+
+    def test_spec_round_trip(self):
+        plan = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule(kind=faults.KILL, tasks=(1, 4), attempts=None),
+                FaultRule(kind=faults.HANG, rate=0.25, seconds=3.0),
+            ),
+        )
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    def test_spec_survives_json(self):
+        plan = FaultPlan(seed=3, rules=(FaultRule(kind=faults.CORRUPT, tasks=(0,)),))
+        assert FaultPlan.from_spec(json.loads(json.dumps(plan.to_spec()))) == plan
+
+
+class TestActivation:
+    def test_inject_publishes_and_restores_env(self):
+        plan = FaultPlan(seed=5, rules=(FaultRule(kind=faults.KILL, tasks=(0,)),))
+        assert ENV_VAR not in os.environ
+        with faults.inject(plan):
+            assert faults.plan_from_env() == plan
+        assert ENV_VAR not in os.environ
+        assert faults.plan_from_env() is None
+
+    def test_inject_restores_previous_value(self):
+        os.environ[ENV_VAR] = "previous"
+        try:
+            with faults.inject(FaultPlan()):
+                assert os.environ[ENV_VAR] != "previous"
+            assert os.environ[ENV_VAR] == "previous"
+        finally:
+            os.environ.pop(ENV_VAR, None)
+
+    def test_malformed_env_is_no_plan(self):
+        assert faults.plan_from_env({ENV_VAR: "{not json"}) is None
+        assert faults.plan_from_env({ENV_VAR: '{"rules": [{"kind": "x"}]}'}) is None
+        assert faults.plan_from_env({}) is None
+
+    def test_task_flag_takes_precedence(self):
+        env_plan = FaultPlan(seed=1)
+        task_plan = FaultPlan(seed=2)
+        with faults.inject(env_plan):
+            assert faults.plan_from_task({"faults": task_plan.to_spec()}) == task_plan
+            assert faults.plan_from_task({}) == env_plan
+
+
+class TestApplication:
+    def test_hang_sleeps_and_corrupt_flag(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind=faults.HANG, tasks=(0,), seconds=0.0),
+                FaultRule(kind=faults.CORRUPT, tasks=(0,)),
+            )
+        )
+        assert faults.apply_task_faults(plan, 0, 0) is True
+        assert faults.apply_task_faults(plan, 1, 0) is False
+        assert faults.apply_task_faults(None, 0, 0) is False
+
+    def test_transport_fault_raises(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=faults.TRANSPORT, tasks=(0,), attempts=(0,)),)
+        )
+        with pytest.raises(SnapshotTransportError):
+            faults.apply_spawn_faults(plan, 0, 0)
+        faults.apply_spawn_faults(plan, 0, 1)  # next spawn re-rolls
+        faults.apply_spawn_faults(None, 0, 0)
+
+    def test_corrupt_response_is_recognizably_malformed(self):
+        garbage = faults.corrupt_response()
+        assert "report" not in garbage and "failure" not in garbage
