@@ -1,0 +1,124 @@
+"""Benchmark-regression gate over the committed BENCH_*.json files.
+
+The full fig-16 sweeps run on developer machines and their results are
+committed as ``BENCH_query_exec.json`` / ``BENCH_serving.json``.  CI
+cannot re-measure them (a shared runner's timings are noise), but it
+*can* hold the committed numbers to the floors the perf work
+established — so a change that quietly regresses the compiled/columnar
+fast paths, or fattens the serving transport back up, fails the build
+the moment its re-measured results are committed (and identity flags
+are checked unconditionally):
+
+* indexed execution, compiled conditions and the columnar scan must all
+  report identical results to their reference paths;
+* the fig-16(a) single-thread speedups (selective and broad) and the
+  fig-16(b) join speedup must not fall below their recorded floors;
+* single-worker serving overhead must stay within the skinny-transport
+  budget.
+
+Floors are deliberately set *below* the measured numbers (tolerance for
+machine-to-machine variance), so only a real regression trips them.
+
+Run::
+
+    python benchmarks/check_regression.py                    # repo-root files
+    python benchmarks/check_regression.py --query-exec F1 --serving F2
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Floors for BENCH_query_exec.json (measured at 3000 papers / 400
+#: joined papers: 3.2x / 1.4x / 29x; see docs/PERFORMANCE.md).  The
+#: broad-selection floor is low on purpose — that figure is verify-bound
+#: (Amdahl), so its indexed-over-scan ratio compresses as the scan side
+#: itself gets faster, and anything >= 1.1 still shows the index winning.
+QUERY_EXEC_FLOORS = {
+    "selection_speedup_at_largest": 1.8,
+    "selection_broad_speedup_at_largest": 1.1,
+    "join_speedup_at_largest": 8.0,
+}
+
+#: Ceiling for the serving dispatch tax: 1-worker batch wall-clock over
+#: the serial baseline (the tentpole budget is 1.10x; the extra slack
+#: absorbs machine variance, not architecture regressions).
+SINGLE_WORKER_OVERHEAD_CEILING = 1.20
+
+
+def _load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        sys.exit(f"regression check: missing benchmark file {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"regression check: {path} is not valid JSON: {exc}")
+
+
+def check_query_exec(results):
+    summary = results.get("summary", {})
+    failures = []
+    if not summary.get("identical_results"):
+        failures.append("indexed execution no longer matches the full scan")
+    if not summary.get("interpreted_identical"):
+        failures.append(
+            "compiled/columnar execution no longer matches the interpreted path"
+        )
+    if summary.get("join_regression"):
+        failures.append("the indexed join is slower than the scan join")
+    for key, floor in QUERY_EXEC_FLOORS.items():
+        value = summary.get(key)
+        if value is None:
+            failures.append(f"summary key {key!r} is missing")
+        elif value < floor:
+            failures.append(f"{key} = {value} fell below the floor {floor}")
+    return failures
+
+
+def check_serving(results):
+    summary = results.get("summary", {})
+    failures = []
+    if not summary.get("identical_results"):
+        failures.append("served execution no longer matches serial execution")
+    overhead = summary.get("single_worker_overhead")
+    if overhead is None:
+        failures.append("summary key 'single_worker_overhead' is missing")
+    elif overhead > SINGLE_WORKER_OVERHEAD_CEILING:
+        failures.append(
+            f"single_worker_overhead = {overhead} exceeds the ceiling "
+            f"{SINGLE_WORKER_OVERHEAD_CEILING}"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--query-exec",
+        default=str(REPO_ROOT / "BENCH_query_exec.json"),
+        help="path to the committed query-exec results",
+    )
+    parser.add_argument(
+        "--serving",
+        default=str(REPO_ROOT / "BENCH_serving.json"),
+        help="path to the committed serving results",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_query_exec(_load(args.query_exec))
+    failures += check_serving(_load(args.serving))
+    if failures:
+        print("benchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,9 @@ from typing import Callable, Dict, FrozenSet, Mapping, Optional, Set
 from ..errors import ConditionError, IllTypedConditionError
 from ..ontology.hierarchy import Ontology
 from ..similarity.seo import SimilarityEnhancedOntology
+from ..tax.compile import compile_term, register_condition_compiler
 from ..tax.conditions import (
+    DEFAULT_CONTEXT,
     And,
     Binding,
     Comparison,
@@ -250,6 +252,8 @@ class TypedComparison(Condition):
     non-SEO context (plain TAX has no types beyond strings).
     """
 
+    __slots__ = ("op", "left", "right")
+
     def __init__(self, op: str, left: Term, right: Term) -> None:
         if op not in Comparison.OPS:
             raise ConditionError(f"unsupported operator {op!r}")
@@ -257,7 +261,9 @@ class TypedComparison(Condition):
         self.left = left
         self.right = right
 
-    def evaluate(self, binding: Binding, context: ConditionContext = ConditionContext()) -> bool:
+    def evaluate(self, binding: Binding, context: Optional[ConditionContext] = None) -> bool:
+        if context is None:
+            context = DEFAULT_CONTEXT
         if isinstance(context, SeoConditionContext):
             return context.typed_compare(self.op, self.left, self.right, binding)
         return context.compare(
@@ -277,11 +283,15 @@ class _SemanticAtom(Condition):
     HOOK = ""  # ConditionContext method name
     SYMBOL = ""
 
+    __slots__ = ("left", "right")
+
     def __init__(self, left: Term, right: Term) -> None:
         self.left = left
         self.right = right
 
-    def evaluate(self, binding: Binding, context: ConditionContext = ConditionContext()) -> bool:
+    def evaluate(self, binding: Binding, context: Optional[ConditionContext] = None) -> bool:
+        if context is None:
+            context = DEFAULT_CONTEXT
         hook = getattr(context, self.HOOK)
         return hook(self.left.resolve(binding), self.right.resolve(binding))
 
@@ -298,12 +308,16 @@ class SimilarTo(_SemanticAtom):
     HOOK = "similar"
     SYMBOL = "~"
 
+    __slots__ = ()
+
 
 class InstanceOf(_SemanticAtom):
     """``X instance_of Y`` — X is a value strictly below the type Y."""
 
     HOOK = "instance_of"
     SYMBOL = "instance_of"
+
+    __slots__ = ()
 
 
 class SubtypeOf(_SemanticAtom):
@@ -312,11 +326,15 @@ class SubtypeOf(_SemanticAtom):
     HOOK = "subtype_of"
     SYMBOL = "subtype_of"
 
+    __slots__ = ()
+
 
 class Isa(SubtypeOf):
     """Alias: the paper writes both ``isa`` and ``subtype_of``."""
 
     SYMBOL = "isa"
+
+    __slots__ = ()
 
 
 class Below(_SemanticAtom):
@@ -325,6 +343,8 @@ class Below(_SemanticAtom):
     HOOK = "below"
     SYMBOL = "below"
 
+    __slots__ = ()
+
 
 class Above(_SemanticAtom):
     """``X above Y`` = Y below X."""
@@ -332,12 +352,66 @@ class Above(_SemanticAtom):
     HOOK = "above"
     SYMBOL = "above"
 
+    __slots__ = ()
+
 
 class PartOf(_SemanticAtom):
     """``X part_of Y`` through the part-of relation's SEO (Example 12)."""
 
     HOOK = "part_of"
     SYMBOL = "part_of"
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Closure compilation (see repro.tax.compile)
+# ---------------------------------------------------------------------------
+
+
+def _compile_typed_comparison(condition, context, recurse):
+    """TypedComparison: bind the context's dispatch once, at compile time."""
+    op = condition.op
+    if isinstance(context, SeoConditionContext):
+        typed_compare = context.typed_compare
+        left, right = condition.left, condition.right
+
+        def typed(binding, _tc=typed_compare, _op=op, _l=left, _r=right):
+            return _tc(_op, _l, _r, binding)
+
+        return typed
+    compare = context.compare
+    left = compile_term(condition.left)
+    right = compile_term(condition.right)
+
+    def syntactic(binding, _c=compare, _op=op, _l=left, _r=right):
+        return _c(_op, _l(binding), _r(binding))
+
+    return syntactic
+
+
+def _compile_semantic_atom(condition, context, recurse):
+    """Semantic atoms: resolve the context hook once; same call thereafter.
+
+    Going through the *bound* hook keeps side effects identical to the
+    interpreter — ``SeoConditionContext.ontology_accesses`` ticks the
+    same number of times, and the base context raises the same
+    :class:`~repro.errors.ConditionError`.
+    """
+    hook = getattr(context, type(condition).HOOK)
+    left = compile_term(condition.left)
+    right = compile_term(condition.right)
+
+    def semantic(binding, _hook=hook, _l=left, _r=right):
+        return _hook(_l(binding), _r(binding))
+
+    return semantic
+
+
+register_condition_compiler(TypedComparison, _compile_typed_comparison)
+for _atom_class in (SimilarTo, InstanceOf, SubtypeOf, Isa, Below, Above, PartOf):
+    register_condition_compiler(_atom_class, _compile_semantic_atom)
+del _atom_class
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from ..lru import LruCache
 from ..obs import NULL_OBSERVABILITY, Observability
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, REGISTRY as METRICS
 from ..tax import algebra as tax_algebra
+from ..tax.compile import compile_condition
 from ..tax.tree import dedupe
 from ..tax.conditions import (
     And,
@@ -101,7 +102,16 @@ class QueryPlan:
 
 @dataclass
 class ExecutionReport:
-    """A query's results plus the paper's three timing components."""
+    """A query's results plus the paper's three timing components.
+
+    ``results`` is a lazy property (attached below the class body so the
+    dataclass machinery still records it as a field): a report rebuilt
+    from a wire payload holds the serialized XML texts and re-parses
+    them only on first access.  The serving layer's batch path never
+    touches ``.results`` parent-side, so transport + bookkeeping cost no
+    parse at all; :meth:`result_texts` exposes the wire form directly
+    for identity checks and re-serialization.
+    """
 
     results: List[XmlNode]
     rewrite_seconds: float
@@ -133,6 +143,26 @@ class ExecutionReport:
     #: The query's span tree (:meth:`repro.obs.trace.Span.to_dict` shape);
     #: None when the executor ran without tracing.
     trace: Optional[Dict[str, Any]] = None
+
+    @property
+    def result_count(self) -> int:
+        """Number of results, without forcing a lazy parse."""
+        if self._results is not None:
+            return len(self._results)
+        return len(self._result_texts or ())
+
+    def result_texts(self) -> List[str]:
+        """The results as serialized XML strings (cached).
+
+        For a report rebuilt from a wire payload this is the payload's
+        own text list — byte-identical to what the worker serialized —
+        and costs no parse; otherwise the trees are serialized once.
+        """
+        if self._result_texts is None:
+            from ..xmldb.serializer import serialize
+
+            self._result_texts = [serialize(node) for node in self._results]
+        return self._result_texts
 
     @property
     def docs_pruned(self) -> int:
@@ -246,51 +276,76 @@ class ExecutionReport:
         merged.trace = None
         return merged
 
-    def to_dict(self, include_results: bool = False) -> Dict[str, Any]:
+    #: Default value per scalar field — what ``compact=True`` omits from
+    #: the wire payload (``from_dict`` restores exactly these defaults
+    #: for missing keys, so a compact round-trip is lossless).
+    _SCALAR_DEFAULTS = {
+        "xpath_queries": [],
+        "candidates": 0,
+        "ontology_accesses": 0,
+        "degraded": False,
+        "planner_seconds": 0.0,
+        "docs_total": 0,
+        "docs_scanned": 0,
+        "index_used": False,
+        "plan_cache_hit": False,
+        "failed_partitions": [],
+    }
+
+    def to_dict(
+        self, include_results: bool = False, compact: bool = False
+    ) -> Dict[str, Any]:
         """Canonical JSON-ready form (the CLI, the experiment runner and
         the event sinks all go through this one method).
 
         ``include_results=True`` adds the result trees serialized as XML
         strings; by default only ``result_count`` is recorded.
+        ``compact=True`` is the wire form the serving workers ship:
+        default-valued scalars and the derived ``total_seconds`` /
+        ``docs_pruned`` are omitted (``from_dict`` restores them), which
+        keeps the per-query payload skinny.
         """
-        payload: Dict[str, Any] = {
-            field_name: getattr(self, field_name)
-            for field_name in self._SCALAR_FIELDS
-        }
-        payload["xpath_queries"] = list(self.xpath_queries)
-        payload["failed_partitions"] = [
-            dict(entry) for entry in self.failed_partitions
-        ]
-        payload["result_count"] = len(self.results)
-        payload["total_seconds"] = self.total_seconds
-        payload["docs_pruned"] = self.docs_pruned
+        payload: Dict[str, Any] = {}
+        for field_name in self._SCALAR_FIELDS:
+            value = getattr(self, field_name)
+            if compact and self._SCALAR_DEFAULTS.get(field_name, _SENTINEL) == value:
+                continue
+            payload[field_name] = value
+        if "xpath_queries" in payload:
+            payload["xpath_queries"] = list(self.xpath_queries)
+        if "failed_partitions" in payload:
+            payload["failed_partitions"] = [
+                dict(entry) for entry in self.failed_partitions
+            ]
+        payload["result_count"] = self.result_count
+        if not compact:
+            payload["total_seconds"] = self.total_seconds
+            payload["docs_pruned"] = self.docs_pruned
         if self.trace is not None:
             payload["trace"] = self.trace
         if include_results:
-            from ..xmldb.serializer import serialize
-
-            payload["results"] = [serialize(node) for node in self.results]
+            payload["results"] = list(self.result_texts())
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ExecutionReport":
         """Rebuild a report from :meth:`to_dict` output.
 
-        Result trees are re-parsed when present; otherwise ``results`` is
-        empty (``result_count`` still reflects the original run via the
-        payload, not the rebuilt object).
+        Serialized result trees are kept as-is and re-parsed lazily on
+        the first ``.results`` access; without a ``results`` entry the
+        report has no results (``result_count`` still reflects the
+        original run via the payload, not the rebuilt object).
         """
-        results: List[XmlNode] = []
-        if payload.get("results"):
-            from ..xmldb.parser import parse_fragment
-
-            results = [parse_fragment(text) for text in payload["results"]]
         report = cls(
-            results=results,
+            results=[],
             rewrite_seconds=float(payload.get("rewrite_seconds", 0.0)),
             xpath_seconds=float(payload.get("xpath_seconds", 0.0)),
             convert_seconds=float(payload.get("convert_seconds", 0.0)),
         )
+        texts = payload.get("results")
+        if texts:
+            report._results = None
+            report._result_texts = [str(text) for text in texts]
         for field_name in cls._SCALAR_FIELDS:
             if field_name in payload:
                 setattr(report, field_name, payload[field_name])
@@ -303,12 +358,38 @@ class ExecutionReport:
 
     def __repr__(self) -> str:
         return (
-            f"ExecutionReport({len(self.results)} results in "
+            f"ExecutionReport({self.result_count} results in "
             f"{self.total_seconds:.4f}s; rewrite={self.rewrite_seconds:.4f} "
             f"planner={self.planner_seconds:.4f} "
             f"xpath={self.xpath_seconds:.4f} convert={self.convert_seconds:.4f}; "
             f"scanned {self.docs_scanned}/{self.docs_total} docs)"
         )
+
+
+#: Internal marker for "no compact default" in ExecutionReport.to_dict.
+_SENTINEL = object()
+
+
+def _report_results_get(self: ExecutionReport) -> List[XmlNode]:
+    if self._results is None:
+        from ..xmldb.parser import parse_fragment
+
+        self._results = [
+            parse_fragment(text) for text in (self._result_texts or ())
+        ]
+    return self._results
+
+
+def _report_results_set(self: ExecutionReport, value: List[XmlNode]) -> None:
+    self._results = value
+    self._result_texts = None
+
+
+# ``results`` stays a dataclass *field* (the drift-guard tests pin the
+# field set) but reads/writes go through this property: the generated
+# __init__'s ``self.results = results`` lands in the setter, and
+# from_dict can park serialized texts for lazy parsing.
+ExecutionReport.results = property(_report_results_get, _report_results_set)
 
 
 # ---------------------------------------------------------------------------
@@ -507,6 +588,7 @@ class QueryExecutor:
         use_index: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         observability: Optional[Observability] = None,
+        compile_conditions: bool = True,
     ) -> None:
         self.database = database
         self.context = context
@@ -533,12 +615,23 @@ class QueryExecutor:
         self._plan_cache = LruCache(
             plan_cache_size, metric_prefix="executor.plan_cache"
         )
+        #: Memoised cross-side join probes, keyed by collection
+        #: generations + probe spec (stale generations simply miss).
+        self._cross_probe_cache = LruCache(
+            32, metric_prefix="executor.cross_probe_cache"
+        )
         #: Tracing + sink configuration; the shared no-op instance by
         #: default, so an uninstrumented executor allocates no spans and
         #: writes no files.
         self.observability = (
             observability if observability is not None else NULL_OBSERVABILITY
         )
+        #: Compile the verification condition into closures once per
+        #: cached plan (see :mod:`repro.tax.compile`).  Ablatable; the
+        #: interpreted walk is used when off, results identical either
+        #: way (conditions nobody registered a compiler for fall back to
+        #: interpretation per node automatically).
+        self.compile_conditions = compile_conditions
 
     # -- plan cache ---------------------------------------------------------
 
@@ -653,6 +746,41 @@ class QueryExecutor:
 
             return EXACT_FALLBACK_CONTEXT
         return DEFAULT_CONTEXT
+
+    def _verify_tools(self, plan: Dict[str, object], pattern: PatternTree):
+        """(verified pattern, compiled evaluator, tag restrictions).
+
+        All three are per-plan constants, so they live on the cached plan
+        entry: the pattern skeleton is rebuilt once, ``required_tags``
+        runs once, and — when :attr:`compile_conditions` is on — the
+        verify condition compiles once per evaluation context instead of
+        being interpreted per candidate binding.  The entry is keyed by
+        the context *object* so flipping ``exact_fallback`` (or swapping
+        the SEO) between queries recompiles instead of reusing stale
+        closures.
+        """
+        context = self._evaluation_context()
+        cached = plan.get("verify")
+        if cached is not None and cached[0] is context:
+            _ctx, verified_pattern, evaluator, restrictions = cached
+            if (evaluator is None) == (not self.compile_conditions):
+                return verified_pattern, evaluator, restrictions
+        # Verify with the original condition when an SEO context is
+        # available: semantic atoms evaluate through the SEO index, which
+        # is cheaper than the expanded exact-match disjunction.
+        verify_condition: Condition = (
+            pattern.condition if self.context is not None else plan["condition"]
+        )  # type: ignore[assignment]
+        verified_pattern = PatternTree(verify_condition)
+        _copy_structure(pattern, verified_pattern)
+        restrictions = required_tags(verify_condition)
+        evaluator = (
+            compile_condition(verify_condition, context)
+            if self.compile_conditions
+            else None
+        )
+        plan["verify"] = (context, verified_pattern, evaluator, restrictions)
+        return verified_pattern, evaluator, restrictions
 
     def _start_guard(self, guard: Optional[ResourceGuard]) -> Optional[ResourceGuard]:
         """Resolve the effective guard for one query and restart its clock."""
@@ -860,19 +988,20 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                # Verify with the original condition when an SEO context is
-                # available: semantic atoms evaluate through the SEO index,
-                # which is cheaper than the expanded exact-match disjunction.
-                verified_pattern = PatternTree(
-                    pattern.condition if self.context is not None else condition
+                verified_pattern, evaluator, restrictions = self._verify_tools(
+                    plan, pattern
                 )
-                _copy_structure(pattern, verified_pattern)
                 sl = list(sl_labels)
                 results = self._guarded_per_tree(
                     candidates,
                     guard,
                     lambda trees: tax_algebra.selection(
-                        trees, verified_pattern, sl, self._evaluation_context()
+                        trees,
+                        verified_pattern,
+                        sl,
+                        self._evaluation_context(),
+                        evaluator=evaluator,
+                        restrictions=restrictions,
                     ),
                 )
                 tracer.annotate(
@@ -1048,18 +1177,19 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                # Verify with the original condition when an SEO context is
-                # available: semantic atoms evaluate through the SEO index,
-                # which is cheaper than the expanded exact-match disjunction.
-                verified_pattern = PatternTree(
-                    pattern.condition if self.context is not None else condition
+                verified_pattern, evaluator, restrictions = self._verify_tools(
+                    plan, pattern
                 )
-                _copy_structure(pattern, verified_pattern)
                 results = self._guarded_per_tree(
                     candidates,
                     guard,
                     lambda trees: tax_algebra.projection(
-                        trees, verified_pattern, pl, self._evaluation_context()
+                        trees,
+                        verified_pattern,
+                        pl,
+                        self._evaluation_context(),
+                        evaluator=evaluator,
+                        restrictions=restrictions,
                     ),
                 )
                 tracer.annotate(
@@ -1192,14 +1322,9 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                # Verify with the original condition when an SEO context is
-                # available: semantic atoms evaluate through the SEO index,
-                # which is cheaper than the expanded exact-match disjunction.
-                verified_pattern = PatternTree(
-                    pattern.condition if self.context is not None else condition
+                verified_pattern, evaluator, restrictions = self._verify_tools(
+                    plan, pattern
                 )
-                _copy_structure(pattern, verified_pattern)
-
                 sl = list(sl_labels)
                 pair_filter = None
                 if self.context is not None and self.similarity_hash_join:
@@ -1225,6 +1350,8 @@ class QueryExecutor:
                             verified_pattern,
                             sl,
                             self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
                         )
                     else:
                         # Account for the product size up front (the step
@@ -1242,7 +1369,12 @@ class QueryExecutor:
                             products,
                             guard,
                             lambda trees: tax_algebra.selection(
-                                trees, verified_pattern, sl, self._evaluation_context()
+                                trees,
+                                verified_pattern,
+                                sl,
+                                self._evaluation_context(),
+                                evaluator=evaluator,
+                                restrictions=restrictions,
                             ),
                         )
                 else:
@@ -1258,7 +1390,12 @@ class QueryExecutor:
                         products,
                         guard,
                         lambda trees: tax_algebra.selection(
-                            trees, verified_pattern, sl, self._evaluation_context()
+                            trees,
+                            verified_pattern,
+                            sl,
+                            self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
                         ),
                     )
                 tracer.annotate(
@@ -1332,9 +1469,32 @@ class QueryExecutor:
 
         cross = plan["cross"]
         if cross is not None:
-            cross_left, cross_right = prune_join_docs(
-                left_index, right_index, cross, seo, guard
-            )
+            # The cross probe is a pure function of the two indexes, the
+            # probe spec and the SEO, so its result is memoised per
+            # collection generation; a guard opts out (cache hits would
+            # skip its per-term ticks and distort step accounting).
+            cache_key = None
+            if guard is None:
+                cache_key = (
+                    left_collection,
+                    left.generation,
+                    right_collection,
+                    right.generation,
+                    cross,
+                    id(seo),
+                )
+                cached = self._cross_probe_cache.get(cache_key)
+                if cached is None:
+                    cached = prune_join_docs(
+                        left_index, right_index, cross, seo, None
+                    )
+                    self._cross_probe_cache.put(cache_key, cached)
+                # Copies: callers intersect the sets in place.
+                cross_left, cross_right = set(cached[0]), set(cached[1])
+            else:
+                cross_left, cross_right = prune_join_docs(
+                    left_index, right_index, cross, seo, guard
+                )
             left_keys = (
                 cross_left if left_keys is None else left_keys & cross_left
             )

@@ -21,6 +21,7 @@ The cross-process discipline mirrors :mod:`repro.parallel`:
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 import time
@@ -133,7 +134,10 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
     finally:
         executor.guard = previous_guard
     outcome = {
-        "report": report.to_dict(include_results=True),
+        # Compact wire form: default-valued scalars omitted, results as
+        # serialized text the parent re-parses only if it touches
+        # ``.results`` (the batch path never does).
+        "report": report.to_dict(include_results=True, compact=True),
         "seconds": time.perf_counter() - started,
         "steps": guard.steps if guard is not None else 0,
         "stage_steps": guard.stage_steps if guard is not None else {},
@@ -236,9 +240,18 @@ class WorkerPool:
         context = multiprocessing.get_context(start_method)
         if snapshot.mode == FORK:
             # Workers fork at Pool() construction, inheriting the live
-            # system via this module global (copy-on-write).
+            # system via this module global (copy-on-write).  The parent
+            # heap is frozen into the permanent GC generation across the
+            # fork: the children inherit that frozen state, so a worker's
+            # collector never traverses the shared system — without this,
+            # the first full collection in a worker walks every inherited
+            # object, dirties each copy-on-write page it visits, and
+            # shows up as a several-hundred-ms stall on an early query.
+            # The parent unfreezes immediately; only the children keep
+            # the inherited heap permanent (they never drop it anyway).
             global _FORK_SYSTEM
             _FORK_SYSTEM = snapshot.system
+            gc.freeze()
             try:
                 self._pool = context.Pool(
                     processes=workers,
@@ -247,6 +260,7 @@ class WorkerPool:
                 )
             finally:
                 _FORK_SYSTEM = None
+                gc.unfreeze()
         else:
             self._pool = context.Pool(
                 processes=workers,

@@ -133,6 +133,42 @@ def _levenshtein(x: str, y: str) -> int:
     return previous[-1]
 
 
+@lru_cache(maxsize=65536)
+def _banded_levenshtein(x: str, y: str, bound: float) -> float:
+    """Banded edit-distance DP; ``len(x) >= len(y)`` and both non-equal.
+
+    Returns the distance, or ``bound + 1`` once it provably exceeds the
+    bound (whole rows of the band above the threshold).
+    """
+    radius = int(bound)
+    len_x, len_y = len(x), len(y)
+    big = bound + 1.0
+    previous = [float(j) if j <= radius else big for j in range(len_y + 1)]
+    for i in range(1, len_x + 1):
+        lo = max(1, i - radius)
+        hi = min(len_y, i + radius)
+        current = [big] * (len_y + 1)
+        row_min = big
+        if lo == 1:
+            current[0] = float(i) if i <= radius else big
+            row_min = current[0]
+        cx = x[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0.0 if cx == y[j - 1] else 1.0
+            best = min(
+                previous[j] + 1.0,
+                current[j - 1] + 1.0,
+                previous[j - 1] + cost,
+            )
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > bound:
+            return big
+        previous = current
+    return previous[len_y] if previous[len_y] <= bound else big
+
+
 class Levenshtein(StringSimilarityMeasure):
     """Unit-cost edit distance — the paper's running strong measure.
 
@@ -153,43 +189,19 @@ class Levenshtein(StringSimilarityMeasure):
 
         Returns ``bound + 1`` as soon as the distance provably exceeds the
         bound, which is what makes epsilon-similarity graphs over thousands
-        of ontology terms tractable.
+        of ontology terms tractable.  Results are memoised (the DP is the
+        similarity hot spot of join pruning and verification, and the same
+        title/venue pairs recur across queries).
         """
         if x == y:
             return 0.0
         if abs(len(x) - len(y)) > bound:
             return bound + 1.0
-        radius = int(bound)
-        if radius < 0:
+        if int(bound) < 0:
             return bound + 1.0
         if len(x) < len(y):
             x, y = y, x
-        len_x, len_y = len(x), len(y)
-        big = bound + 1.0
-        previous = [float(j) if j <= radius else big for j in range(len_y + 1)]
-        for i in range(1, len_x + 1):
-            lo = max(1, i - radius)
-            hi = min(len_y, i + radius)
-            current = [big] * (len_y + 1)
-            row_min = big
-            if lo == 1:
-                current[0] = float(i) if i <= radius else big
-                row_min = current[0]
-            cx = x[i - 1]
-            for j in range(lo, hi + 1):
-                cost = 0.0 if cx == y[j - 1] else 1.0
-                best = min(
-                    previous[j] + 1.0,
-                    current[j - 1] + 1.0,
-                    previous[j - 1] + cost,
-                )
-                current[j] = best
-                if best < row_min:
-                    row_min = best
-            if row_min > bound:
-                return big
-            previous = current
-        return previous[len_y] if previous[len_y] <= bound else big
+        return _banded_levenshtein(x, y, bound)
 
 
 class NormalizedLevenshtein(StringSimilarityMeasure):

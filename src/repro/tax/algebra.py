@@ -8,13 +8,20 @@ the same code runs plain TAX (default context) and TOSS (SEO context).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..xmldb.model import XmlNode
-from .conditions import ConditionContext, DEFAULT_CONTEXT
+from .conditions import Binding, ConditionContext, DEFAULT_CONTEXT
 from .embedding import assemble_forest, find_embeddings, witness_tree
 from .pattern import PatternTree
 from .tree import Collection, dedupe
+
+#: A compiled pattern condition (see :mod:`repro.tax.compile`) and the
+#: tag restrictions derived from it — both optional accelerations that
+#: must be exactly equivalent to interpreting ``pattern.condition``.
+ConditionEvaluator = Callable[[Binding], bool]
+TagRestrictions = Mapping[int, Set[str]]
 
 #: The synthetic root tag used by the product operator (Figure 7).
 PRODUCT_ROOT_TAG = "tax_prod_root"
@@ -28,6 +35,8 @@ def selection(
     pattern: PatternTree,
     sl_labels: Iterable[int] = (),
     context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
 ) -> List[XmlNode]:
     """``sigma_{P, SL}``: all witness trees of ``pattern`` over the collection.
 
@@ -36,9 +45,43 @@ def selection(
     semantics: structurally duplicate witnesses are collapsed.
     """
     sl = list(sl_labels)
+    pattern.validate()
+    order = list(pattern.preorder())
+    if pattern.root in sl:
+        # Root-inflating selections (the paper's Figure 16 shape): every
+        # image lies inside the root image's subtree and the root is
+        # inflated, so each witness is exactly a copy of that subtree.
+        # Build one witness per distinct root image instead of one per
+        # embedding — equivalent under set semantics, since embeddings
+        # sharing a root image produce structurally equal witnesses.
+        tops: Dict[int, XmlNode] = {}
+        for tree in collection:
+            for embedding in find_embeddings(
+                pattern,
+                tree,
+                context,
+                evaluator=evaluator,
+                restrictions=restrictions,
+                order=order,
+            ):
+                top = embedding.binding[pattern.root]
+                tops.setdefault(top.object_id, top)
+        return dedupe(
+            [
+                top.copy_numbered(itertools.count(), itertools.count())
+                for top in tops.values()
+            ]
+        )
     witnesses: List[XmlNode] = []
     for tree in collection:
-        for embedding in find_embeddings(pattern, tree, context):
+        for embedding in find_embeddings(
+            pattern,
+            tree,
+            context,
+            evaluator=evaluator,
+            restrictions=restrictions,
+            order=order,
+        ):
             witnesses.append(witness_tree(embedding, sl))
     return dedupe(witnesses)
 
@@ -48,6 +91,8 @@ def projection(
     pattern: PatternTree,
     pl: Sequence[ProjectionEntry],
     context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
 ) -> List[XmlNode]:
     """``pi_{P, PL}``: keep nodes matched by the PL labels, per input tree.
 
@@ -61,10 +106,19 @@ def projection(
     entries: List[Tuple[int, bool]] = [
         entry if isinstance(entry, tuple) else (entry, False) for entry in pl
     ]
+    pattern.validate()
+    order = list(pattern.preorder())
     results: List[XmlNode] = []
     for tree in collection:
         matched: Set[XmlNode] = set()
-        for embedding in find_embeddings(pattern, tree, context):
+        for embedding in find_embeddings(
+            pattern,
+            tree,
+            context,
+            evaluator=evaluator,
+            restrictions=restrictions,
+            order=order,
+        ):
             for label, keep_subtree in entries:
                 image = embedding.binding.get(label)
                 if image is None:
@@ -77,6 +131,25 @@ def projection(
     return dedupe(results)
 
 
+def _paired_copy(first: XmlNode, second: XmlNode) -> XmlNode:
+    """Copy both trees under a fresh product root, numbering as it copies.
+
+    Single-pass equivalent of ``copy()`` + ``renumber()`` on the product
+    root — the inner loops of ``product`` dominate the naive join
+    strategy, so the second traversal is worth fusing away.
+    """
+    pre = itertools.count()
+    post = itertools.count()
+    root = XmlNode(PRODUCT_ROOT_TAG)
+    root.pre = next(pre)
+    for tree in (first, second):
+        sub = tree.copy_numbered(pre, post, 1)
+        sub.parent = root
+        root.children.append(sub)
+    root.post = next(post)
+    return root
+
+
 def product(left: Collection, right: Collection) -> List[XmlNode]:
     """``SDB1 x SDB2``: pair every tree of each side under a new root.
 
@@ -87,10 +160,7 @@ def product(left: Collection, right: Collection) -> List[XmlNode]:
     pairs: List[XmlNode] = []
     for first in left:
         for second in right:
-            root = XmlNode(PRODUCT_ROOT_TAG)
-            root.append(first.copy())
-            root.append(second.copy())
-            pairs.append(root.renumber())
+            pairs.append(_paired_copy(first, second))
     return pairs
 
 
@@ -100,9 +170,18 @@ def join(
     pattern: PatternTree,
     sl_labels: Iterable[int] = (),
     context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
 ) -> List[XmlNode]:
     """Condition join: product followed by selection (Example 6)."""
-    return selection(product(left, right), pattern, sl_labels, context)
+    return selection(
+        product(left, right),
+        pattern,
+        sl_labels,
+        context,
+        evaluator=evaluator,
+        restrictions=restrictions,
+    )
 
 
 def union(left: Collection, right: Collection) -> List[XmlNode]:

@@ -90,6 +90,8 @@ DEFAULT_CONTEXT = ConditionContext()
 class Term(abc.ABC):
     """A term of a simple condition: node attribute or constant."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def resolve(self, binding: Binding) -> str:
         """The term's string value under an embedding."""
@@ -189,6 +191,8 @@ class Constant(Term):
 class Condition(abc.ABC):
     """A selection condition; evaluated against a binding and a context."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def evaluate(self, binding: Binding, context: ConditionContext = DEFAULT_CONTEXT) -> bool:
         """Truth of the condition under the embedding ``binding``."""
@@ -210,6 +214,8 @@ class Condition(abc.ABC):
 class TrueCondition(Condition):
     """The vacuous condition (used by default on pattern trees)."""
 
+    __slots__ = ()
+
     def evaluate(self, binding: Binding, context: ConditionContext = DEFAULT_CONTEXT) -> bool:
         return True
 
@@ -224,6 +230,8 @@ class Comparison(Condition):
     """A simple condition ``X op Y`` with a syntactic operator."""
 
     OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    __slots__ = ("op", "left", "right")
 
     def __init__(self, op: str, left: Term, right: Term) -> None:
         if op not in self.OPS:
@@ -249,6 +257,8 @@ class Contains(Condition):
     when running plain TAX; this atom is that replacement.
     """
 
+    __slots__ = ("left", "right")
+
     def __init__(self, left: Term, right: Term) -> None:
         self.left = left
         self.right = right
@@ -265,6 +275,8 @@ class Contains(Condition):
 
 class And(Condition):
     """Conjunction of two or more conditions."""
+
+    __slots__ = ("operands",)
 
     def __init__(self, *operands: Condition) -> None:
         if len(operands) < 2:
@@ -287,6 +299,8 @@ class And(Condition):
 class Or(Condition):
     """Disjunction of two or more conditions."""
 
+    __slots__ = ("operands",)
+
     def __init__(self, *operands: Condition) -> None:
         if len(operands) < 2:
             raise ConditionError("Or requires at least two operands")
@@ -307,6 +321,8 @@ class Or(Condition):
 
 class Not(Condition):
     """Negation."""
+
+    __slots__ = ("operand",)
 
     def __init__(self, operand: Condition) -> None:
         self.operand = operand

@@ -16,7 +16,7 @@ images of SL-listed pattern nodes to their full subtrees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
 
 from ..xmldb.indexes import DocumentIndex
 from ..xmldb.model import XmlNode, ancestor_of
@@ -24,7 +24,7 @@ from .conditions import Binding, ConditionContext, DEFAULT_CONTEXT, required_tag
 from .pattern import AD, PC, PatternNode, PatternTree
 
 
-@dataclass
+@dataclass(slots=True)
 class Embedding:
     """A satisfying total mapping from pattern labels to data nodes."""
 
@@ -39,39 +39,90 @@ class Embedding:
         return f"Embedding({body})"
 
 
+def _tag_buckets(tree: XmlNode) -> Dict[str, List[XmlNode]]:
+    """All subtree nodes bucketed by tag, each bucket in document order.
+
+    One preorder pass shared by the root pool and the ad-edge probes —
+    the same node sequences the tag-index path produced, without
+    materializing a full :class:`DocumentIndex` (whose value index the
+    embedder never used).
+    """
+    buckets: Dict[str, List[XmlNode]] = {}
+    for node in tree.iter():
+        bucket = buckets.get(node.tag)
+        if bucket is None:
+            buckets[node.tag] = [node]
+        else:
+            bucket.append(node)
+    return buckets
+
+
 def find_embeddings(
     pattern: PatternTree,
     tree: XmlNode,
     context: ConditionContext = DEFAULT_CONTEXT,
     index: Optional[DocumentIndex] = None,
+    evaluator: Optional[Callable[[Binding], bool]] = None,
+    restrictions: Optional[Mapping[int, Set[str]]] = None,
+    order: Optional[Sequence[PatternNode]] = None,
 ) -> Iterator[Embedding]:
     """Enumerate all embeddings of ``pattern`` into ``tree``.
 
-    ``index`` may be a prebuilt :class:`DocumentIndex` for the tree; one is
-    built on the fly otherwise.  The condition is evaluated once per
-    complete structural match (candidate tag pruning makes the common
-    conjunctive queries cheap before that point).
+    ``index`` may be a prebuilt :class:`DocumentIndex` for the tree;
+    without one, root candidates come from a direct preorder scan.
+    ``evaluator`` may be a compiled form of ``pattern.condition`` (see
+    :mod:`repro.tax.compile`) closed over ``context``, and
+    ``restrictions`` its precomputed :func:`required_tags` — both are
+    derived on the fly otherwise.  ``order`` may be the pattern's
+    precomputed (validated) preorder; passing it lets a caller looping
+    over many trees pay validation once.  The condition is evaluated
+    once per complete structural match (candidate tag pruning makes the
+    common conjunctive queries cheap before that point).
     """
-    pattern.validate()
-    if index is None:
-        index = DocumentIndex(tree)
-    restrictions = required_tags(pattern.condition)
-    order: List[PatternNode] = list(pattern.preorder())
+    if order is None:
+        pattern.validate()
+        order = list(pattern.preorder())
+    if restrictions is None:
+        restrictions = required_tags(pattern.condition)
     binding: Dict[int, XmlNode] = {}
+    if evaluator is None:
+        condition, ctx = pattern.condition, context
+
+        def evaluator(b: Binding, _c=condition, _ctx=ctx) -> bool:
+            return _c.evaluate(b, _ctx)
+
+    buckets: Optional[Dict[str, List[XmlNode]]] = None
+
+    def tag_bucket(tag: str) -> List[XmlNode]:
+        nonlocal buckets
+        if buckets is None:
+            buckets = _tag_buckets(tree)
+        return buckets.get(tag, [])
 
     def candidates(pattern_node: PatternNode) -> Iterable[XmlNode]:
         tags = restrictions.get(pattern_node.label)
         if pattern_node.parent is None:
-            if tags is not None:
+            if tags is None:
+                return tree.iter()
+            if index is not None:
                 pool: Iterable[XmlNode] = []
                 for tag in tags:
                     pool = list(pool) + index.tags.nodes(tag)
                 return pool
-            return tree.iter()
+            pool = []
+            for tag in tags:
+                pool.extend(tag_bucket(tag))
+            return pool
         anchor = binding[pattern_node.parent]
         if pattern_node.edge == PC:
             pool = anchor.children
         else:
+            if tags is not None and len(tags) == 1 and anchor is tree:
+                # Descendants of the whole tree's root, one tag wanted:
+                # the shared bucket pass answers this directly (document
+                # order, minus the root itself) — no per-probe rescan.
+                (tag,) = tags
+                return [node for node in tag_bucket(tag) if node is not anchor]
             pool = anchor.descendants()
         if tags is None:
             return pool
@@ -79,7 +130,7 @@ def find_embeddings(
 
     def backtrack(position: int) -> Iterator[Embedding]:
         if position == len(order):
-            if pattern.condition.evaluate(binding, context):
+            if evaluator(binding):
                 yield Embedding(pattern, dict(binding))
             return
         pattern_node = order[position]

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import CollectionError, DocumentTooLargeError
 from ..guard import ResourceGuard
+from .columnar import DocumentColumns
 from .index import CollectionSearchIndex
 from .indexes import CollectionIndex, DocumentIndex
 from .model import XmlNode
@@ -38,6 +39,13 @@ class Collection:
         self.max_document_bytes = max_document_bytes
         self._documents: Dict[str, XmlNode] = {}
         self._index = CollectionIndex()
+        #: Run unguarded XPath scans through compiled columnar matchers
+        #: when the query supports them (ablatable; results identical).
+        self.use_columnar = True
+        #: Lazily built per-document columnar arrays, keyed by document
+        #: key; each entry remembers the root it was built from so a
+        #: replaced document can never serve stale columns.
+        self._columns: Dict[str, Tuple[XmlNode, DocumentColumns]] = {}
         #: Collection-wide term/path search index (see repro.xmldb.index),
         #: built lazily on first use or attached from a persisted file;
         #: maintained incrementally once present.
@@ -78,6 +86,7 @@ class Collection:
         if key in self._documents:
             root = self._documents[key]
             self._index.invalidate(root)
+            self._columns.pop(key, None)
             if self._search_index is not None:
                 self._search_index.remove_document(key, root)
             del self._documents[key]
@@ -92,6 +101,7 @@ class Collection:
             ) from None
         self.generation += 1
         self._index.invalidate(root)
+        self._columns.pop(key, None)
         if self._search_index is not None:
             self._search_index.remove_document(key, root)
 
@@ -132,6 +142,15 @@ class Collection:
     def index_for(self, root: XmlNode) -> DocumentIndex:
         """Per-document tag/value index (built lazily, cached)."""
         return self._index.index_for(root)
+
+    def columns_for(self, key: str, root: XmlNode) -> DocumentColumns:
+        """Columnar arrays for a stored document (built lazily, cached)."""
+        entry = self._columns.get(key)
+        if entry is not None and entry[0] is root:
+            return entry[1]
+        columns = DocumentColumns(root)
+        self._columns[key] = (root, columns)
+        return columns
 
     def search_index(self, build: bool = True) -> Optional[CollectionSearchIndex]:
         """The collection-wide search index, built on first request.
@@ -174,11 +193,21 @@ class Collection:
         """
         compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
         wanted = None if document_keys is None else set(document_keys)
+        # The columnar fast path never ticks a guard, so a guarded scan
+        # always runs the (tick-accurate) AST engine.
+        matcher = (
+            compiled.columnar_matcher()
+            if guard is None and self.use_columnar
+            else None
+        )
         results: List[ResultNode] = []
         for key, root in self._documents.items():
             if wanted is not None and key not in wanted:
                 continue
-            results.extend(compiled.select(root, guard=guard))
+            if matcher is not None:
+                results.extend(matcher(self.columns_for(key, root)))
+            else:
+                results.extend(compiled.select(root, guard=guard))
             if guard is not None:
                 guard.check_results(len(results), f"query over {self.name!r}")
         return results
@@ -191,7 +220,12 @@ class Collection:
     ) -> List[ResultNode]:
         """Run an XPath query over a single document."""
         compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
-        return compiled.select(self.get_document(key), guard=guard)
+        root = self.get_document(key)
+        if guard is None and self.use_columnar:
+            matcher = compiled.columnar_matcher()
+            if matcher is not None:
+                return list(matcher(self.columns_for(key, root)))
+        return compiled.select(root, guard=guard)
 
     def __repr__(self) -> str:
         return f"Collection({self.name!r}, {len(self)} documents)"

@@ -225,6 +225,38 @@ class XmlNode:
             clone.append(child.copy())
         return clone
 
+    def copy_numbered(
+        self,
+        pre_counter: "itertools.count",
+        post_counter: "itertools.count",
+        depth: int = 0,
+    ) -> "XmlNode":
+        """Deep copy that assigns pre/post/depth in the same pass.
+
+        Single-traversal equivalent of ``copy()`` + ``renumber()``; the
+        shared counters let a caller number a synthetic root and several
+        copied subtrees as one tree (the product operator's hot loop).
+        Slots are written directly — this is the innermost loop of the
+        naive join strategy and the constructor call is measurable there.
+        """
+        clone: XmlNode = XmlNode.__new__(XmlNode)
+        clone.tag = self.tag
+        clone.text = self.text
+        attributes = self.attributes
+        clone.attributes = dict(attributes) if attributes else {}
+        clone.children = attach = []
+        clone.parent = None
+        clone.pre = next(pre_counter)
+        clone.post = -1
+        clone.depth = depth
+        clone.object_id = next(_object_ids)
+        for child in self.children:
+            sub = child.copy_numbered(pre_counter, post_counter, depth + 1)
+            sub.parent = clone
+            attach.append(sub)
+        clone.post = next(post_counter)
+        return clone
+
     def map_copy(self) -> Tuple["XmlNode", Dict[int, "XmlNode"]]:
         """Deep copy plus a mapping from original object_id to the clone."""
         mapping: Dict[int, XmlNode] = {}

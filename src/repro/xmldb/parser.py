@@ -8,6 +8,7 @@ model, numbering, queries — is this package's own.
 
 from __future__ import annotations
 
+import sys
 import xml.parsers.expat
 from typing import List, Optional
 
@@ -25,7 +26,14 @@ class _TreeBuilder:
 
     def start_element(self, name: str, attributes) -> None:
         self._flush_text()
-        node = XmlNode(name, attributes=dict(attributes))
+        # Intern tags and attribute names: a DBLP-scale corpus repeats a
+        # tiny vocabulary millions of times, and interning turns the
+        # equality probes in the scan/verify hot paths into pointer
+        # comparisons (and deduplicates the strings across documents).
+        node = XmlNode(
+            sys.intern(name),
+            attributes={sys.intern(key): value for key, value in attributes.items()},
+        )
         if self._stack:
             self._stack[-1].append(node)
         elif self.root is None:
@@ -48,7 +56,9 @@ class _TreeBuilder:
         self._text_parts.clear()
         if text and self._stack:
             node = self._stack[-1]
-            node.text = f"{node.text} {text}".strip() if node.text else text
+            merged = f"{node.text} {text}".strip() if node.text else text
+            # Content values repeat heavily too (years, venues, names).
+            node.text = sys.intern(merged)
 
 
 def parse_document(xml_text: "str | bytes") -> XmlNode:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple, Union
 
 # -- axes -------------------------------------------------------------------
@@ -37,7 +37,7 @@ NAMED_AXES = frozenset(
 # -- node tests ----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NameTest:
     """Match elements (or attributes) by name; ``*`` matches all."""
 
@@ -47,7 +47,7 @@ class NameTest:
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TextTest:
     """``text()`` — select the node's character data."""
 
@@ -55,7 +55,7 @@ class TextTest:
         return "text()"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AnyNodeTest:
     """``node()`` — match any node."""
 
@@ -69,7 +69,7 @@ NodeTest = Union[NameTest, TextTest, AnyNodeTest]
 # -- expressions ----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     value: str
 
@@ -77,7 +77,7 @@ class Literal:
         return f"'{self.value}'"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Number:
     value: float
 
@@ -87,7 +87,7 @@ class Number:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp:
     """``or``, ``and``, comparisons, and arithmetic."""
 
@@ -99,7 +99,7 @@ class BinaryOp:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryMinus:
     operand: "Expr"
 
@@ -107,7 +107,7 @@ class UnaryMinus:
         return f"-({self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionCall:
     name: str
     args: Tuple["Expr", ...]
@@ -117,7 +117,7 @@ class FunctionCall:
         return f"{self.name}({rendered})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Step:
     """One location step: axis, node test, zero or more predicates."""
 
@@ -136,7 +136,7 @@ class Step:
         return body + "".join(f"[{predicate}]" for predicate in self.predicates)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocationPath:
     """A sequence of steps; ``descendant_joins[i]`` marks a ``//`` before step i."""
 
@@ -162,7 +162,7 @@ class LocationPath:
         return "".join(parts) or ("/" if self.absolute else ".")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Union_:
     """``expr | expr`` — node-set union in document order."""
 

@@ -20,7 +20,7 @@ from . import ast
 from .parser import parse_xpath
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttributeNode:
     """A selected attribute: owner element, attribute name and value."""
 
@@ -32,7 +32,7 @@ class AttributeNode:
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TextNode:
     """The character data of an element, selected by ``text()``."""
 
@@ -166,7 +166,7 @@ def _compare_atomic(op: str, left: Union[str, float, bool], right: Union[str, fl
 # -- the evaluator ---------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class _Context:
     node: ContextNode
     position: int
@@ -594,6 +594,10 @@ class _Evaluator:
         return test.name == "*" or test.name == node.tag
 
 
+#: Tri-state marker for XPathQuery's lazily compiled columnar matcher.
+_COLUMNAR_UNTRIED = object()
+
+
 class XPathQuery:
     """A parsed XPath expression, reusable across documents.
 
@@ -605,6 +609,25 @@ class XPathQuery:
         self.source = query
         self.expression = parse_xpath(query)
         self._evaluator = _Evaluator()
+        self._columnar: object = _COLUMNAR_UNTRIED
+
+    def columnar_matcher(self):
+        """A compiled columnar scan for this query, or None.
+
+        Compiles at most once (the result, including "unsupported", is
+        cached on the query).  The matcher takes a
+        :class:`~repro.xmldb.columnar.DocumentColumns` and returns the
+        same node list :meth:`select` would, but without walking the AST
+        per node — see :mod:`repro.xmldb.columnar` for the supported
+        subset.  Callers must fall back to :meth:`select` when this
+        returns None, and must not use the matcher under a resource
+        guard (it does not tick).
+        """
+        if self._columnar is _COLUMNAR_UNTRIED:
+            from ..columnar import compile_columnar  # deferred: avoids a cycle
+
+            self._columnar = compile_columnar(self.expression)
+        return self._columnar
 
     def evaluate(
         self, root: XmlNode, guard: Optional[ResourceGuard] = None
