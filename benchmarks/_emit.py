@@ -14,11 +14,43 @@ shows where inside the pipeline the measured time went.
 
 from __future__ import annotations
 
+import cProfile
 import json
+import os
 import pathlib
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+PROFILE_DIR = RESULTS_DIR / "profiles"
+
+#: Environment switch for :func:`dump_profile`.  Off by default so the
+#: timed sweeps stay unperturbed; CI's smoke-benchmark job sets it to
+#: capture pstats artifacts for the largest fig-16 runs.
+PROFILE_ENV = "BENCH_PROFILE"
+
+
+def dump_profile(label, fn):
+    """Run ``fn`` once under cProfile and dump ``<label>.pstats``.
+
+    No-op (``fn`` is not even called) unless the :data:`PROFILE_ENV`
+    environment variable is set — profiling is an *extra* run after the
+    timed measurement, never part of it, so the overhead of the profiler
+    cannot leak into recorded timings.  Returns the written path or
+    None.  The pstats file reloads with ``pstats.Stats(path)`` so the
+    next verify-stage hunt starts from a profile, not a guess.
+    """
+    if not os.environ.get(PROFILE_ENV):
+        return None
+    PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+    path = PROFILE_DIR / f"{label}.pstats"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    profiler.dump_stats(path)
+    return path
 
 
 def default_output_paths(name, smoke=False):

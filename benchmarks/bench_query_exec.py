@@ -41,7 +41,12 @@ import json
 import sys
 import time
 
-from _emit import default_output_paths, emit_results, stage_breakdown
+from _emit import (
+    default_output_paths,
+    dump_profile,
+    emit_results,
+    stage_breakdown,
+)
 from repro.data import generate_corpus, render_dblp
 from repro.data.sigmod import render_sigmod_pages
 from repro.experiments.workload import (
@@ -124,16 +129,19 @@ def _measure_modes(system, run, repeats, collections):
     scan_seconds, scan_report = _timed_runs(run, repeats)
     executor.use_index = True
 
-    # Ablation: interpreted condition trees + the AST XPath engine must
-    # answer identically — the compiled evaluators and the columnar
-    # document scan are pure accelerations, so any divergence here is a
-    # correctness bug, not a tuning artifact.
+    # Ablation: interpreted condition trees + the AST XPath engine +
+    # per-document (non-batched) verification must answer identically —
+    # the compiled evaluators, the columnar document scan and the
+    # set-oriented verifier are pure accelerations, so any divergence
+    # here is a correctness bug, not a tuning artifact.
     executor.compile_conditions = False
+    executor.verify_batched = False
     for name in collections:
         system.database.get_collection(name).use_columnar = False
     run()  # warmup: the plan cache re-derives the interpreted plan
     interpreted_seconds, interpreted_report = _timed_runs(run, 1)
     executor.compile_conditions = True
+    executor.verify_batched = True
     for name in collections:
         system.database.get_collection(name).use_columnar = True
 
@@ -199,6 +207,14 @@ def _selection_sweep(sizes, verbose):
                 data_bytes=sum(document_bytes(d) for d in documents),
             )
             runs.append(record)
+            if papers == max(sizes):
+                # Post-measurement pstats capture (BENCH_PROFILE only):
+                # one extra indexed run of the largest instance, outside
+                # every timed region.
+                dump_profile(
+                    f"query_exec_{operation}_{papers}",
+                    lambda: system.select("dblp", pattern, sl_labels=[1]),
+                )
             if verbose:
                 print(
                     f"  {operation:<15} {papers:>5} papers  "
@@ -238,6 +254,13 @@ def _join_sweep(sizes, verbose):
             + sum(document_bytes(p) for p in pages),
         )
         runs.append(record)
+        if papers == max(sizes):
+            dump_profile(
+                f"query_exec_join_{papers}",
+                lambda: system.join(
+                    "dblp", "sigmod", pattern, sl_labels=[2, 5]
+                ),
+            )
         if verbose:
             print(
                 f"  {'join':<15} {papers:>5} papers  "
@@ -282,6 +305,16 @@ def run_benchmark(
             "selection_speedup_at_largest": largest_selection["speedup"],
             "selection_broad_speedup_at_largest": largest_broad["speedup"],
             "join_speedup_at_largest": largest_join["speedup"],
+            # Set-oriented verify floors: interpreted-over-compiled at
+            # the largest instances, plus the absolute join latency the
+            # late-materialised path is accountable for.
+            "broad_compiled_speedup_at_largest": largest_broad[
+                "compiled_speedup"
+            ],
+            "join_compiled_speedup_at_largest": largest_join[
+                "compiled_speedup"
+            ],
+            "join_indexed_seconds_at_largest": largest_join["indexed_seconds"],
             "join_regression": any(
                 r["indexed_seconds"] > r["scan_seconds"] * REGRESSION_SLACK
                 for r in joins

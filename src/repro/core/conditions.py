@@ -91,6 +91,10 @@ class SeoConditionContext(ConditionContext):
         #: How often the ontology was consulted (Section 6 attributes the
         #: growing TOSS-TAX gap to "more accesses to the ontology").
         self.ontology_accesses = 0
+        #: Verdict memo for ``subtype_of`` pairs.  Purely an evaluation
+        #: cache: the access counter above ticks before the memo is
+        #: consulted, so observable behaviour is unchanged.
+        self._subtype_memo: Dict[tuple, bool] = {}
 
     def relation_seo(self, relation: str) -> SimilarityEnhancedOntology:
         try:
@@ -116,7 +120,13 @@ class SeoConditionContext(ConditionContext):
         self.ontology_accesses += 1
         if left == right:
             return True
-        return left in self.seo.expand_below(right)
+        memo = self._subtype_memo
+        key = (left, right)
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = left in self.seo.expand_below(right)
+            memo[key] = verdict
+        return verdict
 
     def below(self, left: str, right: str) -> bool:
         """X below Y = X instance_of Y or X subtype_of Y (Section 5.1.1)."""

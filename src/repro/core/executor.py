@@ -29,7 +29,8 @@ from ..lru import LruCache
 from ..obs import NULL_OBSERVABILITY, Observability
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, REGISTRY as METRICS
 from ..tax import algebra as tax_algebra
-from ..tax.compile import compile_condition
+from ..tax import batch as tax_batch
+from ..tax.compile import compile_batch_steps, compile_condition
 from ..tax.tree import dedupe
 from ..tax.conditions import (
     And,
@@ -50,6 +51,7 @@ from .conditions import SeoConditionContext, rewrite_condition
 from .planner import (
     PlanSpec,
     build_plan_spec,
+    describe_verify_strategy,
     find_cross_probe,
     has_semantic_atom,
     prune_candidates,
@@ -134,6 +136,16 @@ class ExecutionReport:
     index_used: bool = False
     #: True when the compiled plan came from the executor's plan cache.
     plan_cache_hit: bool = False
+    #: Candidate documents run through embedding verification (every
+    #: XPath candidate, batched or not; for joins, both sides' counts).
+    docs_verified: int = 0
+    #: Join verification work: candidate pairs whose (virtual or
+    #: materialised) product was verified, and product trees actually
+    #: constructed.  Batched joins materialise only pairs that produced
+    #: a surviving witness; the per-product path builds every probed
+    #: pair.  Both stay 0 for selections/projections.
+    pairs_probed: int = 0
+    pairs_materialized: int = 0
     #: Per-chunk failure detail when a partitioned query ran in degraded
     #: mode (``on_chunk_failure="degrade"``): one dict per permanently
     #: failed chunk — partition index, document count, error class,
@@ -195,6 +207,9 @@ class ExecutionReport:
         "docs_scanned",
         "index_used",
         "plan_cache_hit",
+        "docs_verified",
+        "pairs_probed",
+        "pairs_materialized",
         "failed_partitions",
     )
 
@@ -220,6 +235,9 @@ class ExecutionReport:
         "docs_scanned": "sum",
         "index_used": "any",
         "plan_cache_hit": "all",
+        "docs_verified": "sum",
+        "pairs_probed": "sum",
+        "pairs_materialized": "sum",
         "failed_partitions": "concat",
     }
 
@@ -289,6 +307,9 @@ class ExecutionReport:
         "docs_scanned": 0,
         "index_used": False,
         "plan_cache_hit": False,
+        "docs_verified": 0,
+        "pairs_probed": 0,
+        "pairs_materialized": 0,
         "failed_partitions": [],
     }
 
@@ -589,6 +610,7 @@ class QueryExecutor:
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         observability: Optional[Observability] = None,
         compile_conditions: bool = True,
+        verify_batched: bool = True,
     ) -> None:
         self.database = database
         self.context = context
@@ -632,6 +654,13 @@ class QueryExecutor:
         #: way (conditions nobody registered a compiler for fall back to
         #: interpretation per node automatically).
         self.compile_conditions = compile_conditions
+        #: Verify candidate sets over columnar arrays instead of walking
+        #: one tree per candidate, and decide join pairs before any
+        #: product tree is materialised (see :mod:`repro.tax.batch`).
+        #: Ablatable like ``compile_conditions``; results, ontology
+        #: accesses and guard behaviour are identical either way, and
+        #: candidates without columns fall back per entry.
+        self.verify_batched = verify_batched
 
     # -- plan cache ---------------------------------------------------------
 
@@ -748,23 +777,24 @@ class QueryExecutor:
         return DEFAULT_CONTEXT
 
     def _verify_tools(self, plan: Dict[str, object], pattern: PatternTree):
-        """(verified pattern, compiled evaluator, tag restrictions).
+        """(verified pattern, compiled evaluator, restrictions, order, steps).
 
-        All three are per-plan constants, so they live on the cached plan
+        All five are per-plan constants, so they live on the cached plan
         entry: the pattern skeleton is rebuilt once, ``required_tags``
-        runs once, and — when :attr:`compile_conditions` is on — the
-        verify condition compiles once per evaluation context instead of
-        being interpreted per candidate binding.  The entry is keyed by
-        the context *object* so flipping ``exact_fallback`` (or swapping
-        the SEO) between queries recompiles instead of reusing stale
-        closures.
+        runs once, the validated preorder and the batched-verify step
+        program are lowered once, and — when :attr:`compile_conditions`
+        is on — the verify condition compiles once per evaluation
+        context instead of being interpreted per candidate binding.  The
+        entry is keyed by the context *object* so flipping
+        ``exact_fallback`` (or swapping the SEO) between queries
+        recompiles instead of reusing stale closures.
         """
         context = self._evaluation_context()
         cached = plan.get("verify")
         if cached is not None and cached[0] is context:
-            _ctx, verified_pattern, evaluator, restrictions = cached
+            _ctx, verified_pattern, evaluator, restrictions, order, steps = cached
             if (evaluator is None) == (not self.compile_conditions):
-                return verified_pattern, evaluator, restrictions
+                return verified_pattern, evaluator, restrictions, order, steps
         # Verify with the original condition when an SEO context is
         # available: semantic atoms evaluate through the SEO index, which
         # is cheaper than the expanded exact-match disjunction.
@@ -773,14 +803,19 @@ class QueryExecutor:
         )  # type: ignore[assignment]
         verified_pattern = PatternTree(verify_condition)
         _copy_structure(pattern, verified_pattern)
+        verified_pattern.validate()
+        order = list(verified_pattern.preorder())
         restrictions = required_tags(verify_condition)
+        steps = compile_batch_steps(verified_pattern, restrictions)
         evaluator = (
             compile_condition(verify_condition, context)
             if self.compile_conditions
             else None
         )
-        plan["verify"] = (context, verified_pattern, evaluator, restrictions)
-        return verified_pattern, evaluator, restrictions
+        plan["verify"] = (
+            context, verified_pattern, evaluator, restrictions, order, steps
+        )
+        return verified_pattern, evaluator, restrictions, order, steps
 
     def _start_guard(self, guard: Optional[ResourceGuard]) -> Optional[ResourceGuard]:
         """Resolve the effective guard for one query and restart its clock."""
@@ -810,6 +845,75 @@ class QueryExecutor:
             results.extend(run([candidate]))
             guard.check_results(len(results), "query verification")
         return dedupe(results)
+
+    def _resolve_entries(
+        self, collection_name: str, candidates: Sequence[XmlNode]
+    ) -> List[tax_batch.Entry]:
+        """Map candidate nodes to batched-verify entries.
+
+        A candidate that is a live row of its document's columnar arrays
+        becomes ``(columns, row)``; anything else (a detached tree, a
+        stale copy, a collection without columnar scans) stays a
+        ``(None, node)`` fallback entry, which the batched verifier runs
+        through the per-tree walk.  Column lookups are memoised per
+        document root, so many candidates from one document pay one
+        ``columns_for_root`` call.
+        """
+        collection = self.database.get_collection(collection_name)
+        by_root: Dict[int, Any] = {}
+        entries: List[tax_batch.Entry] = []
+        for node in candidates:
+            root = node
+            while root.parent is not None:
+                root = root.parent
+            root_id = id(root)
+            if root_id in by_root:
+                cols = by_root[root_id]
+            else:
+                cols = collection.columns_for_root(root)
+                by_root[root_id] = cols
+            row = node.pre
+            if (
+                cols is not None
+                and 0 <= row < len(cols.nodes)
+                and cols.nodes[row] is node
+            ):
+                entries.append((cols, row))
+            else:
+                entries.append((None, node))
+        return entries
+
+    def _side_candidates(
+        self,
+        collection_name: str,
+        xpath: str,
+        guard: Optional[ResourceGuard],
+        doc_keys: Optional[Set[str]],
+    ):
+        """(candidate nodes, fully-columnar entries or None) for a join side.
+
+        The entries list is returned only when *every* candidate resolved
+        to a columnar row — the late-materialised join scans virtual
+        products over the two sides' columns and has no per-pair
+        fallback, so one unresolvable candidate sends the whole join to
+        the materialised path.
+        """
+        if self.verify_batched and guard is None:
+            rows = self.database.xpath_rows(
+                collection_name, xpath, document_keys=doc_keys
+            )
+            if rows is not None:
+                return [cols.nodes[row] for cols, row in rows], rows
+        raw = self.database.xpath(
+            collection_name, xpath, guard=guard, document_keys=doc_keys
+        )
+        candidates = [node for node in raw if isinstance(node, XmlNode)]
+        if not self.verify_batched:
+            return candidates, None
+        entries = self._resolve_entries(collection_name, candidates)
+        if any(cols is None for cols, _ in entries):
+            return candidates, None
+        return candidates, entries
 
     def _accesses(self) -> int:
         return self.context.ontology_accesses if self.context is not None else 0
@@ -919,6 +1023,9 @@ class QueryExecutor:
                 index_plan.append("full scan (use_index=False)")
             else:
                 index_plan.extend(plan["spec"].describe())
+        index_plan.append(
+            describe_verify_strategy(self.verify_batched, join=is_join)
+        )
         rewrite_seconds = time.perf_counter() - started
         return QueryPlan(
             original=repr(pattern.condition),
@@ -975,12 +1082,30 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("xpath", query=xpath):
-                raw = self.database.xpath(
-                    collection_name, xpath, guard=guard, document_keys=doc_keys
-                )
-                candidates = [node for node in raw if isinstance(node, XmlNode)]
+                entries: Optional[List[tax_batch.Entry]] = None
+                if self.verify_batched and guard is None:
+                    # Batched-verify fast path: fetch candidates directly
+                    # as (columns, row) pairs — no per-candidate node
+                    # resolution, and the verifier scans columns in place.
+                    entries = self.database.xpath_rows(
+                        collection_name, xpath, document_keys=doc_keys
+                    )
+                if entries is None:
+                    raw = self.database.xpath(
+                        collection_name, xpath, guard=guard, document_keys=doc_keys
+                    )
+                    candidates = [
+                        node for node in raw if isinstance(node, XmlNode)
+                    ]
+                    if self.verify_batched:
+                        entries = self._resolve_entries(
+                            collection_name, candidates
+                        )
+                    n_candidates = len(candidates)
+                else:
+                    n_candidates = len(entries)
                 tracer.annotate(
-                    candidates=len(candidates),
+                    candidates=n_candidates,
                     guard_steps=self._guard_steps(guard) - steps_before,
                 )
             xpath_seconds = time.perf_counter() - started
@@ -988,24 +1113,41 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                verified_pattern, evaluator, restrictions = self._verify_tools(
-                    plan, pattern
+                verified_pattern, evaluator, restrictions, order, vsteps = (
+                    self._verify_tools(plan, pattern)
                 )
                 sl = list(sl_labels)
-                results = self._guarded_per_tree(
-                    candidates,
-                    guard,
-                    lambda trees: tax_algebra.selection(
-                        trees,
-                        verified_pattern,
-                        sl,
-                        self._evaluation_context(),
-                        evaluator=evaluator,
-                        restrictions=restrictions,
-                    ),
-                )
+                if entries is not None:
+                    results = self._guarded_per_tree(
+                        entries,
+                        guard,
+                        lambda ents: tax_batch.selection_batched(
+                            ents,
+                            verified_pattern,
+                            sl,
+                            self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
+                            order=order,
+                            steps=vsteps,
+                        ),
+                    )
+                else:
+                    results = self._guarded_per_tree(
+                        candidates,
+                        guard,
+                        lambda trees: tax_algebra.selection(
+                            trees,
+                            verified_pattern,
+                            sl,
+                            self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
+                        ),
+                    )
                 tracer.annotate(
                     results=len(results),
+                    batched=entries is not None,
                     guard_steps=self._guard_steps(guard) - steps_before,
                 )
             convert_seconds = time.perf_counter() - started
@@ -1015,13 +1157,14 @@ class QueryExecutor:
             xpath_seconds,
             convert_seconds,
             [xpath],
-            len(candidates),
+            n_candidates,
             self._accesses() - accesses_before,
             planner_seconds=planner_seconds,
             docs_total=docs_total,
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+            docs_verified=n_candidates,
         )
         return self._finish_query(
             "selection",
@@ -1164,12 +1307,30 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("xpath", query=xpath):
-                raw = self.database.xpath(
-                    collection_name, xpath, guard=guard, document_keys=doc_keys
-                )
-                candidates = [node for node in raw if isinstance(node, XmlNode)]
+                entries: Optional[List[tax_batch.Entry]] = None
+                if self.verify_batched and guard is None:
+                    # Batched-verify fast path: fetch candidates directly
+                    # as (columns, row) pairs — no per-candidate node
+                    # resolution, and the verifier scans columns in place.
+                    entries = self.database.xpath_rows(
+                        collection_name, xpath, document_keys=doc_keys
+                    )
+                if entries is None:
+                    raw = self.database.xpath(
+                        collection_name, xpath, guard=guard, document_keys=doc_keys
+                    )
+                    candidates = [
+                        node for node in raw if isinstance(node, XmlNode)
+                    ]
+                    if self.verify_batched:
+                        entries = self._resolve_entries(
+                            collection_name, candidates
+                        )
+                    n_candidates = len(candidates)
+                else:
+                    n_candidates = len(entries)
                 tracer.annotate(
-                    candidates=len(candidates),
+                    candidates=n_candidates,
                     guard_steps=self._guard_steps(guard) - steps_before,
                 )
             xpath_seconds = time.perf_counter() - started
@@ -1177,23 +1338,40 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                verified_pattern, evaluator, restrictions = self._verify_tools(
-                    plan, pattern
+                verified_pattern, evaluator, restrictions, order, vsteps = (
+                    self._verify_tools(plan, pattern)
                 )
-                results = self._guarded_per_tree(
-                    candidates,
-                    guard,
-                    lambda trees: tax_algebra.projection(
-                        trees,
-                        verified_pattern,
-                        pl,
-                        self._evaluation_context(),
-                        evaluator=evaluator,
-                        restrictions=restrictions,
-                    ),
-                )
+                if entries is not None:
+                    results = self._guarded_per_tree(
+                        entries,
+                        guard,
+                        lambda ents: tax_batch.projection_batched(
+                            ents,
+                            verified_pattern,
+                            pl,
+                            self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
+                            order=order,
+                            steps=vsteps,
+                        ),
+                    )
+                else:
+                    results = self._guarded_per_tree(
+                        candidates,
+                        guard,
+                        lambda trees: tax_algebra.projection(
+                            trees,
+                            verified_pattern,
+                            pl,
+                            self._evaluation_context(),
+                            evaluator=evaluator,
+                            restrictions=restrictions,
+                        ),
+                    )
                 tracer.annotate(
                     results=len(results),
+                    batched=entries is not None,
                     guard_steps=self._guard_steps(guard) - steps_before,
                 )
             convert_seconds = time.perf_counter() - started
@@ -1203,13 +1381,14 @@ class QueryExecutor:
             xpath_seconds,
             convert_seconds,
             [xpath],
-            len(candidates),
+            n_candidates,
             self._accesses() - accesses_before,
             planner_seconds=planner_seconds,
             docs_total=docs_total,
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+            docs_verified=n_candidates,
         )
         return self._finish_query(
             "projection",
@@ -1291,28 +1470,14 @@ class QueryExecutor:
             steps_before = self._guard_steps(guard)
             with tracer.span("xpath"):
                 with tracer.span("xpath.left", query=sides[0]["xpath"]):
-                    left_candidates = [
-                        node
-                        for node in self.database.xpath(
-                            left_collection,
-                            sides[0]["xpath"],
-                            guard=guard,
-                            document_keys=left_keys,
-                        )
-                        if isinstance(node, XmlNode)
-                    ]
+                    left_candidates, left_entries = self._side_candidates(
+                        left_collection, sides[0]["xpath"], guard, left_keys
+                    )
                     tracer.annotate(candidates=len(left_candidates))
                 with tracer.span("xpath.right", query=sides[1]["xpath"]):
-                    right_candidates = [
-                        node
-                        for node in self.database.xpath(
-                            right_collection,
-                            sides[1]["xpath"],
-                            guard=guard,
-                            document_keys=right_keys,
-                        )
-                        if isinstance(node, XmlNode)
-                    ]
+                    right_candidates, right_entries = self._side_candidates(
+                        right_collection, sides[1]["xpath"], guard, right_keys
+                    )
                     tracer.annotate(candidates=len(right_candidates))
                 tracer.annotate(
                     guard_steps=self._guard_steps(guard) - steps_before
@@ -1322,8 +1487,8 @@ class QueryExecutor:
             started = time.perf_counter()
             steps_before = self._guard_steps(guard)
             with tracer.span("verify"):
-                verified_pattern, evaluator, restrictions = self._verify_tools(
-                    plan, pattern
+                verified_pattern, evaluator, restrictions, order, vsteps = (
+                    self._verify_tools(plan, pattern)
                 )
                 sl = list(sl_labels)
                 pair_filter = None
@@ -1342,7 +1507,74 @@ class QueryExecutor:
                             )
                             tracer.annotate(pairs=len(pair_filter))
 
-                if pair_filter is None:
+                use_batched = (
+                    left_entries is not None and right_entries is not None
+                )
+                pairs_probed = (
+                    len(left_candidates) * len(right_candidates)
+                    if pair_filter is None
+                    else len(pair_filter)
+                )
+                pairs_materialized = pairs_probed
+                if use_batched:
+                    if pair_filter is None:
+                        pairs = [
+                            (i, j)
+                            for i in range(len(left_candidates))
+                            for j in range(len(right_candidates))
+                        ]
+                    else:
+                        pairs = sorted(pair_filter)
+                    if guard is None:
+                        results, pairs_materialized = (
+                            tax_batch.join_pairs_batched(
+                                left_entries,
+                                right_entries,
+                                pairs,
+                                verified_pattern,
+                                sl,
+                                self._evaluation_context(),
+                                evaluator=evaluator,
+                                restrictions=restrictions,
+                                order=order,
+                                steps=vsteps,
+                            )
+                        )
+                    else:
+                        # Same guard accounting as the materialised
+                        # paths: charge the product size (up front when
+                        # unfiltered, per pair after a hash join), then
+                        # one verification tick per probed pair.
+                        if pair_filter is None:
+                            guard.tick(pairs_probed, what="join product")
+                        else:
+                            for _ in pairs:
+                                guard.tick(what="join product")
+                        results = []
+                        pairs_materialized = 0
+                        for pair in pairs:
+                            guard.tick(what="result verification")
+                            pair_results, materialized = (
+                                tax_batch.join_pairs_batched(
+                                    left_entries,
+                                    right_entries,
+                                    [pair],
+                                    verified_pattern,
+                                    sl,
+                                    self._evaluation_context(),
+                                    evaluator=evaluator,
+                                    restrictions=restrictions,
+                                    order=order,
+                                    steps=vsteps,
+                                )
+                            )
+                            results.extend(pair_results)
+                            pairs_materialized += materialized
+                            guard.check_results(
+                                len(results), "query verification"
+                            )
+                        results = dedupe(results)
+                elif pair_filter is None:
                     if guard is None:
                         results = tax_algebra.join(
                             left_candidates,
@@ -1400,6 +1632,9 @@ class QueryExecutor:
                     )
                 tracer.annotate(
                     results=len(results),
+                    batched=use_batched,
+                    pairs_probed=pairs_probed,
+                    pairs_materialized=pairs_materialized,
                     guard_steps=self._guard_steps(guard) - steps_before,
                 )
             convert_seconds = time.perf_counter() - started
@@ -1416,6 +1651,9 @@ class QueryExecutor:
             docs_scanned=docs_scanned,
             index_used=index_used,
             plan_cache_hit=cache_hit,
+            docs_verified=len(left_candidates) + len(right_candidates),
+            pairs_probed=pairs_probed,
+            pairs_materialized=pairs_materialized,
         )
         plan_lines: Optional[List[str]] = None
         if self.observability.enabled and index_used:

@@ -137,6 +137,22 @@ class PlanSpec:
         return lines
 
 
+def describe_verify_strategy(batched: bool, join: bool = False) -> str:
+    """One ``explain`` line naming the verification strategy.
+
+    ``batched`` reflects the executor's ``verify_batched`` knob — the
+    set-oriented columnar scan (and, for joins, late product
+    materialisation) versus the per-candidate tree walk.  Note the knob
+    states intent: candidates whose documents have no columnar arrays
+    still fall back to the tree walk entry by entry.
+    """
+    if not batched:
+        return "verify: per-candidate tree walk (verify_batched=False)"
+    if join:
+        return "verify: set-oriented batch over columns, late-materialized products"
+    return "verify: set-oriented batch over columnar rows"
+
+
 def has_semantic_atom(condition: Condition) -> bool:
     """True when any ``~``/ontology atom occurs anywhere in the condition."""
     if isinstance(condition, _SemanticAtom):

@@ -93,6 +93,10 @@ class SimilarityEnhancedOntology:
         # memoised: `below`-style conditions evaluate once per embedding
         # candidate and would otherwise recompute the closure every time.
         self._expansion_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        #: Verdicts for the unknown-term ``similar`` fallback, memoised
+        #: the same way (the raw-measure comparison is the one similarity
+        #: probe the precomputed index cannot answer).
+        self._similar_cache: Dict[Tuple[str, str], bool] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -226,7 +230,15 @@ class SimilarityEnhancedOntology:
         nodes_y = self._nodes_by_string.get(y)
         if nodes_x and nodes_y:
             return bool(nodes_x & nodes_y)
-        return self.measure.bounded_distance(x, y, self.epsilon) <= self.epsilon
+        cache = self._similar_cache
+        key = (x, y)
+        verdict = cache.get(key)
+        if verdict is None:
+            verdict = (
+                self.measure.bounded_distance(x, y, self.epsilon) <= self.epsilon
+            )
+            cache[key] = verdict
+        return verdict
 
     def expand_similar(self, term: str) -> FrozenSet[str]:
         """All strings similar to ``term`` (including ``term`` itself).

@@ -13,7 +13,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..xmldb.model import XmlNode
 from .conditions import Binding, ConditionContext, DEFAULT_CONTEXT
-from .embedding import assemble_forest, find_embeddings, witness_tree
+from .embedding import assemble_forest, find_embeddings, find_matches, witness_tree
 from .pattern import PatternTree
 from .tree import Collection, dedupe
 
@@ -54,9 +54,10 @@ def selection(
         # Build one witness per distinct root image instead of one per
         # embedding — equivalent under set semantics, since embeddings
         # sharing a root image produce structurally equal witnesses.
+        root_label = pattern.root
         tops: Dict[int, XmlNode] = {}
         for tree in collection:
-            for embedding in find_embeddings(
+            for binding in find_matches(
                 pattern,
                 tree,
                 context,
@@ -64,14 +65,21 @@ def selection(
                 restrictions=restrictions,
                 order=order,
             ):
-                top = embedding.binding[pattern.root]
+                top = binding[root_label]
                 tops.setdefault(top.object_id, top)
-        return dedupe(
-            [
-                top.copy_numbered(itertools.count(), itertools.count())
-                for top in tops.values()
-            ]
-        )
+        # Dedupe on the sources before copying: a copy's canonical key
+        # equals its source subtree's, so skipping duplicate sources
+        # yields exactly ``dedupe([copy per top])`` without paying for
+        # the duplicate copies.
+        seen: Set[Tuple] = set()
+        out: List[XmlNode] = []
+        for top in tops.values():
+            key = top.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(top.copy_numbered(itertools.count(), itertools.count()))
+        return out
     witnesses: List[XmlNode] = []
     for tree in collection:
         for embedding in find_embeddings(
@@ -111,7 +119,7 @@ def projection(
     results: List[XmlNode] = []
     for tree in collection:
         matched: Set[XmlNode] = set()
-        for embedding in find_embeddings(
+        for binding in find_matches(
             pattern,
             tree,
             context,
@@ -120,7 +128,7 @@ def projection(
             order=order,
         ):
             for label, keep_subtree in entries:
-                image = embedding.binding.get(label)
+                image = binding.get(label)
                 if image is None:
                     continue
                 matched.add(image)

@@ -1,0 +1,938 @@
+"""Set-oriented (batched) verification over columnar document arrays.
+
+The per-candidate verify path re-enumerates pattern embeddings with
+:func:`repro.tax.embedding.find_embeddings`, which walks
+:class:`~repro.xmldb.model.XmlNode` trees and rebuilds per-tree tag
+buckets for every candidate.  This module runs the *same* backtracking
+search over a collection's cached
+:class:`~repro.xmldb.columnar.DocumentColumns` instead: candidate pools
+become interval lookups on prebuilt per-tag row lists, set-semantics
+dedupe runs on cached subtree keys *before* any output tree exists, and
+join verification decides candidate pairs over the two sides' columns —
+``copy_numbered``-style product materialisation happens only for pairs
+that produced a witness (late materialisation).
+
+Equivalence contract (the property suite pins it): for every entry, the
+batched enumeration visits candidate rows in exactly the order
+``find_embeddings`` visits the corresponding nodes and calls the
+condition evaluator at exactly the same points — so verdicts, result
+sequences, ontology-access counts and guard behaviour are bit-identical
+to the per-candidate path.  Entries whose document has no columns
+(``columns is None``) fall back to ``find_embeddings`` per entry, the
+same way :func:`repro.xmldb.columnar.compile_columnar` falls back.
+
+An entry is ``(columns, row)`` for a columnar candidate or
+``(None, node)`` for a fallback candidate; ``columns.nodes[row]`` is the
+candidate node itself, so evaluators see the *original* document nodes
+either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..xmldb.columnar import DocumentColumns
+from ..xmldb.model import XmlNode
+from .algebra import PRODUCT_ROOT_TAG, ConditionEvaluator, TagRestrictions
+from .compile import BatchStep, compile_batch_steps
+from .conditions import Binding, ConditionContext, DEFAULT_CONTEXT, required_tags
+from .embedding import Embedding, find_embeddings, find_matches, witness_tree
+from .pattern import PC, PatternTree
+from .tree import dedupe
+
+#: A batched-verify candidate: ``(columns, row)``, or ``(None, node)``
+#: when the candidate's document has no columnar arrays.
+Entry = Tuple[Optional[DocumentColumns], Union[int, XmlNode]]
+
+#: The shared stand-in for a product root during virtual-product
+#: enumeration.  Conditions only ever read ``tag``/``content`` of bound
+#: nodes, and a freshly built product root always has tag
+#: ``tax_prod_root`` and empty content — one instance serves every pair.
+_VIRTUAL_ROOT = XmlNode(PRODUCT_ROOT_TAG)
+
+
+def prepare(
+    pattern: PatternTree,
+    context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
+    order: Optional[List] = None,
+    steps: Optional[List[BatchStep]] = None,
+) -> Tuple[ConditionEvaluator, TagRestrictions, List, List[BatchStep]]:
+    """(evaluator, restrictions, preorder, steps) for a validated pattern.
+
+    Fills whichever accelerations the caller did not supply, exactly the
+    way ``find_embeddings`` does — an interpreted-closure evaluator over
+    ``pattern.condition`` and freshly derived ``required_tags`` — and
+    lowers the pattern to the flat step program the batched scans
+    interpret.  Callers looping over many entries should call this once
+    and pass the results through.
+    """
+    if restrictions is None:
+        restrictions = required_tags(pattern.condition)
+    if order is None:
+        pattern.validate()
+        order = list(pattern.preorder())
+    if steps is None:
+        steps = compile_batch_steps(pattern, restrictions)
+    if evaluator is None:
+        condition, ctx = pattern.condition, context
+
+        def evaluator(b: Binding, _c=condition, _ctx=ctx) -> bool:
+            return _c.evaluate(b, _ctx)
+
+    return evaluator, restrictions, order, steps
+
+
+# ---------------------------------------------------------------------------
+# Columnar embedding enumeration (single document subtree)
+# ---------------------------------------------------------------------------
+
+
+def _root_prune(steps: Sequence[BatchStep]) -> Tuple:
+    """Structural constraints an *unrestricted* root candidate must meet.
+
+    Every pc child step of the root with a tag restriction demands that
+    a complete match's root image has at least one child carrying one of
+    those tags.  A candidate without one contributes zero complete
+    matches — the evaluator never fires on it — so dropping it from the
+    root pool is observably identical to scanning it.  Returns ``()``
+    when the root is tag-restricted (the per-tag pool is already
+    narrow) or no child step constrains it.
+    """
+    root_label = steps[0][0]
+    if steps[0][3] is not None:
+        return ()
+    return tuple(
+        (tags_tuple, tags_set)
+        for _label, parent, edge, tags_tuple, tags_set in steps[1:]
+        if parent == root_label and edge == PC and tags_tuple is not None
+    )
+
+
+def _pruned_rows(
+    cols: DocumentColumns, lo: int, hi: int, constraints: Tuple
+) -> List[int]:
+    """Rows of ``[lo, hi)`` satisfying every child-tag constraint, ascending."""
+    first_tuple, _first_set = constraints[0]
+    if len(first_tuple) == 1:
+        rows = cols.rows_with_child_tag(first_tuple[0], lo, hi)
+    else:
+        merged: List[int] = []
+        for tag in first_tuple:
+            merged.extend(cols.rows_with_child_tag(tag, lo, hi))
+        rows = sorted(set(merged))
+    rest = constraints[1:]
+    if not rest:
+        return rows
+    children = cols.children
+    tags_col = cols.tags
+    out: List[int] = []
+    for row in rows:
+        child_rows = children[row]
+        satisfied = True
+        for _tags_tuple, tags_set in rest:
+            for child in child_rows:
+                if tags_col[child] in tags_set:
+                    break
+            else:
+                satisfied = False
+                break
+        if satisfied:
+            out.append(row)
+    return out
+
+
+def _scan(
+    steps: Sequence[BatchStep],
+    idx: int,
+    cols: DocumentColumns,
+    lo: int,
+    hi: int,
+    binding: Dict[int, XmlNode],
+    rows: Dict[int, int],
+    evaluator: ConditionEvaluator,
+    emit: Callable[[], None],
+    root_prune: Tuple = (),
+) -> None:
+    """Backtrack over the subtree rows ``[lo, hi)`` of one document.
+
+    Mirrors ``find_embeddings``'s candidate pools step for step: root
+    pools are per-tag row lists concatenated in restriction-set
+    iteration order (or the full preorder interval when unrestricted,
+    structurally pruned through ``root_prune`` — see
+    :func:`_root_prune`), pc pools are the anchor's child rows, ad
+    pools are the anchor's descendant interval — all in the same
+    sequence the tree walk produces, so the evaluator fires at
+    identical points.
+    """
+    if idx == len(steps):
+        if evaluator(binding):
+            emit()
+        return
+    label, parent, edge, tags_tuple, tags_set = steps[idx]
+    pool: Iterable[int]
+    if parent is None:
+        if tags_tuple is None:
+            pool = (
+                _pruned_rows(cols, lo, hi, root_prune)
+                if root_prune
+                else range(lo, hi)
+            )
+        elif len(tags_tuple) == 1:
+            pool = cols.tag_rows_in(tags_tuple[0], lo, hi)
+        else:
+            pool = []
+            for tag in tags_tuple:
+                pool.extend(cols.tag_rows_in(tag, lo, hi))
+    else:
+        anchor = rows[parent]
+        if edge == PC:
+            child_rows = cols.children[anchor]
+            if tags_set is None:
+                pool = child_rows
+            else:
+                tags_col = cols.tags
+                pool = [c for c in child_rows if tags_col[c] in tags_set]
+        else:
+            end_anchor = cols.end[anchor]
+            if tags_tuple is None:
+                pool = range(anchor + 1, end_anchor)
+            elif len(tags_tuple) == 1:
+                pool = cols.tag_rows_in(tags_tuple[0], anchor + 1, end_anchor)
+            else:
+                tags_col = cols.tags
+                pool = [
+                    x
+                    for x in range(anchor + 1, end_anchor)
+                    if tags_col[x] in tags_set
+                ]
+    # No trailing unbind: every label is rebound before the evaluator or
+    # emit can observe the binding (a complete match binds all labels),
+    # so stale entries between iterations and entries are unobservable.
+    nodes = cols.nodes
+    next_idx = idx + 1
+    for row in pool:
+        rows[label] = row
+        binding[label] = nodes[row]
+        _scan(steps, next_idx, cols, lo, hi, binding, rows, evaluator, emit)
+
+
+def _is_star(steps: Sequence[BatchStep]) -> bool:
+    """True when every non-root step is a pc child of the root."""
+    root_label = steps[0][0]
+    return all(
+        parent == root_label and edge == PC
+        for _label, parent, edge, _tt, _ts in steps[1:]
+    )
+
+
+def _scan_star(
+    steps: Sequence[BatchStep],
+    cols: DocumentColumns,
+    lo: int,
+    hi: int,
+    binding: Dict[int, XmlNode],
+    rows: Dict[int, int],
+    evaluator: ConditionEvaluator,
+    emit: Callable[[], None],
+    root_prune: Tuple = (),
+) -> None:
+    """:func:`_scan` specialised for star patterns (root + pc children).
+
+    Every child pool depends only on the bound root, so the pools are
+    built once per root candidate and crossed with ``itertools.product``
+    — which enumerates combinations in exactly the nested order the
+    generic backtracker produces, firing the evaluator at the same
+    points.  Saves the per-level recursion and the re-derivation of
+    later siblings' pools for every earlier sibling candidate.
+    """
+    _root_label, _p, _e, tags_tuple, _ts = steps[0]
+    root_pool: Iterable[int]
+    if tags_tuple is None:
+        root_pool = (
+            _pruned_rows(cols, lo, hi, root_prune)
+            if root_prune
+            else range(lo, hi)
+        )
+    elif len(tags_tuple) == 1:
+        root_pool = cols.tag_rows_in(tags_tuple[0], lo, hi)
+    else:
+        root_pool = []
+        for tag in tags_tuple:
+            root_pool.extend(cols.tag_rows_in(tag, lo, hi))
+    child_steps = steps[1:]
+    child_labels = [step[0] for step in child_steps]
+    nodes = cols.nodes
+    tags_col = cols.tags
+    children = cols.children
+    iproduct = itertools.product
+    for root_row in root_pool:
+        child_rows = children[root_row]
+        pools: Optional[List[List[int]]] = []
+        for _label, _parent, _edge, _tt, tags_set in child_steps:
+            pool = (
+                child_rows
+                if tags_set is None
+                else [c for c in child_rows if tags_col[c] in tags_set]
+            )
+            if not pool:
+                pools = None
+                break
+            pools.append(pool)
+        if pools is None:
+            continue
+        rows[_root_label] = root_row
+        binding[_root_label] = nodes[root_row]
+        for combo in iproduct(*pools):
+            for label, row in zip(child_labels, combo):
+                rows[label] = row
+                binding[label] = nodes[row]
+            if evaluator(binding):
+                emit()
+
+
+def _scan_entry(
+    steps: Sequence[BatchStep],
+    cols: DocumentColumns,
+    lo: int,
+    hi: int,
+    binding: Dict[int, XmlNode],
+    rows: Dict[int, int],
+    evaluator: ConditionEvaluator,
+    emit: Callable[[], None],
+    root_prune: Tuple = (),
+) -> None:
+    """:func:`_scan` with :func:`_scan_star`'s entry-level signature."""
+    _scan(steps, 0, cols, lo, hi, binding, rows, evaluator, emit, root_prune)
+
+
+# ---------------------------------------------------------------------------
+# Batched selection / projection
+# ---------------------------------------------------------------------------
+
+
+def selection_batched(
+    entries: Sequence[Entry],
+    pattern: PatternTree,
+    sl_labels: Iterable[int],
+    context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
+    order: Optional[List] = None,
+    steps: Optional[List[BatchStep]] = None,
+) -> List[XmlNode]:
+    """``tax.algebra.selection`` over batched-verify entries.
+
+    Produces the identical result sequence ``selection([nodes...])``
+    would, but enumerates embeddings over columns where available and —
+    on the root-inflating fast path — dedupes on cached subtree keys
+    before materialising any witness.
+    """
+    sl = list(sl_labels)
+    evaluator, restrictions, order, steps = prepare(
+        pattern, context, evaluator, restrictions, order, steps
+    )
+    root_label = pattern.root
+    root_prune = _root_prune(steps)
+    scan = _scan_star if _is_star(steps) else _scan_entry
+    if root_label in sl:
+        # Root-inflating fast path (the paper's Figure 16 shape): one
+        # witness per distinct root image, deduped by subtree key before
+        # the copy is ever made (a copy's canonical key equals its
+        # source's, so pre-copy dedupe is exact).  The binding/row dicts
+        # and the emit closure are shared across entries — every label
+        # is rebound before an emit can observe them, and ``holder``
+        # carries the entry's columns to the closure.
+        tops: Dict[int, Tuple[Optional[DocumentColumns], Union[int, XmlNode]]] = {}
+        rows: Dict[int, int] = {}
+        binding: Dict[int, XmlNode] = {}
+        holder: List[Optional[DocumentColumns]] = [None]
+
+        def emit() -> None:
+            cols = holder[0]
+            top_row = rows[root_label]
+            tops.setdefault(cols.nodes[top_row].object_id, (cols, top_row))
+
+        for cols, item in entries:
+            if cols is None:
+                for fallback_binding in find_matches(
+                    pattern,
+                    item,  # type: ignore[arg-type]
+                    context,
+                    evaluator=evaluator,
+                    restrictions=restrictions,
+                    order=order,
+                ):
+                    top = fallback_binding[root_label]
+                    tops.setdefault(top.object_id, (None, top))
+            else:
+                holder[0] = cols
+                scan(
+                    steps, cols, item, cols.end[item], binding, rows,
+                    evaluator, emit, root_prune,
+                )
+        seen: Set[Tuple] = set()
+        out: List[XmlNode] = []
+        for cols, item in tops.values():
+            if cols is None:
+                key = item.canonical_key()  # type: ignore[union-attr]
+            else:
+                key = cols.subtree_key(item)  # type: ignore[arg-type]
+            if key in seen:
+                continue
+            seen.add(key)
+            if cols is None:
+                out.append(
+                    item.copy_numbered(  # type: ignore[union-attr]
+                        itertools.count(), itertools.count()
+                    )
+                )
+            else:
+                out.append(cols.materialize(item))  # type: ignore[arg-type]
+        return out
+    witnesses: List[XmlNode] = []
+    general_rows: Dict[int, int] = {}
+    general_binding: Dict[int, XmlNode] = {}
+
+    def emit_witness() -> None:
+        witnesses.append(
+            witness_tree(Embedding(pattern, dict(general_binding)), sl)
+        )
+
+    for cols, item in entries:
+        if cols is None:
+            for embedding in find_embeddings(
+                pattern,
+                item,  # type: ignore[arg-type]
+                context,
+                evaluator=evaluator,
+                restrictions=restrictions,
+                order=order,
+            ):
+                witnesses.append(witness_tree(embedding, sl))
+        else:
+            scan(
+                steps, cols, item, cols.end[item], general_binding,
+                general_rows, evaluator, emit_witness, root_prune,
+            )
+    return dedupe(witnesses)
+
+
+def projection_batched(
+    entries: Sequence[Entry],
+    pattern: PatternTree,
+    pl: Sequence,
+    context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
+    order: Optional[List] = None,
+    steps: Optional[List[BatchStep]] = None,
+) -> List[XmlNode]:
+    """``tax.algebra.projection`` over batched-verify entries."""
+    from .embedding import assemble_forest
+
+    pl_entries: List[Tuple[int, bool]] = [
+        entry if isinstance(entry, tuple) else (entry, False) for entry in pl
+    ]
+    evaluator, restrictions, order, steps = prepare(
+        pattern, context, evaluator, restrictions, order, steps
+    )
+    root_prune = _root_prune(steps)
+    scan = _scan_star if _is_star(steps) else _scan_entry
+    results: List[XmlNode] = []
+    rows: Dict[int, int] = {}
+    scan_binding: Dict[int, XmlNode] = {}
+    matched_holder: List[Set[XmlNode]] = [set()]
+
+    def emit() -> None:
+        matched = matched_holder[0]
+        for label, keep_subtree in pl_entries:
+            image = scan_binding.get(label)
+            if image is None:
+                continue
+            matched.add(image)
+            if keep_subtree:
+                matched.update(image.descendants())
+
+    for cols, item in entries:
+        matched: Set[XmlNode] = set()
+        if cols is None:
+            bindings = find_matches(
+                pattern,
+                item,  # type: ignore[arg-type]
+                context,
+                evaluator=evaluator,
+                restrictions=restrictions,
+                order=order,
+            )
+            for binding in bindings:
+                for label, keep_subtree in pl_entries:
+                    image = binding.get(label)
+                    if image is None:
+                        continue
+                    matched.add(image)
+                    if keep_subtree:
+                        matched.update(image.descendants())
+        else:
+            matched_holder[0] = matched
+            scan(
+                steps, cols, item, cols.end[item], scan_binding, rows,
+                evaluator, emit, root_prune,
+            )
+        if matched:
+            results.extend(assemble_forest(matched))
+    return dedupe(results)
+
+
+# ---------------------------------------------------------------------------
+# Late-materialised join verification (virtual products)
+# ---------------------------------------------------------------------------
+
+
+def _product_scan(
+    steps: Sequence[BatchStep],
+    idx: int,
+    lcols: DocumentColumns,
+    l_lo: int,
+    l_hi: int,
+    rcols: DocumentColumns,
+    r_lo: int,
+    r_hi: int,
+    binding: Dict[int, XmlNode],
+    positions: Dict[int, Tuple[int, int]],
+    evaluator: ConditionEvaluator,
+    emit: Callable[[], None],
+    root_prune: Tuple = (),
+    memo: Optional[Dict] = None,
+) -> None:
+    """Backtrack over the *virtual* product of two candidate subtrees.
+
+    A product tree's preorder is: synthetic root, then the left subtree,
+    then the right subtree.  Positions are ``(rank, row)`` pairs — rank
+    0 is the synthetic root (bound to the shared stand-in node), rank 1
+    a left-side row, rank 2 a right-side row — and every candidate pool
+    below reproduces, in order, exactly the node sequence
+    ``find_embeddings`` would walk on a materialised product tree.  No
+    tree is built; the evaluator reads the two sides' original nodes.
+
+    ``memo`` (shared across a join's pairs) caches side-local pools:
+    a pool anchored at a side row depends only on that side's columns
+    and the anchor, so entries repeated across many pairs build each
+    pool once.  Pools are read-only; sharing the lists is safe.
+    """
+    if idx == len(steps):
+        if evaluator(binding):
+            emit()
+        return
+    label, parent, edge, tags_tuple, tags_set = steps[idx]
+    pool: Iterable[Tuple[int, int]]
+    if parent is None:
+        if tags_tuple is None:
+            if root_prune:
+                # Structurally pruned root pool: the product root's
+                # children are exactly the two side roots, side rows
+                # prune through their per-tag parent lists.  Same
+                # subset-preserving order as the unpruned chain.
+                pruned: List[Tuple[int, int]] = []
+                left_tag = lcols.tags[l_lo]
+                right_tag = rcols.tags[r_lo]
+                if all(
+                    left_tag in tags_set or right_tag in tags_set
+                    for _tt, tags_set in root_prune
+                ):
+                    pruned.append((0, 0))
+                left_key = ("prune", 1, l_lo, id(lcols))
+                left_part = None if memo is None else memo.get(left_key)
+                if left_part is None:
+                    left_part = [
+                        (1, x)
+                        for x in _pruned_rows(lcols, l_lo, l_hi, root_prune)
+                    ]
+                    if memo is not None:
+                        memo[left_key] = left_part
+                right_key = ("prune", 2, r_lo, id(rcols))
+                right_part = None if memo is None else memo.get(right_key)
+                if right_part is None:
+                    right_part = [
+                        (2, y)
+                        for y in _pruned_rows(rcols, r_lo, r_hi, root_prune)
+                    ]
+                    if memo is not None:
+                        memo[right_key] = right_part
+                pruned.extend(left_part)
+                pruned.extend(right_part)
+                pool = pruned
+            else:
+                pool = itertools.chain(
+                    ((0, 0),),
+                    ((1, x) for x in range(l_lo, l_hi)),
+                    ((2, y) for y in range(r_lo, r_hi)),
+                )
+        else:
+            pool = []
+            for tag in tags_tuple:
+                if tag == PRODUCT_ROOT_TAG:
+                    pool.append((0, 0))
+                pool.extend(
+                    (1, x) for x in lcols.tag_rows_in(tag, l_lo, l_hi)
+                )
+                pool.extend(
+                    (2, y) for y in rcols.tag_rows_in(tag, r_lo, r_hi)
+                )
+    else:
+        rank, anchor = positions[parent]
+        if edge == PC:
+            if rank == 0:
+                pool = []
+                if tags_set is None or lcols.tags[l_lo] in tags_set:
+                    pool.append((1, l_lo))
+                if tags_set is None or rcols.tags[r_lo] in tags_set:
+                    pool.append((2, r_lo))
+            else:
+                side_cols = lcols if rank == 1 else rcols
+                key = (idx, rank, anchor, id(side_cols))
+                cached = None if memo is None else memo.get(key)
+                if cached is not None:
+                    pool = cached
+                else:
+                    child_rows = side_cols.children[anchor]
+                    if tags_set is None:
+                        pool = [(rank, c) for c in child_rows]
+                    else:
+                        tags_col = side_cols.tags
+                        pool = [
+                            (rank, c)
+                            for c in child_rows
+                            if tags_col[c] in tags_set
+                        ]
+                    if memo is not None:
+                        memo[key] = pool
+        elif rank == 0:
+            # Anchor is the product root: its descendants are both whole
+            # sides, left first (document order of the product tree).
+            if tags_tuple is None:
+                pool = itertools.chain(
+                    ((1, x) for x in range(l_lo, l_hi)),
+                    ((2, y) for y in range(r_lo, r_hi)),
+                )
+            else:
+                left_key = (idx, 1, l_lo, id(lcols))
+                left_part = None if memo is None else memo.get(left_key)
+                if left_part is None:
+                    if len(tags_tuple) == 1:
+                        left_part = [
+                            (1, x)
+                            for x in lcols.tag_rows_in(
+                                tags_tuple[0], l_lo, l_hi
+                            )
+                        ]
+                    else:
+                        left_part = [
+                            (1, x)
+                            for x in range(l_lo, l_hi)
+                            if lcols.tags[x] in tags_set
+                        ]
+                    if memo is not None:
+                        memo[left_key] = left_part
+                right_key = (idx, 2, r_lo, id(rcols))
+                right_part = None if memo is None else memo.get(right_key)
+                if right_part is None:
+                    if len(tags_tuple) == 1:
+                        right_part = [
+                            (2, y)
+                            for y in rcols.tag_rows_in(
+                                tags_tuple[0], r_lo, r_hi
+                            )
+                        ]
+                    else:
+                        right_part = [
+                            (2, y)
+                            for y in range(r_lo, r_hi)
+                            if rcols.tags[y] in tags_set
+                        ]
+                    if memo is not None:
+                        memo[right_key] = right_part
+                if not right_part:
+                    pool = left_part
+                elif not left_part:
+                    pool = right_part
+                else:
+                    pool = left_part + right_part
+        else:
+            side_cols = lcols if rank == 1 else rcols
+            key = (idx, rank, anchor, id(side_cols))
+            cached = None if memo is None else memo.get(key)
+            if cached is not None:
+                pool = cached
+            else:
+                end_anchor = side_cols.end[anchor]
+                if tags_tuple is None:
+                    pool = [
+                        (rank, x) for x in range(anchor + 1, end_anchor)
+                    ]
+                elif len(tags_tuple) == 1:
+                    pool = [
+                        (rank, x)
+                        for x in side_cols.tag_rows_in(
+                            tags_tuple[0], anchor + 1, end_anchor
+                        )
+                    ]
+                else:
+                    tags_col = side_cols.tags
+                    pool = [
+                        (rank, x)
+                        for x in range(anchor + 1, end_anchor)
+                        if tags_col[x] in tags_set
+                    ]
+                if memo is not None:
+                    memo[key] = pool
+    next_idx = idx + 1
+    for position in pool:
+        positions[label] = position
+        rank, row = position
+        if rank == 0:
+            binding[label] = _VIRTUAL_ROOT
+        elif rank == 1:
+            binding[label] = lcols.nodes[row]
+        else:
+            binding[label] = rcols.nodes[row]
+        _product_scan(
+            steps, next_idx, lcols, l_lo, l_hi, rcols, r_lo, r_hi,
+            binding, positions, evaluator, emit, root_prune, memo,
+        )
+
+
+def _materialize_product(
+    lcols: DocumentColumns, l_row: int, rcols: DocumentColumns, r_row: int
+) -> XmlNode:
+    """The full product tree of a passing pair, numbered like
+    ``_paired_copy``'s output renumbered from zero (root pre 0, left
+    subtree pre 1..L, right subtree pre L+1..L+R)."""
+    left_size = lcols.end[l_row] - l_row
+    right_size = rcols.end[r_row] - r_row
+    root = XmlNode(PRODUCT_ROOT_TAG)
+    root.pre = 0
+    root.post = left_size + right_size
+    root.depth = 0
+    lcols.materialize(l_row, pre_base=1, post_base=0, depth_base=1, parent=root)
+    rcols.materialize(
+        r_row,
+        pre_base=1 + left_size,
+        post_base=left_size,
+        depth_base=1,
+        parent=root,
+    )
+    return root
+
+
+def _product_top_key(
+    lcols: DocumentColumns,
+    l_row: int,
+    rcols: DocumentColumns,
+    r_row: int,
+    rank: int,
+    row: int,
+) -> Tuple:
+    """Canonical key of the witness a top position would materialise."""
+    if rank == 1:
+        return lcols.subtree_key(row)
+    if rank == 2:
+        return rcols.subtree_key(row)
+    return (
+        PRODUCT_ROOT_TAG,
+        "",
+        (),
+        (lcols.subtree_key(l_row), rcols.subtree_key(r_row)),
+    )
+
+
+def _materialize_top(
+    lcols: DocumentColumns,
+    l_row: int,
+    rcols: DocumentColumns,
+    r_row: int,
+    rank: int,
+    row: int,
+) -> XmlNode:
+    if rank == 1:
+        return lcols.materialize(row)
+    if rank == 2:
+        return rcols.materialize(row)
+    return _materialize_product(lcols, l_row, rcols, r_row)
+
+
+def _assemble_product_witness(
+    lcols: DocumentColumns,
+    l_row: int,
+    rcols: DocumentColumns,
+    r_row: int,
+    positions: Dict[int, Tuple[int, int]],
+    sl: Sequence[int],
+) -> XmlNode:
+    """The witness tree of one virtual-product embedding.
+
+    Replays :func:`~repro.tax.embedding.assemble_forest` over ``(rank,
+    row)`` positions instead of product-tree nodes: sorting positions
+    rank-major *is* product document order (root, left subtree, right
+    subtree), and strict ancestry is the root over everything plus the
+    same-side interval test — so the assembled tree is node-for-node the
+    one ``witness_tree`` builds from a materialised product.
+    """
+    selected: Set[Tuple[int, int]] = set(positions.values())
+    for label in sl:
+        position = positions.get(label)
+        if position is None:
+            continue
+        rank, row = position
+        if rank == 0:
+            selected.update((1, x) for x in range(l_row, lcols.end[l_row]))
+            selected.update((2, y) for y in range(r_row, rcols.end[r_row]))
+        else:
+            side = lcols if rank == 1 else rcols
+            selected.update((rank, x) for x in range(row + 1, side.end[row]))
+
+    def is_ancestor(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+        a_rank, a_row = a
+        if a_rank == 0:
+            return b != a
+        b_rank, b_row = b
+        if a_rank != b_rank:
+            return False
+        side = lcols if a_rank == 1 else rcols
+        return a_row < b_row < side.end[a_row]
+
+    roots: List[XmlNode] = []
+    stack: List[Tuple[int, int]] = []
+    clones: Dict[Tuple[int, int], XmlNode] = {}
+    for position in sorted(selected):
+        while stack and not is_ancestor(stack[-1], position):
+            stack.pop()
+        rank, row = position
+        if rank == 0:
+            clone = XmlNode(PRODUCT_ROOT_TAG)
+        else:
+            node = (lcols if rank == 1 else rcols).nodes[row]
+            clone = XmlNode(node.tag, node.text, node.attributes)
+        clones[position] = clone
+        if stack:
+            clones[stack[-1]].append(clone)
+        else:
+            roots.append(clone)
+        stack.append(position)
+    assert len(roots) == 1, "witness assembly produced a forest"
+    return roots[0].renumber()
+
+
+def join_pairs_batched(
+    left: Sequence[Tuple[DocumentColumns, int]],
+    right: Sequence[Tuple[DocumentColumns, int]],
+    pairs: Iterable[Tuple[int, int]],
+    pattern: PatternTree,
+    sl_labels: Iterable[int],
+    context: ConditionContext = DEFAULT_CONTEXT,
+    evaluator: Optional[ConditionEvaluator] = None,
+    restrictions: Optional[TagRestrictions] = None,
+    order: Optional[List] = None,
+    steps: Optional[List[BatchStep]] = None,
+) -> Tuple[List[XmlNode], int]:
+    """Late-materialised join over candidate pairs.
+
+    Equivalent to building the product tree of every pair (in the given
+    pair order) and running ``selection`` over all of them at once —
+    but no product tree is ever built: with the root in SL a product is
+    materialised only for pairs whose witness survives dedupe, and
+    otherwise each passing embedding's witness is assembled directly
+    from its virtual positions.  Returns ``(results,
+    pairs_materialized)``.
+    """
+    sl = list(sl_labels)
+    root_label = pattern.root
+    evaluator, restrictions, order, steps = prepare(
+        pattern, context, evaluator, restrictions, order, steps
+    )
+    root_prune = _root_prune(steps)
+    # The binding/position dicts, the pool memo and the emit closure are
+    # shared across pairs — every label is rebound before an emit can
+    # observe the dicts, and ``current`` carries the pair's sides and
+    # indices to the closure.
+    binding: Dict[int, XmlNode] = {}
+    positions: Dict[int, Tuple[int, int]] = {}
+    memo: Dict = {}
+    current: List = [None, 0, None, 0, 0, 0]
+    if root_label not in sl:
+        # General witnesses (e.g. the paper's Figure 16(b) join keeps
+        # only the two title subtrees): one witness per embedding,
+        # assembled from positions, deduped at the end like
+        # ``selection``'s general path.
+        witnesses: List[XmlNode] = []
+        contributing: Set[Tuple[int, int]] = set()
+
+        def emit_witness() -> None:
+            lcols, l_row, rcols, r_row, i, j = current
+            witnesses.append(
+                _assemble_product_witness(
+                    lcols, l_row, rcols, r_row, positions, sl
+                )
+            )
+            contributing.add((i, j))
+
+        for i, j in pairs:
+            lcols, l_row = left[i]
+            rcols, r_row = right[j]
+            current[0] = lcols
+            current[1] = l_row
+            current[2] = rcols
+            current[3] = r_row
+            current[4] = i
+            current[5] = j
+            _product_scan(
+                steps, 0, lcols, l_row, lcols.end[l_row],
+                rcols, r_row, rcols.end[r_row],
+                binding, positions, evaluator, emit_witness, root_prune,
+                memo,
+            )
+        return dedupe(witnesses), len(contributing)
+    # One entry per distinct top position, in discovery order — the same
+    # sequence the per-product ``tops`` dict would hold, with pair
+    # indices standing in for the distinct object identities fresh
+    # product copies would have had.
+    tops: Dict[Tuple[int, int, int, int], None] = {}
+
+    def emit() -> None:
+        rank, row = positions[root_label]
+        tops.setdefault((current[4], current[5], rank, row), None)
+
+    for i, j in pairs:
+        lcols, l_row = left[i]
+        rcols, r_row = right[j]
+        current[4] = i
+        current[5] = j
+        _product_scan(
+            steps, 0, lcols, l_row, lcols.end[l_row],
+            rcols, r_row, rcols.end[r_row],
+            binding, positions, evaluator, emit, root_prune, memo,
+        )
+    seen: Set[Tuple] = set()
+    out: List[XmlNode] = []
+    materialized_pairs: Set[Tuple[int, int]] = set()
+    for i, j, rank, row in tops:
+        lcols, l_row = left[i]
+        rcols, r_row = right[j]
+        key = _product_top_key(lcols, l_row, rcols, r_row, rank, row)
+        if key in seen:
+            continue
+        seen.add(key)
+        materialized_pairs.add((i, j))
+        out.append(_materialize_top(lcols, l_row, rcols, r_row, rank, row))
+    return out, len(materialized_pairs)
+
+
+__all__ = [
+    "Entry",
+    "prepare",
+    "selection_batched",
+    "projection_batched",
+    "join_pairs_batched",
+]

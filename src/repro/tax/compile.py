@@ -284,3 +284,41 @@ def compile_condition(
 
 def _always_true(binding: Binding) -> bool:
     return True
+
+
+# ---------------------------------------------------------------------------
+# Pattern lowering for set-oriented (columnar) verification
+# ---------------------------------------------------------------------------
+
+#: One step of a columnar verification program:
+#: ``(label, parent_label_or_None, edge, tags_tuple, tags_set)`` —
+#: ``tags_tuple`` preserves the restriction set's iteration order (the
+#: embedder enumerates per-tag pools in that order) and ``tags_set`` is
+#: kept for membership filtering; both are None when unrestricted.
+BatchStep = tuple
+
+
+def compile_batch_steps(pattern, restrictions) -> "list[BatchStep]":
+    """Lower a (validated) pattern + tag restrictions to a step program.
+
+    The batched verifier (:mod:`repro.tax.batch`) interprets this flat
+    program over a document's :class:`~repro.xmldb.columnar.DocumentColumns`
+    instead of re-deriving edges and restriction sets per candidate tree.
+    Steps follow the pattern's preorder — the same enumeration order
+    :func:`repro.tax.embedding.find_embeddings` backtracks in, which is
+    what keeps evaluator call sequences (and therefore ontology-access
+    counts) bit-identical between the two paths.
+    """
+    steps = []
+    for pattern_node in pattern.preorder():
+        tags = restrictions.get(pattern_node.label)
+        steps.append(
+            (
+                pattern_node.label,
+                pattern_node.parent,
+                pattern_node.edge,
+                None if tags is None else tuple(tags),
+                tags,
+            )
+        )
+    return steps

@@ -79,6 +79,36 @@ def find_embeddings(
     once per complete structural match (candidate tag pruning makes the
     common conjunctive queries cheap before that point).
     """
+    for binding in find_matches(
+        pattern,
+        tree,
+        context,
+        index=index,
+        evaluator=evaluator,
+        restrictions=restrictions,
+        order=order,
+    ):
+        yield Embedding(pattern, dict(binding))
+
+
+def find_matches(
+    pattern: PatternTree,
+    tree: XmlNode,
+    context: ConditionContext = DEFAULT_CONTEXT,
+    index: Optional[DocumentIndex] = None,
+    evaluator: Optional[Callable[[Binding], bool]] = None,
+    restrictions: Optional[Mapping[int, Set[str]]] = None,
+    order: Optional[Sequence[PatternNode]] = None,
+) -> Iterator[Binding]:
+    """Like :func:`find_embeddings`, but yields the *live* binding dict.
+
+    The same dict object is yielded for every match (and mutated between
+    yields) — callers that keep a binding past one iteration must copy
+    it.  Callers that only inspect one or two labels per match (the
+    root-inflating selection fast path, projection's PL probes, the
+    batched verifier's fallback entries) skip the per-match
+    :class:`Embedding` + dict-copy allocation this way.
+    """
     if order is None:
         pattern.validate()
         order = list(pattern.preorder())
@@ -128,10 +158,10 @@ def find_embeddings(
             return pool
         return (node for node in pool if node.tag in tags)
 
-    def backtrack(position: int) -> Iterator[Embedding]:
+    def backtrack(position: int) -> Iterator[Binding]:
         if position == len(order):
             if evaluator(binding):
-                yield Embedding(pattern, dict(binding))
+                yield binding
             return
         pattern_node = order[position]
         for candidate in candidates(pattern_node):

@@ -46,6 +46,10 @@ class Collection:
         #: key; each entry remembers the root it was built from so a
         #: replaced document can never serve stale columns.
         self._columns: Dict[str, Tuple[XmlNode, DocumentColumns]] = {}
+        #: ``(generation, {id(root): key})`` — lazy reverse lookup from a
+        #: document root object to its key, rebuilt when the generation
+        #: moves (see :meth:`columns_for_root`).
+        self._root_keys: Optional[Tuple[int, Dict[int, str]]] = None
         #: Collection-wide term/path search index (see repro.xmldb.index),
         #: built lazily on first use or attached from a persisted file;
         #: maintained incrementally once present.
@@ -152,6 +156,24 @@ class Collection:
         self._columns[key] = (root, columns)
         return columns
 
+    def columns_for_root(self, root: XmlNode) -> Optional[DocumentColumns]:
+        """Columnar arrays for the stored document rooted at ``root``.
+
+        ``root`` must be the *identical object* a current document is
+        stored under — anything else (a copy, a replaced document, a
+        foreign tree) returns None and the caller falls back to
+        tree-walking verification.  The reverse id->key map is rebuilt
+        lazily whenever the collection's generation moves.
+        """
+        cached = self._root_keys
+        if cached is None or cached[0] != self.generation:
+            mapping = {id(node): key for key, node in self._documents.items()}
+            self._root_keys = cached = (self.generation, mapping)
+        key = cached[1].get(id(root))
+        if key is None or self._documents.get(key) is not root:
+            return None
+        return self.columns_for(key, root)
+
     def search_index(self, build: bool = True) -> Optional[CollectionSearchIndex]:
         """The collection-wide search index, built on first request.
 
@@ -211,6 +233,47 @@ class Collection:
             if guard is not None:
                 guard.check_results(len(results), f"query over {self.name!r}")
         return results
+
+    def xpath_rows(
+        self,
+        query: "str | XPathQuery",
+        document_keys: Optional["Iterable[str]"] = None,
+    ) -> Optional[List[Tuple[DocumentColumns, int]]]:
+        """Columnar ``(columns, row)`` results of an unguarded query, or None.
+
+        Returns None when the query falls outside the columnar subset or
+        :attr:`use_columnar` is off — the caller must then run
+        :meth:`xpath` and resolve nodes itself.  When supported, the
+        returned pairs cover exactly the node sequence :meth:`xpath`
+        yields (same documents, same order): ``columns.nodes[row]`` is
+        that node.  Never ticks a guard, hence unguarded-only (mirrors
+        the columnar-matcher rule in :meth:`xpath`).
+        """
+        if not self.use_columnar:
+            return None
+        compiled = query if isinstance(query, XPathQuery) else XPathQuery(query)
+        rows_fn = compiled.columnar_rows()
+        if rows_fn is None:
+            return None
+        wanted = None if document_keys is None else set(document_keys)
+        pairs: List[Tuple[DocumentColumns, int]] = []
+        append = pairs.append
+        column_cache = self._columns
+        for key, root in self._documents.items():
+            if wanted is not None and key not in wanted:
+                continue
+            entry = column_cache.get(key)
+            if entry is not None and entry[0] is root:
+                cols = entry[1]
+            else:
+                cols = self.columns_for(key, root)
+            rows = rows_fn(cols)
+            if rows:
+                if len(rows) == 1:
+                    append((cols, rows[0]))
+                else:
+                    pairs.extend((cols, row) for row in rows)
+        return pairs
 
     def xpath_document(
         self,

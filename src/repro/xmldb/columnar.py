@@ -24,7 +24,7 @@ import sys
 from bisect import bisect_left, bisect_right
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .model import XmlNode
+from .model import XmlNode, _object_ids
 from .xpath import ast
 from .xpath.engine import _compare_atomic
 
@@ -34,6 +34,9 @@ RowPredicate = Callable[["DocumentColumns", int], bool]
 RowsFunction = Callable[["DocumentColumns", int], List[int]]
 #: A compiled query: all matching nodes of a document, document order.
 ColumnarMatcher = Callable[["DocumentColumns"], List[XmlNode]]
+#: A compiled query returning matching *rows* instead of nodes — the
+#: executor's batched verifier consumes these directly.
+ColumnarRows = Callable[["DocumentColumns"], List[int]]
 
 
 class DocumentColumns:
@@ -47,7 +50,21 @@ class DocumentColumns:
     predicates run degrade to pointer comparisons in the common case.
     """
 
-    __slots__ = ("root", "nodes", "tags", "texts", "svalues", "children", "end", "tag_rows")
+    __slots__ = (
+        "root",
+        "nodes",
+        "tags",
+        "texts",
+        "attrs",
+        "svalues",
+        "children",
+        "parents",
+        "end",
+        "depth",
+        "tag_rows",
+        "_subtree_keys",
+        "_parent_rows",
+    )
 
     def __init__(self, root: XmlNode) -> None:
         intern = sys.intern
@@ -67,6 +84,13 @@ class DocumentColumns:
             parts = [texts[row]] if texts[row] else []
             parts.extend(svalues[child] for child in child_rows if svalues[child])
             svalues[row] = intern(" ".join(parts))
+        depth: List[int] = [0] * count
+        parents: List[int] = [-1] * count
+        for row in range(count):
+            row_depth = depth[row] + 1
+            for child in children[row]:
+                depth[child] = row_depth
+                parents[child] = row
         tag_rows: Dict[str, List[int]] = {}
         for row, tag in enumerate(tags):
             tag_rows.setdefault(tag, []).append(row)
@@ -74,10 +98,131 @@ class DocumentColumns:
         self.nodes = nodes
         self.tags = tags
         self.texts = texts
+        self.attrs = [node.attributes or None for node in nodes]
         self.svalues = svalues
         self.children = children
+        self.parents = parents
         self.end = end
+        self.depth = depth
         self.tag_rows = tag_rows
+        #: Canonical subtree keys, cached per row (repeated queries over
+        #: a cached column set dedupe without re-walking the sources).
+        self._subtree_keys: Dict[int, Tuple] = {}
+        #: Per-tag sorted parent rows (rows with >=1 child of the tag),
+        #: built on first use — the batched verifier's structural prune.
+        self._parent_rows: Dict[str, List[int]] = {}
+
+    def tag_rows_in(self, tag: str, lo: int, hi: int) -> List[int]:
+        """Rows with ``tag`` in the half-open row interval ``[lo, hi)``.
+
+        Two bisects on the per-tag sorted row list — the batched
+        verifier's candidate pools for tag-restricted pattern nodes.
+        """
+        rows = self.tag_rows.get(tag)
+        if rows is None:
+            return []
+        start = bisect_left(rows, lo)
+        stop = bisect_left(rows, hi, start)
+        return rows[start:stop]
+
+    def rows_with_child_tag(self, tag: str, lo: int, hi: int) -> List[int]:
+        """Rows in ``[lo, hi)`` that have at least one ``tag`` child.
+
+        A row with no such child cannot anchor a pc step requiring that
+        tag, so it can never head a complete structural match — the
+        batched verifier prunes unrestricted root pools through this
+        before any backtracking starts.  Per-tag parent rows are derived
+        from ``tag_rows`` once and bisected per call.
+        """
+        rows = self._parent_rows.get(tag)
+        if rows is None:
+            parents = self.parents
+            seen = {parents[row] for row in self.tag_rows.get(tag, ())}
+            seen.discard(-1)
+            rows = sorted(seen)
+            self._parent_rows[tag] = rows
+        start = bisect_left(rows, lo)
+        stop = bisect_left(rows, hi, start)
+        return rows[start:stop]
+
+    def subtree_key(self, row: int) -> Tuple:
+        """:meth:`XmlNode.canonical_key` of the subtree at ``row``, cached.
+
+        A copy of the subtree has the same canonical key as the source,
+        so set-semantics dedupe can run on these *before* any output
+        tree is materialised — and the cache makes repeated queries pay
+        nothing for dedupe at all.
+        """
+        key = self._subtree_keys.get(row)
+        if key is None:
+            key = self.nodes[row].canonical_key()
+            self._subtree_keys[row] = key
+        return key
+
+    def materialize(
+        self,
+        row: int,
+        pre_base: int = 0,
+        post_base: int = 0,
+        depth_base: int = 0,
+        parent: Optional[XmlNode] = None,
+    ) -> XmlNode:
+        """A fresh copy of the subtree at ``row``, numbered as it builds.
+
+        Produces exactly what ``nodes[row].copy_numbered(...)`` would —
+        same tags/texts/attributes, same pre/post/depth (the classic
+        identities ``pre = row - root_row`` and ``post = pre + size - 1
+        - depth`` hold on any preorder interval) — but iteratively, with
+        a parent stack instead of per-node recursion.  The ``*_base``
+        offsets and ``parent`` let the join path number a product root
+        plus two materialised subtrees as one tree, mirroring
+        ``tax_algebra._paired_copy``.
+        """
+        tags = self.tags
+        texts = self.texts
+        attrs = self.attrs
+        end = self.end
+        depths = self.depth
+        # pre/post/depth are affine in the columns, so fold the bases
+        # and the root's row/depth into three per-call constants:
+        #   pre   = pre_off + x            (pre_off = pre_base - row)
+        #   post  = post_off + end[x] - rel (post_off = post_base - row - 1)
+        #   depth = depth_off + depths[x]  (depth_off = depth_base - depths[row])
+        pre_off = pre_base - row
+        post_off = post_base - row - 1
+        depth_off = depth_base - depths[row]
+        base_depth = depths[row]
+        object_ids = _object_ids
+        new = XmlNode.__new__
+        stack: List[XmlNode] = []
+        root_clone: Optional[XmlNode] = None
+        for x in range(row, end[row]):
+            clone: XmlNode = new(XmlNode)
+            clone.tag = tags[x]
+            clone.text = texts[x]
+            attributes = attrs[x]
+            clone.attributes = dict(attributes) if attributes else {}
+            clone.children = []
+            clone.parent = None
+            rel = depths[x] - base_depth
+            clone.pre = pre_off + x
+            clone.post = post_off + end[x] - rel
+            clone.depth = depth_off + depths[x]
+            clone.object_id = next(object_ids)
+            if len(stack) > rel:
+                del stack[rel:]
+            if stack:
+                above = stack[-1]
+                clone.parent = above
+                above.children.append(clone)
+            else:
+                root_clone = clone
+            stack.append(clone)
+        assert root_clone is not None
+        if parent is not None:
+            root_clone.parent = parent
+            parent.children.append(root_clone)
+        return root_clone
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +284,7 @@ def _compile_steps(
     starts at the document point (so ``//tag`` covers the root too, as
     in the engine); a relative path starts from the given context rows.
     """
-    compiled: List[Tuple[ast.Step, bool, Optional[str], List[RowPredicate]]] = []
+    compiled: List[Tuple[ast.Step, bool, Optional[str], Optional[RowPredicate]]] = []
     for step, deep in zip(steps, joins):
         if step.axis == ast.SELF and isinstance(step.test, ast.AnyNodeTest):
             name = None  # identity step ('.')
@@ -153,11 +298,30 @@ def _compile_steps(
             if row_predicate is None:
                 return None
             predicates.append(row_predicate)
-        compiled.append((step, deep, name, predicates))
+        # Fuse the step's predicate chain into one short-circuit test —
+        # same left-to-right and-semantics, one filtering pass per step
+        # instead of one list rebuild per predicate.
+        fused: Optional[RowPredicate]
+        if not predicates:
+            fused = None
+        elif len(predicates) == 1:
+            fused = predicates[0]
+        else:
+            chain = tuple(predicates)
+
+            def fused(
+                cols: DocumentColumns, row: int, _chain=chain
+            ) -> bool:
+                for part in _chain:
+                    if not part(cols, row):
+                        return False
+                return True
+
+        compiled.append((step, deep, name, fused))
 
     def apply(cols: DocumentColumns, rows: List[int]) -> List[int]:
         first = True
-        for _step, deep, name, predicates in compiled:
+        for _step, deep, name, predicate in compiled:
             if name is None:  # self::node()
                 if deep:
                     # './/.' — descendant-or-self of every row.
@@ -176,7 +340,7 @@ def _compile_steps(
             else:
                 rows = _child_rows(cols, rows, name)
             first = False
-            for predicate in predicates:
+            if predicate is not None:
                 rows = [row for row in rows if predicate(cols, row)]
         return rows
 
@@ -372,6 +536,29 @@ def _compile_predicate(expr: ast.Expr) -> Optional[RowPredicate]:
             return _compile_comparison(expr)
         return None
     if isinstance(expr, ast.LocationPath):
+        if (
+            not expr.absolute
+            and len(expr.steps) == 1
+            and expr.steps[0].axis == ast.CHILD
+            and isinstance(expr.steps[0].test, ast.NameTest)
+            and not expr.steps[0].predicates
+            and not expr.descendant_joins[0]
+        ):
+            # '[tag]' — the existence probes the pattern compiler emits
+            # for every pattern child.  A direct any() over the child
+            # rows skips the generic rows-pipeline allocation.
+            name = sys.intern(expr.steps[0].test.name)
+            if name == "*":
+                return lambda cols, row: bool(cols.children[row])
+
+            def has_child(cols: DocumentColumns, row: int) -> bool:
+                tags = cols.tags
+                for child in cols.children[row]:
+                    if tags[child] is name or tags[child] == name:
+                        return True
+                return False
+
+            return has_child
         rows_from = _compile_relative_rows(expr)
         if rows_from is None:
             return None
@@ -394,13 +581,13 @@ def _compile_predicate(expr: ast.Expr) -> Optional[RowPredicate]:
 # ---------------------------------------------------------------------------
 
 
-def compile_columnar(expression: ast.Expr) -> Optional[ColumnarMatcher]:
-    """Compile an XPath AST into a columnar matcher, or None.
+def compile_columnar_rows(expression: ast.Expr) -> Optional[ColumnarRows]:
+    """Compile an XPath AST into a row-returning columnar scan, or None.
 
-    Supported: absolute location paths whose steps are child-axis name
-    tests (with ``//`` joins) carrying value/existence predicates — the
-    shape the executor's pattern-to-XPath compiler emits.  Everything
-    else returns None and must run on the AST engine.
+    Same supported subset as :func:`compile_columnar`, but the result is
+    the matching *row* list — the executor's batched verifier feeds
+    ``(columns, row)`` pairs straight into set-oriented verification
+    without materialising candidate node lists first.
     """
     if not isinstance(expression, ast.LocationPath):
         return None
@@ -412,8 +599,26 @@ def compile_columnar(expression: ast.Expr) -> Optional[ColumnarMatcher]:
     if apply is None:
         return None
 
+    def rows(cols: DocumentColumns) -> List[int]:
+        return apply(cols, [])
+
+    return rows
+
+
+def compile_columnar(expression: ast.Expr) -> Optional[ColumnarMatcher]:
+    """Compile an XPath AST into a columnar matcher, or None.
+
+    Supported: absolute location paths whose steps are child-axis name
+    tests (with ``//`` joins) carrying value/existence predicates — the
+    shape the executor's pattern-to-XPath compiler emits.  Everything
+    else returns None and must run on the AST engine.
+    """
+    rows = compile_columnar_rows(expression)
+    if rows is None:
+        return None
+
     def matcher(cols: DocumentColumns) -> List[XmlNode]:
         nodes = cols.nodes
-        return [nodes[row] for row in apply(cols, [])]
+        return [nodes[row] for row in rows(cols)]
 
     return matcher

@@ -173,6 +173,35 @@ class Database:
             guard.check_results(len(results), f"xpath query {query!r}")
         return results
 
+    def xpath_rows(
+        self,
+        collection_name: str,
+        query: str,
+        document_keys: Optional[Iterable[str]] = None,
+    ):
+        """Columnar ``(columns, row)`` pairs for an unguarded query, or None.
+
+        The batched-verification fast path: when the compiled query is
+        inside the columnar subset (and the collection has columnar
+        scans enabled), the matching candidates come back as
+        ``(DocumentColumns, row)`` pairs covering the exact node
+        sequence :meth:`xpath` would return.  None means the caller must
+        fall back to :meth:`xpath`.  Statistics and metrics are recorded
+        the same way as a node-returning query.
+        """
+        collection = self.get_collection(collection_name)
+        compiled = self.compile(query)
+        started = time.perf_counter()
+        pairs = collection.xpath_rows(compiled, document_keys=document_keys)
+        if pairs is None:
+            return None
+        seconds = time.perf_counter() - started
+        self.statistics.record(seconds, len(pairs))
+        METRICS.counter("xpath.queries").inc()
+        METRICS.counter("xpath.results").inc(len(pairs))
+        METRICS.histogram("xpath.seconds").observe(seconds)
+        return pairs
+
     def total_bytes(self) -> int:
         return sum(c.total_bytes() for c in self._collections.values())
 

@@ -610,6 +610,7 @@ class XPathQuery:
         self.expression = parse_xpath(query)
         self._evaluator = _Evaluator()
         self._columnar: object = _COLUMNAR_UNTRIED
+        self._columnar_rows: object = _COLUMNAR_UNTRIED
 
     def columnar_matcher(self):
         """A compiled columnar scan for this query, or None.
@@ -628,6 +629,22 @@ class XPathQuery:
 
             self._columnar = compile_columnar(self.expression)
         return self._columnar
+
+    def columnar_rows(self):
+        """A compiled columnar scan returning matching *rows*, or None.
+
+        Same subset, caching and guard caveats as
+        :meth:`columnar_matcher`, but the compiled function maps a
+        :class:`~repro.xmldb.columnar.DocumentColumns` to the matching
+        row indexes — the executor's batched verification path consumes
+        ``(columns, row)`` pairs directly and never materialises the
+        intermediate node list.
+        """
+        if self._columnar_rows is _COLUMNAR_UNTRIED:
+            from ..columnar import compile_columnar_rows  # deferred: avoids a cycle
+
+            self._columnar_rows = compile_columnar_rows(self.expression)
+        return self._columnar_rows
 
     def evaluate(
         self, root: XmlNode, guard: Optional[ResourceGuard] = None

@@ -1,0 +1,116 @@
+"""Guard accounting parity: batched verify vs per-document verify.
+
+The batched verifier must be invisible to the resource guard: one tick
+per candidate document (and per probed join pair), the same ``what``
+labels, the same ``stage_steps == steps`` partition, and — when a step
+budget trips mid-verify — the same exception with the same message at
+the same step count.  Otherwise a budget tuned against one path would
+silently admit (or kill) queries on the other.
+"""
+
+import pytest
+
+from repro.data import generate_corpus, render_dblp
+from repro.data.sigmod import render_sigmod_pages
+from repro.errors import ResourceExhaustedError
+from repro.experiments.workload import (
+    build_join_pattern,
+    build_scalability_pattern,
+    build_system,
+)
+from repro.guard import ResourceGuard
+
+SEED = 11
+EPSILON = 3.0
+
+
+def _sharded(corpus, keys):
+    return [render_dblp(corpus, seed=SEED, paper_keys=[key]) for key in keys]
+
+
+@pytest.fixture(scope="module")
+def system():
+    corpus = generate_corpus(30, seed=SEED)
+    keys = corpus.paper_keys()
+    documents = _sharded(corpus, keys)
+    pages = render_sigmod_pages(corpus, seed=SEED, paper_keys=keys)
+    system = build_system(
+        corpus, documents, EPSILON, sigmod_documents=pages, use_cache=False
+    )
+    system.executor.similarity_hash_join = False
+    return system
+
+
+def _selection(system, guard):
+    pattern = build_scalability_pattern()
+    return system.executor.selection(
+        "dblp", pattern, sl_labels=[1], guard=guard
+    )
+
+
+def _join(system, guard):
+    return system.executor.join(
+        "dblp", "sigmod", build_join_pattern(), sl_labels=[2, 5], guard=guard
+    )
+
+
+def _run_both(system, run, max_steps):
+    """((outcome, guard) batched, (outcome, guard) per-document)."""
+    executor = system.executor
+    snapshots = []
+    for batched in (True, False):
+        executor.verify_batched = batched
+        guard = ResourceGuard(max_steps=max_steps)
+        try:
+            outcome = ("ok", [t.canonical_key() for t in run(system, guard).results])
+        except ResourceExhaustedError as exc:
+            outcome = ("error", str(exc))
+        snapshots.append((outcome, guard))
+    executor.verify_batched = True
+    return snapshots
+
+
+class TestSelectionGuardParity:
+    def test_ample_budget_identical_accounting(self, system):
+        (out_b, g_b), (out_u, g_u) = _run_both(system, _selection, 10**6)
+        assert out_b[0] == out_u[0] == "ok"
+        assert out_b[1] == out_u[1]
+        assert g_b.steps == g_u.steps > 0
+        assert g_b.stage_steps == g_u.stage_steps
+        assert sum(g_b.stage_steps.values()) == g_b.steps
+        assert g_b.stage_steps["result verification"] > 0
+
+    def test_step_budget_trips_identically(self, system):
+        # Pick a budget that lands mid-verify: enough for the xpath
+        # phase, short of the full candidate sweep.
+        _, full_guard = _run_both(system, _selection, 10**6)[0]
+        verify_ticks = full_guard.stage_steps["result verification"]
+        budget = full_guard.steps - verify_ticks // 2
+        (out_b, g_b), (out_u, g_u) = _run_both(system, _selection, budget)
+        assert out_b[0] == out_u[0] == "error"
+        assert out_b[1] == out_u[1]
+        assert g_b.steps == g_u.steps
+        assert g_b.stage_steps == g_u.stage_steps
+
+
+class TestJoinGuardParity:
+    def test_ample_budget_identical_accounting(self, system):
+        (out_b, g_b), (out_u, g_u) = _run_both(system, _join, 10**7)
+        assert out_b[0] == out_u[0] == "ok"
+        assert out_b[1] == out_u[1]
+        assert g_b.steps == g_u.steps > 0
+        assert g_b.stage_steps == g_u.stage_steps
+        assert sum(g_b.stage_steps.values()) == g_b.steps
+        # One product tick per probed pair, one verification tick per pair.
+        assert g_b.stage_steps["join product"] > 0
+        assert g_b.stage_steps["result verification"] > 0
+
+    def test_step_budget_trips_identically(self, system):
+        _, full_guard = _run_both(system, _join, 10**7)[0]
+        verify_ticks = full_guard.stage_steps["result verification"]
+        budget = full_guard.steps - verify_ticks // 2
+        (out_b, g_b), (out_u, g_u) = _run_both(system, _join, budget)
+        assert out_b[0] == out_u[0] == "error"
+        assert out_b[1] == out_u[1]
+        assert g_b.steps == g_u.steps
+        assert g_b.stage_steps == g_u.stage_steps

@@ -1,0 +1,169 @@
+"""Property: batched columnar verify == per-document interpreted verify.
+
+The set-oriented verifier (``verify_batched`` + compiled conditions +
+columnar scans) must be a pure acceleration of the per-document
+interpreted pipeline.  For fuzzed selections (selective and broad),
+and joins against a real SEO, the two configurations must agree on
+
+* the verdict sequence (canonical result keys, in order),
+* the serialised bytes of every result tree,
+* the number of ontology accesses the verification drove,
+* guard accounting (steps and per-stage breakdown), and
+* the error message when a step budget trips mid-verify.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_query
+from repro.data import generate_corpus, render_dblp
+from repro.data.sigmod import render_sigmod_pages
+from repro.errors import ResourceExhaustedError
+from repro.experiments.workload import (
+    build_join_pattern,
+    build_scalability_pattern,
+    build_system,
+)
+from repro.guard import ResourceGuard
+from repro.xmldb.serializer import serialize
+
+EPSILON_CHOICES = (1.0, 3.0)
+
+# Building a system is costly; share a few across examples.
+_SYSTEMS = {}
+
+
+def _system(seed, epsilon):
+    key = (seed, epsilon)
+    if key not in _SYSTEMS:
+        corpus = generate_corpus(24, seed=seed)
+        keys = corpus.paper_keys()
+        documents = [
+            render_dblp(corpus, seed=seed, paper_keys=[k]) for k in keys
+        ]
+        pages = render_sigmod_pages(corpus, seed=seed, paper_keys=keys)
+        system = build_system(
+            corpus, documents, epsilon,
+            sigmod_documents=pages, use_cache=False,
+        )
+        system.executor.similarity_hash_join = False
+        _SYSTEMS[key] = (corpus, system)
+    return _SYSTEMS[key]
+
+
+def _configure(system, fast):
+    executor = system.executor
+    executor.verify_batched = fast
+    executor.compile_conditions = fast
+    for name in ("dblp", "sigmod"):
+        system.database.get_collection(name).use_columnar = fast
+
+
+def _run_modes(system, run, guard_steps=None):
+    """((outcome, guard) for the fast path, same for interpreted)."""
+    snapshots = []
+    for fast in (True, False):
+        _configure(system, fast)
+        guard = (
+            ResourceGuard(max_steps=guard_steps)
+            if guard_steps is not None
+            else None
+        )
+        try:
+            report = run(system, guard)
+            outcome = (
+                "ok",
+                [t.canonical_key() for t in report.results],
+                [serialize(t).encode("utf-8") for t in report.results],
+                report.ontology_accesses,
+            )
+        except ResourceExhaustedError as exc:
+            outcome = ("error", str(exc))
+        snapshots.append((outcome, guard))
+    _configure(system, True)
+    return snapshots
+
+
+def _assert_equivalent(snapshots):
+    (out_fast, g_fast), (out_interp, g_interp) = snapshots
+    assert out_fast == out_interp
+    if g_fast is not None:
+        assert g_fast.steps == g_interp.steps
+        assert g_fast.stage_steps == g_interp.stage_steps
+
+
+@given(
+    seed=st.sampled_from([3, 5]),
+    epsilon=st.sampled_from(EPSILON_CHOICES),
+    narrow=st.sampled_from(
+        ["SIGMOD Conference", "database conference", "conference"]
+    ),
+)
+@settings(max_examples=12, deadline=None)
+def test_selection_equivalence(seed, epsilon, narrow):
+    _corpus, system = _system(seed, epsilon)
+    pattern = build_scalability_pattern(narrow_category=narrow)
+    _assert_equivalent(
+        _run_modes(
+            system,
+            lambda s, g: s.executor.selection(
+                "dblp", pattern, sl_labels=[1], guard=g
+            ),
+        )
+    )
+
+
+@given(
+    seed=st.sampled_from([3, 5]),
+    epsilon=st.sampled_from(EPSILON_CHOICES),
+    author_index=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=10, deadline=None)
+def test_parsed_query_equivalence(seed, epsilon, author_index):
+    corpus, system = _system(seed, epsilon)
+    authors = sorted(corpus.authors.values(), key=lambda a: a.entity_id)
+    author = authors[author_index % len(authors)]
+    parsed = parse_query(
+        f'inproceedings(author ~ "{author.canonical}", '
+        f'booktitle below "conference")'
+    )
+    _assert_equivalent(
+        _run_modes(
+            system,
+            lambda s, g: s.executor.selection(
+                "dblp", parsed.pattern, parsed.roots, guard=g
+            ),
+        )
+    )
+
+
+@given(seed=st.sampled_from([3, 5]), epsilon=st.sampled_from(EPSILON_CHOICES))
+@settings(max_examples=6, deadline=None)
+def test_join_equivalence(seed, epsilon):
+    _corpus, system = _system(seed, epsilon)
+    pattern = build_join_pattern()
+    _assert_equivalent(
+        _run_modes(
+            system,
+            lambda s, g: s.executor.join(
+                "dblp", "sigmod", pattern, sl_labels=[2, 5], guard=g
+            ),
+        )
+    )
+
+
+@given(
+    seed=st.sampled_from([3, 5]),
+    budget_fraction=st.sampled_from([0.25, 0.5, 0.9]),
+)
+@settings(max_examples=8, deadline=None)
+def test_guard_trip_equivalence(seed, budget_fraction):
+    _corpus, system = _system(seed, 3.0)
+    pattern = build_scalability_pattern()
+    run = lambda s, g: s.executor.selection(
+        "dblp", pattern, sl_labels=[1], guard=g
+    )
+    # Measure the full guarded cost once, then trip part-way through it.
+    (_, full_guard), _ = _run_modes(system, run, guard_steps=10**9)
+    budget = max(1, int(full_guard.steps * budget_fraction))
+    _assert_equivalent(_run_modes(system, run, guard_steps=budget))
