@@ -18,10 +18,16 @@ import cProfile
 import json
 import os
 import pathlib
+import subprocess
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 PROFILE_DIR = RESULTS_DIR / "profiles"
+
+#: Version of the emitted payload layout.  Bump when the shape every
+#: benchmark shares changes (e.g. the ``meta`` block itself), so readers
+#: of committed ``BENCH_*.json`` files can tell old records apart.
+SCHEMA_VERSION = 2
 
 #: Environment switch for :func:`dump_profile`.  Off by default so the
 #: timed sweeps stay unperturbed; CI's smoke-benchmark job sets it to
@@ -65,12 +71,49 @@ def default_output_paths(name, smoke=False):
     return out, trajectory
 
 
+def _git_describe():
+    """``git describe --always --dirty`` for the repo, or None.
+
+    Best-effort provenance: benchmarks must run (and emit) fine from a
+    tarball or a container without git.
+    """
+    try:
+        return subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def bench_meta():
+    """The provenance block every emitted payload carries.
+
+    One place defines it so ``BENCH_query_exec.json`` and the serving
+    benches cannot drift apart on what a record says about the machine
+    and tree that produced it.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "cpu_count": os.cpu_count(),
+        "git_describe": _git_describe(),
+    }
+
+
 def emit_results(results, out_path=None, trajectory_path=None):
     """Write ``results`` as pretty JSON to every non-None path given.
 
     Both copies are rendered from the same string, so they are
-    byte-identical by construction.  Returns the list of paths written.
+    byte-identical by construction.  A shared :func:`bench_meta`
+    provenance block is stamped onto the payload (without mutating the
+    caller's dict) unless the caller already supplied one.  Returns the
+    list of paths written.
     """
+    if isinstance(results, dict) and "meta" not in results:
+        results = {**results, "meta": bench_meta()}
     text = json.dumps(results, indent=2) + "\n"
     written = []
     for path in (out_path, trajectory_path):

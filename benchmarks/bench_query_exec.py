@@ -69,6 +69,11 @@ JOIN_REPEATS = 2
 #: Timing noise allowance for the "no regression at any size" check.
 REGRESSION_SLACK = 1.10
 
+#: Repeats for the telemetry-overhead measurement — more than the
+#: speedup sweeps because the quantity of interest is a small *ratio*
+#: between two runs of the same query, not a large separation.
+OBS_OVERHEAD_REPEATS = 5
+
 
 def _sharded_dblp(corpus, keys):
     """One document per paper — the layout the index layer exists for."""
@@ -170,6 +175,64 @@ def _measure_modes(system, run, repeats, collections):
     }
 
 
+def _measure_obs_overhead(system, run, repeats):
+    """The telemetry spine's wall-clock tax on the indexed fast path.
+
+    Three timings of the same (warmed) query: observability fully off
+    (``--no-obs`` semantics: null tracer, metrics and rolling windows
+    disabled), the serving default (tracing + metrics + windows), and
+    the serving default with the sampling profiler attached.  The two
+    ratios over the disabled baseline are what
+    ``check_regression.py`` holds the ceilings against.
+    """
+    from repro.obs import NULL_OBSERVABILITY
+    from repro.obs.metrics import REGISTRY as METRICS
+    from repro.obs.profile import SamplingProfiler
+    from repro.obs.window import WINDOWS
+
+    executor = system.executor
+    metrics_enabled = METRICS.enabled
+    windows_enabled = WINDOWS.enabled
+    try:
+        executor.observability = NULL_OBSERVABILITY
+        METRICS.enabled = False
+        WINDOWS.enabled = False
+        run()  # warmup under the new mode
+        disabled_seconds, _ = _timed_runs(run, repeats)
+
+        executor.observability = Observability(enabled=True)
+        METRICS.enabled = True
+        WINDOWS.enabled = True
+        run()
+        enabled_seconds, _ = _timed_runs(run, repeats)
+
+        profiler = SamplingProfiler().start()
+        try:
+            run()
+            profiler_seconds, _ = _timed_runs(run, repeats)
+        finally:
+            profiler.stop()
+        exemplar = profiler.take_exemplar()
+    finally:
+        METRICS.enabled = metrics_enabled
+        WINDOWS.enabled = windows_enabled
+        WINDOWS.reset()
+    return {
+        "repeats": repeats,
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "profiler_seconds": round(profiler_seconds, 4),
+        "enabled_overhead": round(enabled_seconds / disabled_seconds, 3)
+        if disabled_seconds > 0
+        else None,
+        "profiler_overhead": round(profiler_seconds / disabled_seconds, 3)
+        if disabled_seconds > 0
+        else None,
+        "profiler_hz": profiler.hz,
+        "profiler_samples": exemplar["samples"],
+    }
+
+
 #: The selective fig-16a instance: same 2 isa + 4 tag shape, but the
 #: narrow isa targets one venue term (a long, unambiguous surface form,
 #: so ε-merging cannot balloon its μ-class) — ~6 % of papers answer.
@@ -191,6 +254,7 @@ def _selection_sweep(sizes, verbose):
     corpus = generate_corpus(max(sizes), seed=SEED)
     all_keys = corpus.paper_keys()
     runs = []
+    obs_overhead = None
     for papers in sizes:
         documents = _sharded_dblp(corpus, all_keys[:papers])
         system = build_system(corpus, documents, EPSILON, use_cache=False)
@@ -224,7 +288,27 @@ def _selection_sweep(sizes, verbose):
                     f"{record['docs_scanned']}/{record['docs_total']} docs)",
                     flush=True,
                 )
-    return runs
+        if papers == max(sizes):
+            # Telemetry tax on the broad (verify-bound) instance at the
+            # largest scale: the longest-running selection, so the ratio
+            # is the least noise-dominated figure the sweep can produce.
+            _, broad_pattern = SELECTION_VARIANTS[1]
+            obs_overhead = _measure_obs_overhead(
+                system,
+                lambda: system.select("dblp", broad_pattern, sl_labels=[1]),
+                OBS_OVERHEAD_REPEATS,
+            )
+            if verbose:
+                print(
+                    f"  {'obs-overhead':<15} {papers:>5} papers  "
+                    f"off {obs_overhead['disabled_seconds']:8.3f}s  "
+                    f"on {obs_overhead['enabled_seconds']:8.3f}s "
+                    f"({obs_overhead['enabled_overhead']}x)  "
+                    f"profiled {obs_overhead['profiler_seconds']:8.3f}s "
+                    f"({obs_overhead['profiler_overhead']}x)",
+                    flush=True,
+                )
+    return runs, obs_overhead
 
 
 def _join_sweep(sizes, verbose):
@@ -281,7 +365,7 @@ def run_benchmark(
     trajectory_path=None,
     verbose=True,
 ):
-    runs = _selection_sweep(selection_sizes, verbose)
+    runs, obs_overhead = _selection_sweep(selection_sizes, verbose)
     runs += _join_sweep(join_sizes, verbose)
 
     selections = [r for r in runs if r["operation"] == "selection"]
@@ -297,6 +381,7 @@ def run_benchmark(
         "smoke": smoke,
         "selection_sizes": list(selection_sizes),
         "join_sizes": list(join_sizes),
+        "obs_overhead": obs_overhead,
         "runs": runs,
         "summary": {
             "identical_results": all(r["identical"] for r in runs),
@@ -315,6 +400,8 @@ def run_benchmark(
                 "compiled_speedup"
             ],
             "join_indexed_seconds_at_largest": largest_join["indexed_seconds"],
+            "obs_enabled_overhead": obs_overhead["enabled_overhead"],
+            "obs_profiler_overhead": obs_overhead["profiler_overhead"],
             "join_regression": any(
                 r["indexed_seconds"] > r["scan_seconds"] * REGRESSION_SLACK
                 for r in joins
@@ -348,6 +435,11 @@ def test_query_exec_smoke(results_dir):
     for run in results["runs"]:
         assert run["docs_scanned"] < run["docs_total"], run
         assert run["results"] > 0, run
+    # The telemetry-tax record is always measured (ratios are asserted
+    # only on committed full-sweep results, where noise is amortized).
+    overhead = results["obs_overhead"]
+    assert overhead["enabled_overhead"] is not None
+    assert overhead["profiler_overhead"] is not None
 
 
 def test_query_exec_cost(benchmark):

@@ -19,8 +19,8 @@ sharded one paper per document:
   (:func:`repro.serving.execute_partitioned`), identity-checked against
   the serial result sequence.
 
-Throughput scaling is bounded by the hardware: the payload records
-``cpu_count`` so a 1-core CI box showing ~1x at 4 workers reads as the
+Throughput scaling is bounded by the hardware: the shared ``meta``
+block records ``cpu_count`` so a 1-core CI box showing ~1x at 4 workers reads as the
 honest Amdahl floor it is, not a regression.  The pool start-up cost is
 reported separately (like the SEO precompute, it is paid once per
 served system, not per query).
@@ -254,7 +254,6 @@ def run_benchmark(
         "smoke": smoke,
         "papers": papers,
         "batch": batch,
-        "cpu_count": os.cpu_count(),
         "serial_batch_seconds": round(serial_seconds, 4),
         "serial_throughput_qps": round(batch / serial_seconds, 2),
         "served": served,

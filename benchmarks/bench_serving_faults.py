@@ -293,7 +293,6 @@ def run_benchmark(
         "papers": papers,
         "batch": batch,
         "workers": WORKERS,
-        "cpu_count": os.cpu_count(),
         "baseline_seconds": round(baseline_seconds, 4),
         "crash_recovery": crash_runs,
         "hang_recovery": hang_run,

@@ -55,6 +55,12 @@ QUERY_EXEC_FLOORS = {
 #: bar, >= 3x under the PR 7 figure of 0.059s).
 QUERY_EXEC_CEILINGS = {
     "join_indexed_seconds_at_largest": 0.0197,
+    # Telemetry-spine budget on the broad fig-16(a) instance at 3000
+    # papers: the serving default (tracing + metrics + rolling windows)
+    # may cost at most 5% over a fully disabled run, and attaching the
+    # sampling profiler at most 10%.
+    "obs_enabled_overhead": 1.05,
+    "obs_profiler_overhead": 1.10,
 }
 
 #: Ceiling for the serving dispatch tax: 1-worker batch wall-clock over

@@ -51,6 +51,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .core.system import TossSystem
@@ -130,10 +131,13 @@ def _report_summary_line(report) -> str:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from .obs.context import RequestContext, activate
+
     system, names = _load_query_system(args)
     collection = args.collection or names[0]
     right = names[1] if len(names) > 1 else None
     jobs = getattr(args, "jobs", 1) or 1
+    context = RequestContext.mint()
     if jobs > 1:
         from .serving import QueryRequest, QueryServer
 
@@ -146,14 +150,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     collection=collection,
                     right_collection=right,
                     jobs=jobs,
+                    request_id=context.request_id,
                 )
             )
     else:
-        report = system.query(collection, args.query, right_collection=right)
+        with activate(context):
+            report = system.query(collection, args.query, right_collection=right)
     system.observability.flush_metrics()
     if args.json:
         print(json.dumps(report.to_dict(include_results=True), indent=2))
         return 0
+    print(f"# request {report.request_id or context.request_id}", file=sys.stderr)
     print(_report_summary_line(report))
     for tree in report.results:
         print(serialize(tree, indent=2).rstrip())
@@ -194,6 +201,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_crash_rate is not None:
         policy_kwargs["max_crash_rate"] = args.max_crash_rate
     outcomes = []
+    stats_stop = None
+    stats_thread = None
+    if args.stats:
+        import threading
+
+        from .obs.export import format_status_line
+        from .obs.window import WINDOWS
+
+        stats_stop = threading.Event()
+        live = sys.stderr.isatty()
+
+        def _stats_loop() -> None:
+            while not stats_stop.wait(1.0):
+                line = format_status_line(WINDOWS.multi_stats(), window=10)
+                if not line:
+                    continue
+                if live:
+                    # Redraw in place on a real terminal; plain lines
+                    # otherwise so redirected stderr stays greppable.
+                    print(f"\r\x1b[2K{line}", end="", file=sys.stderr, flush=True)
+                else:
+                    print(line, file=sys.stderr, flush=True)
+
+        stats_thread = threading.Thread(
+            target=_stats_loop, name="serve-stats", daemon=True
+        )
+        stats_thread.start()
     try:
         with QueryServer(
             system,
@@ -228,6 +262,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        if stats_stop is not None:
+            stats_stop.set()
+            stats_thread.join(timeout=2.0)
+            final = format_status_line(WINDOWS.multi_stats(), window=10)
+            if final:
+                print(f"\r\x1b[2K{final}" if sys.stderr.isatty() else final,
+                      file=sys.stderr, flush=True)
     system.observability.flush_metrics()
     errors = sum(1 for outcome in outcomes if not outcome.ok)
     if args.json:
@@ -462,10 +504,93 @@ def _cmd_db_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _request_timeline_entries(root: str, request_id: str) -> List[dict]:
+    """Every event-log and slow-query-log entry carrying ``request_id``,
+    in wall-clock order (file order for entries predating timestamps)."""
+    from .obs import (
+        EVENTS_FILENAME,
+        SLOW_QUERIES_FILENAME,
+        JsonLinesSink,
+        obs_directory,
+    )
+
+    directory = obs_directory(root)
+    if not directory.is_dir():
+        directory = obs_directory(_db_root(root))
+    entries: List[dict] = []
+    seen_slow = set()
+    for filename in (EVENTS_FILENAME, SLOW_QUERIES_FILENAME):
+        for entry in JsonLinesSink(directory / filename).read():
+            if entry.get("request_id") != request_id:
+                continue
+            if filename == SLOW_QUERIES_FILENAME:
+                # A slow entry duplicates its event-log line, with the
+                # trace attached; merge the trace into the event entry
+                # instead of showing the step twice.
+                key = (entry.get("event"), entry.get("ts"))
+                seen_slow.add(key)
+                for existing in entries:
+                    if (existing.get("event"), existing.get("ts")) == key:
+                        existing.setdefault("trace", entry.get("trace"))
+                        break
+                else:
+                    entries.append(entry)
+            else:
+                entries.append(entry)
+    entries.sort(key=lambda e: e.get("ts") or 0.0)
+    return entries
+
+
+def _render_request_timeline(args: argparse.Namespace) -> int:
+    """``db trace --request <id>``: reconstruct one request's
+    cross-process timeline from the store's telemetry sinks."""
+    from .obs import render_span_dict
+
+    entries = _request_timeline_entries(args.root, args.request)
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0 if entries else 1
+    if not entries:
+        print(
+            f"# no telemetry recorded for request {args.request} "
+            "(is the store's obs/ directory populated?)",
+            file=sys.stderr,
+        )
+        return 1
+    base_ts = next((e["ts"] for e in entries if e.get("ts")), None)
+    print(f"# request {args.request}: {len(entries)} recorded step(s)")
+    for entry in entries:
+        offset = (
+            f"+{entry['ts'] - base_ts:8.3f}s"
+            if base_ts is not None and entry.get("ts")
+            else "      ?  "
+        )
+        detail = " ".join(
+            f"{key}={entry[key]}"
+            for key in (
+                "query", "tenant", "worker", "pid", "task", "attempt",
+                "attempts", "exitcode", "reason", "delay", "ok",
+                "worker_pid", "total_seconds", "results", "partitions",
+            )
+            if entry.get(key) is not None
+        )
+        print(f"{offset}  {entry.get('event', '?'):<22} {detail}")
+        if entry.get("trace"):
+            for line in render_span_dict(entry["trace"], indent=1):
+                print(line)
+    return 0
+
+
 def _cmd_db_trace(args: argparse.Namespace) -> int:
     from .core.persistence import load_system
     from .obs import DEFAULT_SLOW_QUERY_SECONDS, for_root, render_span_dict
+    from .obs.context import RequestContext, activate
 
+    if args.request:
+        return _render_request_timeline(args)
+    if not args.query:
+        print("error: db trace needs a query (or --request ID)", file=sys.stderr)
+        return 2
     threshold = (
         args.slow_threshold
         if args.slow_threshold is not None
@@ -476,12 +601,27 @@ def _cmd_db_trace(args: argparse.Namespace) -> int:
     names = system.database.collection_names()
     collection = args.collection or names[0]
     right = names[1] if len(names) > 1 else None
-    report = system.query(collection, args.query, right_collection=right)
+    profiler = None
+    if args.profile_hz:
+        from .obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.profile_hz).start()
+        system.observability.profiler = profiler
+    context = RequestContext.mint()
+    try:
+        with activate(context):
+            report = system.query(collection, args.query, right_collection=right)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     system.observability.flush_metrics()
     if args.json:
         payload = report.to_dict()
+        if profiler is not None:
+            payload["profile"] = profiler.take_exemplar()
         print(json.dumps(payload, indent=2))
         return 0
+    print(f"# request {context.request_id}")
     print(_report_summary_line(report))
     if report.trace is None:
         print("# no trace captured", file=sys.stderr)
@@ -497,6 +637,21 @@ def _cmd_db_trace(args: argparse.Namespace) -> int:
         f"# stages account for {stage_seconds:.4f}s of {wall:.4f}s wall "
         f"({stage_seconds / wall * 100.0 if wall > 0 else 100.0:.1f}%)"
     )
+    dropped = report.trace.get("attributes", {}).get("dropped_spans")
+    if dropped:
+        print(
+            f"# {dropped} span(s) dropped at the tree bound "
+            "(see the trace.spans_dropped counter; raise max_spans/"
+            "max_depth to keep them)"
+        )
+    if profiler is not None:
+        exemplar = profiler.take_exemplar()
+        print(
+            f"# profile: {exemplar['samples']} samples at "
+            f"{exemplar['hz']:g} Hz"
+        )
+        for phase, seconds in exemplar["phase_seconds"].items():
+            print(f"#   {phase}: {seconds:.4f}s")
     return 0
 
 
@@ -522,6 +677,26 @@ def _cmd_db_obs(args: argparse.Namespace) -> int:
             print(json.dumps(snapshot, indent=2, sort_keys=True))
         else:
             print(render_snapshot_text(snapshot))
+        return 0
+    if args.obs_command == "export":
+        from .obs.export import render_json, render_prometheus
+        from .obs.window import WINDOWS
+
+        snapshot = read_metrics_snapshot(directory / METRICS_FILENAME)
+        # Rolling windows are process-local: they carry data here only
+        # when something ran queries in this process (e.g. tests driving
+        # main() in-process); a bare CLI export ships the persisted
+        # cumulative metrics.
+        window_stats = WINDOWS.multi_stats() if WINDOWS.enabled else None
+        if args.format == "prometheus":
+            text = render_prometheus(snapshot, window_stats)
+        else:
+            text = render_json(snapshot, window_stats)
+        if args.out:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"wrote {args.format} export to {args.out}")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
         return 0
     # slow: the recorded slow-query entries, oldest first
     entries = JsonLinesSink(directory / SLOW_QUERIES_FILENAME).read(
@@ -719,6 +894,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
                        help="print every outcome as one JSON array")
     serve.add_argument("--results", action="store_true",
                        help="also print each query's result trees")
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="render a once-a-second rolling-window status line (QPS, "
+             "p50/p95/p99, error rate, SLO burn) on stderr while serving",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     explain = subparsers.add_parser(
@@ -786,10 +966,15 @@ def build_argument_parser() -> argparse.ArgumentParser:
         index_action.set_defaults(handler=_cmd_db_index)
     db_trace = db_sub.add_parser(
         "trace",
-        help="run one query with tracing on and print its span tree",
+        help="run one query with tracing on and print its span tree, or "
+             "reconstruct a recorded request's timeline with --request",
     )
     db_trace.add_argument("root", help="saved system directory")
-    db_trace.add_argument("query", help="query text, e.g. 'paper(author ~ \"X\")'")
+    db_trace.add_argument(
+        "query", nargs="?", default=None,
+        help="query text, e.g. 'paper(author ~ \"X\")' "
+             "(omit when using --request)",
+    )
     db_trace.add_argument("--collection",
                           help="collection to query (default: first collection)")
     db_trace.add_argument("--json", action="store_true",
@@ -797,6 +982,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
     db_trace.add_argument(
         "--slow-threshold", type=float, default=None, metavar="SECONDS",
         help="slow-query log threshold for this run (default: 0.5)",
+    )
+    db_trace.add_argument(
+        "--request", metavar="ID",
+        help="reconstruct the recorded cross-process timeline for one "
+             "request id from the store's telemetry logs (no query is run)",
+    )
+    db_trace.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="sample the executor at HZ while the query runs and print "
+             "the per-phase wall-time attribution",
     )
     db_trace.set_defaults(handler=_cmd_db_trace)
     db_obs = db_sub.add_parser(
@@ -821,6 +1016,19 @@ def build_argument_parser() -> argparse.ArgumentParser:
     obs_slow.add_argument("--trace", action="store_true",
                           help="also render each entry's span tree")
     obs_slow.set_defaults(handler=_cmd_db_obs)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="export the store's metrics for scraping or dashboards",
+    )
+    obs_export.add_argument("root", help="saved database or system directory")
+    obs_export.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="Prometheus text exposition or one JSON document "
+             "(default: prometheus)",
+    )
+    obs_export.add_argument("--out", metavar="PATH",
+                            help="write the export here instead of stdout")
+    obs_export.set_defaults(handler=_cmd_db_obs)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -845,7 +1053,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_argument_parser()
-    args = parser.parse_args(argv)
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        # argparse cannot allocate an *optional* positional that trails
+        # intervening options (``db trace ROOT --slow-threshold 0
+        # QUERY``): re-home the stray query token, and keep argparse's
+        # usual unrecognized-arguments failure for everything else.
+        if (
+            getattr(args, "handler", None) is _cmd_db_trace
+            and getattr(args, "query", None) is None
+            and len(extras) == 1
+            and not extras[0].startswith("-")
+        ):
+            args.query = extras[0]
+        else:
+            parser.error("unrecognized arguments: " + " ".join(extras))
     try:
         return args.handler(args)
     except KeyboardInterrupt:

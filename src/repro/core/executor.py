@@ -27,7 +27,9 @@ from ..errors import QueryExecutionError
 from ..guard import ResourceGuard
 from ..lru import LruCache
 from ..obs import NULL_OBSERVABILITY, Observability
+from ..obs.context import current_request
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, REGISTRY as METRICS
+from ..obs.window import WINDOWS
 from ..tax import algebra as tax_algebra
 from ..tax import batch as tax_batch
 from ..tax.compile import compile_batch_steps, compile_condition
@@ -152,6 +154,11 @@ class ExecutionReport:
     #: message, attempts.  Empty for exact results; a non-empty list
     #: always comes with ``degraded=True``.
     failed_partitions: List[Dict[str, Any]] = field(default_factory=list)
+    #: The serving request this execution belonged to (see
+    #: :mod:`repro.obs.context`); None outside any request.  Makes
+    #: ``query --json`` output joinable against event-log and
+    #: slow-query-log lines carrying the same id.
+    request_id: Optional[str] = None
     #: The query's span tree (:meth:`repro.obs.trace.Span.to_dict` shape);
     #: None when the executor ran without tracing.
     trace: Optional[Dict[str, Any]] = None
@@ -211,6 +218,7 @@ class ExecutionReport:
         "pairs_probed",
         "pairs_materialized",
         "failed_partitions",
+        "request_id",
     )
 
     #: How :meth:`merge` combines each scalar field across the partial
@@ -239,6 +247,8 @@ class ExecutionReport:
         "pairs_probed": "sum",
         "pairs_materialized": "sum",
         "failed_partitions": "concat",
+        # identical across the chunks of one partitioned request
+        "request_id": "first",
     }
 
     @classmethod
@@ -311,6 +321,7 @@ class ExecutionReport:
         "pairs_probed": 0,
         "pairs_materialized": 0,
         "failed_partitions": [],
+        "request_id": None,
     }
 
     def to_dict(
@@ -937,6 +948,9 @@ class QueryExecutor:
         directly so the finished tree carries the query-level summary
         (guard accounting, result counts, cache/index flags).
         """
+        context = current_request()
+        if context is not None:
+            report.request_id = context.request_id
         if tracer.root is not None:
             attributes = tracer.root.attributes
             if guard is not None:
@@ -946,7 +960,14 @@ class QueryExecutor:
             attributes["candidates"] = report.candidates
             attributes["plan_cache_hit"] = report.plan_cache_hit
             attributes["index_used"] = report.index_used
+            if context is not None:
+                attributes["request_id"] = context.request_id
         report.trace = tracer.finish()
+        WINDOWS.observe(
+            context.query_class if context is not None and context.query_class
+            else kind,
+            report.total_seconds,
+        )
         METRICS.counter("executor.queries").inc()
         METRICS.counter(f"executor.queries.{kind}").inc()
         if report.degraded:

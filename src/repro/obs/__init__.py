@@ -1,6 +1,6 @@
 """`repro.obs` — dependency-free observability for the TOSS pipeline.
 
-Three layers, usable independently:
+Layers, usable independently:
 
 * :mod:`repro.obs.trace` — hierarchical, bounded trace spans with a
   context-manager + decorator API and ambient access via
@@ -8,7 +8,17 @@ Three layers, usable independently:
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges and fixed-bucket histograms (:data:`~repro.obs.metrics.REGISTRY`);
 * :mod:`repro.obs.sinks` — JSON-lines event log, slow-query log and a
-  cumulative metrics snapshot file.
+  cumulative metrics snapshot file;
+* :mod:`repro.obs.context` — per-request identity
+  (:class:`~repro.obs.context.RequestContext`) threaded from the
+  serving edge through pool workers so all telemetry joins on one id;
+* :mod:`repro.obs.window` — rolling per-second windows
+  (:data:`~repro.obs.window.WINDOWS`) for streaming QPS / latency
+  quantiles / error rate / SLO burn per query class;
+* :mod:`repro.obs.profile` — an opt-in sampling profiler attributing
+  wall time to executor phases;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  snapshot writers over the registry and the windows.
 
 :class:`Observability` ties them together for the CLI and the system
 facade: it creates per-query tracers, routes finished traces into the
@@ -20,10 +30,13 @@ immediately.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from .context import RequestContext, activate, current_request, new_request_id
 from .metrics import REGISTRY, MetricsRegistry, render_snapshot_text
+from .window import WINDOWS, WindowRegistry, merge_window_snapshots
 from .sinks import (
     JsonLinesSink,
     SlowQueryLog,
@@ -82,6 +95,10 @@ class Observability:
         self.event_log: Optional[JsonLinesSink] = None
         self.slow_log: Optional[SlowQueryLog] = None
         self.metrics_path: Optional[Path] = None
+        #: When a :class:`repro.obs.profile.SamplingProfiler` is attached
+        #: (``db trace --profile``, ``serve --profile-hz``), every
+        #: slow-query entry drains it into a flame-style exemplar.
+        self.profiler: Optional[Any] = None
         if self.enabled and self.directory is not None:
             sink_kwargs = (
                 {"max_bytes": event_log_max_bytes}
@@ -120,15 +137,28 @@ class Observability:
     ) -> bool:
         """Log one finished operation to the event log (and, when slow
         enough, to the slow-query log with its full span tree and probe
-        plan).  Returns True when the slow-query log captured it."""
+        plan).  Returns True when the slow-query log captured it.
+
+        Every entry is stamped with a wall-clock ``ts`` (cross-process
+        ordering for ``db trace --request``) and, when a request context
+        is ambient, its ``request_id``/``tenant`` — so event-log lines,
+        slow-query lines and ``query --json`` reports all join on the
+        same id.
+        """
         if not self.enabled:
             return False
         event: Dict[str, Any] = {
             "event": kind,
+            "ts": round(time.time(), 6),
             "total_seconds": round(float(total_seconds), 6),
         }
         if query is not None:
             event["query"] = query
+        context = current_request()
+        if context is not None and "request_id" not in (extra or ()):
+            event["request_id"] = context.request_id
+            if context.tenant is not None:
+                event["tenant"] = context.tenant
         if extra:
             event.update(extra)
         if self.event_log is not None:
@@ -140,6 +170,10 @@ class Observability:
             slow_entry["trace"] = trace
         if plan_lines:
             slow_entry["plan"] = list(plan_lines)
+        if self.profiler is not None:
+            exemplar = self.profiler.take_exemplar()
+            if exemplar.get("samples"):
+                slow_entry["profile"] = exemplar
         return self.slow_log.record(slow_entry)
 
     def record_event(self, kind: str, **fields: Any) -> None:
@@ -152,7 +186,10 @@ class Observability:
         """
         if not self.enabled or self.event_log is None:
             return
-        event: Dict[str, Any] = {"event": kind}
+        event: Dict[str, Any] = {"event": kind, "ts": round(time.time(), 6)}
+        context = current_request()
+        if context is not None and "request_id" not in fields:
+            event["request_id"] = context.request_id
         event.update(fields)
         self.event_log.emit(event)
 
@@ -201,12 +238,19 @@ __all__ = [
     "OBS_DIRNAME",
     "Observability",
     "REGISTRY",
+    "RequestContext",
     "SLOW_QUERIES_FILENAME",
     "SlowQueryLog",
     "Span",
     "Tracer",
+    "WINDOWS",
+    "WindowRegistry",
+    "activate",
+    "current_request",
     "current_tracer",
     "for_root",
+    "merge_window_snapshots",
+    "new_request_id",
     "obs_directory",
     "read_metrics_snapshot",
     "render_snapshot_text",

@@ -25,6 +25,7 @@ CLI invocations (see :func:`repro.obs.sinks.merge_snapshots`).
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 #: Default latency buckets, seconds (sub-millisecond to tens of seconds).
@@ -157,15 +158,25 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: Dict[str, Any] = {}
+        #: Serialises instrument creation and whole-snapshot absorption.
+        #: Re-entrant because ``absorb`` reaches instruments through the
+        #: public getters.  Point updates (``inc``/``observe``) stay
+        #: lock-free — they are single-bytecode-ish under the GIL and
+        #: belong to the single-threaded executor hot path; the
+        #: multi-threaded entry points are create and absorb.
+        self._lock = threading.RLock()
 
     def _get(self, name: str, factory, kind: str):
         if not self.enabled:
             return NULL_INSTRUMENT
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif instrument.kind != kind:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = factory()
+                    self._instruments[name] = instrument
+        if instrument.kind != kind:
             raise ValueError(
                 f"metric {name!r} is a {instrument.kind}, not a {kind}"
             )
@@ -191,16 +202,18 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument (used by tests and ``db obs metrics --reset``)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     # -- snapshots ----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """JSON-ready name -> instrument-state map (sorted by name)."""
-        return {
-            name: self._instruments[name].to_dict()
-            for name in sorted(self._instruments)
-        }
+        with self._lock:
+            return {
+                name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)
+            }
 
     def render_text(self) -> str:
         """Human-readable one-line-per-metric rendering (for the CLI)."""
@@ -218,9 +231,18 @@ class MetricsRegistry:
         type or histogram bounds conflict with an existing instrument
         are skipped (never raised — worker payloads must not be able to
         wedge the parent).
+
+        Thread-safe: the whole fold happens under the registry lock, so
+        concurrent absorbs (the supervised pool collecting several
+        workers' deltas at once) never interleave mid-instrument and
+        never lose increments.
         """
         if not self.enabled:
             return
+        with self._lock:
+            self._absorb_locked(snapshot)
+
+    def _absorb_locked(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
         for name, entry in snapshot.items():
             kind = entry.get("type")
             try:

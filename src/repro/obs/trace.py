@@ -239,6 +239,13 @@ class Tracer:
                 _ACTIVE.remove(self)
             if self.dropped_spans and self.root is not None:
                 self.root.attributes["dropped_spans"] = self.dropped_spans
+                # Truncation must be visible fleet-wide, not only to
+                # whoever happens to read this one trace: publish the
+                # drop count so exporters and the regression dashboards
+                # see bounded trees filling up.
+                from .metrics import REGISTRY
+
+                REGISTRY.counter("trace.spans_dropped").inc(self.dropped_spans)
 
     def finish(self) -> Optional[Dict[str, Any]]:
         """The completed trace as a dict tree, or None (disabled/empty)."""

@@ -38,7 +38,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from ..core.executor import ExecutionReport
 from ..errors import ServingError, SnapshotStaleError, TossError
 from ..guard import ResourceGuard
+from ..obs.context import current_request
 from ..obs.metrics import REGISTRY as METRICS
+from ..obs.window import WINDOWS
 from ..parallel import absorb_worker_steps, remaining_budget
 from .pool import WorkerPool, reconstruct_failure
 
@@ -162,6 +164,11 @@ def execute_partitioned(
     trace_workers = bool(
         system.observability.enabled and system.observability.trace_enabled
     )
+    # Every chunk carries the originating request's identity (if one is
+    # ambient — QueryServer.execute activates it), so per-chunk worker
+    # spans and the merged report share the request id.
+    context = current_request()
+    request_wire = context.to_wire() if context is not None else None
     tasks: List[Dict[str, Any]] = [
         {
             "query": query,
@@ -172,6 +179,7 @@ def execute_partitioned(
             "guard": (deadline, steps, max_results),
             "collect_metrics": collect_metrics,
             "trace": trace_workers,
+            "request": request_wire,
         }
         for chunk in chunks
     ]
@@ -219,6 +227,7 @@ def execute_partitioned(
         metrics = outcome.get("metrics")
         if metrics:
             METRICS.absorb(metrics)
+        WINDOWS.absorb(outcome.get("windows"))
 
     partials = [
         ExecutionReport.from_dict(outcome["report"])

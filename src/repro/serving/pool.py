@@ -38,7 +38,9 @@ from ..errors import (
 )
 from ..guard import ResourceGuard
 from ..obs import NULL_OBSERVABILITY, Observability
+from ..obs.context import RequestContext, activate
 from ..obs.metrics import REGISTRY as METRICS
+from ..obs.window import WINDOWS
 from .snapshot import FORK, SystemSnapshot, restore_payload
 
 #: Worker-process state: the restored/inherited system, set by the
@@ -60,6 +62,7 @@ def _initialize_worker(mode: str, payload: Optional[Dict[str, Any]]) -> None:
     # their metrics travel back to the parent as snapshot deltas.
     system.set_observability(NULL_OBSERVABILITY)
     METRICS.reset()
+    WINDOWS.reset()
     _WORKER["system"] = system
 
 
@@ -91,6 +94,11 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "worker_pid": pid,
         }
     guard = _guard_from_task(task)
+    # Re-activate the request identity the parent minted, so the spans,
+    # report and window slots this worker produces join the same
+    # cross-process timeline.
+    context = RequestContext.from_wire(task.get("request"))
+    request_id = context.request_id if context is not None else None
     if task.get("trace"):
         system.set_observability(Observability(enabled=True))
     else:
@@ -100,13 +108,14 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
     executor.guard = guard
     started = time.perf_counter()
     try:
-        report = system.query(
-            task["collection"],
-            task["query"],
-            sl_variables=tuple(task.get("sl_variables", ())),
-            right_collection=task.get("right_collection"),
-            document_keys=task.get("document_keys"),
-        )
+        with activate(context):
+            report = system.query(
+                task["collection"],
+                task["query"],
+                sl_variables=tuple(task.get("sl_variables", ())),
+                right_collection=task.get("right_collection"),
+                document_keys=task.get("document_keys"),
+            )
     except QueryTimeoutError as exc:
         return {
             "failure": ("timeout", task["query"], exc.deadline, exc.elapsed),
@@ -114,6 +123,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
             "worker_pid": pid,
+            "request_id": request_id,
         }
     except ResourceExhaustedError as exc:
         return {
@@ -122,6 +132,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
             "worker_pid": pid,
+            "request_id": request_id,
         }
     except ReproError as exc:
         return {
@@ -130,6 +141,7 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "steps": guard.steps if guard is not None else 0,
             "stage_steps": guard.stage_steps if guard is not None else {},
             "worker_pid": pid,
+            "request_id": request_id,
         }
     finally:
         executor.guard = previous_guard
@@ -142,10 +154,14 @@ def run_query_task(task: Dict[str, Any]) -> Dict[str, Any]:
         "steps": guard.steps if guard is not None else 0,
         "stage_steps": guard.stage_steps if guard is not None else {},
         "worker_pid": pid,
+        "request_id": request_id,
     }
     if task.get("collect_metrics"):
         outcome["metrics"] = METRICS.snapshot()
         METRICS.reset()
+        # Rolling-window slots travel the same delta discipline: ship
+        # and clear, so the parent's absorb sees each second once.
+        outcome["windows"] = WINDOWS.snapshot(reset=True)
     return outcome
 
 

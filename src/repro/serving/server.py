@@ -31,7 +31,9 @@ from ..core.executor import ExecutionReport
 from ..errors import ReproError, ServerOverloadedError, ServingError, SnapshotStaleError
 from ..faults import FaultPlan
 from ..guard import ResourceGuard
+from ..obs.context import RequestContext, activate, new_request_id
 from ..obs.metrics import REGISTRY as METRICS
+from ..obs.window import WINDOWS
 from .partition import execute_partitioned
 from .pool import WorkerPool, reconstruct_failure
 from .snapshot import SystemSnapshot
@@ -97,6 +99,12 @@ class QueryRequest:
     #: (1 = no intra-query parallelism; only :meth:`QueryServer.execute`
     #: honours values above 1).
     jobs: int = 1
+    #: Tenant label carried into the request context (budget accounting
+    #: and log joining; None for single-tenant use).
+    tenant: Optional[str] = None
+    #: Caller-supplied request id (e.g. from an upstream gateway); the
+    #: server mints one when absent.
+    request_id: Optional[str] = None
 
 
 @dataclass
@@ -108,6 +116,9 @@ class QueryOutcome:
     error: Optional[ReproError] = None
     #: Worker-measured execution seconds (0.0 when never dispatched).
     seconds: float = 0.0
+    #: The request id the server minted (or echoed) for this query —
+    #: the join key for ``db trace --request``.
+    request_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -253,10 +264,28 @@ class QueryServer:
                 right_collection=query.right_collection,
                 guard=query.guard,
                 jobs=query.jobs,
+                tenant=query.tenant,
+                request_id=query.request_id,
             )
         return query
 
-    def _task(self, request: QueryRequest, collect_metrics: bool) -> Dict[str, Any]:
+    def _context(self, request: QueryRequest) -> RequestContext:
+        """The request identity dispatched with (and logged for) one query."""
+        spec = request.guard if request.guard is not None else self.default_guard
+        return RequestContext(
+            request_id=request.request_id or new_request_id(),
+            tenant=request.tenant,
+            # query_class stays None: the executor knows the real kind
+            # (selection/projection/join) and buckets the windows itself.
+            deadline_seconds=spec.deadline_seconds if spec is not None else None,
+        )
+
+    def _task(
+        self,
+        request: QueryRequest,
+        collect_metrics: bool,
+        context: Optional[RequestContext] = None,
+    ) -> Dict[str, Any]:
         spec = request.guard if request.guard is not None else self.default_guard
         return {
             "query": request.query,
@@ -270,6 +299,7 @@ class QueryServer:
                 self.system.observability.enabled
                 and self.system.observability.trace_enabled
             ),
+            "request": context.to_wire() if context is not None else None,
         }
 
     def execute_many(
@@ -286,11 +316,23 @@ class QueryServer:
         if not requests:
             return []
         collect_metrics = METRICS.enabled
+        contexts = [self._context(request) for request in requests]
+        observability = self.system.observability
+        for request, context in zip(requests, contexts):
+            observability.record_event(
+                "serving.submit",
+                request_id=context.request_id,
+                query=request.query,
+                **({"tenant": context.tenant} if context.tenant else {}),
+            )
         started = time.perf_counter()
         METRICS.gauge("serving.queue_depth").set(len(requests))
         try:
             raw = self.pool.run_batch(
-                [self._task(request, collect_metrics) for request in requests]
+                [
+                    self._task(request, collect_metrics, context)
+                    for request, context in zip(requests, contexts)
+                ]
             )
         finally:
             METRICS.gauge("serving.queue_depth").set(0)
@@ -299,28 +341,44 @@ class QueryServer:
         outcomes: List[QueryOutcome] = []
         tracer = self.system.observability.tracer()
         with tracer.trace("serving.batch", queries=len(requests), workers=self.workers):
-            for index, (request, entry) in enumerate(zip(requests, raw)):
+            for index, (request, context, entry) in enumerate(
+                zip(requests, contexts, raw)
+            ):
                 seconds = float(entry.get("seconds", 0.0))
                 failure = entry.get("failure")
                 if failure is not None:
+                    error = reconstruct_failure(
+                        failure,
+                        worker_pid=entry.get("worker_pid"),
+                        query=request.query,
+                    )
+                    error.request_id = context.request_id
                     outcome = QueryOutcome(
                         request=request,
-                        error=reconstruct_failure(
-                            failure,
-                            worker_pid=entry.get("worker_pid"),
-                            query=request.query,
-                        ),
+                        error=error,
                         seconds=seconds,
+                        request_id=context.request_id,
+                    )
+                    # The worker never reached _finish_query, so the
+                    # parent books the failure into the rolling windows.
+                    WINDOWS.observe(
+                        "join" if request.right_collection else "selection",
+                        seconds,
+                        error=True,
                     )
                 else:
                     report = ExecutionReport.from_dict(entry["report"])
                     outcome = QueryOutcome(
-                        request=request, report=report, seconds=seconds
+                        request=request,
+                        report=report,
+                        seconds=seconds,
+                        request_id=context.request_id,
                     )
                 outcomes.append(outcome)
                 metrics = entry.get("metrics")
                 if metrics:
                     METRICS.absorb(metrics)
+                WINDOWS.absorb(entry.get("windows"))
                 trace_payload = (
                     entry["report"].get("trace") if failure is None else None
                 )
@@ -330,6 +388,7 @@ class QueryServer:
                     attributes={
                         "query": request.query,
                         "ok": failure is None,
+                        "request_id": context.request_id,
                     },
                     children=[trace_payload] if trace_payload else None,
                 )
@@ -337,6 +396,22 @@ class QueryServer:
                 if failure is not None:
                     METRICS.counter("serving.query_errors").inc()
                 METRICS.histogram("serving.query_seconds").observe(seconds)
+                # One terminal record per request: the timeline's
+                # verify/completion entry, carrying the worker's span
+                # tree into the slow-query log when slow enough.
+                observability.record_query(
+                    "serving.query",
+                    query=request.query,
+                    total_seconds=seconds,
+                    trace=trace_payload,
+                    extra={
+                        "request_id": context.request_id,
+                        "ok": failure is None,
+                        "attempts": entry.get("attempts", 1),
+                        "worker_pid": entry.get("worker_pid"),
+                        **({"tenant": context.tenant} if context.tenant else {}),
+                    },
+                )
         batch_trace = tracer.finish()
 
         METRICS.counter("serving.batches").inc()
@@ -366,17 +441,21 @@ class QueryServer:
         if request.jobs > 1:
             self._check_fresh()
             spec = request.guard if request.guard is not None else self.default_guard
-            return execute_partitioned(
-                self.system,
-                self.pool,
-                request.collection,
-                request.query,
-                sl_variables=request.sl_variables,
-                right_collection=request.right_collection,
-                jobs=request.jobs,
-                guard=spec.build() if spec is not None else None,
-                on_chunk_failure="degrade" if self.degrade_partial else "raise",
-            )
+            # Activate the request identity around the partitioned run so
+            # the chunk tasks, merged report and partition events all
+            # carry it (execute_partitioned reads the ambient context).
+            with activate(self._context(request)):
+                return execute_partitioned(
+                    self.system,
+                    self.pool,
+                    request.collection,
+                    request.query,
+                    sl_variables=request.sl_variables,
+                    right_collection=request.right_collection,
+                    jobs=request.jobs,
+                    guard=spec.build() if spec is not None else None,
+                    on_chunk_failure="degrade" if self.degrade_partial else "raise",
+                )
         outcome = self.execute_many([request])[0]
         outcome.raise_for_error()
         return outcome.report

@@ -340,6 +340,7 @@ class _Worker:
         "spawn_failures",
         "respawn_at",
         "abandoned",
+        "last_request_id",
     )
 
     def __init__(self, worker_id: int) -> None:
@@ -361,6 +362,10 @@ class _Worker:
         self.spawn_failures = 0
         self.respawn_at: Optional[float] = None
         self.abandoned = False
+        #: Request id of the task this slot was serving when it last
+        #: died — stamped onto the respawn event, so a respawn joins the
+        #: timeline of the request whose crash caused it.
+        self.last_request_id: Optional[str] = None
 
     @property
     def alive(self) -> bool:
@@ -628,6 +633,12 @@ class SupervisedWorkerPool:
                 "failures each); the snapshot cannot be served"
             )
 
+    @staticmethod
+    def _task_request_id(task: Dict[str, Any]) -> Optional[str]:
+        """The request id a task dict carries (None pre-request-context)."""
+        wire = task.get("request")
+        return wire.get("id") if isinstance(wire, dict) else None
+
     def _respawn_due(self, now: float) -> None:
         for worker in self._workers:
             if (
@@ -711,13 +722,15 @@ class SupervisedWorkerPool:
                 elapsed = now - worker.spawn_started
                 self._stats["respawn_seconds"].append(elapsed)
                 METRICS.histogram("serving.respawn_seconds").observe(elapsed)
-                events.append(
-                    {
-                        "event": "respawn",
-                        "worker": worker.worker_id,
-                        "seconds": elapsed,
-                    }
-                )
+                event = {
+                    "event": "respawn",
+                    "worker": worker.worker_id,
+                    "seconds": elapsed,
+                }
+                if worker.last_request_id is not None:
+                    event["request_id"] = worker.last_request_id
+                    worker.last_request_id = None
+                events.append(event)
             return 0
         if kind == "spawn_failed":
             detail = message[4]
@@ -768,6 +781,7 @@ class SupervisedWorkerPool:
             if worker.busy_index is not None:
                 index = worker.busy_index
                 if not worker.process.is_alive():
+                    worker.last_request_id = self._task_request_id(tasks[index])
                     events.append(
                         {
                             "event": "crash",
@@ -775,6 +789,7 @@ class SupervisedWorkerPool:
                             "pid": worker.pid,
                             "task": index,
                             "exitcode": worker.process.exitcode,
+                            "request_id": worker.last_request_id,
                         }
                     )
                     self._mark_dead(worker, now, spawn_failure=False)
@@ -791,12 +806,14 @@ class SupervisedWorkerPool:
                 elif worker.kill_at is not None and now >= worker.kill_at:
                     self._stats["hard_timeouts"] += 1
                     METRICS.counter("serving.hard_timeouts").inc()
+                    worker.last_request_id = self._task_request_id(tasks[index])
                     events.append(
                         {
                             "event": "hard_timeout",
                             "worker": worker.worker_id,
                             "pid": worker.pid,
                             "task": index,
+                            "request_id": worker.last_request_id,
                         }
                     )
                     timeout = self.policy.task_hard_timeout(tasks[index])
@@ -859,10 +876,14 @@ class SupervisedWorkerPool:
         METRICS.counter("serving.worker_crashes").inc()
         self.breaker.record_failure()
         query = tasks[index].get("query", "")
+        request_id = self._task_request_id(tasks[index])
         if crashes[index] >= self.policy.quarantine_after:
             self._stats["quarantined"] += 1
             METRICS.counter("serving.quarantined_tasks").inc()
-            events.append({"event": "quarantine", "task": index, "query": query})
+            events.append(
+                {"event": "quarantine", "task": index, "query": query,
+                 "request_id": request_id}
+            )
             outcomes[index] = {
                 "failure": ("poison", query, crashes[index]),
                 "seconds": 0.0,
@@ -889,7 +910,7 @@ class SupervisedWorkerPool:
         )
         events.append(
             {"event": "retry", "task": index, "attempt": attempts[index],
-             "delay": delay, "reason": reason}
+             "delay": delay, "reason": reason, "request_id": request_id}
         )
         ready_at[index] = now + delay
         pending.append(index)
@@ -906,7 +927,11 @@ class SupervisedWorkerPool:
         for event in events:
             observability.record_event(
                 f"serving.{event['event']}",
-                **{key: value for key, value in event.items() if key != "event"},
+                **{
+                    key: value
+                    for key, value in event.items()
+                    if key != "event" and value is not None
+                },
             )
         tracer = observability.tracer()
         with tracer.trace(

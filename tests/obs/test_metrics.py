@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry (repro.obs.metrics)."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import (
@@ -220,3 +222,42 @@ class TestAbsorb:
         registry.counter("c").inc()
         registry.absorb({"c": {"type": "gauge", "value": 9}})
         assert registry.counter("c").value == 1
+
+    def test_concurrent_absorb_loses_no_updates(self, registry):
+        # The serving parent absorbs worker deltas from its supervisor
+        # thread while the main thread records its own metrics; nothing
+        # may be lost and instrument creation must never race into
+        # duplicates.
+        rounds, per_round = 20, 10
+        delta = {
+            "shared.counter": {"type": "counter", "value": per_round},
+            "shared.hist": {
+                "type": "histogram", "bounds": [1.0, 2.0],
+                "counts": [per_round, 0, 0],
+                "sum": 0.5 * per_round, "count": per_round,
+            },
+        }
+
+        def absorb_deltas():
+            for _ in range(rounds):
+                registry.absorb(delta)
+
+        def record_directly():
+            for _ in range(rounds * per_round):
+                registry.counter("shared.counter").inc()
+                registry.histogram("shared.hist", [1.0, 2.0]).observe(0.5)
+
+        threads = [
+            threading.Thread(target=absorb_deltas),
+            threading.Thread(target=absorb_deltas),
+            threading.Thread(target=record_directly),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = 3 * rounds * per_round
+        assert registry.counter("shared.counter").value == expected
+        histogram = registry.get("shared.hist")
+        assert histogram.count == expected
+        assert histogram.counts[0] == expected

@@ -1,0 +1,110 @@
+"""Property tests: rolling-window snapshot merges form a commutative
+monoid keyed by absolute epoch.
+
+The serving layer folds window snapshots from arbitrary numbers of
+workers and partitions, in whatever order outcomes arrive.  The stats a
+parent serves must therefore not depend on arrival order or grouping —
+i.e. :func:`repro.obs.window.merge_window_snapshots` must be
+associative and commutative, with the empty snapshot as identity, and
+absorbing snapshots one at a time must agree with absorbing their
+merge.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.window import WindowRegistry, merge_window_snapshots
+
+NOW = 1_700_000_000
+
+#: Observations stay inside the default 60s horizon so nothing is
+#: dropped by design during the round-trip comparisons.  Latencies are
+#: dyadic rationals (k/1024 s) so their float sums are exact: the merge
+#: is associative over the *slot algebra*, and keeping the arithmetic
+#: exact stops last-ulp float noise from masquerading as a merge-order
+#: dependence.
+observations = st.lists(
+    st.tuples(
+        st.sampled_from(["selection", "join", "projection"]),
+        st.integers(min_value=1, max_value=10240).map(lambda k: k / 1024.0),
+        st.booleans(),
+        st.integers(min_value=NOW - 50, max_value=NOW),
+    ),
+    max_size=30,
+)
+
+
+def snapshot_of(rows):
+    registry = WindowRegistry()
+    for query_class, seconds, error, epoch in rows:
+        registry.observe(query_class, seconds, error=error, now=epoch)
+    return registry.snapshot(now=NOW)
+
+
+EMPTY = snapshot_of([])
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations, observations)
+def test_merge_is_commutative(left_rows, right_rows):
+    left, right = snapshot_of(left_rows), snapshot_of(right_rows)
+    assert merge_window_snapshots(left, right) == merge_window_snapshots(
+        right, left
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations, observations, observations)
+def test_merge_is_associative(rows_a, rows_b, rows_c):
+    a, b, c = snapshot_of(rows_a), snapshot_of(rows_b), snapshot_of(rows_c)
+    left_first = merge_window_snapshots(merge_window_snapshots(a, b), c)
+    right_first = merge_window_snapshots(a, merge_window_snapshots(b, c))
+    assert left_first == right_first
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations)
+def test_empty_snapshot_is_identity(rows):
+    snapshot = snapshot_of(rows)
+    merged = merge_window_snapshots(snapshot, EMPTY)
+    assert merged["classes"] == snapshot["classes"]
+    merged = merge_window_snapshots(EMPTY, snapshot)
+    assert merged["classes"] == snapshot["classes"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(observations, min_size=1, max_size=5), st.randoms())
+def test_absorb_order_never_changes_served_stats(snapshots_rows, rng):
+    """Absorbing worker snapshots in any arrival order yields the same
+    1s/10s/60s statistics the clients see."""
+    snapshots = [snapshot_of(rows) for rows in snapshots_rows]
+
+    in_order = WindowRegistry()
+    for snapshot in snapshots:
+        in_order.absorb(snapshot, now=NOW)
+
+    shuffled = list(snapshots)
+    rng.shuffle(shuffled)
+    out_of_order = WindowRegistry()
+    for snapshot in shuffled:
+        out_of_order.absorb(snapshot, now=NOW)
+
+    assert in_order.multi_stats(now=NOW) == out_of_order.multi_stats(now=NOW)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations, observations)
+def test_absorbing_merge_equals_absorbing_parts(left_rows, right_rows):
+    left, right = snapshot_of(left_rows), snapshot_of(right_rows)
+
+    via_merge = WindowRegistry()
+    via_merge.absorb(merge_window_snapshots(left, right), now=NOW)
+
+    piecewise = WindowRegistry()
+    piecewise.absorb(left, now=NOW)
+    piecewise.absorb(right, now=NOW)
+
+    assert via_merge.multi_stats(now=NOW) == piecewise.multi_stats(now=NOW)

@@ -1,0 +1,169 @@
+"""Acceptance: one request's cross-process timeline survives a worker
+kill and is reconstructable from the store's telemetry sinks.
+
+A supervised batch runs with a fault plan that SIGKILLs the worker on
+the first task's first attempt.  Every outcome must come back stamped
+with its request id, the crash/retry/respawn lifecycle events must
+carry the same id, and ``db trace --request <id>`` must replay the
+whole story — submit, crash, retry, respawn, and the final query with
+its verify span — from the files alone.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.faults import FaultPlan, FaultRule
+from repro.obs import (
+    EVENTS_FILENAME,
+    JsonLinesSink,
+    for_root,
+    obs_directory,
+)
+from repro.serving import QueryServer, RetryPolicy
+
+from .conftest import make_system
+
+QUERY = 'paper(author ~ "Author 1")'
+
+FAST = RetryPolicy(
+    retry_backoff_base=0.01,
+    retry_backoff_cap=0.05,
+    respawn_backoff_base=0.01,
+    respawn_backoff_cap=0.05,
+)
+
+#: Kill the worker on task 0's first attempt only: the retry recovers.
+KILL_FIRST = FaultPlan(
+    rules=(FaultRule(kind=faults.KILL, tasks=(0,), attempts=(0,)),)
+)
+
+
+@pytest.fixture(scope="module")
+def timeline_root(tmp_path_factory):
+    """Run the faulted batch once; every test inspects its telemetry."""
+    root = tmp_path_factory.mktemp("store")
+    system = make_system()
+    # Threshold 0: every query is "slow", so the terminal serving.query
+    # entry always lands in the slow log with its span tree attached.
+    system.set_observability(for_root(root, slow_query_seconds=0.0))
+    with QueryServer(
+        system,
+        workers=2,
+        default_collection="papers",
+        policy=FAST,
+        fault_plan=KILL_FIRST,
+    ) as server:
+        outcomes = server.execute_many([QUERY, QUERY, QUERY])
+        # A second batch forces the killed slot back into service in
+        # case the first drained before the respawn backoff elapsed.
+        server.execute_many([QUERY])
+    return root, outcomes
+
+
+def read_events(root):
+    return list(JsonLinesSink(obs_directory(root) / EVENTS_FILENAME).read())
+
+
+class TestOutcomeStamping:
+    def test_every_outcome_carries_a_unique_request_id(self, timeline_root):
+        _, outcomes = timeline_root
+        assert all(outcome.ok for outcome in outcomes)
+        ids = [outcome.request_id for outcome in outcomes]
+        assert all(ids)
+        assert len(set(ids)) == len(ids)
+        assert all(
+            outcome.report.request_id == outcome.request_id
+            for outcome in outcomes
+        )
+
+    def test_report_to_dict_includes_request_id(self, timeline_root):
+        _, outcomes = timeline_root
+        payload = outcomes[0].report.to_dict()
+        assert payload["request_id"] == outcomes[0].request_id
+
+
+class TestLifecycleEvents:
+    def test_crash_retry_respawn_carry_the_killed_request_id(
+        self, timeline_root
+    ):
+        root, outcomes = timeline_root
+        rid = outcomes[0].request_id
+        by_kind = {}
+        for entry in read_events(root):
+            if entry.get("request_id") == rid:
+                by_kind.setdefault(entry["event"], []).append(entry)
+        for kind in (
+            "serving.submit",
+            "serving.crash",
+            "serving.retry",
+            "serving.respawn",
+            "serving.query",
+        ):
+            assert by_kind.get(kind), f"no {kind} event for request {rid}"
+        assert by_kind["serving.query"][-1]["ok"] is True
+        assert by_kind["serving.query"][-1]["attempts"] == 2
+
+    def test_unfaulted_requests_see_no_crash_events(self, timeline_root):
+        root, outcomes = timeline_root
+        rid = outcomes[1].request_id
+        kinds = {
+            entry["event"]
+            for entry in read_events(root)
+            if entry.get("request_id") == rid
+        }
+        assert "serving.crash" not in kinds
+        assert "serving.submit" in kinds and "serving.query" in kinds
+
+
+class TestDbTraceRequest:
+    def test_timeline_covers_submit_retry_respawn_verify(
+        self, timeline_root, capsys
+    ):
+        root, outcomes = timeline_root
+        rid = outcomes[0].request_id
+        assert main(["db", "trace", str(root), "--request", rid]) == 0
+        out = capsys.readouterr().out
+        assert f"# request {rid}" in out
+        positions = [
+            out.index(step)
+            for step in (
+                "serving.submit",
+                "serving.crash",
+                "serving.retry",
+                "serving.query",
+            )
+        ]
+        assert positions == sorted(positions)  # wall-clock order
+        assert "serving.respawn" in out
+        # The slow-log trace rides along: the worker's span tree ends in
+        # the verify stage, completing submit -> retry -> respawn ->
+        # verify across process boundaries.
+        assert "query.selection" in out
+        assert "verify" in out
+
+    def test_json_timeline_is_machine_readable(self, timeline_root, capsys):
+        root, outcomes = timeline_root
+        rid = outcomes[0].request_id
+        assert main(
+            ["db", "trace", str(root), "--request", rid, "--json"]
+        ) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert all(entry["request_id"] == rid for entry in entries)
+        kinds = {entry["event"] for entry in entries}
+        assert {"serving.submit", "serving.crash", "serving.retry",
+                "serving.query"} <= kinds
+        (terminal,) = [
+            entry for entry in entries
+            if entry["event"] == "serving.query" and entry.get("trace")
+        ]
+        assert terminal["trace"]["name"] == "query.selection"
+
+    def test_unknown_request_id_fails_cleanly(self, timeline_root, capsys):
+        root, _ = timeline_root
+        assert main(
+            ["db", "trace", str(root), "--request", "deadbeefdeadbeef"]
+        ) == 1
+        assert "no telemetry recorded" in capsys.readouterr().err

@@ -125,7 +125,106 @@ class TestDbObsCommands:
         assert "(no slow queries recorded)" in capsys.readouterr().out
 
 
+class TestDbTraceRequestFlag:
+    def test_no_query_and_no_request_is_an_error(self, store, capsys):
+        assert main(["db", "trace", store]) == 2
+        assert "needs a query" in capsys.readouterr().err
+
+    def test_trace_prints_request_id_header(self, store, capsys):
+        assert main(["db", "trace", store, QUERY]) == 0
+        out = capsys.readouterr().out
+        header = [line for line in out.splitlines()
+                  if line.startswith("# request ")]
+        assert len(header) == 1
+        rid = header[0].split()[-1]
+        assert len(rid) == 16
+
+    def test_request_timeline_after_slow_traced_query(self, store, capsys):
+        assert main(
+            ["db", "trace", store, "--slow-threshold", "0", QUERY]
+        ) == 0
+        out = capsys.readouterr().out
+        rid = next(
+            line.split()[-1] for line in out.splitlines()
+            if line.startswith("# request ")
+        )
+        assert main(["db", "trace", store, "--request", rid]) == 0
+        out = capsys.readouterr().out
+        assert f"# request {rid}" in out
+        assert "query.selection" in out  # the slow-log span tree rides in
+
+
+class TestDbTraceProfile:
+    def test_profile_flag_reports_samples_and_phases(self, store, capsys):
+        assert main(
+            ["db", "trace", store, "--profile-hz", "500", QUERY]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# profile:" in out
+        assert "Hz" in out
+
+    def test_profile_json_attaches_exemplar(self, store, capsys):
+        assert main(
+            ["db", "trace", store, "--json", "--profile-hz", "500", QUERY]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["hz"] == 500.0
+        assert "phase_seconds" in payload["profile"]
+
+
+class TestDbObsExport:
+    def test_prometheus_export_round_trips(self, store, capsys):
+        """Acceptance: ``db obs export --format prometheus`` output must
+        survive a parse of the exposition format."""
+        from repro.obs.export import parse_prometheus
+
+        assert main(["db", "trace", store, QUERY]) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "export", store]) == 0
+        text = capsys.readouterr().out
+        families = parse_prometheus(text)
+        assert families["toss_executor_queries_total"]["type"] == "counter"
+        (sample,) = families["toss_executor_queries_total"]["samples"]
+        assert sample[1] >= 1.0
+        assert any(name.endswith("_bucket") for name in families)
+
+    def test_json_export_shape(self, store, capsys):
+        assert main(["db", "trace", store, QUERY]) == 0
+        capsys.readouterr()
+        assert main(["db", "obs", "export", store, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["executor.queries"]["value"] >= 1
+
+    def test_out_writes_file(self, store, tmp_path, capsys):
+        from repro.obs.export import parse_prometheus
+
+        assert main(["db", "trace", store, QUERY]) == 0
+        capsys.readouterr()
+        target = tmp_path / "metrics.prom"
+        assert main(
+            ["db", "obs", "export", store, "--out", str(target)]
+        ) == 0
+        assert "wrote prometheus export" in capsys.readouterr().out
+        assert parse_prometheus(target.read_text())
+
+    def test_export_empty_store_is_empty_but_ok(self, store, capsys):
+        from repro.obs.window import WINDOWS
+
+        # Rolling windows are process-local; clear residue from earlier
+        # in-process queries so only the store's (empty) metrics show.
+        WINDOWS.reset()
+        assert main(["db", "obs", "export", store]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
 class TestQueryJsonAndNoObs:
+    def test_query_prints_request_id_on_stderr(self, store, capsys):
+        assert main(["query", "--load", store, QUERY]) == 0
+        captured = capsys.readouterr()
+        assert "# request " in captured.err
+        assert "# request " not in captured.out  # stdout layout unchanged
+
+
     def test_query_json_report(self, store, capsys):
         assert main(["query", "--load", store, "--json", QUERY]) == 0
         payload = json.loads(capsys.readouterr().out)

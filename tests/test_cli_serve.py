@@ -133,6 +133,27 @@ class TestServeCommand:
         assert "ResourceExhaustedError" in capsys.readouterr().out
 
 
+class TestServeStats:
+    def test_stats_prints_rolling_status_line(
+        self, papers_file, queries_file, capsys
+    ):
+        status = main(
+            [
+                "serve",
+                "--source", f"papers={papers_file}",
+                "--epsilon", "2",
+                "--queries", queries_file,
+                "--pool", "1",
+                "--stats",
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "# served 2 queries" in captured.out
+        # The final status line lands on stderr and reflects the batch.
+        assert "[10s]" in captured.err
+
+
 class TestQueryJobs:
     def test_jobs_matches_serial_output(self, papers_file, capsys):
         argv = [
