@@ -1,0 +1,341 @@
+"""Online-mutation benchmark: what a write costs under live traffic.
+
+PR 10's tentpole claim is that mutations are cheap: a single-document
+write is absorbed by the incremental SEA/SEO maintenance path (pending
+extraction deltas + cached verdict replay) instead of a from-scratch
+rebuild, and the serving tier converges its live workers with a
+:class:`~repro.serving.snapshot.SnapshotDelta` broadcast instead of a
+full re-capture + fleet respawn.  This bench prices both layers on the
+generated DBLP corpus:
+
+* **incremental build vs full rebuild**: single-document writes against
+  an N-paper system, timing the delta :meth:`TossSystem.build` against
+  a from-scratch build over the same final documents — identity-checked
+  byte-for-byte on the serialized SEOs (the incremental result must be
+  indistinguishable from the rebuild it replaces);
+* **delta refresh vs full refresh**: the same writes against a running
+  :class:`~repro.serving.QueryServer` (pickle snapshots, so the full
+  path pays real re-serialization), timing ``refresh()`` taking the
+  delta path against ``refresh(incremental=False)`` — answer-checked
+  against serial execution after the last delta.
+
+Results land in ``benchmarks/results/online_mutations.json`` plus the
+trajectory copy ``BENCH_online_mutations.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_online_mutations.py          # full
+    PYTHONPATH=src python benchmarks/bench_online_mutations.py --smoke  # CI
+
+or through pytest (``pytest benchmarks/ --benchmark-only``), which runs
+the smoke scale and checks the invariants (identity, delta path taken)
+without asserting on timings.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from _emit import default_output_paths, emit_results
+from repro.core.system import TossSystem
+from repro.data import generate_corpus, render_dblp
+from repro.ontology import Ontology
+from repro.serving import QueryServer, RetryPolicy
+from repro.serving.snapshot import PICKLE
+from repro.similarity.persistence import seo_to_dict
+from repro.xmldb.serializer import serialize
+
+FULL_PAPERS = 3000
+SMOKE_PAPERS = 80
+#: Single-document writes measured per layer.
+WRITES = 3
+EPSILON = 3.0
+SEED = 7
+WORKERS = 2
+
+QUERY_TEMPLATE = 'inproceedings(author ~ "{author}")'
+
+POLICY = RetryPolicy(
+    retry_backoff_base=0.02,
+    retry_backoff_cap=0.2,
+    respawn_backoff_base=0.02,
+    respawn_backoff_cap=0.2,
+)
+
+
+def _render(papers, extra):
+    """Base documents plus ``extra`` synthetic single-paper writes.
+
+    The writes carry authors the generated corpus cannot contain, so
+    every write introduces fresh ontology terms — the incremental path
+    must do real similarity work (delta SEA verification), not take the
+    empty-delta no-op shortcut.
+    """
+    corpus = generate_corpus(papers, seed=SEED)
+    keys = corpus.paper_keys()
+    documents = [
+        render_dblp(corpus, seed=SEED, paper_keys=[key]) for key in keys
+    ]
+    writes = [
+        f'<dblp><inproceedings key="w{index:05d}">'
+        f"<author>Zanira Quorvick{index}</author>"
+        f"<title>Online Mutation Study {index}</title>"
+        f"<pages>1-12</pages><year>2004</year>"
+        f"<booktitle>SIGMOD Conference</booktitle>"
+        f"</inproceedings></dblp>"
+        for index in range(extra)
+    ]
+    return corpus, documents, writes
+
+
+def _seo_bytes(system):
+    return {
+        relation: json.dumps(seo_to_dict(seo), sort_keys=True)
+        for relation, seo in system.context.seos.items()
+    }
+
+
+def _fresh_build(documents):
+    system = TossSystem(epsilon=EPSILON)
+    system.add_instance("dblp", documents)
+    started = time.perf_counter()
+    system.build()
+    return system, time.perf_counter() - started
+
+
+def _incremental_sweep(base_documents, write_documents, verbose):
+    """Time each single-document write through the incremental path and
+    through a from-scratch rebuild of the same final state."""
+    live = TossSystem(epsilon=EPSILON)
+    live.add_instance("dblp", base_documents)
+    live.build()
+    documents = list(base_documents)
+    records = []
+    for index, document in enumerate(write_documents):
+        receipt = live.add_documents("dblp", document)
+        started = time.perf_counter()
+        live.build()
+        incremental_seconds = time.perf_counter() - started
+        documents.append(document)
+        fresh, full_seconds = _fresh_build(documents)
+        identical = _seo_bytes(live) == _seo_bytes(fresh)
+        record = {
+            "write": index + 1,
+            "documents": len(documents),
+            "terms_added": len(receipt.terms_added),
+            "incremental_receipt": receipt.incremental,
+            "incremental_seconds": round(incremental_seconds, 5),
+            "full_rebuild_seconds": round(full_seconds, 5),
+            "speedup": round(full_seconds / incremental_seconds, 2)
+            if incremental_seconds > 0
+            else None,
+            "identical": identical,
+            "chain_depth": live.seo_chain_depths[Ontology.ISA],
+        }
+        records.append(record)
+        if verbose:
+            print(
+                f"  write {record['write']}: incremental "
+                f"{record['incremental_seconds']:.4f}s vs full rebuild "
+                f"{record['full_rebuild_seconds']:.4f}s "
+                f"({record['speedup']}x, identical={identical}, "
+                f"chain depth {record['chain_depth']})",
+                flush=True,
+            )
+    return live, records
+
+
+def _refresh_sweep(system, corpus, write_documents, verbose):
+    """Time the delta and full refresh paths of a running server.
+
+    Both paths are timed to *first answer* (refresh + one query), not
+    just the ``refresh()`` call: the full path re-captures the snapshot
+    and respawns the pool without waiting for the new workers' readiness
+    — its spawn/restore cost lands on the next query — while the delta
+    path converges the live workers synchronously.  Time-to-first-answer
+    is what a client behind the server actually observes either way.
+
+    The sweep starts from a fully-ready fleet (``wait_ready`` after the
+    warm-up query): execution only needs one live worker, so without the
+    barrier the first delta broadcast would absorb the other workers'
+    remaining spawn/restore tail — a start-up cost, not a property of
+    the refresh path being measured.
+    """
+    author = sorted(corpus.authors.values(), key=lambda a: a.entity_id)[
+        0
+    ].canonical
+    query = QUERY_TEMPLATE.format(author=author)
+    delta_runs = []
+    record = {}
+    with QueryServer(
+        system,
+        workers=WORKERS,
+        default_collection="dblp",
+        snapshot_mode=PICKLE,
+        policy=POLICY,
+    ) as server:
+        server.execute(query)  # warm spawn + dispatch
+        server.wait_ready()  # full fleet up: measure refresh, not spawn
+        deltas = write_documents[:-1] or write_documents
+        for document in deltas:
+            system.add_documents("dblp", document)
+            system.build()
+            started = time.perf_counter()
+            outcome = server.refresh()
+            server.execute(query)
+            seconds = time.perf_counter() - started
+            delta_runs.append(
+                {"outcome": outcome, "seconds": round(seconds, 5)}
+            )
+            if verbose:
+                print(
+                    f"  refresh ({outcome}) + query  {seconds:8.4f}s",
+                    flush=True,
+                )
+        system.add_documents("dblp", write_documents[-1])
+        system.build()
+        started = time.perf_counter()
+        full_outcome = server.refresh(incremental=False)
+        server.execute(query)
+        full_seconds = time.perf_counter() - started
+        if verbose:
+            print(
+                f"  refresh ({full_outcome}) + query  {full_seconds:8.4f}s",
+                flush=True,
+            )
+        served = [serialize(tree) for tree in server.execute(query).results]
+    serial = [serialize(tree) for tree in system.query("dblp", query).results]
+    delta_seconds = [run["seconds"] for run in delta_runs]
+    record = {
+        "query": query,
+        "delta_refreshes": delta_runs,
+        "full_refresh_outcome": full_outcome,
+        "full_refresh_seconds": round(full_seconds, 5),
+        "delta_refresh_seconds_mean": round(
+            sum(delta_seconds) / len(delta_seconds), 5
+        ),
+        "all_deltas": all(run["outcome"] == "delta" for run in delta_runs),
+        "speedup": round(
+            full_seconds * len(delta_seconds) / sum(delta_seconds), 2
+        )
+        if sum(delta_seconds) > 0
+        else None,
+        "served_identical": served == serial,
+    }
+    return record
+
+
+def run_benchmark(
+    papers=FULL_PAPERS,
+    smoke=False,
+    out_path=None,
+    trajectory_path=None,
+    verbose=True,
+):
+    corpus, base_documents, write_documents = _render(papers, WRITES * 2)
+    system, incremental_runs = _incremental_sweep(
+        base_documents, write_documents[:WRITES], verbose
+    )
+    refresh_run = _refresh_sweep(
+        system, corpus, write_documents[WRITES:], verbose
+    )
+
+    speedups = [run["speedup"] for run in incremental_runs if run["speedup"]]
+    results = {
+        "benchmark": "online_mutations",
+        "epsilon": EPSILON,
+        "seed": SEED,
+        "smoke": smoke,
+        "papers": papers,
+        "writes": WRITES,
+        "workers": WORKERS,
+        "incremental_builds": incremental_runs,
+        "serving_refresh": refresh_run,
+        "summary": {
+            "incremental_identical": all(
+                run["identical"] for run in incremental_runs
+            ),
+            "incremental_path_taken": all(
+                run["incremental_receipt"] for run in incremental_runs
+            )
+            and incremental_runs[-1]["chain_depth"] >= 1,
+            "incremental_speedup_mean": round(
+                sum(speedups) / len(speedups), 2
+            )
+            if speedups
+            else None,
+            "incremental_speedup_min": min(speedups) if speedups else None,
+            "delta_refresh_speedup": refresh_run["speedup"],
+            "delta_path_taken": refresh_run["all_deltas"],
+            "served_identical": refresh_run["served_identical"],
+        },
+    }
+    emit_results(results, out_path=out_path, trajectory_path=trajectory_path)
+    return results
+
+
+# -- pytest entry points (smoke scale; invariants, not timings) -------------
+
+
+def test_online_mutations_smoke(results_dir):
+    results = run_benchmark(
+        papers=SMOKE_PAPERS,
+        smoke=True,
+        out_path=results_dir / "online_mutations_smoke.json",
+        verbose=False,
+    )
+    summary = results["summary"]
+    assert summary["incremental_identical"], (
+        "incremental build diverged from the from-scratch rebuild"
+    )
+    assert summary["incremental_path_taken"], (
+        "no write took the incremental build path; the speedup is vacuous"
+    )
+    assert summary["delta_path_taken"], (
+        "refresh() fell back to full re-capture for a delta-able mutation"
+    )
+    assert summary["served_identical"], (
+        "served answers diverged from serial execution after refreshes"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale (CI identity + delta-path check)",
+    )
+    parser.add_argument(
+        "--papers",
+        type=int,
+        default=None,
+        help=f"corpus size (default: {FULL_PAPERS}, smoke {SMOKE_PAPERS})",
+    )
+    args = parser.parse_args(argv)
+    papers = args.papers or (SMOKE_PAPERS if args.smoke else FULL_PAPERS)
+    out, trajectory = default_output_paths("online_mutations", smoke=args.smoke)
+    print(
+        f"Online-mutations benchmark: papers={papers} writes={WRITES} "
+        f"workers={WORKERS} cpu_count={os.cpu_count()} smoke={args.smoke}"
+    )
+    results = run_benchmark(
+        papers=papers,
+        smoke=args.smoke,
+        out_path=out,
+        trajectory_path=trajectory,
+    )
+    summary = results["summary"]
+    print(
+        f"incremental={summary['incremental_speedup_mean']}x "
+        f"(identical={summary['incremental_identical']}) "
+        f"delta-refresh={summary['delta_refresh_speedup']}x "
+        f"(served_identical={summary['served_identical']})"
+    )
+    return 0 if (
+        summary["incremental_identical"] and summary["served_identical"]
+    ) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

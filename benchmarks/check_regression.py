@@ -69,6 +69,17 @@ QUERY_EXEC_CEILINGS = {
 #: machine variance).
 SINGLE_WORKER_OVERHEAD_CEILING = 1.10
 
+#: Floors for BENCH_online_mutations.json (PR 10 acceptance bars at
+#: 3000 papers): a single-document write through the incremental
+#: SEA/SEO path must beat the from-scratch rebuild >= 10x, and the
+#: serving delta refresh must beat the full re-capture path >= 5x.
+#: Identity flags (incremental == from-scratch, served == serial) are
+#: checked unconditionally.
+ONLINE_MUTATIONS_FLOORS = {
+    "incremental_speedup_min": 10.0,
+    "delta_refresh_speedup": 5.0,
+}
+
 
 def _load(path):
     try:
@@ -122,6 +133,32 @@ def check_serving(results):
     return failures
 
 
+def check_online_mutations(results):
+    summary = results.get("summary", {})
+    failures = []
+    if not summary.get("incremental_identical"):
+        failures.append(
+            "incremental build no longer matches the from-scratch rebuild"
+        )
+    if not summary.get("served_identical"):
+        failures.append(
+            "served answers after delta refresh no longer match serial"
+        )
+    if not summary.get("incremental_path_taken"):
+        failures.append(
+            "writes no longer take the incremental build path (speedup vacuous)"
+        )
+    if not summary.get("delta_path_taken"):
+        failures.append("refresh() no longer takes the delta path for writes")
+    for key, floor in ONLINE_MUTATIONS_FLOORS.items():
+        value = summary.get(key)
+        if value is None:
+            failures.append(f"summary key {key!r} is missing")
+        elif value < floor:
+            failures.append(f"{key} = {value} fell below the floor {floor}")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -134,10 +171,16 @@ def main(argv=None):
         default=str(REPO_ROOT / "BENCH_serving.json"),
         help="path to the committed serving results",
     )
+    parser.add_argument(
+        "--online-mutations",
+        default=str(REPO_ROOT / "BENCH_online_mutations.json"),
+        help="path to the committed online-mutations results",
+    )
     args = parser.parse_args(argv)
 
     failures = check_query_exec(_load(args.query_exec))
     failures += check_serving(_load(args.serving))
+    failures += check_online_mutations(_load(args.online_mutations))
     if failures:
         print("benchmark regression check FAILED:", file=sys.stderr)
         for failure in failures:

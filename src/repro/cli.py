@@ -433,6 +433,19 @@ def _cmd_db_stats(args: argparse.Namespace) -> int:
         f"xpath query cache: size {database.query_cache_size}, "
         f"hits {stats.cache_hits}, misses {stats.cache_misses}"
     )
+    signature = database.generation_signature()
+    print(
+        "generation signature: "
+        + (", ".join(f"{name}={gen}" for name, gen in signature) or "(empty)")
+    )
+    generations = system.collection_generations()
+    for name in sorted(generations):
+        print(f"collection [{name}]: generation {generations[name]}")
+    depths = system.seo_chain_depths
+    for relation in sorted(depths):
+        depth = depths[relation]
+        suffix = "full build" if depth == 0 else f"{depth} delta build(s) deep"
+        print(f"seo [{relation}]: delta chain depth {depth} ({suffix})")
     _print_index_status(_db_root(args.root))
     report = load_build_report(args.root)
     if report is None:

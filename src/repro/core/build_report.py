@@ -32,6 +32,14 @@ class RelationBuild:
     #: :meth:`~repro.similarity.sea.SeaStats.to_dict` of the graph phase;
     #: None on a cache hit (nothing was computed).
     sea: Optional[Dict[str, Any]] = None
+    #: The similarity graph was delta-maintained from the previous build.
+    incremental: bool = False
+    #: The fused hierarchy was extended instead of recondensed.
+    fusion_incremental: bool = False
+    #: The previous enhancement was patched in place (SEA never ran).
+    enhancement_patched: bool = False
+    #: Incremental builds since the last from-scratch build (0 = full).
+    chain_depth: int = 0
 
     @classmethod
     def from_stats(cls, relation: str, stats: SeoBuildStats) -> "RelationBuild":
@@ -43,6 +51,10 @@ class RelationBuild:
             sea_seconds=stats.sea_seconds,
             total_seconds=stats.total_seconds,
             sea=stats.sea.to_dict() if stats.sea is not None else None,
+            incremental=stats.incremental,
+            fusion_incremental=stats.fusion_incremental,
+            enhancement_patched=stats.enhancement_patched,
+            chain_depth=stats.chain_depth,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -54,6 +66,10 @@ class RelationBuild:
             "sea_seconds": self.sea_seconds,
             "total_seconds": self.total_seconds,
             "sea": self.sea,
+            "incremental": self.incremental,
+            "fusion_incremental": self.fusion_incremental,
+            "enhancement_patched": self.enhancement_patched,
+            "chain_depth": self.chain_depth,
         }
 
     @classmethod
@@ -66,6 +82,10 @@ class RelationBuild:
             sea_seconds=float(payload.get("sea_seconds", 0.0)),
             total_seconds=float(payload.get("total_seconds", 0.0)),
             sea=payload.get("sea"),
+            incremental=bool(payload.get("incremental", False)),
+            fusion_incremental=bool(payload.get("fusion_incremental", False)),
+            enhancement_patched=bool(payload.get("enhancement_patched", False)),
+            chain_depth=int(payload.get("chain_depth", 0)),
         )
 
 
@@ -169,6 +189,8 @@ class BuildReport:
                 )
                 continue
             detail = f"fusion {r.fusion_seconds:.3f}s, sea {r.sea_seconds:.3f}s"
+            if r.incremental or r.fusion_incremental:
+                detail += f", incremental (chain depth {r.chain_depth})"
             if r.sea is not None:
                 detail += (
                     f", pairs {r.sea.get('total_pairs', 0)}"

@@ -648,6 +648,11 @@ class QueryExecutor:
         self._plan_cache = LruCache(
             plan_cache_size, metric_prefix="executor.plan_cache"
         )
+        #: Bumped by :meth:`set_context` whenever the SEO changes; part of
+        #: every plan-cache key, so plans compiled against a previous SEO
+        #: become unreachable (and age out of the LRU) instead of being
+        #: replayed with stale term expansions.
+        self._context_epoch = 0
         #: Memoised cross-side join probes, keyed by collection
         #: generations + probe spec (stale generations simply miss).
         self._cross_probe_cache = LruCache(
@@ -683,13 +688,33 @@ class QueryExecutor:
     def plan_cache_misses(self) -> int:
         return self._plan_cache.misses
 
-    @staticmethod
-    def _pattern_key(kind: str, pattern: PatternTree) -> Tuple:
+    def set_context(
+        self,
+        context: Optional[SeoConditionContext],
+        seo_changed: bool = True,
+    ) -> None:
+        """Swap the SEO context in place, keeping the executor warm.
+
+        The system's incremental build path reuses one executor across
+        builds so the compiled-plan and cross-probe caches survive
+        mutations.  ``seo_changed=False`` (the no-op rebuild: nothing in
+        any SEO moved) keeps every cache entry live; otherwise the
+        context epoch advances — plans rewritten against the old SEO
+        miss and recompile, and memoised cross probes (keyed partly by
+        ``id(seo)``, which a recycled object id could collide with) are
+        dropped outright.
+        """
+        self.context = context
+        if seo_changed:
+            self._context_epoch += 1
+            self._cross_probe_cache.clear()
+
+    def _pattern_key(self, kind: str, pattern: PatternTree) -> Tuple:
         structure = tuple(
             (label, pattern.node(label).parent, pattern.node(label).edge)
             for label in pattern.labels()
         )
-        return (kind, structure, repr(pattern.condition))
+        return (kind, structure, repr(pattern.condition), self._context_epoch)
 
     def _plan_lookup(self, key: Tuple) -> Optional[Dict[str, object]]:
         return self._plan_cache.get(key)

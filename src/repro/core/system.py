@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import ReproError, TossError
 from ..guard import ResourceGuard
@@ -35,13 +36,15 @@ from ..ontology.constraints import (
     ScopedTerm,
     parse_constraint,
 )
+from ..ontology.fusion import extend_fusion
 from ..ontology.hierarchy import Hierarchy, Ontology
 from ..ontology.lexicon import Lexicon
-from ..ontology.maker import OntologyMaker
+from ..ontology.maker import CombinedExtraction, OntologyMaker, RelationDelta
 from ..parallel import BuildOptions
 from ..similarity.cache import SimilarityGraphCache
+from ..similarity.incremental import EpsilonGraphCache
 from ..similarity.measures import StringSimilarityMeasure, get_measure
-from ..similarity.seo import SimilarityEnhancedOntology
+from ..similarity.seo import SeoBuildStats, SimilarityEnhancedOntology
 from .build_report import BuildReport, RelationBuild
 from ..tax import algebra as tax_algebra
 from ..tax.pattern import PatternTree
@@ -54,6 +57,55 @@ from .instance import OntologyExtendedInstance
 from .types import TypeSystem, default_type_system
 
 DocumentInput = Union[str, XmlNode]
+
+#: Relations the extraction/build pipeline maintains incrementally.
+_RELATIONS = (Ontology.ISA, Ontology.PART_OF)
+
+
+@dataclass(frozen=True)
+class MutationReceipt:
+    """What one write did to the system — the observable mutation contract.
+
+    Every mutating call (:meth:`TossSystem.add_instance`,
+    :meth:`~TossSystem.add_documents`, :meth:`~TossSystem.replace_documents`,
+    :meth:`~TossSystem.remove_documents`) returns one of these instead of
+    silently invalidating the built SEO: the caller sees which collection
+    generations the write spans, which ontology terms it introduced or
+    retired, and whether the next :meth:`~TossSystem.build` can run
+    incrementally.  The same facts are emitted as a ``system.mutation``
+    observability event.
+    """
+
+    source: str
+    operation: str
+    generation_before: int
+    generation_after: int
+    documents_added: Tuple[str, ...] = ()
+    documents_removed: Tuple[str, ...] = ()
+    terms_added: FrozenSet[str] = frozenset()
+    terms_removed: FrozenSet[str] = frozenset()
+    #: Whether the next build can consume this write as a delta (False
+    #: forces a full re-fuse for the affected relations; the similarity
+    #: graph still replays its cached verdicts either way).
+    incremental: bool = True
+    #: The updated instance (new object; previous snapshots are unchanged).
+    instance: "OntologyExtendedInstance" = None  # type: ignore[assignment]
+
+    @property
+    def generations_advanced(self) -> int:
+        return self.generation_after - self.generation_before
+
+
+@dataclass
+class _RelationState:
+    """Last successful build of one relation, kept for delta maintenance."""
+
+    epsilon: float
+    mode: str
+    constraints: List[InteroperationConstraint]
+    seo: SimilarityEnhancedOntology
+    graph_cache: EpsilonGraphCache
+    chain_depth: int = 0
 
 
 class TossSystem:
@@ -111,6 +163,22 @@ class TossSystem:
         self.observability = (
             observability if observability is not None else NULL_OBSERVABILITY
         )
+        #: Replayable extraction state per source (absent for sources with
+        #: externally supplied ontologies or rule-bearing makers).
+        self._sources: Dict[str, CombinedExtraction] = {}
+        #: Next document auto-key suffix per source; survives removals so
+        #: keys are never reissued.
+        self._doc_counters: Dict[str, int] = {}
+        #: Per-source, per-relation deltas accumulated since the last
+        #: successful build — what :meth:`build` turns into fusion/SEA
+        #: deltas instead of a rebuild.
+        self._pending: Dict[str, Dict[str, RelationDelta]] = {}
+        #: Relations whose pending state cannot be expressed as a delta
+        #: (a removal/replacement happened, or an instance arrived with an
+        #: external ontology): the next build re-fuses them from scratch.
+        self._poisoned: Set[str] = set()
+        #: Per-relation state of the last successful build.
+        self._relation_state: Dict[str, _RelationState] = {}
 
     # -- administration ---------------------------------------------------------
 
@@ -125,39 +193,158 @@ class TossSystem:
         if self.executor is not None:
             self.executor.observability = observability
 
+    @staticmethod
+    def _ontology_terms(ontology: Ontology) -> FrozenSet[str]:
+        terms: Set[str] = set()
+        for relation in _RELATIONS:
+            terms.update(str(term) for term in ontology[relation].terms)
+        return frozenset(terms)
+
+    def _record_pending(self, name: str, deltas: Dict[str, RelationDelta]) -> None:
+        per_source = self._pending.setdefault(name, {})
+        for relation, delta in deltas.items():
+            slot = per_source.get(relation)
+            if slot is None:
+                per_source[relation] = delta
+            else:
+                slot.added_edges.extend(delta.added_edges)
+                slot.added_nodes.extend(delta.added_nodes)
+                slot.added_terms.update(delta.added_terms)
+                slot.leaf_only = slot.leaf_only and delta.leaf_only
+
+    def _poison(self) -> None:
+        """Mark every relation as needing a from-scratch fuse next build."""
+        self._poisoned.update(_RELATIONS)
+        self._pending.clear()
+
+    def _emit_mutation(self, receipt: MutationReceipt) -> MutationReceipt:
+        METRICS.counter("system.mutations").inc()
+        self.observability.record_event(
+            "system.mutation",
+            source=receipt.source,
+            operation=receipt.operation,
+            generation_before=receipt.generation_before,
+            generation_after=receipt.generation_after,
+            documents_added=len(receipt.documents_added),
+            documents_removed=len(receipt.documents_removed),
+            terms_added=len(receipt.terms_added),
+            terms_removed=len(receipt.terms_removed),
+            incremental=receipt.incremental,
+        )
+        self.context = None  # queries must rebuild (incrementally) first
+        return receipt
+
+    def _next_keys(self, name: str, count: int) -> List[str]:
+        """Fresh document keys; the counter never reissues a removed key."""
+        collection = self.database.get_collection(name)
+        counter = self._doc_counters.get(name, len(collection))
+        keys: List[str] = []
+        for _ in range(count):
+            while f"{name}-{counter}" in collection:
+                counter += 1
+            keys.append(f"{name}-{counter}")
+            counter += 1
+        self._doc_counters[name] = counter
+        return keys
+
     def add_instance(
         self,
         name: str,
         documents: "DocumentInput | Sequence[DocumentInput]",
         ontology: Optional[Ontology] = None,
-    ) -> OntologyExtendedInstance:
-        """Register a source: store its documents, build (or take) its ontology."""
+    ) -> MutationReceipt:
+        """Register a source: store its documents, build (or take) its ontology.
+
+        Returns a :class:`MutationReceipt`; the new instance is
+        ``receipt.instance``.
+        """
         if name in self.instances:
             raise TossError(f"instance {name!r} is already registered")
         if isinstance(documents, (str, XmlNode)):
             documents = [documents]
         collection = self.database.create_collection(name)
+        generation_before = collection.generation
         roots: List[XmlNode] = []
+        keys: List[str] = []
         for index, document in enumerate(documents):
-            roots.append(collection.add_document(f"{name}-{index}", document))
+            key = f"{name}-{index}"
+            roots.append(collection.add_document(key, document))
+            keys.append(key)
+        self._doc_counters[name] = len(roots)
+        incremental = False
+        terms_added: FrozenSet[str]
         if ontology is None:
-            ontology = self.maker.make_combined(roots)
+            state = CombinedExtraction(self.maker)
+            if state.supported:
+                deltas = state.extend(roots)
+                ontology = state.ontology
+                self._sources[name] = state
+                self._record_pending(name, deltas)
+                incremental = True
+                terms_added = frozenset(
+                    term for delta in deltas.values() for term in delta.added_terms
+                )
+            else:  # rule-bearing maker: not replayable
+                ontology = self.maker.make_combined(roots)
+                terms_added = self._ontology_terms(ontology)
+                self._poison()
+        else:
+            terms_added = self._ontology_terms(ontology)
+            self._poison()
         instance = OntologyExtendedInstance(name, roots, ontology, self.typing)
         self.instances[name] = instance
-        self.context = None  # a new instance invalidates any built SEO
-        return instance
+        return self._emit_mutation(
+            MutationReceipt(
+                source=name,
+                operation="add_instance",
+                generation_before=generation_before,
+                generation_after=collection.generation,
+                documents_added=tuple(keys),
+                terms_added=terms_added,
+                incremental=incremental,
+                instance=instance,
+            )
+        )
+
+    def _source_state(self, name: str) -> Optional[CombinedExtraction]:
+        """The replayable extraction state for ``name``, rebuilding if lost.
+
+        A rebuilt state (e.g. after :func:`~repro.core.persistence.load_system`,
+        which restores instances without extraction state) replays the
+        instance's current documents; if the result disagrees with the
+        instance's ontology — it carried an external one — the pending
+        deltas are poisoned so the next build re-fuses, and the source
+        converts to extracted ontologies from here on (the behaviour
+        appends always had).
+        """
+        state = self._sources.get(name)
+        if state is not None:
+            return state
+        candidate = CombinedExtraction(self.maker)
+        if not candidate.supported:
+            return None
+        instance = self.instances[name]
+        candidate.extend(list(instance.trees))
+        self._sources[name] = candidate
+        if candidate.ontology != instance.ontology:
+            self._poison()
+        return candidate
 
     def add_documents(
         self,
         name: str,
         documents: "DocumentInput | Sequence[DocumentInput]",
-    ) -> OntologyExtendedInstance:
+    ) -> MutationReceipt:
         """Append documents to an existing instance.
 
-        The instance's ontology is re-extracted over all of its documents
-        and the built SEO (if any) is invalidated — the next query needs a
-        :meth:`build`.  This mirrors real operation: data loads are
-        incremental, the SEO precomputation is batched.
+        The instance's combined ontology is extended by replaying the
+        extraction over just the new documents (identical to re-extracting
+        everything, see
+        :class:`~repro.ontology.maker.CombinedExtraction`), the built SEO
+        is invalidated, and the delta is queued for the next
+        :meth:`build` — which consumes it incrementally instead of
+        starting over.  Returns a :class:`MutationReceipt`; the updated
+        instance is ``receipt.instance``.
         """
         try:
             instance = self.instances[name]
@@ -166,17 +353,140 @@ class TossSystem:
         if isinstance(documents, (str, XmlNode)):
             documents = [documents]
         collection = self.database.get_collection(name)
-        start = len(collection)
+        generation_before = collection.generation
+        state = self._source_state(name)
+        keys = self._next_keys(name, len(documents))
         roots = list(instance.trees)
-        for offset, document in enumerate(documents):
-            roots.append(
-                collection.add_document(f"{name}-{start + offset}", document)
+        added: List[XmlNode] = []
+        for key, document in zip(keys, documents):
+            root = collection.add_document(key, document)
+            roots.append(root)
+            added.append(root)
+        incremental = False
+        if state is not None:
+            deltas = state.extend(added)
+            ontology = state.ontology
+            self._record_pending(name, deltas)
+            incremental = True
+            terms_added = frozenset(
+                term for delta in deltas.values() for term in delta.added_terms
             )
-        ontology = self.maker.make_combined(roots)
+        else:
+            before_terms = self._ontology_terms(instance.ontology)
+            ontology = self.maker.make_combined(roots)
+            terms_added = self._ontology_terms(ontology) - before_terms
+            self._poison()
         updated = OntologyExtendedInstance(name, roots, ontology, self.typing)
         self.instances[name] = updated
-        self.context = None
-        return updated
+        return self._emit_mutation(
+            MutationReceipt(
+                source=name,
+                operation="add_documents",
+                generation_before=generation_before,
+                generation_after=collection.generation,
+                documents_added=tuple(keys),
+                terms_added=terms_added,
+                incremental=incremental,
+                instance=updated,
+            )
+        )
+
+    def _reextract(
+        self,
+        name: str,
+        operation: str,
+        generation_before: int,
+        documents_added: Tuple[str, ...],
+        documents_removed: Tuple[str, ...],
+    ) -> MutationReceipt:
+        """Rebuild a source's ontology from its surviving documents.
+
+        The shared tail of :meth:`replace_documents` and
+        :meth:`remove_documents`: the greedy extraction state is not
+        reversible, so shrinking mutations re-extract and poison the
+        pending deltas (the next build re-fuses — the similarity graph
+        still replays every cached verdict, so even this path stays far
+        below a cold build).
+        """
+        instance = self.instances[name]
+        collection = self.database.get_collection(name)
+        before_terms = self._ontology_terms(instance.ontology)
+        roots = [root for _key, root in collection.documents()]
+        state = CombinedExtraction(self.maker)
+        if state.supported:
+            state.extend(roots)
+            ontology = state.ontology
+            self._sources[name] = state
+        else:
+            ontology = self.maker.make_combined(roots)
+            self._sources.pop(name, None)
+        self._poison()
+        after_terms = self._ontology_terms(ontology)
+        updated = OntologyExtendedInstance(name, roots, ontology, self.typing)
+        self.instances[name] = updated
+        return self._emit_mutation(
+            MutationReceipt(
+                source=name,
+                operation=operation,
+                generation_before=generation_before,
+                generation_after=collection.generation,
+                documents_added=documents_added,
+                documents_removed=documents_removed,
+                terms_added=after_terms - before_terms,
+                terms_removed=before_terms - after_terms,
+                incremental=False,
+                instance=updated,
+            )
+        )
+
+    def replace_documents(
+        self,
+        name: str,
+        documents: Mapping[str, DocumentInput],
+    ) -> MutationReceipt:
+        """Overwrite documents of an existing instance by key.
+
+        Unknown keys are created.  Replaced documents move to the end of
+        the collection's scan order (the storage semantics of
+        :meth:`~repro.xmldb.collection.Collection.replace_document`).
+        """
+        if name not in self.instances:
+            raise TossError(f"no instance named {name!r}; use add_instance") from None
+        collection = self.database.get_collection(name)
+        generation_before = collection.generation
+        replaced: List[str] = []
+        created: List[str] = []
+        for key, document in documents.items():
+            (replaced if key in collection else created).append(key)
+            collection.replace_document(key, document)
+        return self._reextract(
+            name,
+            "replace_documents",
+            generation_before,
+            documents_added=tuple(created),
+            documents_removed=tuple(replaced),
+        )
+
+    def remove_documents(
+        self,
+        name: str,
+        keys: Iterable[str],
+    ) -> MutationReceipt:
+        """Remove documents of an existing instance by key."""
+        if name not in self.instances:
+            raise TossError(f"no instance named {name!r}; use add_instance") from None
+        collection = self.database.get_collection(name)
+        generation_before = collection.generation
+        removed = tuple(keys)
+        for key in removed:
+            collection.remove_document(key)
+        return self._reextract(
+            name,
+            "remove_documents",
+            generation_before,
+            documents_added=(),
+            documents_removed=removed,
+        )
 
     def add_constraint(
         self,
@@ -259,6 +569,20 @@ class TossSystem:
         :class:`~repro.parallel.BuildOptions`); ``use_cache=False``
         bypasses the persistent similarity-graph cache for this build
         only.  The full outcome lands in :attr:`build_report`.
+
+        **Incremental maintenance.**  After mutations whose receipts say
+        ``incremental=True``, each relation consumes its accumulated
+        deltas instead of starting over: the previous build's fusion is
+        extended (:func:`~repro.ontology.fusion.extend_fusion`), SEA
+        replays the rep-level verdict cache and verifies only pairs
+        involving new representatives, and — when nothing changed at all
+        for a relation — the previous SEO object is reused outright.  The
+        result is **identical** (same cliques, closures, serialised
+        bytes) to a from-scratch build; the property suite asserts it.  A
+        changed epsilon/mode/constraint set, a removal/replacement, or an
+        externally supplied ontology falls back to the full path for the
+        affected relations.  :class:`~repro.core.build_report.RelationBuild`
+        records which path ran (``incremental``/``chain_depth``).
         """
         if on_failure not in ("raise", "degrade"):
             raise ValueError(
@@ -287,6 +611,7 @@ class TossSystem:
         tracer = self.observability.tracer()
         started = time.perf_counter()
         seos: Dict[str, SimilarityEnhancedOntology] = {}
+        previous_seos: Dict[str, SimilarityEnhancedOntology] = {}
         try:
             with tracer.trace("build", mode=mode, workers=options.workers):
                 if guard is not None:
@@ -299,22 +624,34 @@ class TossSystem:
                         }
                         constraints = self._auto_constraints(relation, hierarchies)
                         constraints.extend(self._constraints.get(relation, ()))
-                        seos[relation] = SimilarityEnhancedOntology.build(
+                        previous = self._relation_state.get(relation)
+                        if previous is not None:
+                            previous_seos[relation] = previous.seo
+                        built, graph_cache, chain_depth = self._build_relation(
+                            relation,
                             hierarchies,
-                            self.measure,
-                            self.epsilon,
                             constraints,
-                            mode=mode,
-                            guard=guard,
-                            options=options,
-                            cache=cache,
+                            mode,
+                            guard,
+                            options,
+                            cache,
+                            report,
+                            tracer,
                         )
-                        stats = seos[relation].build_stats
-                        if stats is not None:
-                            report.relations.append(
-                                RelationBuild.from_stats(relation, stats)
-                            )
-                            tracer.annotate(cache_hit=stats.cache_hit)
+                        seos[relation] = built
+                        self._relation_state[relation] = _RelationState(
+                            epsilon=self.epsilon,
+                            mode=mode,
+                            constraints=constraints,
+                            seo=built,
+                            graph_cache=graph_cache,
+                            chain_depth=chain_depth,
+                        )
+                        # This relation is now current: drain its deltas so a
+                        # later failure in another relation doesn't replay them.
+                        for per_source in self._pending.values():
+                            per_source.pop(relation, None)
+                        self._poisoned.discard(relation)
         except ReproError as exc:
             self.build_seconds = time.perf_counter() - started
             report.build_seconds = self.build_seconds
@@ -340,20 +677,139 @@ class TossSystem:
         self._finish_build(report, tracer, guard)
         self.degraded = False
         self.build_error = None
-        self.context = SeoConditionContext(
-            seos[Ontology.ISA],
-            seos=seos,
-            type_system=self.type_system,
-            typing=self.typing,
+        seo_changed = any(
+            previous_seos.get(relation) is not seo for relation, seo in seos.items()
         )
-        self.executor = QueryExecutor(
-            self.database,
-            self.context,
-            guard=self.guard,
-            use_index=self.use_index,
-            observability=self.observability,
-        )
+        if self.context is not None and not seo_changed:
+            # Every relation reused its previous SEO object: the existing
+            # context's memos (probe caches, subtype memo) stay warm.
+            context = self.context
+        else:
+            context = SeoConditionContext(
+                seos[Ontology.ISA],
+                seos=seos,
+                type_system=self.type_system,
+                typing=self.typing,
+            )
+        self.context = context
+        if self.executor is not None and not self.executor.exact_fallback:
+            # Copy-on-write executor reuse: compiled plans, probe memos and
+            # the cross-probe cache invalidate per context epoch instead of
+            # being discarded wholesale with the executor.
+            self.executor.set_context(context, seo_changed=seo_changed)
+        else:
+            self.executor = QueryExecutor(
+                self.database,
+                context,
+                guard=self.guard,
+                use_index=self.use_index,
+                observability=self.observability,
+            )
         return self.context
+
+    def _build_relation(
+        self,
+        relation: str,
+        hierarchies: Mapping[str, Hierarchy],
+        constraints: List[InteroperationConstraint],
+        mode: str,
+        guard: Optional[ResourceGuard],
+        options: BuildOptions,
+        cache: Optional[SimilarityGraphCache],
+        report: BuildReport,
+        tracer,
+    ) -> Tuple[SimilarityEnhancedOntology, EpsilonGraphCache, int]:
+        """Build one relation's SEO, incrementally when the deltas allow.
+
+        Three paths, cheapest first:
+
+        1. **No-op reuse** — not poisoned, same epsilon/mode/constraints,
+           and every pending delta for this relation is empty: the
+           previous SEO *is* the from-scratch result; return it.
+        2. **Delta build** — all pending deltas are leaf-only and the
+           previous fusion extends cleanly: skip the condensation, let
+           SEA replay the rep-level verdict cache, bump the chain depth.
+           The persistent on-disk cache is bypassed (content keys would
+           miss anyway, and storing every generation would bloat it).
+        3. **Full build** — everything else.  The rep-level verdict cache
+           still rides along (seeded, or replayed if epsilon held), so
+           even "full" rebuilds after a removal skip re-verification.
+        """
+        prev = self._relation_state.get(relation)
+        incremental_ok = (
+            prev is not None
+            and relation not in self._poisoned
+            and prev.epsilon == self.epsilon
+            and prev.mode == mode
+            and prev.constraints == constraints
+        )
+        if incremental_ok:
+            pending = {
+                name: per_source[relation]
+                for name, per_source in self._pending.items()
+                if relation in per_source and not per_source[relation].empty
+            }
+            if not pending:
+                report.relations.append(
+                    RelationBuild(
+                        relation=relation,
+                        incremental=True,
+                        fusion_incremental=True,
+                        chain_depth=prev.chain_depth,
+                    )
+                )
+                tracer.annotate(reused=True)
+                return prev.seo, prev.graph_cache, prev.chain_depth
+            if all(delta.leaf_only for delta in pending.values()):
+                extended = extend_fusion(
+                    prev.seo.fusion,
+                    {name: delta.added_edges for name, delta in pending.items()},
+                    {name: delta.added_nodes for name, delta in pending.items()},
+                )
+                if extended is not None:
+                    chain_depth = prev.chain_depth + 1
+                    built = SimilarityEnhancedOntology.build(
+                        hierarchies,
+                        self.measure,
+                        self.epsilon,
+                        constraints,
+                        mode=mode,
+                        guard=guard,
+                        options=options,
+                        cache=None,
+                        fusion=extended,
+                        graph_cache=prev.graph_cache,
+                        previous=prev.seo,
+                    )
+                    stats = built.build_stats
+                    if stats is not None:
+                        stats.chain_depth = chain_depth
+                        report.relations.append(
+                            RelationBuild.from_stats(relation, stats)
+                        )
+                        tracer.annotate(incremental=True)
+                    return built, prev.graph_cache, chain_depth
+        graph_cache = (
+            prev.graph_cache
+            if prev is not None and prev.epsilon == self.epsilon
+            else EpsilonGraphCache()
+        )
+        built = SimilarityEnhancedOntology.build(
+            hierarchies,
+            self.measure,
+            self.epsilon,
+            constraints,
+            mode=mode,
+            guard=guard,
+            options=options,
+            cache=cache,
+            graph_cache=graph_cache,
+        )
+        stats = built.build_stats
+        if stats is not None:
+            report.relations.append(RelationBuild.from_stats(relation, stats))
+            tracer.annotate(cache_hit=stats.cache_hit)
+        return built, graph_cache, 0
 
     def _finish_build(
         self,
@@ -415,6 +871,21 @@ class TossSystem:
     def ontology_size(self) -> int:
         """Distinct term count of the built isa SEO (the paper's metric)."""
         return self.seo.term_count()
+
+    @property
+    def seo_chain_depths(self) -> Dict[str, int]:
+        """Per-relation incremental chain depth (0 = last build was full)."""
+        return {
+            relation: state.chain_depth
+            for relation, state in self._relation_state.items()
+        }
+
+    def collection_generations(self) -> Dict[str, int]:
+        """Per-collection write generation (monotone mutation counter)."""
+        return {
+            name: self.database.get_collection(name).generation
+            for name in self.instances
+        }
 
     # -- the Query Executor ------------------------------------------------------------
 

@@ -228,6 +228,73 @@ def canonical_fusion(
     return FusionResult(hierarchy, witness)
 
 
+def extend_fusion(
+    prev: FusionResult,
+    added_edges: Mapping[Hashable, Iterable[Tuple[Hashable, Hashable]]],
+    added_nodes: Optional[Mapping[Hashable, Iterable[Hashable]]] = None,
+) -> Optional[FusionResult]:
+    """Extend a fusion with per-source *leaf* deltas, without refusing.
+
+    ``added_edges[source]`` lists ``(lower, upper)`` Hasse pairs whose
+    lower term is new to that source; ``added_nodes[source]`` lists new
+    isolated terms.  Under an unchanged constraint set (the caller's
+    responsibility to check) such a delta cannot create or grow any
+    strongly connected component of the hierarchy graph: a new term has
+    no incoming edges, so no cycle can pass through it.  Each new scoped
+    term therefore condenses to a singleton :class:`FusedNode`, the old
+    components are untouched, and the fused Hasse diagram extends via
+    :meth:`Hierarchy.extended_with_lower_terms` — producing exactly the
+    result ``canonical_fusion`` would on the grown inputs, in time
+    proportional to the delta.
+
+    Returns None when the delta is not leaf-only for some source (a
+    "new" lower term is already witnessed there, or the new edges are
+    cyclic among themselves); callers fall back to the full fusion.
+    """
+    singleton: Dict[ScopedTerm, FusedNode] = {}
+
+    def node_for(scoped: ScopedTerm) -> FusedNode:
+        node = singleton.get(scoped)
+        if node is None:
+            node = FusedNode(frozenset({scoped}))
+            singleton[scoped] = node
+        return node
+
+    fused_edges: List[Tuple[FusedNode, FusedNode]] = []
+    for source, edges in added_edges.items():
+        pairs = [(lower, upper) for lower, upper in edges]
+        for lower, _ in pairs:
+            if ScopedTerm(lower, source) in prev.witness:
+                return None
+        for lower, upper in pairs:
+            scoped_upper = ScopedTerm(upper, source)
+            existing = prev.witness.get(scoped_upper)
+            # An unwitnessed upper is itself new to this source (e.g. the
+            # top of a fresh hypernym chain) and condenses to a singleton,
+            # just like the new lowers.
+            upper_node = existing if existing is not None else node_for(scoped_upper)
+            fused_edges.append((node_for(ScopedTerm(lower, source)), upper_node))
+    isolated_nodes: List[FusedNode] = []
+    for source, terms in (added_nodes or {}).items():
+        for term in terms:
+            scoped = ScopedTerm(term, source)
+            if scoped in prev.witness:
+                return None
+            isolated_nodes.append(node_for(scoped))
+
+    if not singleton:
+        return prev
+    hierarchy = prev.hierarchy.extended_with_lower_terms(
+        fused_edges, new_nodes=isolated_nodes
+    )
+    if hierarchy is None:
+        return None
+    witness = dict(prev.witness)
+    for scoped, node in singleton.items():
+        witness[scoped] = node
+    return FusionResult(hierarchy, witness)
+
+
 def fuse_single(hierarchy: Hierarchy, source: Hashable = 1) -> FusionResult:
     """Wrap one hierarchy as a (trivial) fusion of itself.
 

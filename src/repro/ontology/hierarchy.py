@@ -278,6 +278,222 @@ class Hierarchy:
         """A new hierarchy with additional ``u <= v`` pairs added."""
         return Hierarchy(list(self.edges()) + list(extra_edges), nodes=self.terms)
 
+    def extended_with_lower_terms(
+        self,
+        new_edges: Iterable[Tuple[Term, Term]],
+        new_nodes: Iterable[Term] = (),
+    ) -> Optional["Hierarchy"]:
+        """Incremental extension: add edges whose *lower* ends are new terms.
+
+        The streaming-ingest fast path: when a mutation only introduces
+        new terms *below* the existing order (new content values under
+        their tags, fresh hypernym chains), the Hasse diagram and the
+        reachability closures can be extended in time proportional to the
+        delta instead of re-reducing the whole graph.  The result is
+        value-identical to ``Hierarchy(list(self.edges()) + new_edges,
+        nodes=self.terms | new_nodes)`` — the canonical from-scratch
+        construction — because:
+
+        * no new edge leaves an existing term, so no new path between
+          existing terms can appear: existing cover edges and existing
+          up-closures are untouched;
+        * each new term's cover set is computed by minimalising its edge
+          targets against the (seeded) closures, exactly what transitive
+          reduction would do.
+
+        Returns None when the precondition does not hold (some new edge's
+        lower end already exists, or the new edges are cyclic among
+        themselves); callers then fall back to the full constructor.
+        ``new_nodes`` adds isolated terms (already-present ones are
+        ignored, matching the constructor).
+        """
+        grouped: Dict[Term, List[Term]] = {}
+        for lower, upper in new_edges:
+            if lower == upper:
+                continue
+            if lower in self._parents:
+                return None
+            grouped.setdefault(lower, []).append(upper)
+        isolated = [
+            node
+            for node in new_nodes
+            if node not in self._parents and node not in grouped
+        ]
+        if not grouped and not isolated:
+            return self
+        # Topologically order the new terms over new-new edges so a term's
+        # closure is computed after its new uppers'.
+        order: List[Term] = []
+        state: Dict[Term, int] = {}  # 1 = visiting, 2 = done
+
+        def visit(term: Term) -> bool:
+            mark = state.get(term)
+            if mark == 2:
+                return True
+            if mark == 1:
+                return False  # cycle among the new terms
+            state[term] = 1
+            for upper in grouped.get(term, ()):
+                if upper in grouped and not visit(upper):
+                    return False
+            state[term] = 2
+            order.append(term)
+            return True
+
+        for term in grouped:
+            if not visit(term):
+                return None
+
+        up = self._up_closure
+        new_up: Dict[Term, FrozenSet[Term]] = {}
+
+        def closure_of(term: Term) -> FrozenSet[Term]:
+            if term in new_up:
+                return new_up[term]
+            return up.get(term, frozenset())
+
+        new_parents: Dict[Term, FrozenSet[Term]] = {}
+        new_uppers: Set[Term] = set()
+        for term in order:
+            targets: List[Term] = []
+            for upper in grouped[term]:
+                if upper not in targets:
+                    targets.append(upper)
+            # Minimalise: drop any target reachable from another target —
+            # exactly the edges transitive reduction would remove.
+            covers = [
+                target
+                for target in targets
+                if not any(
+                    other != target and target in closure_of(other)
+                    for other in targets
+                )
+            ]
+            reach: Set[Term] = set()
+            for upper in targets:
+                reach.add(upper)
+                reach.update(closure_of(upper))
+            new_up[term] = frozenset(reach)
+            new_parents[term] = frozenset(covers)
+            for upper in targets:
+                if upper not in self._parents and upper not in grouped:
+                    new_uppers.add(upper)
+
+        extended = Hierarchy.__new__(Hierarchy)
+        parents = dict(self._parents)
+        parents.update(new_parents)
+        for term in isolated:
+            parents[term] = frozenset()
+        for upper in new_uppers:
+            parents.setdefault(upper, frozenset())
+        extended._parents = parents
+
+        children = dict(self._children)
+        for term in order:
+            children.setdefault(term, frozenset())
+            for upper in new_parents[term]:
+                children[upper] = children.get(upper, frozenset()) | {term}
+        for term in isolated:
+            children.setdefault(term, frozenset())
+        for upper in new_uppers:
+            children.setdefault(upper, frozenset())
+        extended._children = children
+
+        # Seed the closures: existing up-closures are unchanged; existing
+        # down-closures gain exactly the new terms below them.
+        up_seeded = dict(up)
+        up_seeded.update(new_up)
+        for term in isolated:
+            up_seeded[term] = frozenset()
+        for upper in new_uppers:
+            up_seeded.setdefault(upper, frozenset())
+        extended._up = up_seeded
+        if self._down is not None:
+            below: Dict[Term, Set[Term]] = {}
+            for term in order:
+                for ancestor in new_up[term]:
+                    below.setdefault(ancestor, set()).add(term)
+            down_seeded = dict(self._down)
+            for ancestor, gained in below.items():
+                down_seeded[ancestor] = down_seeded.get(ancestor, frozenset()) | gained
+            for term in order:
+                down_seeded[term] = frozenset(below.get(term, ()))
+            for term in isolated:
+                down_seeded.setdefault(term, frozenset())
+            extended._down = down_seeded
+        else:
+            extended._down = None
+        extended._hash = None
+        return extended
+
+    def without_leaves(self, terms: Iterable[Term]) -> Optional["Hierarchy"]:
+        """Incremental removal of *minimal* terms (terms with no children).
+
+        The inverse fast path of :meth:`extended_with_lower_terms`: a
+        minimal term sits below nothing, so deleting it cannot reconnect
+        or reorder the remaining terms — its covers lose one child, the
+        down-closures of its ancestors lose one entry, and everything
+        else (including every other up-closure) is untouched.  The result
+        is value-identical to rebuilding from the surviving edges.
+
+        Returns None when a term is absent or has children (its removal
+        would change reachability between survivors); callers fall back
+        to full construction.
+        """
+        doomed = set(terms)
+        if not doomed:
+            return self
+        for term in doomed:
+            if term not in self._parents or self._children[term]:
+                return None
+        removed = Hierarchy.__new__(Hierarchy)
+        parents = {
+            node: targets
+            for node, targets in self._parents.items()
+            if node not in doomed
+        }
+        removed._parents = parents
+        children = dict(self._children)
+        for term in doomed:
+            for upper in self._parents[term]:
+                children[upper] = children[upper] - doomed
+            del children[term]
+        removed._children = children
+        if self._up is not None:
+            up = dict(self._up)
+            for term in doomed:
+                del up[term]
+            removed._up = up
+        else:
+            removed._up = None
+        if self._down is not None:
+            down = dict(self._down)
+            ancestors: Set[Term] = set()
+            if self._up is not None:
+                for term in doomed:
+                    ancestors.update(self._up[term])
+            else:
+                # Walk covers upward; doomed terms are minimal, so this
+                # touches only their (small) ancestor cones.
+                stack = [
+                    upper for term in doomed for upper in self._parents[term]
+                ]
+                while stack:
+                    node = stack.pop()
+                    if node not in ancestors:
+                        ancestors.add(node)
+                        stack.extend(self._parents[node])
+            for term in doomed:
+                del down[term]
+            for ancestor in ancestors:
+                if ancestor in down:
+                    down[ancestor] = down[ancestor] - doomed
+            removed._down = down
+        else:
+            removed._down = None
+        removed._hash = None
+        return removed
+
     def with_terms(self, extra_terms: Iterable[Term]) -> "Hierarchy":
         """A new hierarchy with additional isolated terms added."""
         return Hierarchy(self.edges(), nodes=set(self.terms) | set(extra_terms))

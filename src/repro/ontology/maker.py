@@ -27,6 +27,7 @@ matching the Hasse-diagram reading of Definition 3.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import graphutils
@@ -189,3 +190,129 @@ def _acyclic_hierarchy(
         adjacency.setdefault(upper, set())
         accepted.append((lower, upper))
     return Hierarchy(accepted, nodes=nodes)
+
+
+@dataclass
+class RelationDelta:
+    """What one document batch contributed to one extracted relation."""
+
+    added_edges: List[Tuple[str, str]] = field(default_factory=list)
+    added_nodes: List[str] = field(default_factory=list)
+    #: Terms that entered the hierarchy with this batch (edge endpoints
+    #: not previously present, plus the isolated additions).
+    added_terms: Set[str] = field(default_factory=set)
+    #: True when the hierarchy was grown via the leaf-extension fast path
+    #: (every genuinely new edge hangs a new term below the existing
+    #: order) — the condition under which downstream fusion can extend
+    #: incrementally too.
+    leaf_only: bool = True
+
+    @property
+    def empty(self) -> bool:
+        return not self.added_edges and not self.added_nodes
+
+
+class CombinedExtraction:
+    """Replays :meth:`OntologyMaker.make_combined` one document batch at a time.
+
+    The greedy cycle-dropping pass of ``_acyclic_hierarchy`` consumes the
+    concatenated per-document edge lists in order, so its accepted graph
+    after documents ``d1..dn`` is a pure function of that prefix.  This
+    state object keeps the accepted adjacency per relation and continues
+    the greedy pass over each newly appended batch, producing an ontology
+    **identical** to ``make_combined`` over all documents seen so far:
+
+    * a re-extracted duplicate edge is a no-op in both paths (the
+      adjacency is unchanged, and ``Hierarchy`` de-duplicates);
+    * a genuinely new edge faces exactly the ``has_path`` check the full
+      pass would apply, against the same adjacency.
+
+    Only valid for makers without DBA rules: ``make_combined`` appends
+    rules *after* all documents, so a continuation would replay them in
+    the wrong position.  Callers check :attr:`supported` and fall back to
+    the full combine.  Removals/replacements are likewise out of scope —
+    the greedy state is not reversible — so callers rebuild this state
+    from the surviving documents.
+    """
+
+    _RELATIONS = (Ontology.ISA, Ontology.PART_OF)
+
+    def __init__(self, maker: OntologyMaker) -> None:
+        self.maker = maker
+        self._adjacency: Dict[str, Dict[str, Set[str]]] = {
+            relation: {} for relation in self._RELATIONS
+        }
+        self._tags: Set[str] = set()
+        self._hierarchies: Dict[str, Hierarchy] = {
+            relation: Hierarchy() for relation in self._RELATIONS
+        }
+
+    @property
+    def supported(self) -> bool:
+        return not self.maker.rules
+
+    @property
+    def ontology(self) -> Ontology:
+        return Ontology(dict(self._hierarchies))
+
+    def extend(self, roots: Sequence[XmlNode]) -> Dict[str, RelationDelta]:
+        """Fold a batch of documents into the combined ontology.
+
+        Returns the per-relation delta (new accepted edges, new isolated
+        terms, and whether the hierarchy took the leaf-extension fast
+        path).  After the call, :attr:`ontology` equals
+        ``maker.make_combined(all documents so far)``.
+        """
+        if not self.supported:
+            raise ValueError(
+                "CombinedExtraction cannot replay DBA rules; use make_combined"
+            )
+        batch_tags: Set[str] = set()
+        for root in roots:
+            batch_tags.update(self.maker._document_tags(root))
+        new_tags = batch_tags - self._tags
+        self._tags.update(new_tags)
+
+        extractors = {
+            Ontology.ISA: self.maker._isa_edges,
+            Ontology.PART_OF: self.maker._part_of_edges,
+        }
+        deltas: Dict[str, RelationDelta] = {}
+        for relation in self._RELATIONS:
+            adjacency = self._adjacency[relation]
+            extract = extractors[relation]
+            added: List[Tuple[str, str]] = []
+            for root in roots:
+                for lower, upper in extract(root):
+                    if lower == upper:
+                        continue
+                    targets = adjacency.get(lower)
+                    if targets is not None and upper in targets:
+                        continue  # duplicate of an accepted edge: no-op
+                    if graphutils.has_path(adjacency, upper, lower):
+                        continue  # would close a cycle — dropped, as in the full pass
+                    adjacency.setdefault(lower, set()).add(upper)
+                    adjacency.setdefault(upper, set())
+                    added.append((lower, upper))
+            previous = self._hierarchies[relation]
+            isolated = [tag for tag in new_tags if tag not in previous]
+            added_terms = set(isolated)
+            for lower, upper in added:
+                if lower not in previous:
+                    added_terms.add(lower)
+                if upper not in previous:
+                    added_terms.add(upper)
+            delta = RelationDelta(
+                added_edges=added, added_nodes=isolated, added_terms=added_terms
+            )
+            extended = previous.extended_with_lower_terms(added, new_nodes=isolated)
+            if extended is None:
+                # Some new edge attaches below an existing term (e.g. a
+                # known tag nested under a new parent): rebuild this
+                # relation from the accepted graph.  Still exact — the
+                # adjacency is the full greedy outcome.
+                extended = Hierarchy(adjacency, nodes=self._tags)
+                delta.leaf_only = False
+            self._hierarchies[relation] = extended
+            deltas[relation] = delta
+        return deltas

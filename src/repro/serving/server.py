@@ -214,13 +214,53 @@ class QueryServer:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def refresh(self) -> None:
-        """Re-snapshot the (possibly mutated) system into a fresh pool."""
+    def refresh(self, incremental: bool = True) -> str:
+        """Re-sync the pool with the (possibly mutated) system.
+
+        Three outcomes, cheapest first — the returned string names which
+        one ran:
+
+        * ``"noop"`` — the snapshot already matches the live generation
+          signature; nothing moves.
+        * ``"delta"`` — the supervised pool broadcasts a
+          :class:`~repro.serving.snapshot.SnapshotDelta` (changed
+          documents + changed SEOs only) to the live workers, which
+          converge in place; no respawn, no full re-serialization.
+        * ``"full"`` — re-capture and a fresh pool: the plain
+          (unsupervised) pool has no per-worker addressing, the
+          changelog was truncated, the system is mid-mutation (not yet
+          rebuilt), or ``incremental=False`` forced it.
+        """
         self._ensure_open()
+        if not self.snapshot.stale(self.system):
+            return "noop"
+        if incremental and isinstance(self.pool, SupervisedWorkerPool):
+            delta = self.snapshot.delta(self.system)
+            if delta is not None:
+                self.pool.apply_delta(delta)
+                METRICS.counter("serving.delta_refreshes").inc()
+                return "delta"
         old_pool = self.pool
         self.snapshot = SystemSnapshot.capture(self.system, mode=self._snapshot_mode)
         self.pool = self._make_pool()
         old_pool.close()
+        METRICS.counter("serving.full_refreshes").inc()
+        self.system.observability.record_event("serving.full_refresh")
+        return "full"
+
+    def wait_ready(self, timeout: float = 30.0) -> int:
+        """Block until the whole worker fleet finished spawning.
+
+        Optional pre-warming barrier: execution works as soon as one
+        worker is up, but a caller that wants full-fleet steady state
+        before taking traffic (or before timing the delta-refresh path)
+        waits here.  Returns the number of ready workers; the plain
+        pool spawns synchronously and reports its worker count.
+        """
+        self._ensure_open()
+        if isinstance(self.pool, SupervisedWorkerPool):
+            return self.pool.wait_ready(timeout=timeout)
+        return self.workers
 
     def close(self) -> None:
         if not self._closed:

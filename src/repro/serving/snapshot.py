@@ -23,6 +23,24 @@ Either way the snapshot records the database's **generation signature**
 compares signatures before dispatch and raises
 :class:`~repro.errors.SnapshotStaleError` when the live system has
 moved on, so a pool can never silently answer from outdated data.
+
+**Delta refresh.**  A mutated system does not force a full re-capture:
+:meth:`SystemSnapshot.delta` replays each collection's changelog
+(:meth:`~repro.xmldb.collection.Collection.changes_since`) into a
+compact :class:`SnapshotDelta` — the ordered mutation ops, the final
+text of each surviving upserted document, and, per relation whose SEO
+object identity moved since capture (the system's incremental build
+keeps unchanged SEO objects alive precisely so this comparison works),
+either the chain of *enhancement patches* the patched builds recorded
+(when every build since capture took the
+:func:`~repro.similarity.sea.extend_enhancement` path — the payload is
+then sized to the writes, not the ontology) or the full serialized SEO
+as the fallback.  :func:`apply_snapshot_delta` replays a delta inside
+a live worker, converging its inherited/restored system to the target
+generation signature bit-for-bit; the supervised pool broadcasts it
+between batches instead of respawning the fleet.  A truncated
+changelog, a vanished collection or an unbuilt system makes ``delta``
+return None and the caller falls back to the full re-capture path.
 """
 
 from __future__ import annotations
@@ -50,6 +68,36 @@ def default_mode() -> str:
 
 
 @dataclass
+class SnapshotDelta:
+    """The compact difference between a snapshot and the live system.
+
+    Plain picklable data, shipped to live workers over their request
+    queues.  ``collections`` maps each mutated collection to its ordered
+    op list (``(op, key)`` pairs replayed exactly as the changelog
+    recorded them, so worker-side scan order matches the parent's), the
+    surviving upserted keys, and one compressed segment holding those
+    keys' final texts.  ``seos`` carries one entry per relation whose
+    SEO changed since capture: ``{"patches": [...]}`` with the ordered
+    :func:`~repro.similarity.persistence.seo_patch_to_dict` chain when
+    every build in between patched its predecessor (workers replay them
+    in place, preserving all unaffected structure), else the relation's
+    full persisted-dict form.
+    """
+
+    base_signature: Tuple[Tuple[str, int], ...]
+    target_signature: Tuple[Tuple[str, int], ...]
+    collections: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    seos: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    epsilon: float = 0.0
+
+    @property
+    def documents_shipped(self) -> int:
+        return sum(
+            len(segment["upsert_keys"]) for segment in self.collections.values()
+        )
+
+
+@dataclass
 class SystemSnapshot:
     """An immutable capture of a built system for worker processes."""
 
@@ -61,6 +109,11 @@ class SystemSnapshot:
     signature: Tuple[Tuple[str, int], ...]
     #: Plain-data payload for spawn workers (None under fork).
     payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: The SEO objects the snapshot served at capture time, per relation.
+    #: Deltas compare object identity against the live context: the
+    #: system's no-op build path returns the same objects, so an
+    #: unchanged relation ships nothing.
+    seo_refs: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @classmethod
     def capture(cls, system, mode: Optional[str] = None) -> "SystemSnapshot":
@@ -82,6 +135,9 @@ class SystemSnapshot:
             system=system,
             signature=system.database.generation_signature(),
             payload=payload,
+            seo_refs=(
+                dict(system.context.seos) if system.context is not None else None
+            ),
         )
 
     @staticmethod
@@ -111,6 +167,9 @@ class SystemSnapshot:
                 "docs_z": zlib.compress(
                     _DOC_SEPARATOR.join(texts).encode("utf-8"), 6
                 ),
+                # The live generation counter, restored worker-side so a
+                # later SnapshotDelta's base generations line up.
+                "generation": collection.generation,
             }
         seos = None
         if system.context is not None:
@@ -132,6 +191,113 @@ class SystemSnapshot:
         system = system if system is not None else self.system
         return system.database.generation_signature() != self.signature
 
+    def delta(self, system=None) -> Optional[SnapshotDelta]:
+        """The :class:`SnapshotDelta` from this snapshot to the live
+        system, or None when a full re-capture is required.
+
+        None means: the system is not queryable (mutated but not yet
+        rebuilt), a collection's changelog no longer reaches back to the
+        snapshot generation, a collection disappeared, or (pickle mode)
+        the measure left the registry.  A non-stale system yields an
+        empty-but-valid delta.
+        """
+        from ..similarity.persistence import seo_patch_to_dict, seo_to_dict
+        from ..xmldb.serializer import serialize
+
+        system = system if system is not None else self.system
+        if system.executor is None or system.context is None:
+            return None
+        if self.mode == PICKLE and not system.measure.name:
+            return None
+        base = dict(self.signature)
+        collections: Dict[str, Dict[str, Any]] = {}
+        for collection in system.database.collections():
+            base_generation = base.pop(collection.name, None)
+            if base_generation == collection.generation:
+                continue
+            if base_generation is None:
+                # A collection born after capture ships whole, in scan
+                # order (its changelog may already have wrapped).
+                ops = [("add", key) for key in collection.keys()]
+            else:
+                changes = collection.changes_since(base_generation)
+                if changes is None:
+                    return None  # changelog truncated or foreign
+                ops = [(op, key) for op, key in changes]
+            upsert_keys: List[str] = []
+            seen = set()
+            for op, key in ops:
+                if op != "remove" and key in collection and key not in seen:
+                    seen.add(key)
+                    upsert_keys.append(key)
+            texts = [
+                serialize(collection.get_document(key)) for key in upsert_keys
+            ]
+            collections[collection.name] = {
+                "ops": ops,
+                "upsert_keys": upsert_keys,
+                "texts_z": zlib.compress(
+                    _DOC_SEPARATOR.join(texts).encode("utf-8"), 6
+                ),
+                "generation": collection.generation,
+            }
+        if base:
+            return None  # a captured collection no longer exists
+        seos: Dict[str, Dict[str, Any]] = {}
+        refs = self.seo_refs if self.seo_refs is not None else {}
+        for relation, seo in system.context.seos.items():
+            base = refs.get(relation)
+            if base is seo:
+                continue
+            chain = _seo_patch_chain(seo, base)
+            if chain is not None:
+                # Every build since capture patched its predecessor, and
+                # the chain bottoms out at the SEO this snapshot served:
+                # ship the patches (sized to the writes) instead of the
+                # whole SEO, and let workers replay them in place.
+                seos[relation] = {
+                    "patches": [
+                        seo_patch_to_dict(previous, current, removed, added)
+                        for previous, current, removed, added in chain
+                    ]
+                }
+            else:
+                seos[relation] = seo_to_dict(seo)
+        return SnapshotDelta(
+            base_signature=self.signature,
+            target_signature=system.database.generation_signature(),
+            collections=collections,
+            seos=seos,
+            epsilon=system.epsilon,
+        )
+
+    def advance(self, delta: SnapshotDelta) -> None:
+        """Move this snapshot's bookkeeping to the delta's target state.
+
+        Called by the pool once a delta is being applied: the signature
+        jumps to the target (so freshness checks pass), the SEO identity
+        refs re-anchor on the live context, and any pickle payload is
+        dropped — :meth:`ensure_payload` rebuilds it lazily on the next
+        respawn, keeping the delta path free of full re-serialization.
+        """
+        self.signature = delta.target_signature
+        if self.system.context is not None:
+            self.seo_refs = dict(self.system.context.seos)
+        if self.payload is not None:
+            self.payload = None
+
+    def ensure_payload(self) -> Optional[Dict[str, Any]]:
+        """The spawn payload, rebuilding it if :meth:`advance` dropped it.
+
+        Fork snapshots have no payload (returns None); respawned fork
+        workers inherit the live parent and are current by construction.
+        """
+        if self.mode != PICKLE:
+            return None
+        if self.payload is None:
+            self.payload = self._build_payload(self.system)
+        return self.payload
+
     def restore(self):
         """Rebuild a bare queryable system from a pickle payload.
 
@@ -144,6 +310,31 @@ class SystemSnapshot:
         if self.payload is None:
             raise ServingError("fork snapshots restore by inheritance, not payload")
         return restore_payload(self.payload)
+
+
+def _seo_patch_chain(seo, base):
+    """The patch links leading from ``base`` to ``seo``, oldest first.
+
+    Each link is ``(previous, current, removed, added)`` as recorded by
+    the patched build path (:attr:`SimilarityEnhancedOntology.patch`).
+    Returns None when the chain does not reach ``base`` — some build in
+    between ran from scratch, the chain outgrew
+    :data:`~repro.similarity.seo.MAX_PATCH_CHAIN`, or the snapshot never
+    served this relation — and the caller ships the full SEO instead.
+    """
+    if base is None:
+        return None
+    links = []
+    cursor = seo
+    while cursor is not base:
+        patch = getattr(cursor, "patch", None)
+        if patch is None:
+            return None
+        previous, removed, added = patch
+        links.append((previous, cursor, removed, added))
+        cursor = previous
+    links.reverse()
+    return links
 
 
 def _collection_documents(documents) -> List[Tuple[str, str]]:
@@ -184,6 +375,10 @@ def restore_payload(payload: Dict[str, Any]):
         collection = system.database.create_collection(name)
         for key, text in _collection_documents(documents):
             collection.add_document(key, text)
+        if isinstance(documents, dict) and "generation" in documents:
+            # Adopt the live generation counter so delta refreshes line
+            # up against the same base the parent computes from.
+            collection.generation = documents["generation"]
     if payload["seos"] is not None:
         seos = {
             relation: seo_from_dict(entry)
@@ -210,3 +405,89 @@ def restore_payload(payload: Dict[str, Any]):
             use_index=system.use_index,
         )
     return system
+
+
+def apply_snapshot_delta(system, delta: SnapshotDelta):
+    """Replay ``delta`` onto a worker's system; returns the resulting
+    generation signature (the caller's ack compares it to the target).
+
+    Runs inside a live worker, against either the fork-inherited system
+    copy or a payload-restored one.  Document ops replay in changelog
+    order — an upsert applies the key's *final* text at each occurrence
+    (the last occurrence fixes its scan position, matching the parent's
+    replace-moves-to-end semantics), and ops on keys that did not
+    survive to the target state are skipped, which cannot perturb the
+    relative order of surviving documents.  Changed SEOs converge by
+    replaying their shipped enhancement-patch chain against the live SEO
+    (copy-on-write, delta-sized work) or, for full-form entries, by
+    deserializing the replacement; either way the result swaps in via a
+    fresh condition context, and the executor keeps its compiled plans
+    and invalidates them per context epoch.
+    """
+    from ..core.conditions import SeoConditionContext
+    from ..core.executor import QueryExecutor
+    from ..similarity.persistence import apply_seo_patch, seo_from_dict
+
+    database = system.database
+    for name, segment in delta.collections.items():
+        collection = (
+            database.get_collection(name)
+            if name in database
+            else database.create_collection(name)
+        )
+        blob = zlib.decompress(segment["texts_z"]).decode("utf-8")
+        keys = segment["upsert_keys"]
+        texts = blob.split(_DOC_SEPARATOR) if keys else []
+        if len(texts) != len(keys):
+            raise ServingError(
+                f"delta segment corrupt: {len(keys)} keys for "
+                f"{len(texts)} documents"
+            )
+        final = dict(zip(keys, texts))
+        for op, key in segment["ops"]:
+            if op == "remove":
+                if key in collection:
+                    collection.remove_document(key)
+                continue
+            text = final.get(key)
+            if text is None:
+                continue  # upserted then removed before the target state
+            if key in collection:
+                collection.replace_document(key, text)
+            else:
+                collection.add_document(key, text)
+        collection.generation = segment["generation"]
+    system.epsilon = float(delta.epsilon)
+    if delta.seos:
+        seos = dict(system.context.seos) if system.context is not None else {}
+        for relation, entry in delta.seos.items():
+            if "patches" in entry:
+                seo = seos.get(relation)
+                if seo is None:
+                    raise ServingError(
+                        f"delta ships an SEO patch for {relation!r} but "
+                        "the worker has no SEO to patch"
+                    )
+                for patch in entry["patches"]:
+                    seo = apply_seo_patch(seo, patch)
+                seos[relation] = seo
+            else:
+                seos[relation] = seo_from_dict(entry)
+        isa_seo = seos.get(Ontology.ISA)
+        if isa_seo is None:
+            raise ServingError("snapshot delta lacks an isa SEO")
+        context = SeoConditionContext(
+            isa_seo,
+            seos=seos,
+            type_system=system.type_system,
+            typing=system.typing,
+        )
+        system.context = context
+        if system.executor is not None and not system.executor.exact_fallback:
+            system.executor.set_context(context, seo_changed=True)
+        else:
+            system.executor = QueryExecutor(
+                system.database, context, use_index=system.use_index
+            )
+        system.degraded = False
+    return database.generation_signature()

@@ -76,12 +76,21 @@ from ..errors import CircuitOpenError, ServingError
 from ..obs.metrics import REGISTRY as METRICS
 from . import pool as _pool
 from .pool import run_query_task
-from .snapshot import FORK, SystemSnapshot
+from .snapshot import FORK, SnapshotDelta, SystemSnapshot, apply_snapshot_delta
 
 #: Scheduler wait granularity, seconds.  Responses wake the scheduler
 #: immediately; this only bounds how late a liveness/deadline check or a
 #: backoff expiry can be noticed.
 POLL_INTERVAL = 0.05
+
+#: Fault-injection sequence number stamped on snapshot-delta broadcasts,
+#: distinct from any task index, so chaos plans can target "kill the
+#: worker mid-delta-apply" deterministically (``tasks=(DELTA_FAULT_SEQ,)``).
+DELTA_FAULT_SEQ = -1
+
+#: Parent-side wall-clock bound on one worker acking a delta broadcast;
+#: a worker past it is killed and respawned from the advanced snapshot.
+DELTA_APPLY_TIMEOUT = 30.0
 
 
 def backoff_delay(base: float, cap: float, failures: int) -> float:
@@ -314,6 +323,29 @@ def _supervised_worker_main(
         seq = task.get("_fault_seq", 0)
         attempt = task.get("_fault_attempt", 0)
         task_plan = _faults.plan_from_task(task)
+        delta = task.get("_snapshot_delta")
+        if delta is not None:
+            # Delta broadcast: fault injection first (a KILL here models
+            # death mid-apply — no cleanup, no ack), then converge the
+            # local system and ack with the resulting signature check.
+            _faults.apply_task_faults(task_plan, seq, attempt)
+            try:
+                signature = apply_snapshot_delta(_pool._WORKER["system"], delta)
+                ok = tuple(signature) == tuple(delta.target_signature)
+                detail = (
+                    None
+                    if ok
+                    else "generation signature mismatch after delta apply"
+                )
+            except BaseException as exc:  # noqa: BLE001 - ack, then die
+                ok, detail = False, f"{type(exc).__name__}: {exc}"
+            if not _send(("delta_applied", worker_id, spawn, ok, detail)):
+                return
+            if not ok:
+                # The local system may be half-converged: die and let the
+                # supervisor respawn this slot from the advanced snapshot.
+                return
+            continue
         corrupt = _faults.apply_task_faults(task_plan, seq, attempt)
         outcome = run_query_task(task)
         if corrupt:
@@ -454,7 +486,12 @@ class SupervisedWorkerPool:
         self._discard_transport(worker)
         worker.requests = self._context.Queue()
         worker.reader, writer = self._context.Pipe(duplex=False)
-        payload = None if self.snapshot.mode == FORK else self.snapshot.payload
+        # ensure_payload: a delta-advanced snapshot dropped its payload;
+        # respawns rebuild it from the live system so every new worker
+        # comes up at the current generation.
+        payload = (
+            None if self.snapshot.mode == FORK else self.snapshot.ensure_payload()
+        )
         worker.process = self._context.Process(
             target=_supervised_worker_main,
             args=(
@@ -625,6 +662,108 @@ class SupervisedWorkerPool:
         self._record_recovery(events, time.perf_counter() - started, total)
         return outcomes
 
+    def apply_delta(self, delta: SnapshotDelta) -> Dict[str, int]:
+        """Broadcast a :class:`~repro.serving.snapshot.SnapshotDelta` to
+        every live worker and wait for their acks.
+
+        Called between batches (``run_batch`` is synchronous, so no task
+        is in flight).  The shared snapshot is advanced *first*: any
+        worker that fails to apply — crashes mid-apply, acks a signature
+        mismatch, or exceeds :data:`DELTA_APPLY_TIMEOUT` — is killed and
+        scheduled for respawn, and respawns initialize from the advanced
+        snapshot (a fresh fork of the live parent, or a lazily rebuilt
+        payload), so every incarnation converges to the target
+        generation no matter how the apply went.  Dead or backing-off
+        slots are skipped for the same reason.
+
+        Returns ``{"applied": n, "respawning": m}``.
+        """
+        if self._closed:
+            raise ServingError("the worker pool is closed")
+        self.snapshot.advance(delta)
+        task: Dict[str, Any] = {
+            "_snapshot_delta": delta,
+            "_fault_seq": DELTA_FAULT_SEQ,
+            "_fault_attempt": 0,
+        }
+        if self.fault_plan is not None:
+            task["faults"] = self.fault_plan.to_spec()
+        awaiting: Dict[int, _Worker] = {}
+        for worker in self._workers:
+            # Not just ``dispatchable``: a worker still inside its spawn
+            # handshake was forked/restored from the *pre-advance* state,
+            # so it needs the delta too — its queue already exists and its
+            # ack simply arrives after the "ready" message.  Replay is
+            # idempotent, so a worker that happens to be current converges
+            # to the same state.
+            if not worker.abandoned and worker.busy_index is None and worker.alive:
+                worker.requests.put(task)
+                awaiting[worker.worker_id] = worker
+        applied = 0
+        failures: List[Dict[str, Any]] = []
+        deadline = time.monotonic() + DELTA_APPLY_TIMEOUT
+        while awaiting and time.monotonic() < deadline:
+            message = self._next_response()
+            now = time.monotonic()
+            if message is not None:
+                kind = message[0]
+                worker = self._workers[message[1]]
+                if message[2] != worker.spawn_count:
+                    continue  # an earlier incarnation's message: drop it
+                if kind == "delta_applied" and worker.worker_id in awaiting:
+                    ok, detail = message[3], message[4]
+                    del awaiting[worker.worker_id]
+                    if ok:
+                        applied += 1
+                        worker.consecutive_failures = 0
+                        continue
+                    failures.append(
+                        {"worker": worker.worker_id, "detail": detail}
+                    )
+                    self._kill_worker(worker)
+                    self._mark_dead(worker, now, spawn_failure=False)
+                elif kind == "ready":
+                    worker.ready = True
+                    worker.pid = message[3]
+                    worker.spawn_failures = 0
+            for worker_id in list(awaiting):
+                worker = awaiting[worker_id]
+                if not worker.alive:
+                    # Killed mid-apply (OOM, chaos): respawn from the
+                    # advanced snapshot recovers a consistent generation.
+                    del awaiting[worker_id]
+                    failures.append(
+                        {
+                            "worker": worker_id,
+                            "detail": (
+                                f"pid {worker.pid} died applying the delta "
+                                f"(exitcode {worker.process.exitcode})"
+                            ),
+                        }
+                    )
+                    self._mark_dead(worker, now, spawn_failure=False)
+        now = time.monotonic()
+        for worker_id, worker in awaiting.items():
+            failures.append(
+                {"worker": worker_id, "detail": "delta apply timed out"}
+            )
+            self._kill_worker(worker)
+            self._mark_dead(worker, now, spawn_failure=False)
+        observability = self.snapshot.system.observability
+        for failure in failures:
+            METRICS.counter("serving.delta_apply_failures").inc()
+            observability.record_event("serving.delta_apply_failed", **failure)
+        METRICS.counter("serving.delta_applies").inc()
+        observability.record_event(
+            "serving.delta_applied",
+            workers=applied,
+            respawning=len(failures),
+            collections=len(delta.collections),
+            documents=delta.documents_shipped,
+            seos=len(delta.seos),
+        )
+        return {"applied": applied, "respawning": len(failures)}
+
     def _ensure_live_workers(self) -> None:
         if all(worker.abandoned for worker in self._workers):
             raise ServingError(
@@ -681,6 +820,43 @@ class SupervisedWorkerPool:
             worker.busy_index = index
             timeout = self.policy.task_hard_timeout(tasks[index])
             worker.kill_at = now + timeout if timeout is not None else None
+
+    def wait_ready(self, timeout: float = 30.0) -> int:
+        """Block until every live worker finished its spawn handshake.
+
+        Serving can start before the whole fleet is up — dispatch only
+        needs one ready worker — so callers that want steady-state
+        behaviour (pre-warmed deploys, benchmarks, tests that measure
+        the delta path rather than the spawn tail) use this barrier
+        after construction or a full refresh.  Slots that are dead,
+        abandoned or backing off are not waited for.  Returns the
+        number of ready live workers.
+        """
+        if self._closed:
+            raise ServingError("the worker pool is closed")
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            pending = [
+                worker
+                for worker in self._workers
+                if not worker.abandoned and worker.alive and not worker.ready
+            ]
+            if not pending:
+                break
+            message = self._next_response()
+            if message is None:
+                continue
+            kind = message[0]
+            worker = self._workers[message[1]]
+            if message[2] != worker.spawn_count:
+                continue  # an earlier incarnation's message: drop it
+            if kind == "ready":
+                worker.ready = True
+                worker.pid = message[3]
+                worker.spawn_failures = 0
+        return sum(
+            1 for worker in self._workers if worker.alive and worker.ready
+        )
 
     def _next_response(self):
         readers = [

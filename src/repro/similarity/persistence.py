@@ -15,7 +15,7 @@ Round-trip guarantee: ``load_seo(dump_seo(seo))`` answers every
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
 from ..errors import SimilarityError
 from ..ioutils import atomic_write_text
@@ -27,6 +27,7 @@ from .sea import EnhancedNode, NodeDistance, SimilarityEnhancement
 from .seo import SimilarityEnhancedOntology
 
 FORMAT_VERSION = 1
+PATCH_FORMAT_VERSION = 1
 
 
 def _scoped_to_json(scoped: ScopedTerm) -> List[Any]:
@@ -146,6 +147,178 @@ def seo_from_dict(
         payload.get("mode", "strict"),
     )
     return SimilarityEnhancedOntology(fusion, enhancement)
+
+
+def _enhanced_to_json(node: EnhancedNode) -> List[Any]:
+    return sorted((_fused_to_json(member) for member in node.members), key=str)
+
+
+def _enhanced_from_json(payload: List[Any]) -> EnhancedNode:
+    return EnhancedNode(
+        frozenset(_fused_from_json(member) for member in payload)
+    )
+
+
+def seo_patch_to_dict(
+    previous: SimilarityEnhancedOntology,
+    seo: SimilarityEnhancedOntology,
+    removed: Iterable[EnhancedNode],
+    added: Iterable[EnhancedNode],
+) -> Dict[str, Any]:
+    """The value-based wire form of one enhancement patch.
+
+    ``seo`` must have been built from ``previous`` by
+    :func:`~repro.similarity.sea.extend_enhancement` (leaf-only growth),
+    with ``removed``/``added`` the enhanced cliques the patch dropped and
+    created.  The dict is JSON-compatible and sized to the *delta*, not
+    the ontology: the new fused singletons with their fusion covers, plus
+    the removed/added cliques with the added ones' covers in H'.  All
+    nodes are encoded by value (scoped-term sets), so
+    :func:`apply_seo_patch` can replay it against any value-identical
+    copy of ``previous`` — a worker's restored or fork-inherited SEO —
+    without sharing object identity with the builder.
+    """
+    removed = list(removed)
+    added = list(added)
+    prev_fused = previous.fusion.hierarchy
+    new_fused: List[FusedNode] = []
+    seen: set = set()
+    for node in added:
+        for member in node.members:
+            if member not in prev_fused and member not in seen:
+                seen.add(member)
+                new_fused.append(member)
+    new_fused.sort(key=str)
+    fused_hierarchy = seo.fusion.hierarchy
+    return {
+        "format": PATCH_FORMAT_VERSION,
+        "epsilon": seo.epsilon,
+        "fusion": {
+            "nodes": [_fused_to_json(node) for node in new_fused],
+            "parents": [
+                [
+                    index,
+                    [
+                        _fused_to_json(parent)
+                        for parent in sorted(
+                            fused_hierarchy.parents(node), key=str
+                        )
+                    ],
+                ]
+                for index, node in enumerate(new_fused)
+            ],
+        },
+        "enhancement": {
+            "removed": [_enhanced_to_json(node) for node in removed],
+            "added": [
+                {
+                    "members": _enhanced_to_json(node),
+                    "parents": [
+                        _enhanced_to_json(parent)
+                        for parent in sorted(
+                            seo.hierarchy.parents(node), key=str
+                        )
+                    ],
+                }
+                for node in added
+            ],
+        },
+    }
+
+
+def apply_seo_patch(
+    seo: SimilarityEnhancedOntology, payload: Dict[str, Any]
+) -> SimilarityEnhancedOntology:
+    """Replay a :func:`seo_patch_to_dict` payload against a live SEO.
+
+    Returns a new SEO (copy-on-write — ``seo`` is never mutated, and all
+    unaffected structure is shared with it), value-identical to the one
+    the patch was recorded from.  Replay is idempotent: a patch whose
+    additions are all present and removals all absent returns ``seo``
+    unchanged, so a worker that already converged (e.g. one respawned
+    from an advanced snapshot mid-broadcast) is a no-op.  A patch that
+    neither applies cleanly nor was already applied raises
+    :class:`~repro.errors.SimilarityError` — the caller's system is not
+    the base the patch was computed against.
+    """
+    version = payload.get("format")
+    if version != PATCH_FORMAT_VERSION:
+        raise SimilarityError(f"unsupported SEO patch format {version!r}")
+    if float(payload["epsilon"]) != seo.epsilon:
+        raise SimilarityError("SEO patch epsilon does not match the live SEO")
+    removed = [
+        _enhanced_from_json(entry)
+        for entry in payload["enhancement"]["removed"]
+    ]
+    added_entries = payload["enhancement"]["added"]
+    added = [_enhanced_from_json(entry["members"]) for entry in added_entries]
+    hierarchy = seo.hierarchy
+    added_present = sum(1 for node in added if node in hierarchy)
+    removed_present = sum(1 for node in removed if node in hierarchy)
+    if added_present == len(added) and removed_present == 0:
+        return seo  # already applied: idempotent replay
+    if added_present or removed_present != len(removed):
+        raise SimilarityError("SEO patch does not apply to this SEO")
+
+    fused_nodes = [
+        _fused_from_json(entry) for entry in payload["fusion"]["nodes"]
+    ]
+    fused_edges: List[Tuple[FusedNode, FusedNode]] = []
+    isolated: List[FusedNode] = []
+    for index, parents in payload["fusion"]["parents"]:
+        node = fused_nodes[index]
+        if parents:
+            fused_edges.extend(
+                (node, _fused_from_json(parent)) for parent in parents
+            )
+        else:
+            isolated.append(node)
+    extended_fusion = seo.fusion.hierarchy.extended_with_lower_terms(
+        fused_edges, new_nodes=isolated
+    )
+    if extended_fusion is None:
+        raise SimilarityError("SEO patch fusion extension does not apply")
+    witness = dict(seo.fusion.witness)
+    for node in fused_nodes:
+        for scoped in node.members:
+            witness[scoped] = node
+    fusion = FusionResult(extended_fusion, witness)
+
+    patched = hierarchy.without_leaves(removed)
+    if patched is None:
+        raise SimilarityError("SEO patch removals do not apply")
+    new_edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
+    roots: List[EnhancedNode] = []
+    for node, entry in zip(added, added_entries):
+        if entry["parents"]:
+            new_edges.extend(
+                (node, _enhanced_from_json(parent))
+                for parent in entry["parents"]
+            )
+        else:
+            roots.append(node)
+    extended = patched.extended_with_lower_terms(new_edges, new_nodes=roots)
+    if extended is None:
+        raise SimilarityError("SEO patch additions do not apply")
+    mu = dict(seo.enhancement.mu)
+    for clique in removed:
+        for member in clique.members:
+            groups = mu.get(member)
+            if groups:
+                mu[member] = frozenset(g for g in groups if g != clique)
+    for clique in added:
+        for member in clique.members:
+            mu[member] = (mu.get(member) or frozenset()) | {clique}
+    enhancement = SimilarityEnhancement(
+        extended,
+        mu,
+        seo.epsilon,
+        seo.enhancement.distance,
+        seo.enhancement.mode,
+    )
+    return SimilarityEnhancedOntology._patched(
+        fusion, enhancement, seo, removed, added
+    )
 
 
 def dump_seo(seo: SimilarityEnhancedOntology, indent: int = 0) -> str:

@@ -61,6 +61,7 @@ from .candidates import (
     pair_count,
     supports_filter,
 )
+from .incremental import EpsilonGraphCache, delta_rep_edges
 from .measures import StringSimilarityMeasure
 
 Node = Hashable
@@ -221,6 +222,13 @@ class SimilarityEnhancement:
         #: :class:`SeaStats` of the build that produced this enhancement;
         #: None for enhancements restored from disk.
         self.stats: Optional[SeaStats] = None
+        #: Order-context buckets of the build (order-safe mode only):
+        #: context -> every H node carrying it, singletons included.  The
+        #: enhancement-patch path (:func:`extend_enhancement`) needs them
+        #: to find which existing nodes a new leaf must be compared
+        #: against without re-bucketing the whole hierarchy; None when
+        #: built in strict mode or restored from disk.
+        self.context_buckets: Optional[Dict[OrderContext, List[Node]]] = None
 
     def mu_inverse(self, enhanced: EnhancedNode) -> FrozenSet[Node]:
         """``mu^{-1}``: the original nodes mapped into ``enhanced``."""
@@ -283,6 +291,17 @@ class SeaStats:
     parallel_used: bool = False
     workers: int = 1
     graph_seconds: float = 0.0
+    #: True when the graph was built by replaying a previous build's
+    #: verdicts and verifying only the delta (see
+    #: :mod:`repro.similarity.incremental`).
+    incremental: bool = False
+    #: Rep-level pair verdicts replayed from the cache (incremental only).
+    reused_pairs: int = 0
+    #: True when the previous enhancement was *patched in place* — only
+    #: the buckets touched by new leaves were reprocessed and the
+    #: enhanced hierarchy was edited, never rebuilt (see
+    #: :func:`extend_enhancement`).  Implies ``incremental``.
+    patched: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -297,6 +316,9 @@ class SeaStats:
             "parallel_used": self.parallel_used,
             "workers": self.workers,
             "graph_seconds": self.graph_seconds,
+            "incremental": self.incremental,
+            "reused_pairs": self.reused_pairs,
+            "patched": self.patched,
         }
 
 
@@ -311,6 +333,34 @@ def _order_context_index(
     }
 
 
+def _connect_rep_level(
+    adjacency: Dict[Node, Set[Node]],
+    nodes_by_rep: Dict[str, List[Node]],
+    rep_edges: Set[Tuple[str, str]],
+) -> int:
+    """Expand rep-level verdicts into node-level similarity edges.
+
+    Nodes sharing one representative are at distance 0 and always
+    connect; distinct-rep pairs connect exactly when their rep pair is an
+    epsilon-edge.  Returns the number of node-level edges added — the
+    same count a from-scratch :func:`block_edges` pass would report.
+    """
+    added = 0
+    for members in nodes_by_rep.values():
+        for i in range(len(members) - 1):
+            for j in range(i + 1, len(members)):
+                adjacency[members[i]].add(members[j])
+                adjacency[members[j]].add(members[i])
+                added += 1
+    for rep_a, rep_b in rep_edges:
+        for node_a in nodes_by_rep.get(rep_a, ()):
+            for node_b in nodes_by_rep.get(rep_b, ()):
+                adjacency[node_a].add(node_b)
+                adjacency[node_b].add(node_a)
+                added += 1
+    return added
+
+
 def _similarity_cliques(
     nodes: List[Node],
     distance: NodeDistance,
@@ -318,8 +368,15 @@ def _similarity_cliques(
     context_index: Optional[Dict[Node, OrderContext]] = None,
     guard: Optional[ResourceGuard] = None,
     options: Optional[BuildOptions] = None,
-) -> Tuple[List[FrozenSet[Node]], SeaStats]:
+    reuse: Optional[EpsilonGraphCache] = None,
+) -> Tuple[
+    List[FrozenSet[Node]], SeaStats, Optional[Dict[OrderContext, List[Node]]]
+]:
     """Maximal cliques of the epsilon-similarity graph over ``nodes``.
+
+    The third element of the result is the full order-context bucket map
+    (singletons included) in order-safe mode, None otherwise; the caller
+    stores it on the enhancement for :func:`extend_enhancement`.
 
     With ``context_index`` given (order-safe mode), an edge additionally
     requires the two nodes to have identical order context — the same
@@ -344,8 +401,9 @@ def _similarity_cliques(
     stats = SeaStats(workers=options.workers)
 
     # Bucket by order context in order-safe mode; one bucket otherwise.
+    buckets: Optional[Dict[OrderContext, List[Node]]] = None
     if context_index is not None:
-        buckets: Dict[OrderContext, List[Node]] = {}
+        buckets = {}
         for node in nodes:
             buckets.setdefault(context_index[node], []).append(node)
         groups = [group for group in buckets.values() if len(group) >= 2]
@@ -369,37 +427,79 @@ def _similarity_cliques(
         ]
         use_filter = options.candidate_filter and supports_filter(measure)
         stats.filter_used = use_filter
-        if should_parallelize(options, measure.name, stats.total_pairs):
-            stats.parallel_used = True
-            edges_by_group, run_stats = parallel_group_edges(
-                dict(enumerate(reps_by_group)),
-                measure.name,
-                epsilon,
-                options,
-                guard=guard,
-                use_filter=use_filter,
-            )
-            block_stats = run_stats.block_stats
-            for gid, group in enumerate(groups):
-                connect(group, edges_by_group[gid])
-        else:
+        if reuse is not None and len(reuse) > 0:
+            # Incremental path: replay cached rep-level verdicts, filter +
+            # verify only pairs involving representatives the cache has
+            # not seen.  Verdict purity (Lemma 1) makes the resulting
+            # edge set identical to the from-scratch branches below.
+            stats.incremental = True
             block_stats = BlockStats()
+            refreshed: List[Tuple[Set[str], Set[Tuple[str, str]]]] = []
             for group, reps in zip(groups, reps_by_group):
-                order = length_sorted_order(reps)
-                edges, group_stats = block_edges(
-                    reps,
-                    order,
-                    measure,
+                rep_set = set(reps)
+                rep_edges, reused = delta_rep_edges(
+                    rep_set, reuse, measure, epsilon, use_filter,
+                    guard=guard, stats=block_stats,
+                )
+                stats.reused_pairs += reused
+                refreshed.append((rep_set, rep_edges))
+                nodes_by_rep: Dict[str, List[Node]] = {}
+                for node, rep in zip(group, reps):
+                    nodes_by_rep.setdefault(rep, []).append(node)
+                stats.graph_edges += _connect_rep_level(
+                    adjacency, nodes_by_rep, rep_edges
+                )
+            reuse.refresh(refreshed)
+            stats.candidates = block_stats.candidates
+        else:
+            if should_parallelize(options, measure.name, stats.total_pairs):
+                stats.parallel_used = True
+                edges_by_group, run_stats = parallel_group_edges(
+                    dict(enumerate(reps_by_group)),
+                    measure.name,
                     epsilon,
-                    0,
-                    len(reps),
+                    options,
                     guard=guard,
                     use_filter=use_filter,
                 )
-                block_stats.merge(group_stats)
-                connect(group, edges)
-        stats.candidates = block_stats.candidates
-        stats.graph_edges = block_stats.edges
+                block_stats = run_stats.block_stats
+                for gid, group in enumerate(groups):
+                    connect(group, edges_by_group[gid])
+            else:
+                block_stats = BlockStats()
+                edges_by_group = {}
+                for gid, (group, reps) in enumerate(zip(groups, reps_by_group)):
+                    order = length_sorted_order(reps)
+                    edges, group_stats = block_edges(
+                        reps,
+                        order,
+                        measure,
+                        epsilon,
+                        0,
+                        len(reps),
+                        guard=guard,
+                        use_filter=use_filter,
+                    )
+                    block_stats.merge(group_stats)
+                    edges_by_group[gid] = edges
+                    connect(group, edges)
+            stats.candidates = block_stats.candidates
+            stats.graph_edges = block_stats.edges
+            if reuse is not None:
+                # Seed the cache from this full build so the next one can
+                # take the delta path.  Same-rep pairs stay implicit (two
+                # nodes sharing a representative are always similar).
+                seeded: List[Tuple[Set[str], Set[Tuple[str, str]]]] = []
+                for gid, reps in enumerate(reps_by_group):
+                    rep_edges = set()
+                    for i, j in edges_by_group[gid]:
+                        rep_i, rep_j = reps[i], reps[j]
+                        if rep_i != rep_j:
+                            rep_edges.add(
+                                (rep_i, rep_j) if rep_i <= rep_j else (rep_j, rep_i)
+                            )
+                    seeded.append((set(reps), rep_edges))
+                reuse.refresh(seeded)
     else:
         # Weak measures: node distance is the min over the full string-set
         # cross product, for which no sound prefilter exists here.
@@ -427,7 +527,7 @@ def _similarity_cliques(
     cliques = graphutils.maximal_cliques(adjacency)
     stats.cliques = len(cliques)
     stats.graph_seconds = time.perf_counter() - started
-    return cliques, stats
+    return cliques, stats, buckets
 
 
 #: SEA modes: "strict" is Figure 12 verbatim and may find the input
@@ -448,6 +548,7 @@ def sea(
     mode: str = STRICT,
     guard: Optional[ResourceGuard] = None,
     options: Optional[BuildOptions] = None,
+    reuse: Optional[EpsilonGraphCache] = None,
 ) -> SimilarityEnhancement:
     """Run the SEA algorithm of Figure 12.
 
@@ -481,6 +582,13 @@ def sea(
         :class:`~repro.parallel.BuildOptions` tuning the similarity-graph
         phase (candidate filter, worker count); None means serial with
         the filter enabled.
+    reuse:
+        Optional :class:`~repro.similarity.incremental.EpsilonGraphCache`
+        carrying rep-level verdicts from a previous build under the same
+        ``(measure, epsilon)``.  Strong measures replay those verdicts
+        and verify only the new-representative delta; the cache is
+        refreshed in place either way (a full build seeds it).  The
+        resulting enhancement is identical to a from-scratch build.
 
     Raises
     ------
@@ -503,9 +611,11 @@ def sea(
     )
     # Lines 3-8 of Figure 12: build all maximal pairwise-similar node sets.
     tracer = current_tracer()
+    if reuse is not None and not distance.measure.is_strong:
+        reuse = None  # verdict purity (Lemma 1) only holds for strong measures
     with tracer.span("sea.similarity_graph", nodes=len(nodes)):
-        cliques, stats = _similarity_cliques(
-            nodes, distance, epsilon, context_index, guard, options
+        cliques, stats, context_buckets = _similarity_cliques(
+            nodes, distance, epsilon, context_index, guard, options, reuse
         )
         tracer.annotate(
             total_pairs=stats.total_pairs,
@@ -513,6 +623,7 @@ def sea(
             edges=stats.graph_edges,
             cliques=stats.cliques,
             parallel=stats.parallel_used,
+            incremental=stats.incremental,
         )
     METRICS.counter("sea.candidates").inc(stats.candidates)
     METRICS.counter("sea.graph_edges").inc(stats.graph_edges)
@@ -543,14 +654,21 @@ def sea(
 
     edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
     with tracer.span("sea.edge_derivation", enhanced_nodes=len(enhanced_nodes)):
+        # ``W.members <= above_all[V]`` is decided by counting, through mu,
+        # how many of W's members lie in V's allowed-upper set: the count
+        # equals |W.members| exactly when all of them do.  This walks only
+        # the (small) allowed-upper sets instead of all O(|H'|^2) clique
+        # pairs, and derives the identical edge set.
         for lower in enhanced_nodes:
             allowed_upper = above_all[lower]
             if guard is not None:
                 guard.tick(len(enhanced_nodes), what="SEA edge derivation")
-            for upper in enhanced_nodes:
-                if upper is lower:
-                    continue
-                if upper.members <= allowed_upper:
+            counts: Dict[EnhancedNode, int] = {}
+            for member in allowed_upper:
+                for upper in mu.get(member, ()):
+                    counts[upper] = counts.get(upper, 0) + 1
+            for upper, count in counts.items():
+                if upper is not lower and count == len(upper.members):
                     edges.append((lower, upper))
         tracer.annotate(edges=len(edges))
 
@@ -590,9 +708,271 @@ def sea(
         mode,
     )
     enhancement.stats = stats
+    enhancement.context_buckets = context_buckets
     if verify:
         _verify(hierarchy, enhancement, context_index)
     return enhancement
+
+
+#: The descendant half of a minimal term's order context.
+_NO_DESCENDANTS: FrozenSet[Node] = frozenset()
+
+#: Result of :func:`extend_enhancement`: the patched enhancement plus the
+#: enhanced nodes it removed from and added to the previous hierarchy
+#: (what the SEO layer needs to patch its string index).
+EnhancementPatch = Tuple[
+    SimilarityEnhancement, List[EnhancedNode], List[EnhancedNode]
+]
+
+
+def extend_enhancement(
+    previous: SimilarityEnhancement,
+    old_hierarchy: Hierarchy,
+    hierarchy: Hierarchy,
+    epsilon: float,
+    mode: str = STRICT,
+    guard: Optional[ResourceGuard] = None,
+    options: Optional[BuildOptions] = None,
+    reuse: Optional[EpsilonGraphCache] = None,
+) -> Optional[EnhancementPatch]:
+    """Patch ``previous`` for a leaf-only hierarchy extension, in place of SEA.
+
+    ``hierarchy`` must extend ``old_hierarchy`` (the hierarchy
+    ``previous`` was built over) with new *minimal* terms only — exactly
+    what :func:`~repro.ontology.fusion.extend_fusion` produces for
+    leaf-only mutation deltas.  Under order-safe semantics such an
+    extension is local by construction:
+
+    * a new leaf's order context is ``(its ancestors, {})``, so the only
+      nodes it can ever be similar to are the members of that one stored
+      bucket — every other pairwise verdict of the previous build is
+      untouched (verdict purity, Lemma 1);
+    * members of such a bucket are themselves minimal terms, so the
+      cliques gaining members are *sink* nodes of H' — they have no
+      incoming H' edges, absorbing one (condition 4) cannot orphan an
+      edge, and the cliques created for the new leaves attach strictly
+      below existing H' nodes, which is precisely the shape
+      :meth:`~repro.ontology.hierarchy.Hierarchy.extended_with_lower_terms`
+      extends without re-reducing;
+    * the ancestors of the new leaves are the only existing nodes whose
+      context moves (their descendant sets grow).  The patch requires
+      each to sit in a singleton clique — the ubiquitous case for
+      structural tags — because a context move invalidates any similarity
+      edge built on the old context.
+
+    Every structure the result carries (cliques, mu, H' with its
+    closures, context buckets, the rep-level verdict cache) is repaired
+    in time proportional to the touched buckets, never the hierarchy.
+    The output is value-identical to a from-scratch :func:`sea` run over
+    ``hierarchy`` — the property suite and the online-mutations benchmark
+    byte-compare the two.
+
+    Returns None whenever any precondition fails (strict mode, changed
+    epsilon, weak measure, missing bucket map, a non-leaf new term, a
+    similar or colliding ancestor...); callers fall back to :func:`sea`.
+    """
+    if mode != ORDER_SAFE or previous.mode != ORDER_SAFE:
+        return None
+    if previous.epsilon != epsilon:
+        return None
+    distance = previous.distance
+    measure = distance.measure
+    if not measure.is_strong:
+        return None
+    buckets = getattr(previous, "context_buckets", None)
+    if buckets is None or reuse is None or len(reuse) == 0:
+        return None
+    mu = previous.mu
+    new_nodes = [node for node in hierarchy.terms if node not in mu]
+    if len(hierarchy) != len(mu) + len(new_nodes):
+        return None  # terms vanished: not a pure extension
+    if not new_nodes:
+        return previous, [], []
+    started = time.perf_counter()
+    if guard is not None:
+        guard.check_deadline("SEA enhancement patch")
+    for node in new_nodes:
+        if hierarchy.children(node):
+            return None  # a new term above another term: full rebuild
+
+    # The new leaves' ancestors are the only existing nodes whose order
+    # context moves.  Each must be similar to nothing (singleton clique),
+    # and no two moved contexts may coincide — a coincidence would create
+    # comparison pairs this patch never runs.  (A moved context can never
+    # coincide with an unmoved one: it contains a new leaf in its
+    # descendant half, and only moved contexts do.)
+    gained: Dict[Node, Set[Node]] = {}
+    for node in new_nodes:
+        for ancestor in hierarchy.ancestors(node):
+            gained.setdefault(ancestor, set()).add(node)
+    for ancestor in gained:
+        cliques_of = mu.get(ancestor)
+        if cliques_of is None or len(cliques_of) != 1:
+            return None
+        (clique,) = cliques_of
+        if clique.members != frozenset({ancestor}):
+            return None
+    moved: Dict[Node, OrderContext] = {
+        ancestor: (
+            old_hierarchy.ancestors(ancestor),
+            frozenset(old_hierarchy.descendants(ancestor) | extra),
+        )
+        for ancestor, extra in gained.items()
+    }
+    if len(set(moved.values())) != len(moved):
+        return None
+
+    # Copy-on-write bucket map: move the ancestors to their new contexts.
+    updated_buckets = dict(buckets)
+    for ancestor, context in moved.items():
+        old_context = (
+            old_hierarchy.ancestors(ancestor),
+            old_hierarchy.descendants(ancestor),
+        )
+        members = updated_buckets.get(old_context)
+        if members is None or ancestor not in members or context in updated_buckets:
+            return None  # stored buckets disagree with the old hierarchy
+        remaining = [other for other in members if other != ancestor]
+        if remaining:
+            updated_buckets[old_context] = remaining
+        else:
+            del updated_buckets[old_context]
+        updated_buckets[context] = [ancestor]
+
+    options = SERIAL_OPTIONS if options is None else options
+    strings_of = distance.strings_of
+    use_filter = options.candidate_filter and supports_filter(measure)
+    block_stats = BlockStats()
+    reused_pairs = 0
+    groups: Dict[OrderContext, List[Node]] = {}
+    for node in new_nodes:
+        key = (hierarchy.ancestors(node), _NO_DESCENDANTS)
+        groups.setdefault(key, []).append(node)
+
+    removed: List[EnhancedNode] = []
+    added: List[EnhancedNode] = []
+    clique_sets: Dict[Node, Set[EnhancedNode]] = {}
+    absorb_updates: List[Tuple[Set[str], Set[Tuple[str, str]]]] = []
+    group_sizes: List[int] = []
+    for key, fresh in groups.items():
+        existing = updated_buckets.get(key, [])
+        fresh = sorted(fresh, key=lambda n: min(strings_of(n)))
+        members = list(existing) + fresh
+        group_sizes.append(len(members))
+        reps = {node: min(strings_of(node)) for node in members}
+        rep_set = set(reps.values())
+        rep_edges, reused = delta_rep_edges(
+            rep_set, reuse, measure, epsilon, use_filter,
+            guard=guard, stats=block_stats,
+        )
+        reused_pairs += reused
+        if len(members) >= 2:
+            absorb_updates.append((rep_set, rep_edges))
+        neighbour_reps: Dict[str, Set[str]] = {}
+        for rep_a, rep_b in rep_edges:
+            neighbour_reps.setdefault(rep_a, set()).add(rep_b)
+            neighbour_reps.setdefault(rep_b, set()).add(rep_a)
+        nodes_by_rep: Dict[str, List[Node]] = {}
+        for node in existing:
+            nodes_by_rep.setdefault(reps[node], []).append(node)
+            clique_sets[node] = set(mu[node])
+        # Insert the new leaves one at a time; after each insertion the
+        # working clique sets are exactly the maximal cliques of the
+        # bucket graph so far (so clique co-membership *is* adjacency).
+        for node in fresh:
+            rep = reps[node]
+            neighbourhood = [
+                other for other in nodes_by_rep.get(rep, ()) if other != node
+            ]
+            for other_rep in neighbour_reps.get(rep, ()):
+                neighbourhood.extend(nodes_by_rep.get(other_rep, ()))
+            if not neighbourhood:
+                clique = EnhancedNode(frozenset({node}))
+                added.append(clique)
+                clique_sets[node] = {clique}
+            else:
+                neighbour_set = set(neighbourhood)
+                local = {
+                    u: {
+                        w
+                        for w in neighbourhood
+                        if w != u and clique_sets[u] & clique_sets[w]
+                    }
+                    for u in neighbourhood
+                }
+                # Existing cliques entirely inside the neighbourhood are
+                # absorbed (condition 4: the new leaf extends them).
+                dead: Set[EnhancedNode] = set()
+                for u in neighbourhood:
+                    for clique in clique_sets[u]:
+                        if clique not in dead and clique.members <= neighbour_set:
+                            dead.add(clique)
+                for clique in dead:
+                    for member in clique.members:
+                        clique_sets[member].discard(clique)
+                    try:
+                        added.remove(clique)  # born and absorbed this patch
+                    except ValueError:
+                        removed.append(clique)
+                clique_sets[node] = set()
+                for local_clique in graphutils.maximal_cliques(local):
+                    clique = EnhancedNode(frozenset(local_clique | {node}))
+                    added.append(clique)
+                    for member in clique.members:
+                        clique_sets[member].add(clique)
+            nodes_by_rep.setdefault(rep, []).append(node)
+        updated_buckets[key] = members
+
+    new_mu: Dict[Node, FrozenSet[EnhancedNode]] = dict(mu)
+    for node, cliques_of in clique_sets.items():
+        new_mu[node] = frozenset(cliques_of)
+
+    # Patch H': absorbed cliques are sinks (their members are minimal
+    # terms), new cliques attach strictly below the ancestor cliques —
+    # all of which are singletons (checked above), so every counting
+    # step of the full edge derivation degenerates to "one edge per
+    # ancestor clique" and no cycle or condition-1 violation is possible.
+    patched = previous.hierarchy.without_leaves(removed)
+    if patched is None:
+        return None
+    new_edges: List[Tuple[EnhancedNode, EnhancedNode]] = []
+    for clique in added:
+        member = next(iter(clique.members))
+        counts: Dict[EnhancedNode, int] = {}
+        for ancestor in hierarchy.ancestors(member):
+            for upper in new_mu[ancestor]:
+                counts[upper] = counts.get(upper, 0) + 1
+        for upper, count in counts.items():
+            if count == len(upper.members):
+                new_edges.append((clique, upper))
+    extended = patched.extended_with_lower_terms(new_edges, new_nodes=added)
+    if extended is None:
+        return None
+    reuse.absorb(absorb_updates)
+
+    stats = SeaStats(
+        mode=mode,
+        groups=len(groups),
+        total_pairs=pair_count(group_sizes),
+        candidates=block_stats.candidates,
+        graph_edges=block_stats.edges,
+        cliques=len(extended),
+        filter_used=use_filter,
+        incremental=True,
+        reused_pairs=reused_pairs,
+        patched=True,
+    )
+    stats.pairs_pruned = max(0, stats.total_pairs - stats.candidates)
+    stats.graph_seconds = time.perf_counter() - started
+    METRICS.counter("sea.candidates").inc(stats.candidates)
+    METRICS.counter("sea.graph_edges").inc(stats.graph_edges)
+    METRICS.counter("sea.patched_builds").inc()
+    enhancement = SimilarityEnhancement(
+        extended, new_mu, epsilon, distance, mode
+    )
+    enhancement.stats = stats
+    enhancement.context_buckets = updated_buckets
+    return enhancement, removed, added
 
 
 def _verify(

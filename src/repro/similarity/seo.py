@@ -40,8 +40,16 @@ from ..ontology.constraints import InteroperationConstraint
 from ..ontology.fusion import FusionResult, canonical_fusion
 from ..ontology.hierarchy import Hierarchy
 from ..parallel import BuildOptions
+from .incremental import EpsilonGraphCache
 from .measures import StringSimilarityMeasure
-from .sea import EnhancedNode, NodeDistance, SeaStats, SimilarityEnhancement, sea
+from .sea import (
+    EnhancedNode,
+    NodeDistance,
+    SeaStats,
+    SimilarityEnhancement,
+    extend_enhancement,
+    sea,
+)
 
 if TYPE_CHECKING:  # import cycle: cache.py deserialises through this module
     from .cache import SimilarityGraphCache
@@ -60,6 +68,20 @@ class SeoBuildStats:
     total_seconds: float = 0.0
     #: Similarity-graph counters (None on a cache hit — nothing was built).
     sea: Optional[SeaStats] = None
+    #: True when the similarity graph was delta-maintained from a previous
+    #: build instead of recomputed (see repro.similarity.incremental).
+    incremental: bool = False
+    #: True when the fused hierarchy was extended from the previous
+    #: build's fusion instead of recondensed.
+    fusion_incremental: bool = False
+    #: True when the previous *enhancement* was patched in place — SEA
+    #: never ran; only the order-context buckets the new leaves landed in
+    #: were reprocessed (see :func:`~repro.similarity.sea
+    #: .extend_enhancement`).
+    enhancement_patched: bool = False
+    #: Incremental builds applied since the last from-scratch build of
+    #: this relation (0 = this SEO is a full build).
+    chain_depth: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -69,7 +91,19 @@ class SeoBuildStats:
             "sea_seconds": self.sea_seconds,
             "total_seconds": self.total_seconds,
             "sea": self.sea.to_dict() if self.sea is not None else None,
+            "incremental": self.incremental,
+            "fusion_incremental": self.fusion_incremental,
+            "enhancement_patched": self.enhancement_patched,
+            "chain_depth": self.chain_depth,
         }
+
+
+#: Longest provenance chain a patched SEO records (:attr:`~
+#: SimilarityEnhancedOntology.patch`).  The serving layer walks the chain
+#: to ship enhancement patches instead of whole SEOs; the cap bounds both
+#: the walk and the memory the back-references keep alive between
+#: refreshes (a longer gap falls back to shipping the full SEO).
+MAX_PATCH_CHAIN = 8
 
 
 class SimilarityEnhancedOntology:
@@ -84,6 +118,20 @@ class SimilarityEnhancedOntology:
         self.enhancement = enhancement
         #: :class:`SeoBuildStats` when constructed via :meth:`build`.
         self.build_stats: Optional[SeoBuildStats] = None
+        #: Provenance of a patched build: ``(previous, removed, added)``
+        #: — the SEO this one was patched from and the enhanced cliques
+        #: the patch dropped/created.  None for full builds and restored
+        #: SEOs.  :meth:`SystemSnapshot.delta` walks these references to
+        #: ship compact enhancement patches to live workers.
+        self.patch: Optional[
+            Tuple[
+                "SimilarityEnhancedOntology",
+                Tuple[EnhancedNode, ...],
+                Tuple[EnhancedNode, ...],
+            ]
+        ] = None
+        #: Patched builds since the last full build (caps the chain).
+        self.patch_depth: int = 0
         #: string -> enhanced nodes whose string set contains it
         self._nodes_by_string: Dict[str, Set[EnhancedNode]] = {}
         for node in enhancement.hierarchy.terms:
@@ -111,6 +159,9 @@ class SimilarityEnhancedOntology:
         guard: Optional[ResourceGuard] = None,
         options: Optional[BuildOptions] = None,
         cache: "Optional[SimilarityGraphCache]" = None,
+        fusion: Optional[FusionResult] = None,
+        graph_cache: "Optional[EpsilonGraphCache]" = None,
+        previous: "Optional[SimilarityEnhancedOntology]" = None,
     ) -> "SimilarityEnhancedOntology":
         """Fuse ``hierarchies`` under ``constraints``, then enhance with SEA.
 
@@ -122,8 +173,22 @@ class SimilarityEnhancedOntology:
         phases and restores the SEO from disk, and a cold build stores its
         result for next time.  Either way :attr:`build_stats` records what
         happened.
+
+        The incremental-maintenance path (``TossSystem.build`` after a
+        mutation) passes ``fusion`` — a :class:`FusionResult` already
+        extended from the previous build via
+        :func:`~repro.ontology.fusion.extend_fusion`, skipping the
+        condensation entirely — and ``graph_cache``, the rep-level
+        verdict cache SEA replays (see :func:`~repro.similarity.sea.sea`).
+        A full build may also pass ``graph_cache`` just to seed it for
+        future deltas.  With ``previous`` (the SEO the extended fusion
+        grew out of) also given, the build first attempts the cheapest
+        path of all — :func:`~repro.similarity.sea.extend_enhancement`
+        patches the previous enhancement and string index in delta time,
+        and SEA never runs; any failed precondition falls back silently.
         """
         stats = SeoBuildStats()
+        stats.fusion_incremental = fusion is not None
         tracer = current_tracer()
         started = time.perf_counter()
         if cache is not None:
@@ -145,19 +210,46 @@ class SimilarityEnhancedOntology:
                 return cached
             METRICS.counter("seo.cache.misses").inc()
 
-        with tracer.span("seo.fusion", hierarchies=len(hierarchies)):
-            fusion = canonical_fusion(hierarchies, constraints, guard=guard)
+        if fusion is None:
+            with tracer.span("seo.fusion", hierarchies=len(hierarchies)):
+                fusion = canonical_fusion(hierarchies, constraints, guard=guard)
         stats.fusion_seconds = time.perf_counter() - started
-        with tracer.span("seo.sea", mode=mode):
-            enhancement = sea(
-                fusion.hierarchy, measure, epsilon, mode=mode, guard=guard,
-                options=options,
-            )
+        patch = None
+        if previous is not None and stats.fusion_incremental:
+            with tracer.span("seo.sea_patch", mode=mode):
+                patch = extend_enhancement(
+                    previous.enhancement,
+                    previous.fusion.hierarchy,
+                    fusion.hierarchy,
+                    epsilon,
+                    mode=mode,
+                    guard=guard,
+                    options=options,
+                    reuse=graph_cache,
+                )
+                tracer.annotate(patched=patch is not None)
+        if patch is not None:
+            enhancement, removed_cliques, added_cliques = patch
+            stats.enhancement_patched = True
+        else:
+            with tracer.span("seo.sea", mode=mode):
+                enhancement = sea(
+                    fusion.hierarchy, measure, epsilon, mode=mode, guard=guard,
+                    options=options, reuse=graph_cache,
+                )
         stats.sea = enhancement.stats
+        stats.incremental = stats.enhancement_patched or (
+            enhancement.stats is not None and enhancement.stats.incremental
+        )
         stats.sea_seconds = (
             time.perf_counter() - started - stats.fusion_seconds
         )
-        seo = cls(fusion, enhancement)
+        if patch is not None:
+            seo = cls._patched(
+                fusion, enhancement, previous, removed_cliques, added_cliques
+            )
+        else:
+            seo = cls(fusion, enhancement)
         if cache is not None and stats.cache_key is not None:
             with tracer.span("seo.cache_store"):
                 cache.store(
@@ -173,6 +265,60 @@ class SimilarityEnhancedOntology:
         METRICS.histogram("seo.sea_seconds").observe(stats.sea_seconds)
         METRICS.histogram("seo.build_seconds").observe(stats.total_seconds)
         seo.build_stats = stats
+        return seo
+
+    @classmethod
+    def _patched(
+        cls,
+        fusion: FusionResult,
+        enhancement: SimilarityEnhancement,
+        previous: "SimilarityEnhancedOntology",
+        removed: Iterable[EnhancedNode],
+        added: Iterable[EnhancedNode],
+    ) -> "SimilarityEnhancedOntology":
+        """Construct from an enhancement patch without re-indexing.
+
+        ``__init__`` walks every enhanced node to build the
+        string-to-nodes index — an O(ontology) pass that would dominate a
+        delta build.  The patch names exactly which enhanced nodes came
+        and went, so the previous SEO's index is copied and only the
+        affected strings' entries are replaced (fresh sets — the shared
+        unaffected sets are never mutated after construction).  The memo
+        caches start empty: expansions may legitimately change.
+        """
+        seo = cls.__new__(cls)
+        seo.fusion = fusion
+        seo.enhancement = enhancement
+        seo.build_stats = None
+        removed = list(removed)
+        added = list(added)
+        if previous.patch_depth < MAX_PATCH_CHAIN:
+            seo.patch = (previous, tuple(removed), tuple(added))
+            seo.patch_depth = previous.patch_depth + 1
+        else:
+            seo.patch = None
+            seo.patch_depth = 0
+        index: Dict[str, Set[EnhancedNode]] = dict(previous._nodes_by_string)
+        affected: Set[str] = set()
+        for node in removed:
+            affected.update(node.strings)
+        for node in added:
+            affected.update(node.strings)
+        for string in affected:
+            shared = index.get(string)
+            index[string] = set(shared) if shared else set()
+        for node in removed:
+            for string in node.strings:
+                index[string].discard(node)
+        for node in added:
+            for string in node.strings:
+                index[string].add(node)
+        for string in affected:
+            if not index[string]:
+                del index[string]
+        seo._nodes_by_string = index
+        seo._expansion_cache = {}
+        seo._similar_cache = {}
         return seo
 
     @classmethod

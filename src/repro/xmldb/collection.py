@@ -8,7 +8,8 @@ configurable), and runs XPath queries over all or one of its documents.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import CollectionError, DocumentTooLargeError
 from ..guard import ResourceGuard
@@ -23,6 +24,11 @@ from .xpath.engine import ResultNode
 
 #: Apache Xindice's practical per-document limit, bytes.
 XINDICE_DOCUMENT_LIMIT = 5 * 1024 * 1024
+
+#: Mutations the changelog ring retains.  Deltas older than this force a
+#: full snapshot refresh; sized for "live traffic" write rates (hundreds
+#: of writes between two refreshes), not bulk loads.
+CHANGELOG_CAPACITY = 512
 
 
 class Collection:
@@ -58,6 +64,16 @@ class Collection:
         #: Snapshot consumers (the serving layer's worker pools) compare
         #: generations to detect that a snapshot went stale.
         self.generation = 0
+        #: Ring of recent mutations: ``(generation, op, key, removed_id,
+        #: added_id)`` with ``op`` one of add/replace/remove and the ids
+        #: the ``id()`` of the outgoing/incoming root (None when absent).
+        #: :meth:`changes_since` replays it so snapshot refreshes ship
+        #: deltas instead of the whole collection, and
+        #: :meth:`columns_for_root` patches its reverse map instead of
+        #: rebuilding it per mutation.
+        self._changelog: Deque[Tuple[int, str, str, Optional[int], Optional[int]]] = (
+            deque(maxlen=CHANGELOG_CAPACITY)
+        )
 
     # -- document management ---------------------------------------------------
 
@@ -72,6 +88,15 @@ class Collection:
             raise CollectionError(
                 f"collection {self.name!r} already has a document {key!r}"
             )
+        return self._store(key, document, "add", None)
+
+    def _store(
+        self,
+        key: str,
+        document: "XmlNode | str",
+        op: str,
+        removed_id: Optional[int],
+    ) -> XmlNode:
         if isinstance(document, str):
             root = parse_document(document)
         else:
@@ -81,6 +106,7 @@ class Collection:
             raise DocumentTooLargeError(size, self.max_document_bytes)
         self._documents[key] = root
         self.generation += 1
+        self._changelog.append((self.generation, op, key, removed_id, id(root)))
         if self._search_index is not None:
             self._search_index.add_document(key, root)
         return root
@@ -94,6 +120,7 @@ class Collection:
             if self._search_index is not None:
                 self._search_index.remove_document(key, root)
             del self._documents[key]
+            return self._store(key, document, "replace", id(root))
         return self.add_document(key, document)
 
     def remove_document(self, key: str) -> None:
@@ -104,10 +131,34 @@ class Collection:
                 f"collection {self.name!r} has no document {key!r}"
             ) from None
         self.generation += 1
+        self._changelog.append((self.generation, "remove", key, id(root), None))
         self._index.invalidate(root)
         self._columns.pop(key, None)
         if self._search_index is not None:
             self._search_index.remove_document(key, root)
+
+    def changes_since(self, generation: int) -> Optional[List[Tuple[str, str]]]:
+        """Mutations after ``generation``, oldest first, or None.
+
+        Returns ``(op, key)`` pairs — ``op`` one of ``add``, ``replace``,
+        ``remove`` — covering every generation in ``(generation, current]``.
+        Returns None when the ring no longer reaches back that far (or the
+        asked-for generation is from another collection's history); the
+        caller must then fall back to a full refresh.  Every mutation bumps
+        the generation exactly once, so coverage is a simple count check.
+        """
+        if generation == self.generation:
+            return []
+        if generation > self.generation:
+            return None
+        changes = [
+            (op, key)
+            for gen, op, key, _removed, _added in self._changelog
+            if gen > generation
+        ]
+        if len(changes) != self.generation - generation:
+            return None  # ring truncated: some mutations have been forgotten
+        return changes
 
     def get_document(self, key: str) -> XmlNode:
         try:
@@ -162,11 +213,29 @@ class Collection:
         ``root`` must be the *identical object* a current document is
         stored under — anything else (a copy, a replaced document, a
         foreign tree) returns None and the caller falls back to
-        tree-walking verification.  The reverse id->key map is rebuilt
-        lazily whenever the collection's generation moves.
+        tree-walking verification.  The reverse id->key map is maintained
+        copy-on-write: when the generation moves, the changelog entries
+        since the map's generation are replayed onto it (cost proportional
+        to the delta); only a truncated ring forces a full rebuild.
         """
         cached = self._root_keys
-        if cached is None or cached[0] != self.generation:
+        if cached is not None and cached[0] != self.generation:
+            mapping = cached[1]
+            behind = cached[0]
+            patched = False
+            if self.generation - behind <= len(self._changelog):
+                entries = [e for e in self._changelog if e[0] > behind]
+                if len(entries) == self.generation - behind:
+                    for _gen, _op, key, removed_id, added_id in entries:
+                        if removed_id is not None:
+                            mapping.pop(removed_id, None)
+                        if added_id is not None:
+                            mapping[added_id] = key
+                    self._root_keys = cached = (self.generation, mapping)
+                    patched = True
+            if not patched:
+                cached = None
+        if cached is None:
             mapping = {id(node): key for key, node in self._documents.items()}
             self._root_keys = cached = (self.generation, mapping)
         key = cached[1].get(id(root))

@@ -56,7 +56,67 @@ class TestAddDocuments:
 
     def test_instance_object_replaced_not_mutated(self):
         system = TossSystem(epsilon=0.0)
-        original = system.add_instance("dblp", FIRST)
+        original = system.add_instance("dblp", FIRST).instance
         system.add_documents("dblp", SECOND)
         assert len(original.trees) == 1  # caller's snapshot unchanged
         assert len(system.instances["dblp"].trees) == 2
+
+
+class TestMutationReceipts:
+    def test_add_instance_receipt(self):
+        system = TossSystem()
+        receipt = system.add_instance("dblp", FIRST)
+        assert receipt.source == "dblp"
+        assert receipt.operation == "add_instance"
+        assert receipt.generation_before == 0
+        assert receipt.generations_advanced == 1
+        assert len(receipt.documents_added) == 1
+        assert "author" in receipt.terms_added
+
+    def test_add_documents_receipt_is_incremental(self):
+        system = TossSystem()
+        system.add_instance("dblp", FIRST)
+        receipt = system.add_documents("dblp", SECOND)
+        assert receipt.operation == "add_documents"
+        assert receipt.incremental
+        assert receipt.generations_advanced == 1
+        assert receipt.instance is system.instances["dblp"]
+
+    def test_replace_receipt_reports_keys_and_forces_full(self):
+        system = TossSystem()
+        system.add_instance("dblp", FIRST)
+        (key,) = system.database.get_collection("dblp").keys()
+        receipt = system.replace_documents("dblp", {key: SECOND})
+        assert receipt.operation == "replace_documents"
+        assert receipt.documents_removed == (key,)
+        assert not receipt.incremental
+
+    def test_remove_receipt_retires_terms(self):
+        system = TossSystem()
+        system.add_instance("dblp", [FIRST, SECOND.replace("title", "journal")])
+        keys = list(system.database.get_collection("dblp").keys())
+        receipt = system.remove_documents("dblp", (keys[1],))
+        assert receipt.operation == "remove_documents"
+        assert receipt.documents_removed == (keys[1],)
+        assert "journal" in receipt.terms_removed
+        assert not receipt.incremental
+
+    def test_mutation_emits_event_and_counter(self, tmp_path):
+        from repro.obs import Observability
+        from repro.obs.metrics import REGISTRY as METRICS
+
+        system = TossSystem(observability=Observability(directory=tmp_path))
+        system.add_instance("dblp", FIRST)
+        before = METRICS.counter("system.mutations").value
+        system.add_documents("dblp", SECOND)
+        assert METRICS.counter("system.mutations").value == before + 1
+        assert system.observability.event_log is not None
+        mutation = [
+            entry
+            for entry in system.observability.event_log.read()
+            if entry["event"] == "system.mutation"
+        ]
+        assert mutation, "no system.mutation event logged"
+        assert mutation[-1]["operation"] == "add_documents"
+        assert mutation[-1]["source"] == "dblp"
+        assert mutation[-1]["incremental"] is True

@@ -45,7 +45,7 @@ def author_pattern(surface):
 class TestAdministration:
     def test_add_instance_builds_ontology(self):
         system = TossSystem()
-        instance = system.add_instance("dblp", DBLP)
+        instance = system.add_instance("dblp", DBLP).instance
         assert instance.isa.leq("author", "person")
         assert "dblp" in system.database
 

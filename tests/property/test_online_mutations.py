@@ -1,0 +1,160 @@
+"""Property-based tests: incremental maintenance equals building from scratch.
+
+The tentpole invariant of online mutations: after ANY prefix of a random
+add/replace/remove sequence, a system maintained incrementally (pending
+deltas consumed by :meth:`TossSystem.build`) is indistinguishable from a
+system built from scratch over the same final documents in the same scan
+order — same serialized SEO (graph edges and cliques included), same
+query verdicts, and a monotonically advancing generation.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_query
+from repro.core.system import TossSystem
+from repro.ontology import Ontology
+from repro.similarity.persistence import seo_to_dict
+from repro.xmldb.serializer import serialize
+
+AUTHORS = ["J. Smith", "J. Smyth", "A. Stone", "A. Stane", "B. Swan"]
+TITLES = ["Indexing", "Querying", "Fusion"]
+
+QUERY = 'inproceedings(author ~ "J. Smith")'
+
+
+def make_doc(author: str, title: str, serial: int) -> str:
+    return (
+        f'<dblp><inproceedings key="x{serial}">'
+        f"<author>{author}</author><title>{title}</title>"
+        f"</inproceedings></dblp>"
+    )
+
+
+documents = st.builds(
+    make_doc,
+    author=st.sampled_from(AUTHORS),
+    title=st.sampled_from(TITLES),
+    serial=st.integers(min_value=0, max_value=9),
+)
+
+#: One mutation: ("add", text) | ("replace", position_seed, text)
+#: | ("remove", position_seed).  Position seeds index into the live key
+#: list modulo its length at application time.
+operations = st.one_of(
+    st.tuples(st.just("add"), documents),
+    st.tuples(st.just("replace"), st.integers(min_value=0, max_value=99), documents),
+    st.tuples(st.just("remove"), st.integers(min_value=0, max_value=99)),
+)
+
+
+def seo_bytes(system, relation):
+    return json.dumps(seo_to_dict(system.context.seos[relation]), sort_keys=True)
+
+
+def verdicts(system):
+    parsed = parse_query(QUERY)
+    report = system.select("dblp", parsed.pattern, parsed.roots)
+    return sorted(serialize(tree) for tree in report.results)
+
+
+@given(
+    initial=st.lists(documents, min_size=1, max_size=3),
+    ops=st.lists(operations, min_size=1, max_size=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_equals_from_scratch_after_every_prefix(initial, ops):
+    live = TossSystem(epsilon=1.0)
+    live.add_instance("dblp", initial)
+    live.build()
+
+    # Shadow of the collection's scan order: (key, text) pairs mirroring
+    # add-appends, replace-moves-to-end and remove semantics.
+    shadow = list(zip(sorted(live.database.get_collection("dblp").keys()), initial))
+    shadow = [
+        (key, text)
+        for key, _ in live.database.get_collection("dblp").documents()
+        for skey, text in shadow
+        if skey == key
+    ]
+    generation = live.database.get_collection("dblp").generation
+
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            receipt = live.add_documents("dblp", op[1])
+            (new_key,) = receipt.documents_added
+            shadow.append((new_key, op[1]))
+        elif kind == "replace":
+            key = shadow[op[1] % len(shadow)][0]
+            receipt = live.replace_documents("dblp", {key: op[2]})
+            shadow = [pair for pair in shadow if pair[0] != key]
+            shadow.append((key, op[2]))
+            assert receipt.documents_removed == (key,)
+        else:
+            if len(shadow) == 1:
+                continue  # keep the instance non-empty
+            key = shadow[op[1] % len(shadow)][0]
+            receipt = live.remove_documents("dblp", (key,))
+            shadow = [pair for pair in shadow if pair[0] != key]
+            assert receipt.documents_removed == (key,)
+
+        # Generations only move forward, and by what the receipt claims.
+        after = live.database.get_collection("dblp").generation
+        assert receipt.generation_after == after
+        assert receipt.generations_advanced >= 1
+        assert after > generation
+        generation = after
+
+        live.build()
+
+        fresh = TossSystem(epsilon=1.0)
+        fresh.add_instance("dblp", [text for _key, text in shadow])
+        fresh.build()
+
+        # Same scan order...
+        assert [
+            serialize(root)
+            for _key, root in live.database.get_collection("dblp").documents()
+        ] == [
+            serialize(root)
+            for _key, root in fresh.database.get_collection("dblp").documents()
+        ]
+        # ...same serialized SEO for every relation (edges AND cliques)...
+        for relation in (Ontology.ISA, Ontology.PART_OF):
+            assert seo_bytes(live, relation) == seo_bytes(fresh, relation)
+        # ...and same query verdicts.
+        assert verdicts(live) == verdicts(fresh)
+
+
+@given(ops=st.lists(operations, min_size=1, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_chain_depth_tracks_delta_builds(ops):
+    """Chain depth only grows on delta builds and resets on full builds;
+    shrinking mutations (replace/remove) always reset it."""
+    live = TossSystem(epsilon=1.0)
+    live.add_instance("dblp", [make_doc(AUTHORS[0], TITLES[0], 0)])
+    live.build()
+    depth = live.seo_chain_depths[Ontology.ISA]
+    assert depth == 0
+    for op in ops:
+        if op[0] == "add":
+            receipt = live.add_documents("dblp", op[1])
+            assert receipt.incremental
+        elif op[0] == "replace":
+            keys = [k for k, _ in live.database.get_collection("dblp").documents()]
+            receipt = live.replace_documents(
+                "dblp", {keys[op[1] % len(keys)]: op[2]}
+            )
+            assert not receipt.incremental
+        else:
+            continue
+        live.build()
+        new_depth = live.seo_chain_depths[Ontology.ISA]
+        if receipt.incremental:
+            assert new_depth in (depth, depth + 1)  # no-op reuse keeps depth
+        else:
+            assert new_depth == 0
+        depth = new_depth

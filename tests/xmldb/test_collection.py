@@ -81,6 +81,53 @@ class TestCollection:
         assert collection.total_nodes() == 4
 
 
+class TestChangelog:
+    def test_generation_counts_every_mutation(self):
+        collection = Collection("dblp")
+        assert collection.generation == 0
+        collection.add_document("d1", DOC)
+        collection.replace_document("d1", "<other/>")
+        collection.remove_document("d1")
+        assert collection.generation == 3
+
+    def test_changes_since_replays_in_order(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        base = collection.generation
+        collection.add_document("d2", DOC)
+        collection.replace_document("d1", "<other/>")
+        collection.remove_document("d2")
+        assert collection.changes_since(base) == [
+            ("add", "d2"),
+            ("replace", "d1"),
+            ("remove", "d2"),
+        ]
+
+    def test_changes_since_current_is_empty(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        assert collection.changes_since(collection.generation) == []
+
+    def test_changes_since_future_generation_is_none(self):
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        assert collection.changes_since(collection.generation + 1) is None
+
+    def test_changes_since_truncated_ring_is_none(self):
+        from repro.xmldb.collection import CHANGELOG_CAPACITY
+
+        collection = Collection("dblp")
+        collection.add_document("d1", DOC)
+        base = collection.generation
+        for _ in range(CHANGELOG_CAPACITY + 1):
+            collection.replace_document("d1", DOC)
+        assert collection.changes_since(base) is None
+        # The ring still reaches recent history.
+        assert collection.changes_since(collection.generation - 1) == [
+            ("replace", "d1")
+        ]
+
+
 class TestDatabase:
     def test_create_get_drop(self):
         database = Database()
